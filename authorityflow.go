@@ -1,0 +1,412 @@
+// Package authorityflow is a from-scratch Go implementation of
+// "Explaining and Reformulating Authority Flow Queries"
+// (Varadarajan, Hristidis, Raschid — ICDE 2008).
+//
+// Authority-flow ranking answers keyword queries over typed data graphs
+// (bibliographic databases, biological databases) by letting authority
+// flow from the nodes that contain the query keywords (the base set)
+// along typed edges, each edge type carrying a configurable authority
+// transfer rate. This package provides:
+//
+//   - ObjectRank2 (Section 3 of the paper): authority-flow ranking with
+//     an IR-weighted base set — random jumps land on base-set nodes in
+//     proportion to their Okapi BM25 scores rather than uniformly.
+//   - Explaining subgraphs (Section 4): for any result, the subgraph of
+//     paths along which authority reached it, each edge annotated with
+//     the amount of authority that flows over it and eventually arrives
+//     at the result.
+//   - Query reformulation from relevance feedback (Section 5):
+//     content-based query expansion with terms weighted by the
+//     authority they transfer to the user's feedback objects, and
+//     structure-based adjustment of the authority transfer rates — the
+//     mechanism that trains rates automatically instead of requiring a
+//     domain expert.
+//   - The substrates: typed data/schema graphs, a BM25 inverted index,
+//     power-iteration ranking (PageRank and the original ObjectRank as
+//     baselines), synthetic DBLP-style and biology-style dataset
+//     generators, survey simulation, and evaluation metrics.
+//
+// # Quick start
+//
+//	ds, _ := authorityflow.GenerateDBLP(authorityflow.DBLPTopConfig().Scale(0.1))
+//	eng, _ := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{})
+//	res := eng.Rank(authorityflow.NewQuery("olap"))
+//	top := res.TopK(10)
+//	sg, _ := eng.Explain(res, top[0].Node, authorityflow.DefaultExplain())
+//	ref, _ := eng.Reformulate(res.Query, []*authorityflow.Subgraph{sg},
+//	    authorityflow.StructureOnly())
+//	_ = eng.SetRates(ref.Rates) // apply the learned rates
+package authorityflow
+
+import (
+	"io"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/eval"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/precompute"
+	"authorityflow/internal/rank"
+	"authorityflow/internal/server"
+	"authorityflow/internal/sim"
+	"authorityflow/internal/storage"
+)
+
+// Graph model (internal/graph).
+type (
+	// Graph is a frozen typed data graph with its derived authority
+	// transfer data graph.
+	Graph = graph.Graph
+	// Schema is a schema graph: node types and typed edges.
+	Schema = graph.Schema
+	// Builder accumulates nodes and edges and freezes them into a Graph.
+	Builder = graph.Builder
+	// Rates holds authority transfer rates per transfer edge type.
+	Rates = graph.Rates
+	// NodeID identifies a data-graph node.
+	NodeID = graph.NodeID
+	// TypeID identifies a node type.
+	TypeID = graph.TypeID
+	// EdgeTypeID identifies a schema edge type.
+	EdgeTypeID = graph.EdgeTypeID
+	// TransferTypeID identifies one direction of a schema edge type.
+	TransferTypeID = graph.TransferTypeID
+	// Direction distinguishes forward and backward transfer edges.
+	Direction = graph.Direction
+	// Attr is one name/value pair of a node.
+	Attr = graph.Attr
+	// Arc is one authority transfer arc.
+	Arc = graph.Arc
+)
+
+// Forward and Backward are the two authority transfer directions of a
+// schema edge.
+const (
+	Forward  = graph.Forward
+	Backward = graph.Backward
+)
+
+// NewSchema returns an empty schema graph.
+func NewSchema() *Schema { return graph.NewSchema() }
+
+// NewBuilder returns a Builder for data graphs conforming to s.
+func NewBuilder(s *Schema) *Builder { return graph.NewBuilder(s) }
+
+// NewRates returns an all-zero rate vector for s.
+func NewRates(s *Schema) *Rates { return graph.NewRates(s) }
+
+// UniformRates returns a rate vector with every transfer rate set to r.
+func UniformRates(s *Schema, r float64) *Rates { return graph.UniformRates(s, r) }
+
+// TransferType maps a schema edge type and direction to its transfer
+// type.
+func TransferType(e EdgeTypeID, dir Direction) TransferTypeID {
+	return graph.TransferType(e, dir)
+}
+
+// Queries and IR (internal/ir).
+type (
+	// Query is a weighted keyword query vector.
+	Query = ir.Query
+	// Index is the BM25 inverted index over node text.
+	Index = ir.Index
+	// BM25Params are the Okapi constants (k1, b, k3).
+	BM25Params = ir.BM25Params
+	// ScoredDoc is a base-set member with its IR score.
+	ScoredDoc = ir.ScoredDoc
+)
+
+// NewQuery builds a query from keywords, each with weight 1.
+func NewQuery(keywords ...string) *Query { return ir.NewQuery(keywords...) }
+
+// ParseQuery splits a free-text string into a keyword query.
+func ParseQuery(text string) *Query { return ir.ParseQuery(text) }
+
+// DefaultBM25 returns the standard Okapi parameters.
+func DefaultBM25() BM25Params { return ir.DefaultBM25() }
+
+// Ranking engine (internal/core, internal/rank).
+type (
+	// Engine is the ObjectRank2 query processor.
+	Engine = core.Engine
+	// Config collects engine construction parameters.
+	Config = core.Config
+	// RankOptions control the power iteration (damping, threshold).
+	RankOptions = rank.Options
+	// RankResult is one ObjectRank2 execution's outcome.
+	RankResult = core.RankResult
+	// Ranked is one node with its score.
+	Ranked = rank.Ranked
+	// Subgraph is an explaining subgraph.
+	Subgraph = core.Subgraph
+	// FlowArc is one explaining-subgraph edge with its flows.
+	FlowArc = core.FlowArc
+	// Path is one authority-flow path to an explained target.
+	Path = core.Path
+	// ExplainOptions control explaining-subgraph construction.
+	ExplainOptions = core.ExplainOptions
+	// ReformulateOptions control query reformulation.
+	ReformulateOptions = core.ReformulateOptions
+	// Reformulation is one feedback iteration's outcome.
+	Reformulation = core.Reformulation
+	// WeightedTerm is one expansion term with its weight.
+	WeightedTerm = core.WeightedTerm
+)
+
+// NewEngine indexes g and returns an ObjectRank2 engine with the given
+// authority transfer rates.
+func NewEngine(g *Graph, rates *Rates, cfg Config) (*Engine, error) {
+	return core.NewEngine(g, rates, cfg)
+}
+
+// DefaultRankOptions returns the paper's defaults: damping 0.85,
+// threshold 0.002, 200 iterations.
+func DefaultRankOptions() RankOptions { return rank.Defaults() }
+
+// DefaultExplain returns the paper's explain setting: radius 3,
+// threshold 0.002.
+func DefaultExplain() ExplainOptions { return core.DefaultExplain() }
+
+// ContentOnly, StructureOnly and ContentAndStructure are the paper's
+// three survey reformulation settings.
+func ContentOnly() ReformulateOptions         { return core.ContentOnly() }
+func StructureOnly() ReformulateOptions       { return core.StructureOnly() }
+func ContentAndStructure() ReformulateOptions { return core.ContentAndStructure() }
+
+// Synthetic datasets (internal/datagen).
+type (
+	// Dataset is a generated corpus: graph, expert rates, name.
+	Dataset = datagen.Dataset
+	// DBLPConfig parameterizes the bibliographic generator.
+	DBLPConfig = datagen.DBLPConfig
+	// BioConfig parameterizes the biological generator.
+	BioConfig = datagen.BioConfig
+	// DBLPSchema bundles the bibliographic schema with type handles.
+	DBLPSchema = datagen.DBLPSchema
+	// BioSchema bundles the biological schema with type handles.
+	BioSchema = datagen.BioSchema
+)
+
+// GenerateDBLP builds a synthetic bibliographic graph (Figure 2 schema).
+func GenerateDBLP(c DBLPConfig) (*Dataset, error) { return datagen.GenerateDBLP(c) }
+
+// GenerateBio builds a synthetic biological graph (Figure 4 schema).
+func GenerateBio(c BioConfig) (*Dataset, error) { return datagen.GenerateBio(c) }
+
+// DBLPTopConfig approximates the paper's DBLPtop dataset.
+func DBLPTopConfig() DBLPConfig { return datagen.DBLPTopConfig() }
+
+// DBLPCompleteConfig approximates the paper's DBLPcomplete dataset.
+func DBLPCompleteConfig() DBLPConfig { return datagen.DBLPCompleteConfig() }
+
+// DS7Config approximates the paper's DS7 dataset.
+func DS7Config() BioConfig { return datagen.DS7Config() }
+
+// DS7CancerConfig approximates the paper's DS7cancer dataset.
+func DS7CancerConfig() BioConfig { return datagen.DS7CancerConfig() }
+
+// NewDBLPSchema builds the Figure 2 bibliographic schema.
+func NewDBLPSchema() *DBLPSchema { return datagen.NewDBLPSchema() }
+
+// NewBioSchema builds the Figure 4 biological schema.
+func NewBioSchema() *BioSchema { return datagen.NewBioSchema() }
+
+// Survey simulation and evaluation (internal/sim, internal/eval).
+type (
+	// User is a simulated survey participant with hidden ground-truth
+	// rates.
+	User = sim.User
+	// SessionConfig parameterizes a relevance-feedback session.
+	SessionConfig = sim.SessionConfig
+	// SessionResult aggregates a feedback session's statistics.
+	SessionResult = sim.SessionResult
+	// IterationStats records one feedback iteration.
+	IterationStats = sim.IterationStats
+)
+
+// NewUser builds a simulated user judging by the given ground-truth
+// rates. resultType restricts judgments to one node type (-1 for all).
+func NewUser(g *Graph, truth *Rates, cfg Config, topR int, resultType TypeID) (*User, error) {
+	return sim.NewUser(g, truth, cfg, topR, resultType)
+}
+
+// DefaultSession returns the paper's survey protocol settings.
+func DefaultSession(opts ReformulateOptions) SessionConfig { return sim.DefaultSession(opts) }
+
+// RunSession executes one relevance-feedback session.
+func RunSession(sys *Engine, user *User, q *Query, cfg SessionConfig) (*SessionResult, error) {
+	return sim.RunSession(sys, user, q, cfg)
+}
+
+// CosineSimilarity returns the cosine between two vectors (the rate
+// training measure of Figures 11/13).
+func CosineSimilarity(a, b []float64) float64 { return eval.CosineSimilarity(a, b) }
+
+// PrecisionAtK returns the fraction of the first k results that are
+// relevant.
+func PrecisionAtK(results []Ranked, relevant map[NodeID]bool, k int) float64 {
+	return eval.PrecisionAtK(results, relevant, k)
+}
+
+// Persistence and export (internal/storage).
+
+// SaveDataset writes a dataset snapshot to w.
+func SaveDataset(w io.Writer, ds *Dataset) error { return storage.Save(w, ds) }
+
+// LoadDataset reads a dataset snapshot from r.
+func LoadDataset(r io.Reader) (*Dataset, error) { return storage.Load(r) }
+
+// SaveDatasetFile writes a dataset snapshot to path.
+func SaveDatasetFile(path string, ds *Dataset) error { return storage.SaveFile(path, ds) }
+
+// LoadDatasetFile reads a dataset snapshot from path.
+func LoadDatasetFile(path string) (*Dataset, error) { return storage.LoadFile(path) }
+
+// ExportSubgraphJSON renders an explaining subgraph as JSON.
+func ExportSubgraphJSON(w io.Writer, g *Graph, sg *Subgraph) error {
+	return storage.ExportJSON(w, g, sg)
+}
+
+// ExportSubgraphDOT renders an explaining subgraph as Graphviz DOT.
+func ExportSubgraphDOT(w io.Writer, g *Graph, sg *Subgraph) error {
+	return storage.ExportDOT(w, g, sg)
+}
+
+// Precomputation ([BHP04]-style per-keyword score stores, the paper's
+// Section 6.2 remedy for slow exploratory search).
+type (
+	// Store holds precomputed per-term ObjectRank2 vectors and answers
+	// weighted multi-keyword queries by exact linear combination.
+	Store = precompute.Store
+	// StoreOptions control store construction (top-K truncation,
+	// build parallelism).
+	StoreOptions = precompute.BuildOptions
+)
+
+// BuildStore precomputes per-term ObjectRank2 vectors for the given
+// terms under the engine's current rates.
+func BuildStore(eng *Engine, terms []string, opts StoreOptions) *Store {
+	return precompute.Build(eng, terms, opts)
+}
+
+// LoadStoreFile reads a precomputed store from path.
+func LoadStoreFile(path string) (*Store, error) { return precompute.LoadFile(path) }
+
+// NewServer builds the HTTP JSON API server of the deployed demo over a
+// dataset. Mount Handler() into any http server.
+func NewServer(ds *Dataset, cfg Config) (*server.Server, error) { return server.New(ds, cfg) }
+
+// Server is the HTTP JSON API of the deployed ObjectRank2 demo.
+type Server = server.Server
+
+// GeneratePreset builds one of the four Table 1 corpora by name
+// ("dblptop", "dblpcomplete", "ds7", "ds7cancer") at the given scale
+// and seed.
+func GeneratePreset(name string, scale float64, seed int64) (*Dataset, error) {
+	return datagen.Preset(name, scale, seed)
+}
+
+// PresetNames lists the valid dataset preset names.
+func PresetNames() []string { return datagen.PresetNames() }
+
+// SubsetDataset extracts a keyword-focused sub-corpus: anchor nodes
+// containing any keyword, expanded by radius hops, the way the paper
+// derived DBLPtop and DS7cancer from their full corpora.
+func SubsetDataset(ds *Dataset, keywords []string, radius int, name string) (*Dataset, error) {
+	return datagen.Subset(ds, keywords, radius, name)
+}
+
+// ComputeGraphStats summarizes a graph's structure (per-type counts,
+// degree extremes, weak components).
+func ComputeGraphStats(g *Graph) graph.Stats { return graph.ComputeStats(g) }
+
+// GraphStats is a graph's structural summary.
+type GraphStats = graph.Stats
+
+// SaveRates writes a (possibly trained) rate assignment as reviewable
+// JSON keyed by transfer-type names.
+func SaveRates(w io.Writer, r *Rates) error { return storage.SaveRates(w, r) }
+
+// LoadRates reads a JSON rate assignment for the given schema,
+// validating it.
+func LoadRates(r io.Reader, s *Schema) (*Rates, error) { return storage.LoadRates(r, s) }
+
+// SaveRatesFile writes rates as JSON to path.
+func SaveRatesFile(path string, r *Rates) error { return storage.SaveRatesFile(path, r) }
+
+// LoadRatesFile reads JSON rates from path for the given schema.
+func LoadRatesFile(path string, s *Schema) (*Rates, error) { return storage.LoadRatesFile(path, s) }
+
+// Snippet extracts a query-focused excerpt from text for result
+// display.
+func Snippet(text string, q *Query, width int) string { return ir.Snippet(text, q, width) }
+
+// HITS runs Kleinberg's hubs-and-authorities over the data edges
+// restricted to a node subset (nil = whole graph) — a related-work
+// baseline.
+func HITS(g *Graph, subset []NodeID, threshold float64, maxIters int) rank.HITSResult {
+	return rank.HITS(g, subset, threshold, maxIters)
+}
+
+// HITSResult holds converged hub and authority scores.
+type HITSResult = rank.HITSResult
+
+// TopicSensitive is Haveliwala's topic-sensitive PageRank baseline:
+// per-topic biased vectors mixed at query time.
+type TopicSensitive = rank.TopicSensitive
+
+// BuildTopicSensitive precomputes one biased PageRank per topic.
+func BuildTopicSensitive(g *Graph, rates *Rates, topics []string, topicNodes [][]NodeID, opts RankOptions) *TopicSensitive {
+	return rank.BuildTopicSensitive(g, rates, topics, topicNodes, opts)
+}
+
+// Comparison answers "why is A ranked above B": the score gap
+// decomposed into base-set contributions and per-edge-type authority
+// inflows, read off the two explaining subgraphs.
+type Comparison = core.Comparison
+
+// TypeFlow is one edge type's contribution within a Comparison.
+type TypeFlow = core.TypeFlow
+
+// ImportTSV builds a dataset from a schema JSON document and two
+// tab-separated files (nodes: id, type, name=value...; edges: from, to,
+// role) — the path for loading your own database.
+func ImportTSV(schema, nodes, edges io.Reader, name string) (*Dataset, error) {
+	return storage.ImportTSV(schema, nodes, edges, name)
+}
+
+// ImportTSVFiles is ImportTSV over file paths.
+func ImportTSVFiles(schemaPath, nodesPath, edgesPath, name string) (*Dataset, error) {
+	return storage.ImportTSVFiles(schemaPath, nodesPath, edgesPath, name)
+}
+
+// ExportTSV writes a dataset in the ImportTSV format for round trips
+// and hand edits.
+func ExportTSV(ds *Dataset, schema, nodes, edges io.Writer) error {
+	return storage.ExportTSV(ds, schema, nodes, edges)
+}
+
+// ClickModel simulates position-biased implicit feedback
+// (click-through), feeding ReformulateWeighted.
+type ClickModel = sim.ClickModel
+
+// Click is one simulated click with its confidence weight.
+type Click = sim.Click
+
+// NewClickModel builds a deterministic click simulator.
+func NewClickModel(seed int64, positionBias, clickProb float64) *ClickModel {
+	return sim.NewClickModel(seed, positionBias, clickProb)
+}
+
+// ClickNodes returns the clicked nodes of a click list.
+func ClickNodes(clicks []Click) []NodeID { return sim.Nodes(clicks) }
+
+// ClickConfidences returns the confidence weights of a click list.
+func ClickConfidences(clicks []Click) []float64 { return sim.Confidences(clicks) }
+
+// ExportSubgraphHTML renders an explaining subgraph as a self-contained
+// HTML page with an inline SVG visualization.
+func ExportSubgraphHTML(w io.Writer, g *Graph, sg *Subgraph) error {
+	return storage.ExportHTML(w, g, sg)
+}

@@ -1,0 +1,256 @@
+package authorityflow_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"authorityflow"
+)
+
+// buildFixture assembles the paper's Figure 1 graph through the public
+// facade only, proving the exported API is sufficient for the full
+// workflow.
+func buildFixture(t testing.TB) (*authorityflow.Graph, *authorityflow.Rates, map[string]authorityflow.NodeID) {
+	t.Helper()
+	s := authorityflow.NewSchema()
+	paper := s.AddNodeType("Paper")
+	conf := s.AddNodeType("Conference")
+	year := s.AddNodeType("Year")
+	author := s.AddNodeType("Author")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	hasInstance := s.MustAddEdgeType("hasInstance", conf, year)
+	contains := s.MustAddEdgeType("contains", year, paper)
+	by := s.MustAddEdgeType("by", paper, author)
+
+	rates := authorityflow.NewRates(s)
+	rates.Set(cites, authorityflow.Forward, 0.7)
+	rates.Set(by, authorityflow.Forward, 0.2)
+	rates.Set(by, authorityflow.Backward, 0.2)
+	rates.Set(hasInstance, authorityflow.Forward, 0.3)
+	rates.Set(hasInstance, authorityflow.Backward, 0.3)
+	rates.Set(contains, authorityflow.Forward, 0.3)
+	rates.Set(contains, authorityflow.Backward, 0.1)
+
+	b := authorityflow.NewBuilder(s)
+	attr := func(n, v string) authorityflow.Attr { return authorityflow.Attr{Name: n, Value: v} }
+	ids := map[string]authorityflow.NodeID{}
+	ids["indexSel"] = b.AddNode(paper, attr("Title", "Index Selection for OLAP."))
+	ids["icde"] = b.AddNode(conf, attr("Name", "ICDE"))
+	ids["icde97"] = b.AddNode(year, attr("Name", "ICDE 1997"))
+	ids["rangeQ"] = b.AddNode(paper, attr("Title", "Range Queries in OLAP Data Cubes."))
+	ids["modeling"] = b.AddNode(paper, attr("Title", "Modeling Multidimensional Databases."))
+	ids["agrawal"] = b.AddNode(author, attr("Name", "R. Agrawal"))
+	ids["dataCube"] = b.AddNode(paper, attr("Title", "Data Cube: A Relational Aggregation Operator."))
+
+	b.AddEdge(ids["icde"], ids["icde97"], hasInstance)
+	b.AddEdge(ids["icde97"], ids["indexSel"], contains)
+	b.AddEdge(ids["icde97"], ids["modeling"], contains)
+	b.AddEdge(ids["indexSel"], ids["dataCube"], cites)
+	b.AddEdge(ids["rangeQ"], ids["dataCube"], cites)
+	b.AddEdge(ids["rangeQ"], ids["modeling"], cites)
+	b.AddEdge(ids["modeling"], ids["dataCube"], cites)
+	b.AddEdge(ids["rangeQ"], ids["agrawal"], by)
+	b.AddEdge(ids["modeling"], ids["agrawal"], by)
+
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, rates, ids
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, rates, ids := buildFixture(t)
+	eng, err := authorityflow.NewEngine(g, rates, authorityflow.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank.
+	q := authorityflow.NewQuery("olap")
+	res := eng.Rank(q)
+	top := res.TopK(3)
+	if top[0].Node != ids["dataCube"] {
+		t.Fatalf("top result = %v, want Data Cube", top[0])
+	}
+
+	// Explain.
+	sg, err := eng.Explain(res, ids["dataCube"], authorityflow.DefaultExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.ExplainedScore() <= 0 || !sg.Converged {
+		t.Fatal("explanation broken")
+	}
+	paths := sg.TopPaths(sg.BaseSources(res), 3)
+	if len(paths) == 0 {
+		t.Fatal("no authority paths")
+	}
+
+	// Export.
+	var dot, js bytes.Buffer
+	if err := authorityflow.ExportSubgraphDOT(&dot, g, sg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dot.String(), "digraph") {
+		t.Error("bad DOT output")
+	}
+	if err := authorityflow.ExportSubgraphJSON(&js, g, sg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "explainedScore") {
+		t.Error("bad JSON output")
+	}
+
+	// Reformulate and re-rank.
+	ref, err := eng.Reformulate(q, []*authorityflow.Subgraph{sg}, authorityflow.ContentAndStructure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetRates(ref.Rates); err != nil {
+		t.Fatal(err)
+	}
+	res2 := eng.RankFrom(ref.Query, res.Scores)
+	if res2.TopK(1)[0].Score <= 0 {
+		t.Fatal("re-ranking broken")
+	}
+}
+
+func TestFacadeDatasetsAndStorage(t *testing.T) {
+	ds, err := authorityflow.GenerateDBLP(authorityflow.DBLPTopConfig().Scale(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := authorityflow.SaveDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := authorityflow.LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumNodes() != ds.Graph.NumNodes() {
+		t.Fatal("round trip lost nodes")
+	}
+
+	bio, err := authorityflow.GenerateBio(authorityflow.DS7CancerConfig().Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bio.Name != "ds7cancer" {
+		t.Errorf("bio name = %q", bio.Name)
+	}
+	// Schema helpers exist and validate.
+	if authorityflow.NewDBLPSchema().ExpertRates().Validate() != nil {
+		t.Error("DBLP expert rates invalid")
+	}
+	if authorityflow.NewBioSchema().ExpertRates().Validate() != nil {
+		t.Error("bio expert rates invalid")
+	}
+}
+
+func TestFacadeSimulationAndEval(t *testing.T) {
+	ds, err := authorityflow.GenerateDBLP(authorityflow.DBLPTopConfig().Scale(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperType, _ := ds.Graph.Schema().TypeByName("Paper")
+
+	uniform := authorityflow.UniformRates(ds.Graph.Schema(), 0.3)
+	uniform.NormalizeOutgoing()
+	sys, err := authorityflow.NewEngine(ds.Graph, uniform, authorityflow.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := authorityflow.NewUser(ds.Graph, ds.Rates, authorityflow.Config{}, 20, paperType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := authorityflow.DefaultSession(authorityflow.StructureOnly())
+	cfg.Iterations = 2
+	res, err := authorityflow.RunSession(sys, user, authorityflow.NewQuery("olap"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Precisions()) != 3 {
+		t.Fatalf("precisions = %v", res.Precisions())
+	}
+	cos := authorityflow.CosineSimilarity(uniform.Vector(), ds.Rates.Vector())
+	if cos <= 0 || cos > 1 {
+		t.Errorf("cosine = %v", cos)
+	}
+	if p := authorityflow.PrecisionAtK(nil, nil, 5); p != 0 {
+		t.Errorf("PrecisionAtK on empty = %v", p)
+	}
+}
+
+func TestFacadePrecompute(t *testing.T) {
+	ds, err := authorityflow.GenerateDBLP(authorityflow.DBLPTopConfig().Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := authorityflow.BuildStore(eng, []string{"olap", "xml"}, authorityflow.StoreOptions{Workers: 2})
+	if st.Terms() == 0 {
+		t.Fatal("empty store")
+	}
+	q := authorityflow.NewQuery("olap", "xml")
+	fromStore, complete := st.Query(q, 10)
+	if !complete || len(fromStore) == 0 {
+		t.Fatal("store query failed")
+	}
+	fresh := eng.Rank(q).TopK(10)
+	for i := range fromStore {
+		if fromStore[i].Node != fresh[i].Node {
+			t.Fatalf("rank %d differs: %v vs %v", i, fromStore[i], fresh[i])
+		}
+		if math.Abs(fromStore[i].Score-fresh[i].Score) > 1e-4 {
+			t.Fatalf("rank %d score differs: %v vs %v", i, fromStore[i].Score, fresh[i].Score)
+		}
+	}
+}
+
+func TestFacadeQueryHelpers(t *testing.T) {
+	q := authorityflow.ParseQuery("ranked search")
+	if q.Len() != 2 {
+		t.Fatalf("ParseQuery = %v", q)
+	}
+	if authorityflow.DefaultBM25().K1 != 1.2 {
+		t.Error("DefaultBM25 wrong")
+	}
+	if authorityflow.DefaultRankOptions().Damping != 0.85 {
+		t.Error("DefaultRankOptions wrong")
+	}
+	if authorityflow.DefaultExplain().Radius != 3 {
+		t.Error("DefaultExplain wrong")
+	}
+	if authorityflow.ContentOnly().Cf != 0 || authorityflow.StructureOnly().Ce != 0 {
+		t.Error("presets wrong")
+	}
+	if authorityflow.ContentAndStructure().Ce == 0 {
+		t.Error("combined preset wrong")
+	}
+	tt := authorityflow.TransferType(authorityflow.EdgeTypeID(3), authorityflow.Backward)
+	if tt.EdgeType() != 3 || tt.Dir() != authorityflow.Backward {
+		t.Error("TransferType helper wrong")
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	ds, err := authorityflow.GenerateDBLP(authorityflow.DBLPTopConfig().Scale(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := authorityflow.NewServer(ds, authorityflow.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}

@@ -1,0 +1,312 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus micro and ablation benches for the design
+// choices called out in DESIGN.md.
+//
+// Each BenchmarkTableN / BenchmarkFigureN target regenerates the
+// corresponding paper result end to end (dataset generation included).
+// Set AF_BENCH_SCALE to override the per-experiment default dataset
+// scale (1.0 = the paper's Table 1 sizes):
+//
+//	AF_BENCH_SCALE=1.0 go test -bench=Figure15 -benchtime=1x
+package authorityflow_test
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"authorityflow"
+	"authorityflow/internal/experiments"
+)
+
+// benchScale returns the dataset scale override from AF_BENCH_SCALE
+// (0 = per-experiment default).
+func benchScale() float64 {
+	if s := os.Getenv("AF_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: benchScale(), Out: nil}
+}
+
+func runExperiment[T any](b *testing.B, f func(experiments.Config) (T, error)) {
+	b.Helper()
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- One bench per paper table and figure. ----
+
+func BenchmarkTable1DatasetStats(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+func BenchmarkTable2ObjectRank2VsObjectRank(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+func BenchmarkTable3ExplainIterations(b *testing.B) { runExperiment(b, experiments.Table3) }
+
+func BenchmarkFigure10InternalSurvey(b *testing.B) { runExperiment(b, experiments.Figure10) }
+
+func BenchmarkFigure11RateTraining(b *testing.B) { runExperiment(b, experiments.Figure11) }
+
+func BenchmarkFigure12ExternalSurvey(b *testing.B) { runExperiment(b, experiments.Figure12) }
+
+func BenchmarkFigure13ExternalTraining(b *testing.B) { runExperiment(b, experiments.Figure13) }
+
+func BenchmarkFigure14DBLPComplete(b *testing.B) { runExperiment(b, experiments.Figure14) }
+
+func BenchmarkFigure15DBLPTop(b *testing.B) { runExperiment(b, experiments.Figure15) }
+
+func BenchmarkFigure16DS7(b *testing.B) { runExperiment(b, experiments.Figure16) }
+
+func BenchmarkFigure17DS7Cancer(b *testing.B) { runExperiment(b, experiments.Figure17) }
+
+// ---- Micro benches over a shared DBLPtop-scale engine. ----
+
+var (
+	microOnce sync.Once
+	microDS   *authorityflow.Dataset
+	microEng  *authorityflow.Engine
+	microErr  error
+)
+
+// microWorld builds a DBLPtop-scale corpus once for all micro benches.
+func microWorld(b *testing.B) (*authorityflow.Dataset, *authorityflow.Engine) {
+	b.Helper()
+	microOnce.Do(func() {
+		scale := benchScale()
+		if scale == 0 {
+			scale = 0.5
+		}
+		cfg := authorityflow.DBLPTopConfig().Scale(scale)
+		microDS, microErr = authorityflow.GenerateDBLP(cfg)
+		if microErr != nil {
+			return
+		}
+		microEng, microErr = authorityflow.NewEngine(microDS.Graph, microDS.Rates, authorityflow.Config{})
+	})
+	if microErr != nil {
+		b.Fatal(microErr)
+	}
+	return microDS, microEng
+}
+
+// BenchmarkObjectRank2Query measures one cold ObjectRank2 execution
+// (the "(a) computing the top-k objects" stage of Section 6.2).
+func BenchmarkObjectRank2Query(b *testing.B) {
+	_, eng := microWorld(b)
+	q := authorityflow.NewQuery("olap")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.RankCold(q)
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkObjectRank2WarmStart measures a reformulated-query execution
+// warm-started from converged scores (the Section 6.2 optimization).
+func BenchmarkObjectRank2WarmStart(b *testing.B) {
+	_, eng := microWorld(b)
+	q := authorityflow.NewQuery("olap")
+	init := eng.RankCold(q).Scores
+	q2 := authorityflow.NewQuery("olap", "cube")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RankFrom(q2, init)
+	}
+}
+
+// BenchmarkAblationColdStart is the cold-start counterpart: same
+// reformulated query without the warm start.
+func BenchmarkAblationColdStart(b *testing.B) {
+	_, eng := microWorld(b)
+	q2 := authorityflow.NewQuery("olap", "cube")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RankCold(q2)
+	}
+}
+
+// BenchmarkExplainSubgraph measures stages (b)+(c): building the
+// explaining subgraph and running the flow-adjustment fixpoint at the
+// paper's L=3.
+func BenchmarkExplainSubgraph(b *testing.B) {
+	ds, eng := microWorld(b)
+	q := authorityflow.NewQuery("olap")
+	res := eng.Rank(q)
+	paperType, _ := ds.Graph.Schema().TypeByName("Paper")
+	top := res.TopKOfType(ds.Graph, paperType, 1)
+	if len(top) == 0 {
+		b.Skip("no results at this scale")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Explain(res, top[0].Node, authorityflow.DefaultExplain()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExplainRadius sweeps the radius L (the paper fixes
+// L=3; the subgraph and its cost grow quickly with L).
+func BenchmarkAblationExplainRadius(b *testing.B) {
+	ds, eng := microWorld(b)
+	q := authorityflow.NewQuery("olap")
+	res := eng.Rank(q)
+	paperType, _ := ds.Graph.Schema().TypeByName("Paper")
+	top := res.TopKOfType(ds.Graph, paperType, 1)
+	if len(top) == 0 {
+		b.Skip("no results at this scale")
+	}
+	for _, radius := range []int{1, 2, 3, 4, 5} {
+		b.Run("L="+strconv.Itoa(radius), func(b *testing.B) {
+			opts := authorityflow.ExplainOptions{Radius: radius}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Explain(res, top[0].Node, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReformulate measures stage (d): generating the reformulated
+// query from an explaining subgraph (content + structure).
+func BenchmarkReformulate(b *testing.B) {
+	ds, eng := microWorld(b)
+	q := authorityflow.NewQuery("olap")
+	res := eng.Rank(q)
+	paperType, _ := ds.Graph.Schema().TypeByName("Paper")
+	top := res.TopKOfType(ds.Graph, paperType, 1)
+	if len(top) == 0 {
+		b.Skip("no results at this scale")
+	}
+	sg, err := eng.Explain(res, top[0].Node, authorityflow.DefaultExplain())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Reformulate(q, []*authorityflow.Subgraph{sg}, authorityflow.ContentAndStructure()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaseSet measures the IR stage: BM25 base-set computation
+// with normalization.
+func BenchmarkBaseSet(b *testing.B) {
+	_, eng := microWorld(b)
+	q := authorityflow.NewQuery("olap", "cube", "aggregation")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.BaseSet(q)
+	}
+}
+
+// BenchmarkGraphBuild measures CSR freeze throughput (datagen included
+// so the figure reflects end-to-end corpus construction).
+func BenchmarkGraphBuild(b *testing.B) {
+	scale := benchScale()
+	if scale == 0 {
+		scale = 0.25
+	}
+	cfg := authorityflow.DBLPTopConfig().Scale(scale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := authorityflow.GenerateDBLP(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionActiveFeedback regenerates the future-work
+// experiment: active vs passive feedback-object selection.
+func BenchmarkExtensionActiveFeedback(b *testing.B) {
+	runExperiment(b, experiments.ExtensionActiveFeedback)
+}
+
+// BenchmarkPrecomputedQuery measures answering a multi-keyword query
+// from a [BHP04]-style precomputed store (no power iteration at query
+// time), against BenchmarkObjectRank2Query's fresh execution.
+func BenchmarkPrecomputedQuery(b *testing.B) {
+	_, eng := microWorld(b)
+	st := authorityflow.BuildStore(eng, []string{"olap", "cube", "aggregation"},
+		authorityflow.StoreOptions{Workers: -1})
+	q := authorityflow.NewQuery("olap", "cube", "aggregation")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got, _ := st.Query(q, 10); len(got) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkPrecomputeBuild measures store construction throughput.
+func BenchmarkPrecomputeBuild(b *testing.B) {
+	_, eng := microWorld(b)
+	terms := eng.Index().TermsWithDF(5)
+	if len(terms) > 50 {
+		terms = terms[:50]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := authorityflow.BuildStore(eng, terms, authorityflow.StoreOptions{TopK: 1000, Workers: -1})
+		if st.Terms() == 0 {
+			b.Fatal("empty store")
+		}
+	}
+}
+
+// BenchmarkObjectRank2QueryParallel measures the parallel kernel on the
+// same workload as BenchmarkObjectRank2Query.
+func BenchmarkObjectRank2QueryParallel(b *testing.B) {
+	ds, _ := microWorld(b)
+	eng, err := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{Workers: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := authorityflow.NewQuery("olap")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RankCold(q)
+	}
+}
+
+// BenchmarkExtensionBaselines regenerates the three-way baseline
+// comparison (ObjectRank2 vs ObjectRank vs HITS).
+func BenchmarkExtensionBaselines(b *testing.B) {
+	runExperiment(b, experiments.ExtensionBaselines)
+}
+
+// BenchmarkExtensionScalability regenerates the feasibility sweep.
+func BenchmarkExtensionScalability(b *testing.B) {
+	runExperiment(b, experiments.ExtensionScalability)
+}
+
+// BenchmarkExtensionImplicitFeedback regenerates the explicit-vs-
+// click-through feedback comparison.
+func BenchmarkExtensionImplicitFeedback(b *testing.B) {
+	runExperiment(b, experiments.ExtensionImplicitFeedback)
+}

@@ -1,0 +1,291 @@
+// Command afq runs authority-flow queries, explains results, and
+// reformulates queries from feedback — the command-line counterpart of
+// the paper's deployed ObjectRank2 system.
+//
+// Usage:
+//
+//	afq [-data snapshot.gob | -gen dblptop -scale 0.1] query olap
+//	afq ... [-dot out.dot] [-json out.json] explain "olap" 1234
+//	afq ... [-mode structure|content|both] feedback "olap" 1234,5678
+//	afq ... compare "olap" 1234 5678
+//	afq ... [-mindf 2] [-topk 1000] precompute out.store
+//	afq ... -store out.store query olap
+//
+// (Flags precede the subcommand, per Go flag-package convention.)
+//
+// The first form prints the top-k ObjectRank2 results. The second
+// builds and prints the explaining subgraph of node 1234 with its
+// top authority-flow paths. The third treats the listed nodes as
+// relevant feedback and prints the reformulated query vector and
+// authority transfer rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"authorityflow"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "dataset snapshot to load")
+		schema    = flag.String("schema", "", "schema JSON for TSV import (with -nodes and -edges)")
+		nodesF    = flag.String("nodes", "", "nodes TSV for import")
+		edgesF    = flag.String("edges", "", "edges TSV for import")
+		gen       = flag.String("gen", "", "generate a dataset preset instead: dblptop, dblpcomplete, ds7, ds7cancer")
+		scale     = flag.Float64("scale", 0.1, "scale factor when generating")
+		k         = flag.Int("k", 10, "number of results")
+		dot       = flag.String("dot", "", "write explaining subgraph as Graphviz DOT to this path")
+		jsonP     = flag.String("json", "", "write explaining subgraph as JSON to this path")
+		htmlP     = flag.String("html", "", "write explaining subgraph as a self-contained HTML visualization")
+		mode      = flag.String("mode", "structure", "reformulation mode: structure, content, both")
+		paths     = flag.Int("paths", 5, "number of top authority-flow paths to print")
+		store     = flag.String("store", "", "precomputed score store to answer queries from")
+		saveRates = flag.String("saverates", "", "after feedback, write the trained rates as JSON to this path")
+		loadRates = flag.String("loadrates", "", "load trained rates (JSON) before querying")
+		minDF     = flag.Int("mindf", 2, "precompute: minimum document frequency of stored terms")
+		topK      = flag.Int("topk", 1000, "precompute: per-term score-list truncation (0 = full)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "afq: expected a subcommand: query <keywords> | explain <keywords> <node> | feedback <keywords> <node,node,...>")
+		os.Exit(2)
+	}
+
+	var ds *authorityflow.Dataset
+	var err error
+	if *schema != "" {
+		ds, err = authorityflow.ImportTSVFiles(*schema, *nodesF, *edgesF, "")
+	} else {
+		ds, err = loadOrGen(*data, *gen, *scale)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *loadRates != "" {
+		r, err := authorityflow.LoadRatesFile(*loadRates, ds.Graph.Schema())
+		if err != nil {
+			fail(err)
+		}
+		ds.Rates = r
+	}
+	eng, err := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{})
+	if err != nil {
+		fail(err)
+	}
+
+	switch args[0] {
+	case "query":
+		q := authorityflow.ParseQuery(strings.Join(args[1:], " "))
+		if *store != "" {
+			st, err := authorityflow.LoadStoreFile(*store)
+			if err != nil {
+				fail(err)
+			}
+			if !st.ValidFor(eng) {
+				fail(fmt.Errorf("store %s was built for different data or rates", *store))
+			}
+			ranked, complete := st.Query(q, *k)
+			fmt.Printf("query %v (precomputed store, complete=%v):\n", q, complete)
+			for i, r := range ranked {
+				fmt.Printf("%2d. %.6f  %s\n", i+1, r.Score, ds.Graph.Display(r.Node))
+			}
+			return
+		}
+		res := eng.Rank(q)
+		fmt.Printf("query %v: base set %d nodes, %d iterations\n", q, len(res.Base), res.Iterations)
+		for i, r := range res.TopK(*k) {
+			fmt.Printf("%2d. %.6f  %s\n", i+1, r.Score, ds.Graph.Display(r.Node))
+		}
+
+	case "precompute":
+		out := args[1]
+		terms := eng.Index().TermsWithDF(*minDF)
+		fmt.Printf("precomputing %d terms (minDF=%d, topK=%d)...\n", len(terms), *minDF, *topK)
+		st := authorityflow.BuildStore(eng, terms, authorityflow.StoreOptions{TopK: *topK, Workers: -1})
+		if err := st.SaveFile(out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d term vectors to %s\n", st.Terms(), out)
+
+	case "compare":
+		if len(args) < 4 {
+			fail(fmt.Errorf("compare needs keywords and two node ids"))
+		}
+		q := authorityflow.ParseQuery(args[1])
+		a, err := parseNode(args[2])
+		if err != nil {
+			fail(err)
+		}
+		bNode, err := parseNode(args[3])
+		if err != nil {
+			fail(err)
+		}
+		res := eng.Rank(q)
+		cmp, err := eng.Compare(res, a, bNode, authorityflow.DefaultExplain())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("why is %s ranked %s %s?\n",
+			ds.Graph.Display(a), rankWord(cmp.Gap()), ds.Graph.Display(bNode))
+		fmt.Println(cmp)
+		for _, tf := range cmp.ByType {
+			fmt.Printf("  %-40s %.4g vs %.4g\n", tf.Name, tf.A, tf.B)
+		}
+
+	case "explain":
+		if len(args) < 3 {
+			fail(fmt.Errorf("explain needs keywords and a node id"))
+		}
+		q := authorityflow.ParseQuery(args[1])
+		target, err := parseNode(args[2])
+		if err != nil {
+			fail(err)
+		}
+		res := eng.Rank(q)
+		sg, err := eng.Explain(res, target, authorityflow.DefaultExplain())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("explaining %s for query %v\n", ds.Graph.Display(target), q)
+		fmt.Printf("subgraph: %d nodes, %d arcs, explained score %.6g (rank score %.6g), %d adjustment iterations\n",
+			len(sg.Nodes), len(sg.Arcs), sg.ExplainedScore(), res.Scores[target], sg.Iterations)
+		for i, p := range sg.TopPaths(sg.BaseSources(res), *paths) {
+			var names []string
+			for _, n := range p.Nodes {
+				names = append(names, ds.Graph.Display(n))
+			}
+			fmt.Printf("path %d (flow %.3g): %s\n", i+1, p.Flow, strings.Join(names, " -> "))
+		}
+		if *dot != "" {
+			if err := writeFile(*dot, func(f *os.File) error {
+				return authorityflow.ExportSubgraphDOT(f, ds.Graph, sg)
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *dot)
+		}
+		if *jsonP != "" {
+			if err := writeFile(*jsonP, func(f *os.File) error {
+				return authorityflow.ExportSubgraphJSON(f, ds.Graph, sg)
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonP)
+		}
+		if *htmlP != "" {
+			if err := writeFile(*htmlP, func(f *os.File) error {
+				return authorityflow.ExportSubgraphHTML(f, ds.Graph, sg)
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *htmlP)
+		}
+
+	case "feedback":
+		if len(args) < 3 {
+			fail(fmt.Errorf("feedback needs keywords and node ids"))
+		}
+		q := authorityflow.ParseQuery(args[1])
+		res := eng.Rank(q)
+		var subs []*authorityflow.Subgraph
+		for _, part := range strings.Split(args[2], ",") {
+			target, err := parseNode(part)
+			if err != nil {
+				fail(err)
+			}
+			sg, err := eng.Explain(res, target, authorityflow.DefaultExplain())
+			if err != nil {
+				fail(err)
+			}
+			subs = append(subs, sg)
+		}
+		opts := authorityflow.StructureOnly()
+		switch *mode {
+		case "content":
+			opts = authorityflow.ContentOnly()
+		case "both":
+			opts = authorityflow.ContentAndStructure()
+		case "structure":
+		default:
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		ref, err := eng.Reformulate(q, subs, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("reformulated query: %v\n", ref.Query)
+		if len(ref.Expansion) > 0 {
+			fmt.Printf("expansion terms:")
+			for _, wt := range ref.Expansion {
+				fmt.Printf(" %s(%.3f)", wt.Term, wt.Weight)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("reformulated rates: %v\n", ref.Rates)
+		if *saveRates != "" {
+			if err := authorityflow.SaveRatesFile(*saveRates, ref.Rates); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *saveRates)
+		}
+		if err := eng.SetRates(ref.Rates); err != nil {
+			fail(err)
+		}
+		res2 := eng.RankFrom(ref.Query, res.Scores)
+		fmt.Println("re-ranked results:")
+		for i, r := range res2.TopK(*k) {
+			fmt.Printf("%2d. %.6f  %s\n", i+1, r.Score, ds.Graph.Display(r.Node))
+		}
+
+	default:
+		fail(fmt.Errorf("unknown subcommand %q", args[0]))
+	}
+}
+
+func loadOrGen(data, gen string, scale float64) (*authorityflow.Dataset, error) {
+	if data != "" {
+		return authorityflow.LoadDatasetFile(data)
+	}
+	if gen == "" {
+		gen = "dblptop"
+	}
+	return authorityflow.GeneratePreset(gen, scale, 1)
+}
+
+func parseNode(s string) (authorityflow.NodeID, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	return authorityflow.NodeID(n), nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func rankWord(gap float64) string {
+	if gap >= 0 {
+		return "above"
+	}
+	return "below"
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "afq: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Package cmd_test builds the four CLI binaries once and drives them
+// end to end: dataset generation, snapshot reloading, querying,
+// explanation with DOT/JSON export, feedback reformulation with rate
+// persistence, precomputation, and experiment regeneration.
+package cmd_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "afq-bin")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"afq", "datagen", "experiments"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = mustSelfDir()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// mustSelfDir returns the cmd/ directory this test file lives in.
+func mustSelfDir() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	tmp := t.TempDir()
+	snapshot := filepath.Join(tmp, "ds.gob")
+
+	// 1. Generate a snapshot.
+	out := run(t, "datagen", "-dataset", "dblptop", "-scale", "0.03", "-out", snapshot)
+	if !strings.Contains(out, "nodes") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	if _, err := os.Stat(snapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Query the snapshot.
+	out = run(t, "afq", "-data", snapshot, "-k", "3", "query", "olap")
+	if !strings.Contains(out, "base set") || !strings.Contains(out, "1.") {
+		t.Fatalf("query output: %s", out)
+	}
+
+	// Extract the first result's node id (format: " 1. 0.0123  Paper[42] ...").
+	nodeID := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Paper[") {
+			start := strings.Index(line, "Paper[") + len("Paper[")
+			end := strings.Index(line[start:], "]")
+			nodeID = line[start : start+end]
+			break
+		}
+	}
+	if nodeID == "" {
+		t.Fatalf("no paper result to explain in: %s", out)
+	}
+
+	// 3. Explain it, exporting DOT and JSON.
+	dot := filepath.Join(tmp, "explain.dot")
+	js := filepath.Join(tmp, "explain.json")
+	out = run(t, "afq", "-data", snapshot, "-dot", dot, "-json", js, "explain", "olap", nodeID)
+	if !strings.Contains(out, "subgraph:") {
+		t.Fatalf("explain output: %s", out)
+	}
+	dotBytes, err := os.ReadFile(dot)
+	if err != nil || !strings.HasPrefix(string(dotBytes), "digraph") {
+		t.Fatalf("bad DOT file: %v %q", err, truncate(string(dotBytes), 40))
+	}
+	var parsed map[string]any
+	jsBytes, err := os.ReadFile(js)
+	if err != nil || json.Unmarshal(jsBytes, &parsed) != nil {
+		t.Fatalf("bad JSON export: %v", err)
+	}
+
+	// 4. Feedback with rate persistence.
+	rates := filepath.Join(tmp, "rates.json")
+	out = run(t, "afq", "-data", snapshot, "-saverates", rates, "feedback", "olap", nodeID)
+	if !strings.Contains(out, "reformulated rates") {
+		t.Fatalf("feedback output: %s", out)
+	}
+	if _, err := os.Stat(rates); err != nil {
+		t.Fatal("rates file not written")
+	}
+	// Reload the trained rates for a fresh query.
+	out = run(t, "afq", "-data", snapshot, "-loadrates", rates, "-k", "2", "query", "olap")
+	if !strings.Contains(out, "base set") {
+		t.Fatalf("query with loaded rates: %s", out)
+	}
+
+	// 5. Precompute a store and query through it.
+	store := filepath.Join(tmp, "scores.store")
+	run(t, "afq", "-data", snapshot, "-mindf", "3", "-topk", "100", "precompute", store)
+	out = run(t, "afq", "-data", snapshot, "-store", store, "-k", "3", "query", "olap")
+	if !strings.Contains(out, "precomputed store") {
+		t.Fatalf("store query output: %s", out)
+	}
+
+	// 6. Regenerate a paper table.
+	out = run(t, "experiments", "-run", "table1", "-scale", "0.02")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "DBLPtop") {
+		t.Fatalf("experiments output: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	// Unknown dataset.
+	out := runExpectError(t, "datagen", "-dataset", "bogus", "-out", filepath.Join(t.TempDir(), "x.gob"))
+	if !strings.Contains(out, "unknown dataset") {
+		t.Errorf("datagen error output: %s", out)
+	}
+	// Missing -out.
+	runExpectError(t, "datagen", "-dataset", "dblptop")
+	// Missing subcommand.
+	runExpectError(t, "afq")
+	// Unknown subcommand.
+	runExpectError(t, "afq", "-gen", "dblptop", "-scale", "0.01", "frobnicate", "x")
+	// Unknown experiment.
+	runExpectError(t, "experiments", "-run", "figure99")
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func TestCLITSVImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	tmp := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(tmp, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	schema := write("schema.json", `{
+  "nodeTypes": ["Paper"],
+  "edgeTypes": [{"role": "cites", "from": "Paper", "to": "Paper"}],
+  "rates": {"Paper-cites->Paper": 0.7}
+}`)
+	nodes := write("nodes.tsv", "p1\tPaper\tTitle=olap survey\np2\tPaper\tTitle=foundations\n")
+	edges := write("edges.tsv", "p1\tp2\tcites\n")
+
+	out := run(t, "afq", "-schema", schema, "-nodes", nodes, "-edges", edges, "-k", "2", "query", "olap")
+	if !strings.Contains(out, "foundations") {
+		t.Fatalf("imported graph did not rank the cited paper:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+// Precompute scenario: the paper's Section 6.2 remedy for slow
+// exploratory search on large graphs — precompute per-keyword
+// ObjectRank2 vectors once ([BHP04]) and answer arbitrary multi-keyword
+// queries by exact linear combination, with no power iteration at query
+// time.
+//
+// Run: go run ./examples/precompute [-scale 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"authorityflow"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "dataset scale relative to DBLPtop")
+	flag.Parse()
+
+	ds, err := authorityflow.GenerateDBLP(authorityflow.DBLPTopConfig().Scale(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d nodes, %d edges\n", ds.Graph.NumNodes(), ds.Graph.NumEdges())
+
+	// Build the store over every reasonably frequent vocabulary term.
+	terms := eng.Index().TermsWithDF(3)
+	t0 := time.Now()
+	st := authorityflow.BuildStore(eng, terms, authorityflow.StoreOptions{TopK: 2000, Workers: -1})
+	fmt.Printf("precomputed %d of %d terms in %s (top-%d lists)\n\n",
+		st.Terms(), len(terms), time.Since(t0).Round(time.Millisecond), st.TopK())
+
+	// Compare fresh execution vs store lookups on multi-keyword queries.
+	queries := [][]string{
+		{"olap", "cube"},
+		{"xml", "indexing"},
+		{"ranked", "keyword", "search"},
+	}
+	for _, kw := range queries {
+		q := authorityflow.NewQuery(kw...)
+
+		t0 = time.Now()
+		fresh := eng.RankCold(q)
+		freshTime := time.Since(t0)
+
+		t0 = time.Now()
+		fast, complete := st.Query(q, 5)
+		storeTime := time.Since(t0)
+
+		fmt.Printf("query %v: fresh %s (%d iterations) vs store %s (complete=%v)\n",
+			q, freshTime.Round(10*time.Microsecond), fresh.Iterations,
+			storeTime.Round(10*time.Microsecond), complete)
+		freshTop := fresh.TopK(5)
+		agree := 0
+		for i := range fast {
+			if i < len(freshTop) && fast[i].Node == freshTop[i].Node {
+				agree++
+			}
+		}
+		fmt.Printf("  top-5 agreement: %d/5\n", agree)
+		for i, r := range fast {
+			fmt.Printf("  %d. %.6f %s\n", i+1, r.Score, clip(ds.Graph.Attr(r.Node, "Title"), 60))
+		}
+	}
+
+	fmt.Println("\nThe combination is exact because the ObjectRank2 fixpoint is")
+	fmt.Println("linear in the jump distribution; truncated top-K lists make it an")
+	fmt.Println("approximation whose quality the top-5 agreement shows.")
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module authorityflow
+
+go 1.22

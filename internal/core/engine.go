@@ -1,0 +1,269 @@
+// Package core implements the primary contribution of "Explaining and
+// Reformulating Authority Flow Queries" (ICDE 2008): the ObjectRank2
+// ranking semantics with an IR-weighted base set (Section 3), the
+// explaining-subgraph construction and flow-adjustment algorithm
+// (Section 4, Figure 8), and content- and structure-based query
+// reformulation from user relevance feedback (Section 5).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// Engine ties a data graph, its inverted index, and an authority
+// transfer rate assignment into an ObjectRank2 query processor.
+//
+// Rates are mutable via SetRates because structure-based reformulation
+// replaces them between feedback iterations; everything else is frozen.
+// An Engine is safe for concurrent Rank/Explain calls as long as
+// SetRates is not called concurrently.
+type Engine struct {
+	g       *graph.Graph
+	ix      *ir.Index
+	rates   *graph.Rates
+	opts    rank.Options
+	workers int
+
+	// global caches the PageRank vector used to warm-start initial
+	// queries (Section 6.2), computed on first use.
+	globalOnce sync.Once
+	global     []float64
+}
+
+// Config collects Engine construction parameters.
+type Config struct {
+	// BM25 parameters for the node index; zero value means DefaultBM25.
+	BM25 ir.BM25Params
+	// Rank options (damping, threshold, max iterations); zero fields
+	// take the paper defaults (0.85, 0.002, 200).
+	Rank rank.Options
+	// Workers selects the power-iteration execution: 0 runs the serial
+	// kernel (bitwise-deterministic, right for small graphs), -1 uses
+	// all cores, and any positive value pins the worker count. Parallel
+	// runs match serial ones up to floating-point summation order.
+	Workers int
+}
+
+// NewEngine indexes the text of every node of g and returns an engine
+// using the given authority transfer rates. The rates are cloned; later
+// external mutation does not affect the engine.
+func NewEngine(g *graph.Graph, rates *graph.Rates, cfg Config) (*Engine, error) {
+	if g.Schema() != rates.Schema() {
+		return nil, fmt.Errorf("core: rates defined over a different schema than the graph")
+	}
+	if err := rates.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.BM25 == (ir.BM25Params{}) {
+		cfg.BM25 = ir.DefaultBM25()
+	}
+	ix := ir.BuildIndex(g.NumNodes(), func(i int) string { return g.Text(graph.NodeID(i)) }, cfg.BM25)
+	return &Engine{g: g, ix: ix, rates: rates.Clone(), opts: cfg.Rank, workers: cfg.Workers}, nil
+}
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Index returns the engine's inverted index.
+func (e *Engine) Index() *ir.Index { return e.ix }
+
+// Rates returns a copy of the current authority transfer rates.
+func (e *Engine) Rates() *graph.Rates { return e.rates.Clone() }
+
+// SetRates replaces the authority transfer rates (cloned). Used after a
+// structure-based reformulation.
+func (e *Engine) SetRates(r *graph.Rates) error {
+	if r.Schema() != e.g.Schema() {
+		return fmt.Errorf("core: rates defined over a different schema than the graph")
+	}
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.rates = r.Clone()
+	return nil
+}
+
+// Options returns the rank options in effect.
+func (e *Engine) Options() rank.Options { return e.opts }
+
+// BaseSet computes the weighted query base set S(Q): every node
+// containing at least one query keyword, scored by IRScore(v, Q)
+// (Equation 2) and normalized to sum to 1 so the scores act as
+// random-jump probabilities. This is the defining difference between
+// ObjectRank2 and the original 0/1 ObjectRank.
+func (e *Engine) BaseSet(q *ir.Query) []ir.ScoredDoc {
+	base := e.ix.BaseSet(q)
+	sum := 0.0
+	for _, sd := range base {
+		sum += sd.Score
+	}
+	if sum > 0 {
+		for i := range base {
+			base[i].Score /= sum
+		}
+	}
+	return base
+}
+
+// RankResult is the outcome of one ObjectRank2 execution.
+type RankResult struct {
+	// Query is the (possibly reformulated) query vector that was run.
+	Query *ir.Query
+	// Scores holds the converged ObjectRank2 score r^Q(v) per node.
+	Scores []float64
+	// Base is the normalized weighted base set used for random jumps.
+	Base []ir.ScoredDoc
+	// Iterations and Converged report the power-iteration behaviour;
+	// iteration counts are the warm-start metric of Figures 14b–17b.
+	Iterations int
+	Converged  bool
+}
+
+// TopK returns the k best nodes by ObjectRank2 score.
+func (r *RankResult) TopK(k int) []rank.Ranked { return rank.TopK(r.Scores, k) }
+
+// TopKOfType returns the k best nodes of one node type.
+func (r *RankResult) TopKOfType(g *graph.Graph, t graph.TypeID, k int) []rank.Ranked {
+	return rank.TopKOfType(g, r.Scores, t, k)
+}
+
+// InBase reports whether v is in the result's base set.
+func (r *RankResult) InBase(v graph.NodeID) bool {
+	for _, sd := range r.Base {
+		if graph.NodeID(sd.Doc) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Rank executes ObjectRank2 (Equation 4) for q, warm-started from the
+// cached global PageRank as the paper does for initial queries.
+func (e *Engine) Rank(q *ir.Query) *RankResult {
+	return e.rankWith(q, e.globalScores())
+}
+
+// RankFrom executes ObjectRank2 warm-started from a previous score
+// vector — the Section 6.2 optimization for reformulated queries, whose
+// scores are expected to be close to the previous iteration's.
+func (e *Engine) RankFrom(q *ir.Query, init []float64) *RankResult {
+	return e.rankWith(q, init)
+}
+
+// RankCold executes ObjectRank2 with no warm start (the ablation
+// baseline).
+func (e *Engine) RankCold(q *ir.Query) *RankResult {
+	return e.rankWith(q, nil)
+}
+
+func (e *Engine) rankWith(q *ir.Query, init []float64) *RankResult {
+	base := e.BaseSet(q)
+	jump := make([]float64, e.g.NumNodes())
+	if len(base) == 0 {
+		// No node contains any query keyword: the fixpoint is
+		// identically zero, so skip the iteration (a warm start would
+		// otherwise only decay toward zero).
+		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true}
+	}
+	for _, sd := range base {
+		jump[sd.Doc] = sd.Score
+	}
+	opts := e.opts
+	opts.Init = init
+	res := e.run(jump, opts)
+	return &RankResult{
+		Query:      q,
+		Scores:     res.Scores,
+		Base:       base,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+}
+
+// run dispatches between the serial and parallel power-iteration
+// kernels per the engine's Workers setting.
+func (e *Engine) run(jump []float64, opts rank.Options) rank.Result {
+	if e.workers != 0 {
+		w := e.workers
+		if w < 0 {
+			w = 0 // RunParallel auto-sizes on <= 0
+		}
+		return rank.RunParallel(e.g, e.rates, jump, opts, w)
+	}
+	return rank.Run(e.g, e.rates, jump, opts)
+}
+
+// GlobalRank returns the query-independent PageRank over the authority
+// transfer data graph, computed once (under the rates in force at first
+// use) and cached. It is only ever used as a warm-start vector — the
+// fixpoint a query converges to does not depend on it — so it is
+// deliberately NOT invalidated by SetRates, matching the paper's
+// protocol of global-initializing only the initial user query.
+func (e *Engine) GlobalRank() []float64 {
+	s := e.globalScores()
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}
+
+func (e *Engine) globalScores() []float64 {
+	e.globalOnce.Do(func() {
+		e.global = rank.PageRank(e.g, e.rates, e.opts).Scores
+	})
+	return e.global
+}
+
+// ObjectRankBaseline runs the modified original ObjectRank of
+// Equation 16 (0/1 per-keyword base sets combined with normalizing
+// exponents) for comparison surveys such as Table 2.
+func (e *Engine) ObjectRankBaseline(q *ir.Query) *RankResult {
+	var baseSets [][]graph.NodeID
+	for _, t := range q.Terms() {
+		single := ir.NewQuery(t)
+		var bs []graph.NodeID
+		for _, sd := range e.ix.BaseSet(single) {
+			bs = append(bs, graph.NodeID(sd.Doc))
+		}
+		baseSets = append(baseSets, bs)
+	}
+	res := rank.ObjectRankMulti(e.g, e.rates, baseSets, e.opts)
+	return &RankResult{
+		Query:      q,
+		Scores:     res.Scores,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+}
+
+// HITSBaseline ranks by Kleinberg's hubs-and-authorities over the
+// [Kle99]-style focused subgraph of the query's base set (base nodes
+// plus radius hops), the second related-work baseline next to the
+// original ObjectRank. Scores are HITS authority values; nodes outside
+// the focused subgraph score zero. Iterations reports the HITS
+// iteration count.
+func (e *Engine) HITSBaseline(q *ir.Query, radius int) *RankResult {
+	base := e.BaseSet(q)
+	if len(base) == 0 {
+		// An empty base set focuses on nothing; HITS's nil-subset
+		// convention (whole graph) must not kick in.
+		return &RankResult{Query: q, Scores: make([]float64, e.g.NumNodes()), Base: base, Converged: true}
+	}
+	nodes := make([]graph.NodeID, len(base))
+	for i, sd := range base {
+		nodes[i] = graph.NodeID(sd.Doc)
+	}
+	focused := rank.FocusedSubgraph(e.g, nodes, radius)
+	res := rank.HITS(e.g, focused, e.opts.Threshold, e.opts.MaxIters)
+	return &RankResult{
+		Query:      q,
+		Scores:     res.Authorities,
+		Base:       base,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+}

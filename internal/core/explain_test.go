@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// chainFixture builds the hand-computable leak example:
+//
+//	s -> a -> t   (s in the base set for "start")
+//	     a -> x   (x cannot reach t, so flow over a->x leaks out)
+//
+// All edges are cites (0.7 forward, 0 backward), d = 0.85.
+// Closed forms: r(s)=0.15, r(a)=0.85·0.7·0.15, r(t)=r(x)=0.85·0.35·r(a);
+// h(t)=1, h(a)=0.35, h(s)=0.245.
+func chainFixture(t *testing.T) (*Engine, map[string]graph.NodeID) {
+	t.Helper()
+	s := graph.NewSchema()
+	paper := s.AddNodeType("Paper")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	b := graph.NewBuilder(s)
+	ids := map[string]graph.NodeID{
+		"s": b.AddNode(paper, graph.Attr{Name: "Title", Value: "start paper"}),
+		"a": b.AddNode(paper, graph.Attr{Name: "Title", Value: "middle paper"}),
+		"t": b.AddNode(paper, graph.Attr{Name: "Title", Value: "target paper"}),
+		"x": b.AddNode(paper, graph.Attr{Name: "Title", Value: "leak paper"}),
+	}
+	b.AddEdge(ids["s"], ids["a"], cites)
+	b.AddEdge(ids["a"], ids["t"], cites)
+	b.AddEdge(ids["a"], ids["x"], cites)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := graph.NewRates(s)
+	r.Set(cites, graph.Forward, 0.7)
+	e, err := NewEngine(g, r, Config{Rank: rank.Options{Damping: 0.85, Threshold: 1e-12, MaxIters: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ids
+}
+
+func TestExplainChainClosedForm(t *testing.T) {
+	e, ids := chainFixture(t)
+	res := e.Rank(ir.NewQuery("start"))
+	sg, err := e.Explain(res, ids["t"], ExplainOptions{Threshold: 1e-12, MaxIters: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sg.Converged {
+		t.Fatal("flow adjustment did not converge")
+	}
+	// Construction: exactly {s, a, t}; the leak node x is excluded.
+	if sg.Has(ids["x"]) {
+		t.Error("leak node x must not be in the explaining subgraph")
+	}
+	for _, n := range []string{"s", "a", "t"} {
+		if !sg.Has(ids[n]) {
+			t.Errorf("node %s missing from subgraph", n)
+		}
+	}
+	if len(sg.Arcs) != 2 {
+		t.Fatalf("arcs = %v", sg.Arcs)
+	}
+
+	// Reduction factors (Equation 10).
+	if h := sg.H[ids["t"]]; h != 1 {
+		t.Errorf("h(target) = %v, want 1", h)
+	}
+	if h := sg.H[ids["a"]]; math.Abs(h-0.35) > 1e-9 {
+		t.Errorf("h(a) = %v, want 0.35", h)
+	}
+	if h := sg.H[ids["s"]]; math.Abs(h-0.245) > 1e-9 {
+		t.Errorf("h(s) = %v, want 0.245", h)
+	}
+
+	// Flows (Equations 5 and 7).
+	rs, ra := 0.15, 0.85*0.7*0.15
+	wantFlow0SA := 0.85 * 0.7 * rs
+	wantFlowSA := 0.35 * wantFlow0SA
+	wantFlowAT := 0.85 * 0.35 * ra // unchanged: enters the target
+	for _, a := range sg.Arcs {
+		switch {
+		case a.From == ids["s"] && a.To == ids["a"]:
+			if math.Abs(a.Flow0-wantFlow0SA) > 1e-9 {
+				t.Errorf("Flow0(s->a) = %v, want %v", a.Flow0, wantFlow0SA)
+			}
+			if math.Abs(a.Flow-wantFlowSA) > 1e-9 {
+				t.Errorf("Flow(s->a) = %v, want %v", a.Flow, wantFlowSA)
+			}
+		case a.From == ids["a"] && a.To == ids["t"]:
+			if math.Abs(a.Flow-wantFlowAT) > 1e-9 {
+				t.Errorf("Flow(a->t) = %v, want %v", a.Flow, wantFlowAT)
+			}
+			if a.Flow != a.Flow0 {
+				t.Error("flows into the target must not be adjusted")
+			}
+		default:
+			t.Errorf("unexpected arc %+v", a)
+		}
+	}
+	if got := sg.ExplainedScore(); math.Abs(got-wantFlowAT) > 1e-9 {
+		t.Errorf("ExplainedScore = %v, want %v", got, wantFlowAT)
+	}
+	// Distances from the target.
+	if sg.Dist[ids["t"]] != 0 || sg.Dist[ids["a"]] != 1 || sg.Dist[ids["s"]] != 2 {
+		t.Errorf("distances = %v", sg.Dist)
+	}
+	// In/out flow bookkeeping.
+	if got := sg.OutFlow(ids["a"]); math.Abs(got-wantFlowAT) > 1e-9 {
+		t.Errorf("OutFlow(a) = %v", got)
+	}
+	if got := sg.InFlow(ids["a"]); math.Abs(got-wantFlowSA) > 1e-9 {
+		t.Errorf("InFlow(a) = %v", got)
+	}
+}
+
+// TestExample1DataCubeExcluded reproduces Example 1: the explaining
+// subgraph for target v4 ("Range Queries in OLAP") under Q=["OLAP"]
+// contains v1..v6 but NOT the "Data Cube" paper v7, because with the
+// Figure 3 rates (cited = 0) no authority can flow from v7 to v4.
+func TestExample1DataCubeExcluded(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	res := e.Rank(ir.NewQuery("olap"))
+	sg, err := e.Explain(res, f.ids["v4"], ExplainOptions{Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Has(f.ids["v7"]) {
+		t.Error("v7 (Data Cube) must not be in the explaining subgraph")
+	}
+	for _, n := range []string{"v1", "v2", "v3", "v4", "v5", "v6"} {
+		if !sg.Has(f.ids[n]) {
+			t.Errorf("%s missing from explaining subgraph", n)
+		}
+	}
+	if h := sg.H[f.ids["v4"]]; h != 1 {
+		t.Errorf("h(v4) = %v, want 1 (target flows are not adjusted)", h)
+	}
+	if !sg.Converged {
+		t.Error("Equation 10 fixpoint did not converge (Theorem 1)")
+	}
+	// All reduction factors lie in [0, 1].
+	for v, h := range sg.H {
+		if h < 0 || h > 1+1e-9 {
+			t.Errorf("h(%d) = %v outside [0,1]", v, h)
+		}
+	}
+	// Flows into the target are the original ones.
+	for _, a := range sg.Arcs {
+		if a.To == f.ids["v4"] && math.Abs(a.Flow-a.Flow0) > 1e-12 {
+			t.Errorf("incoming target flow adjusted: %+v", a)
+		}
+		if a.Flow > a.Flow0+1e-12 {
+			t.Errorf("adjusted flow exceeds original: %+v", a)
+		}
+	}
+	if sg.ExplainedScore() <= 0 {
+		t.Error("target should receive positive explained authority")
+	}
+}
+
+// TestObservation1 verifies: no arc with non-zero authority flow enters
+// the (radius-unlimited) subgraph from outside it.
+func TestObservation1(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	res := e.Rank(ir.NewQuery("olap"))
+	for _, target := range []graph.NodeID{f.ids["v4"], f.ids["v7"], f.ids["v6"]} {
+		sg, err := e.Explain(res, target, ExplainOptions{Threshold: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha := e.Rates()
+		for u := 0; u < f.g.NumNodes(); u++ {
+			if res.Scores[u] == 0 {
+				continue
+			}
+			for _, a := range f.g.OutArcs(graph.NodeID(u)) {
+				if alpha.Rate(a.Type) == 0 {
+					continue
+				}
+				if sg.Has(a.To) && a.To != target && !sg.Has(graph.NodeID(u)) {
+					t.Errorf("target %d: arc %d->%d carries flow from outside the subgraph", target, u, a.To)
+				}
+			}
+		}
+	}
+}
+
+func TestExplainRadiusLimits(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	res := e.Rank(ir.NewQuery("olap"))
+	// Radius 1 around v4: only v6 has a positive-rate arc into v4
+	// (cited rate is 0), and v6 is forward-reachable from v4 itself (a
+	// base-set member) via the by edge.
+	sg, err := e.Explain(res, f.ids["v4"], ExplainOptions{Radius: 1, Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[graph.NodeID]bool{f.ids["v4"]: true, f.ids["v6"]: true}
+	if len(sg.Nodes) != len(want) {
+		t.Fatalf("radius-1 nodes = %v", sg.Nodes)
+	}
+	for _, v := range sg.Nodes {
+		if !want[v] {
+			t.Errorf("unexpected node %d at radius 1", v)
+		}
+	}
+	for _, v := range sg.Nodes {
+		if sg.Dist[v] > 1 {
+			t.Errorf("node %d at distance %d despite radius 1", v, sg.Dist[v])
+		}
+	}
+	// Larger radius yields a superset.
+	sg3, err := e.Explain(res, f.ids["v4"], ExplainOptions{Radius: 3, Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sg.Nodes {
+		if !sg3.Has(v) {
+			t.Errorf("radius-3 subgraph missing radius-1 node %d", v)
+		}
+	}
+}
+
+func TestExplainTargetWithNoInflow(t *testing.T) {
+	// Explaining an unreachable target yields a singleton subgraph with
+	// zero explained score rather than an error.
+	e, ids := chainFixture(t)
+	res := e.Rank(ir.NewQuery("target")) // base = {t}; nothing flows to s
+	sg, err := e.Explain(res, ids["s"], ExplainOptions{Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sg.ExplainedScore(); got != 0 {
+		t.Errorf("ExplainedScore = %v, want 0", got)
+	}
+	if !sg.Has(ids["s"]) {
+		t.Error("target itself must always be present")
+	}
+}
+
+func TestExplainBadTarget(t *testing.T) {
+	e, _ := chainFixture(t)
+	res := e.Rank(ir.NewQuery("start"))
+	if _, err := e.Explain(res, graph.NodeID(99), ExplainOptions{}); err == nil {
+		t.Error("out-of-range target should error")
+	}
+	if _, err := e.Explain(res, graph.NodeID(-1), ExplainOptions{}); err == nil {
+		t.Error("negative target should error")
+	}
+}
+
+func TestTopPathsChain(t *testing.T) {
+	e, ids := chainFixture(t)
+	res := e.Rank(ir.NewQuery("start"))
+	sg, err := e.Explain(res, ids["t"], ExplainOptions{Threshold: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := sg.TopPaths(sg.BaseSources(res), 5)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	p := paths[0]
+	if len(p.Nodes) != 3 || p.Nodes[0] != ids["s"] || p.Nodes[2] != ids["t"] {
+		t.Errorf("path nodes = %v", p.Nodes)
+	}
+	// Bottleneck is the smaller of the two adjusted flows.
+	wantBottleneck := math.Min(0.35*0.85*0.7*0.15, 0.85*0.35*(0.85*0.7*0.15))
+	if math.Abs(p.Flow-wantBottleneck) > 1e-9 {
+		t.Errorf("path flow = %v, want %v", p.Flow, wantBottleneck)
+	}
+	if got := sg.TopPaths(nil, 5); got != nil {
+		t.Errorf("TopPaths with no sources = %v", got)
+	}
+	if got := sg.TopPaths(sg.BaseSources(res), 0); got != nil {
+		t.Errorf("TopPaths k=0 = %v", got)
+	}
+}
+
+func TestTopPathsOrdering(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	res := e.Rank(ir.NewQuery("olap"))
+	sg, err := e.Explain(res, f.ids["v7"], ExplainOptions{Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := sg.TopPaths(sg.BaseSources(res), 10)
+	if len(paths) < 2 {
+		t.Fatalf("expected multiple paths into v7, got %d", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Flow > paths[i-1].Flow+1e-12 {
+			t.Errorf("paths not sorted by flow: %v then %v", paths[i-1].Flow, paths[i].Flow)
+		}
+	}
+	for _, p := range paths {
+		if p.Nodes[len(p.Nodes)-1] != f.ids["v7"] {
+			t.Errorf("path does not end at target: %v", p.Nodes)
+		}
+		if len(p.Arcs) != len(p.Nodes)-1 {
+			t.Errorf("arc/node count mismatch: %v", p)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	res := e.Rank(ir.NewQuery("olap"))
+	sg, err := e.Explain(res, f.ids["v4"], ExplainOptions{Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pruning at 0 keeps all arcs.
+	same := sg.Prune(0)
+	if len(same.Arcs) != len(sg.Arcs) {
+		t.Errorf("Prune(0) dropped arcs: %d -> %d", len(sg.Arcs), len(same.Arcs))
+	}
+	// Pruning at a high threshold keeps only the target.
+	maxFlow := 0.0
+	for _, a := range sg.Arcs {
+		if a.Flow > maxFlow {
+			maxFlow = a.Flow
+		}
+	}
+	tiny := sg.Prune(maxFlow * 2)
+	if len(tiny.Arcs) != 0 {
+		t.Errorf("Prune above max flow kept arcs: %v", tiny.Arcs)
+	}
+	if !tiny.Has(f.ids["v4"]) {
+		t.Error("pruned subgraph must keep the target")
+	}
+	// Intermediate pruning keeps a subset and consistent flow sums.
+	mid := sg.Prune(maxFlow / 2)
+	if len(mid.Arcs) == 0 || len(mid.Arcs) >= len(sg.Arcs) {
+		t.Errorf("Prune(mid) kept %d of %d arcs", len(mid.Arcs), len(sg.Arcs))
+	}
+	for _, a := range mid.Arcs {
+		if a.Flow < maxFlow/2 {
+			t.Errorf("kept arc below threshold: %+v", a)
+		}
+	}
+}
+
+// TestExplainInvariantsRandom checks the Section 4 invariants on random
+// graphs: h in [0,1] with h(target)=1, Flow <= Flow0, unadjusted target
+// inflows, and out-flow never exceeding d·r(v) (a node cannot forward
+// more authority than it forwards in the full graph).
+func TestExplainInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := graph.NewSchema()
+	paper := s.AddNodeType("Paper")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	for trial := 0; trial < 20; trial++ {
+		b := graph.NewBuilder(s)
+		n := 8 + rng.Intn(20)
+		ids := make([]graph.NodeID, n)
+		for i := range ids {
+			title := "paper"
+			if rng.Intn(3) == 0 {
+				title = "olap paper"
+			}
+			ids[i] = b.AddNode(paper, graph.Attr{Name: "Title", Value: title})
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(ids[u], ids[v], cites)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := graph.NewRates(s)
+		r.Set(cites, graph.Forward, 0.6)
+		r.Set(cites, graph.Backward, 0.2)
+		e, err := NewEngine(g, r, Config{Rank: rank.Options{Threshold: 1e-10, MaxIters: 2000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Rank(ir.NewQuery("olap"))
+		target := ids[rng.Intn(n)]
+		sg, err := e.Explain(res, target, ExplainOptions{Threshold: 1e-10, MaxIters: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sg.Converged {
+			t.Fatalf("trial %d: no convergence", trial)
+		}
+		if sg.H[target] != 1 {
+			t.Fatalf("trial %d: h(target) = %v", trial, sg.H[target])
+		}
+		for v, h := range sg.H {
+			if h < -1e-12 || h > 1+1e-9 {
+				t.Fatalf("trial %d: h(%d) = %v", trial, v, h)
+			}
+		}
+		for _, a := range sg.Arcs {
+			if a.Flow > a.Flow0+1e-12 {
+				t.Fatalf("trial %d: Flow > Flow0 on %+v", trial, a)
+			}
+			if a.To == target && math.Abs(a.Flow-a.Flow0) > 1e-12 {
+				t.Fatalf("trial %d: target inflow adjusted: %+v", trial, a)
+			}
+		}
+		d := 0.85
+		for _, v := range sg.Nodes {
+			if out := sg.OutFlow(v); out > d*res.Scores[v]+1e-9 {
+				t.Fatalf("trial %d: OutFlow(%d) = %v exceeds d·r = %v", trial, v, out, d*res.Scores[v])
+			}
+		}
+	}
+}

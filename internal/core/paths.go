@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"authorityflow/internal/graph"
+)
+
+// Path is one authority-flow path from a base-set node to the target
+// of an explaining subgraph, used when displaying an explanation: the
+// paper keeps only the paths with high authority flow.
+type Path struct {
+	// Nodes lists the path's nodes from source (a base-set object) to
+	// the target.
+	Nodes []graph.NodeID
+	// Arcs lists the traversed arcs, len(Nodes)-1 of them.
+	Arcs []FlowArc
+	// Flow is the path's bottleneck authority flow: the smallest
+	// adjusted arc flow along it, the amount of authority the whole
+	// path can be said to carry to the target.
+	Flow float64
+}
+
+// topPathsExplored caps the number of partial paths the enumeration
+// expands, keeping TopPaths interactive on dense subgraphs.
+const topPathsExplored = 200000
+
+// TopPaths enumerates simple paths from base-set sources to the target
+// inside the subgraph and returns the k paths with the highest
+// bottleneck flow (ties broken by shorter length, then lexicographic
+// node order for determinism). sources are typically the subgraph's
+// base-set members; non-members are ignored.
+func (sg *Subgraph) TopPaths(sources []graph.NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	// Adjacency over positive-flow arcs only, highest flow first so the
+	// exploration budget goes to the promising paths.
+	adj := make(map[graph.NodeID][]FlowArc, len(sg.Nodes))
+	for _, a := range sg.Arcs {
+		if a.Flow > 0 {
+			adj[a.From] = append(adj[a.From], a)
+		}
+	}
+	for _, arcs := range adj {
+		sort.Slice(arcs, func(i, j int) bool { return arcs[i].Flow > arcs[j].Flow })
+	}
+	// Paths much longer than the subgraph radius are unintuitive (the
+	// paper's display rationale for limiting L) and explode the search
+	// space, so bound the node count by the deepest distance plus a
+	// small detour allowance.
+	maxDist := 0
+	for _, d := range sg.Dist {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	maxLen := maxDist + 3
+	if maxLen > len(sg.Nodes) {
+		maxLen = len(sg.Nodes)
+	}
+
+	var out []Path
+	explored := 0
+	onPath := make(map[graph.NodeID]bool)
+	var nodes []graph.NodeID
+	var arcs []FlowArc
+
+	var dfs func(v graph.NodeID, bottleneck float64)
+	dfs = func(v graph.NodeID, bottleneck float64) {
+		if explored >= topPathsExplored {
+			return
+		}
+		explored++
+		if v == sg.Target && len(nodes) > 1 {
+			out = append(out, Path{
+				Nodes: append([]graph.NodeID(nil), nodes...),
+				Arcs:  append([]FlowArc(nil), arcs...),
+				Flow:  bottleneck,
+			})
+			return
+		}
+		if len(nodes) >= maxLen {
+			return
+		}
+		for _, a := range adj[v] {
+			if onPath[a.To] {
+				continue
+			}
+			b := bottleneck
+			if a.Flow < b {
+				b = a.Flow
+			}
+			onPath[a.To] = true
+			nodes = append(nodes, a.To)
+			arcs = append(arcs, a)
+			dfs(a.To, b)
+			arcs = arcs[:len(arcs)-1]
+			nodes = nodes[:len(nodes)-1]
+			delete(onPath, a.To)
+		}
+	}
+
+	seen := make(map[graph.NodeID]bool)
+	for _, s := range sources {
+		if seen[s] || !sg.Has(s) {
+			continue
+		}
+		seen[s] = true
+		onPath[s] = true
+		nodes = append(nodes, s)
+		dfs(s, inf)
+		nodes = nodes[:0]
+		delete(onPath, s)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flow != out[j].Flow {
+			return out[i].Flow > out[j].Flow
+		}
+		if len(out[i].Nodes) != len(out[j].Nodes) {
+			return len(out[i].Nodes) < len(out[j].Nodes)
+		}
+		return lessNodeSeq(out[i].Nodes, out[j].Nodes)
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+const inf = 1e308
+
+func lessNodeSeq(a, b []graph.NodeID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// BaseSources returns the subgraph nodes that belong to the rank
+// result's base set — the roots an explanation's paths start from.
+func (sg *Subgraph) BaseSources(res *RankResult) []graph.NodeID {
+	var out []graph.NodeID
+	for _, sd := range res.Base {
+		v := graph.NodeID(sd.Doc)
+		if sg.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Prune returns a copy of the subgraph containing only arcs with
+// adjusted flow at least minFlow, plus every node still touching an arc
+// (and the target). The paper prunes explaining subgraphs this way
+// before display, keeping only high-authority paths.
+func (sg *Subgraph) Prune(minFlow float64) *Subgraph {
+	cp := &Subgraph{
+		Target:     sg.Target,
+		Query:      sg.Query,
+		H:          make(map[graph.NodeID]float64),
+		Dist:       make(map[graph.NodeID]int),
+		Iterations: sg.Iterations,
+		Converged:  sg.Converged,
+		damping:    sg.damping,
+		inFlow:     make(map[graph.NodeID]float64),
+		outFlow:    make(map[graph.NodeID]float64),
+	}
+	keep := map[graph.NodeID]bool{sg.Target: true}
+	for _, a := range sg.Arcs {
+		if a.Flow >= minFlow {
+			cp.Arcs = append(cp.Arcs, a)
+			keep[a.From] = true
+			keep[a.To] = true
+			cp.inFlow[a.To] += a.Flow
+			cp.outFlow[a.From] += a.Flow
+		}
+	}
+	for v := range keep {
+		cp.Nodes = append(cp.Nodes, v)
+		cp.H[v] = sg.H[v]
+		cp.Dist[v] = sg.Dist[v]
+	}
+	sort.Slice(cp.Nodes, func(i, j int) bool { return cp.Nodes[i] < cp.Nodes[j] })
+	return cp
+}

@@ -1,0 +1,323 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"authorityflow/internal/graph"
+)
+
+// BioSchema bundles the Figure 4 biological schema with handles to its
+// node and edge types: Entrez Gene, Entrez Nucleotide, Entrez Protein
+// and PubMed, connected by association edges such as the paper's
+// "genePubMedAssociates".
+type BioSchema struct {
+	Schema     *graph.Schema
+	Gene       graph.TypeID
+	Nucleotide graph.TypeID
+	Protein    graph.TypeID
+	PubMed     graph.TypeID
+
+	NucleotideGene   graph.EdgeTypeID // Nucleotide -> Gene
+	GeneProtein      graph.EdgeTypeID // Gene -> Protein
+	GenePubMed       graph.EdgeTypeID // Gene -> PubMed
+	ProteinPubMed    graph.EdgeTypeID // Protein -> PubMed
+	NucleotidePubMed graph.EdgeTypeID // Nucleotide -> PubMed
+}
+
+// NewBioSchema builds the Figure 4 schema graph.
+func NewBioSchema() *BioSchema {
+	s := graph.NewSchema()
+	b := &BioSchema{Schema: s}
+	b.Gene = s.AddNodeType("EntrezGene")
+	b.Nucleotide = s.AddNodeType("EntrezNucleotide")
+	b.Protein = s.AddNodeType("EntrezProtein")
+	b.PubMed = s.AddNodeType("PubMed")
+	b.NucleotideGene = s.MustAddEdgeType("nucleotideGeneAssociates", b.Nucleotide, b.Gene)
+	b.GeneProtein = s.MustAddEdgeType("geneProteinAssociates", b.Gene, b.Protein)
+	b.GenePubMed = s.MustAddEdgeType("genePubMedAssociates", b.Gene, b.PubMed)
+	b.ProteinPubMed = s.MustAddEdgeType("proteinPubMedAssociates", b.Protein, b.PubMed)
+	b.NucleotidePubMed = s.MustAddEdgeType("nucleotidePubMedAssociates", b.Nucleotide, b.PubMed)
+	return b
+}
+
+// ExpertRates returns a plausible domain-expert rate assignment for the
+// biological schema (the paper gives none; the training experiments
+// treat whatever assignment is in force as ground truth).
+func (b *BioSchema) ExpertRates() *graph.Rates {
+	r := graph.NewRates(b.Schema)
+	r.Set(b.NucleotideGene, graph.Forward, 0.3)
+	r.Set(b.NucleotideGene, graph.Backward, 0.2)
+	r.Set(b.GeneProtein, graph.Forward, 0.3)
+	r.Set(b.GeneProtein, graph.Backward, 0.3)
+	r.Set(b.GenePubMed, graph.Forward, 0.3)
+	r.Set(b.GenePubMed, graph.Backward, 0.3)
+	r.Set(b.ProteinPubMed, graph.Forward, 0.3)
+	r.Set(b.ProteinPubMed, graph.Backward, 0.2)
+	r.Set(b.NucleotidePubMed, graph.Forward, 0.2)
+	r.Set(b.NucleotidePubMed, graph.Backward, 0.1)
+	return r
+}
+
+// bioTopics are biomedical research areas for abstracts and entity
+// descriptions. Topic 0 is "cancer": DS7cancer restricts the corpus to
+// it, mirroring the paper's cancer-related PubMed subset.
+var bioTopics = []Topic{
+	{"cancer", []string{"cancer", "tumor", "carcinoma", "metastasis", "oncogene", "proliferation", "apoptosis", "malignant", "chemotherapy", "leukemia"}},
+	{"immunology", []string{"immune", "antibody", "antigen", "cytokine", "inflammation", "lymphocyte", "interleukin", "macrophage", "autoimmune", "tnf"}},
+	{"neuroscience", []string{"neuron", "synaptic", "brain", "cortical", "dopamine", "axon", "neurodegenerative", "glia", "receptor", "plasticity"}},
+	{"metabolism", []string{"metabolism", "glucose", "insulin", "lipid", "mitochondria", "oxidative", "diabetes", "enzyme", "glycolysis", "obesity"}},
+	{"genetics", []string{"mutation", "allele", "polymorphism", "genome", "transcription", "expression", "promoter", "methylation", "chromosome", "heritability"}},
+	{"virology", []string{"virus", "viral", "infection", "replication", "vaccine", "hepatitis", "influenza", "retrovirus", "capsid", "antiviral"}},
+	{"cardiology", []string{"cardiac", "heart", "vascular", "hypertension", "atherosclerosis", "myocardial", "arrhythmia", "ischemia", "coronary", "endothelial"}},
+	{"signaling", []string{"kinase", "phosphorylation", "signaling", "pathway", "receptor", "cascade", "activation", "inhibitor", "ligand", "binding"}},
+}
+
+// geneSymbol generates a deterministic gene-like symbol such as "TNF3"
+// or "BRCA12".
+func geneSymbol(rng *rand.Rand, i int) string {
+	stems := []string{"TNF", "BRCA", "TP", "EGFR", "MYC", "KRAS", "AKT", "VEGF", "CDK", "IL", "FOX", "NOTCH", "WNT", "RAS", "JAK", "STAT"}
+	return fmt.Sprintf("%s%d", stems[rng.Intn(len(stems))], i)
+}
+
+// abstractFor samples a PubMed-style abstract: 25-60 words drawn from
+// the topic pool, entity mentions, and connectives. Long texts are the
+// point — the paper expects ObjectRank2's IR weighting to matter most
+// on datasets with long descriptions.
+func abstractFor(rng *rand.Rand, topic int, mentions []string) string {
+	pool := bioTopics[topic].Words
+	var words []string
+	for i, n := 0, 25+rng.Intn(36); i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			words = append(words, connectives[rng.Intn(len(connectives))])
+		case 1:
+			other := bioTopics[rng.Intn(len(bioTopics))].Words
+			words = append(words, other[rng.Intn(len(other))])
+		default:
+			words = append(words, pool[rng.Intn(len(pool))])
+		}
+	}
+	words = append(words, mentions...)
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	return strings.Join(words, " ")
+}
+
+// BioConfig parameterizes the biological generator.
+type BioConfig struct {
+	Genes        int
+	Nucleotides  int
+	Proteins     int
+	Publications int
+	// AvgPubGenes / AvgPubProteins are mean associations per
+	// publication; AvgGeneProteins and AvgNucGenes are per source
+	// entity.
+	AvgPubGenes     float64
+	AvgPubProteins  float64
+	AvgGeneProteins float64
+	AvgNucGenes     float64
+	// CancerOnly restricts all publications to the cancer topic,
+	// mirroring DS7cancer.
+	CancerOnly bool
+	Seed       int64
+}
+
+// DS7Config approximates the DS7 dataset of Table 1 (699,199 nodes).
+func DS7Config() BioConfig {
+	return BioConfig{
+		Genes:           49000,
+		Nucleotides:     80000,
+		Proteins:        150000,
+		Publications:    420000,
+		AvgPubGenes:     3,
+		AvgPubProteins:  3,
+		AvgGeneProteins: 3,
+		AvgNucGenes:     2,
+		Seed:            2,
+	}
+}
+
+// DS7CancerConfig approximates the DS7cancer subset of Table 1
+// (37,796 nodes, 138,146 edges).
+func DS7CancerConfig() BioConfig {
+	return BioConfig{
+		Genes:           3000,
+		Nucleotides:     3800,
+		Proteins:        7000,
+		Publications:    24000,
+		AvgPubGenes:     2.5,
+		AvgPubProteins:  2,
+		AvgGeneProteins: 3,
+		AvgNucGenes:     2,
+		CancerOnly:      true,
+		Seed:            2,
+	}
+}
+
+// Scale returns a copy with all entity counts multiplied by f (min 1).
+func (c BioConfig) Scale(f float64) BioConfig {
+	scale := func(n int) int {
+		s := int(float64(n) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	c.Genes = scale(c.Genes)
+	c.Nucleotides = scale(c.Nucleotides)
+	c.Proteins = scale(c.Proteins)
+	c.Publications = scale(c.Publications)
+	return c
+}
+
+// GenerateBio builds a synthetic biological graph over the Figure 4
+// schema. Entities carry topic affinities; publications associate with
+// genes and proteins of their own topic, preferring highly cited
+// entities (preferential attachment), so authority hubs emerge as in
+// real Entrez/PubMed data.
+func GenerateBio(c BioConfig) (*Dataset, error) {
+	if c.Genes <= 0 || c.Proteins <= 0 || c.Publications <= 0 || c.Nucleotides <= 0 {
+		return nil, fmt.Errorf("datagen: non-positive entity counts in %+v", c)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	bs := NewBioSchema()
+	b := graph.NewBuilder(bs.Schema)
+
+	topicOf := func() int {
+		if c.CancerOnly {
+			return 0
+		}
+		return rng.Intn(len(bioTopics))
+	}
+
+	genes := make([]graph.NodeID, c.Genes)
+	geneTopic := make([]int, c.Genes)
+	geneNames := make([]string, c.Genes)
+	genesByTopic := make([][]int, len(bioTopics))
+	for i := range genes {
+		t := topicOf()
+		geneTopic[i] = t
+		geneNames[i] = geneSymbol(rng, i)
+		pool := bioTopics[t].Words
+		genes[i] = b.AddNode(bs.Gene,
+			graph.Attr{Name: "Symbol", Value: geneNames[i]},
+			graph.Attr{Name: "Description", Value: fmt.Sprintf("%s gene associated with %s %s", geneNames[i], pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])})
+		genesByTopic[t] = append(genesByTopic[t], i)
+	}
+
+	proteins := make([]graph.NodeID, c.Proteins)
+	proteinTopic := make([]int, c.Proteins)
+	proteinsByTopic := make([][]int, len(bioTopics))
+	for i := range proteins {
+		t := topicOf()
+		proteinTopic[i] = t
+		pool := bioTopics[t].Words
+		proteins[i] = b.AddNode(bs.Protein,
+			graph.Attr{Name: "Name", Value: fmt.Sprintf("%s protein %d", strings.ToUpper(pool[rng.Intn(len(pool))][:3]), i)},
+			graph.Attr{Name: "Description", Value: fmt.Sprintf("protein involved in %s %s regulation", pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])})
+		proteinsByTopic[t] = append(proteinsByTopic[t], i)
+	}
+
+	// Gene -> Protein associations within the same topic.
+	for i := range genes {
+		pool := proteinsByTopic[geneTopic[i]]
+		for n := poissonish(rng, c.AvgGeneProteins); n > 0 && len(pool) > 0; n-- {
+			b.AddEdge(genes[i], proteins[pool[rng.Intn(len(pool))]], bs.GeneProtein)
+		}
+	}
+
+	// Nucleotides link to same-topic genes and occasionally directly to
+	// publications (added below after pubs exist: collect for later).
+	nucs := make([]graph.NodeID, c.Nucleotides)
+	nucTopic := make([]int, c.Nucleotides)
+	for i := range nucs {
+		t := topicOf()
+		nucTopic[i] = t
+		nucs[i] = b.AddNode(bs.Nucleotide,
+			graph.Attr{Name: "Accession", Value: fmt.Sprintf("NM_%06d", i)},
+			graph.Attr{Name: "Description", Value: fmt.Sprintf("mRNA sequence %s", bioTopics[t].Words[rng.Intn(len(bioTopics[t].Words))])})
+		pool := genesByTopic[t]
+		for n := poissonish(rng, c.AvgNucGenes); n > 0 && len(pool) > 0; n-- {
+			b.AddEdge(nucs[i], genes[pool[rng.Intn(len(pool))]], bs.NucleotideGene)
+		}
+	}
+
+	// Publications with long abstracts mentioning associated entities;
+	// gene/protein association counts follow preferential attachment.
+	geneCited := make([]int, c.Genes)
+	protCited := make([]int, c.Proteins)
+	for i := 0; i < c.Publications; i++ {
+		t := topicOf()
+		var mentions []string
+		var linkGenes []int
+		pool := genesByTopic[t]
+		for n := poissonish(rng, c.AvgPubGenes); n > 0 && len(pool) > 0; n-- {
+			gi := tournament(rng, pool, geneCited)
+			linkGenes = append(linkGenes, gi)
+			mentions = append(mentions, strings.ToLower(geneNames[gi]))
+		}
+		var linkProts []int
+		ppool := proteinsByTopic[t]
+		for n := poissonish(rng, c.AvgPubProteins); n > 0 && len(ppool) > 0; n-- {
+			pi := tournament(rng, ppool, protCited)
+			linkProts = append(linkProts, pi)
+		}
+
+		title := abstractFor(rng, t, nil)
+		if len(title) > 40 {
+			title = title[:40]
+		}
+		pub := b.AddNode(bs.PubMed,
+			graph.Attr{Name: "Title", Value: title},
+			graph.Attr{Name: "Abstract", Value: abstractFor(rng, t, mentions)})
+		for _, gi := range linkGenes {
+			b.AddEdge(genes[gi], pub, bs.GenePubMed)
+			geneCited[gi]++
+		}
+		for _, pi := range linkProts {
+			b.AddEdge(proteins[pi], pub, bs.ProteinPubMed)
+			protCited[pi]++
+		}
+		// Occasionally a nucleotide links directly to the publication.
+		if rng.Intn(4) == 0 {
+			b.AddEdge(nucs[rng.Intn(c.Nucleotides)], pub, bs.NucleotidePubMed)
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	name := "ds7"
+	if c.CancerOnly {
+		name = "ds7cancer"
+	}
+	return &Dataset{Name: name, Graph: g, Rates: bs.ExpertRates()}, nil
+}
+
+// tournament draws two pool members and returns the one with the
+// higher citation count (preferential attachment).
+func tournament(rng *rand.Rand, pool []int, cited []int) int {
+	a := pool[rng.Intn(len(pool))]
+	b := pool[rng.Intn(len(pool))]
+	if cited[b] > cited[a] {
+		return b
+	}
+	return a
+}
+
+// NumBioTopics returns the number of biomedical topics.
+func NumBioTopics() int { return len(bioTopics) }
+
+// BioTopicQuery returns a representative keyword query for bio topic i.
+func BioTopicQuery(i int, terms int) []string {
+	if terms <= 0 {
+		terms = 1
+	}
+	w := bioTopics[i].Words
+	if terms > len(w) {
+		terms = len(w)
+	}
+	return append([]string(nil), w[:terms]...)
+}

@@ -1,0 +1,290 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"authorityflow/internal/graph"
+)
+
+// DBLPSchema bundles the Figure 2 bibliographic schema with handles to
+// its node and edge types.
+type DBLPSchema struct {
+	Schema     *graph.Schema
+	Paper      graph.TypeID
+	Conference graph.TypeID
+	Year       graph.TypeID
+	Author     graph.TypeID
+
+	Cites       graph.EdgeTypeID // Paper -> Paper
+	HasInstance graph.EdgeTypeID // Conference -> Year
+	Contains    graph.EdgeTypeID // Year -> Paper
+	By          graph.EdgeTypeID // Paper -> Author
+}
+
+// NewDBLPSchema builds the Figure 2 schema graph.
+func NewDBLPSchema() *DBLPSchema {
+	s := graph.NewSchema()
+	d := &DBLPSchema{Schema: s}
+	d.Paper = s.AddNodeType("Paper")
+	d.Conference = s.AddNodeType("Conference")
+	d.Year = s.AddNodeType("Year")
+	d.Author = s.AddNodeType("Author")
+	d.Cites = s.MustAddEdgeType("cites", d.Paper, d.Paper)
+	d.HasInstance = s.MustAddEdgeType("hasInstance", d.Conference, d.Year)
+	d.Contains = s.MustAddEdgeType("contains", d.Year, d.Paper)
+	d.By = s.MustAddEdgeType("by", d.Paper, d.Author)
+	return d
+}
+
+// ExpertRates returns the Figure 3 authority transfer rates — the
+// ground truth the paper's domain experts assigned by trial and error
+// ([BHP04]) and the target of the rate-training experiments
+// (Figures 11 and 13).
+func (d *DBLPSchema) ExpertRates() *graph.Rates {
+	r := graph.NewRates(d.Schema)
+	r.Set(d.Cites, graph.Forward, 0.7)
+	r.Set(d.Cites, graph.Backward, 0.0)
+	r.Set(d.By, graph.Forward, 0.2)
+	r.Set(d.By, graph.Backward, 0.2)
+	r.Set(d.HasInstance, graph.Forward, 0.3)
+	r.Set(d.HasInstance, graph.Backward, 0.3)
+	r.Set(d.Contains, graph.Forward, 0.3)
+	r.Set(d.Contains, graph.Backward, 0.1)
+	return r
+}
+
+// DBLPConfig parameterizes the bibliographic generator.
+type DBLPConfig struct {
+	// Papers, Authors, Conferences are entity counts. YearsPerConf is
+	// the number of Year (conference instance) nodes per conference.
+	Papers       int
+	Authors      int
+	Conferences  int
+	YearsPerConf int
+	// AvgCitations is the mean out-degree of the citation edges,
+	// realized with preferential attachment (citation counts follow a
+	// heavy tail, as in real bibliographic data).
+	AvgCitations float64
+	// AuthorsPerPaper bounds the number of by-edges per paper
+	// (uniform in [1, AuthorsPerPaper]).
+	AuthorsPerPaper int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DBLPTopConfig approximates the DBLPtop dataset of Table 1
+// (22,653 nodes, 166,960 edges).
+func DBLPTopConfig() DBLPConfig {
+	return DBLPConfig{
+		Papers:          14500,
+		Authors:         7700,
+		Conferences:     25,
+		YearsPerConf:    17,
+		AvgCitations:    8,
+		AuthorsPerPaper: 4,
+		Seed:            1,
+	}
+}
+
+// DBLPCompleteConfig approximates the DBLPcomplete dataset of Table 1
+// (876,110 nodes, ~4.2M edges).
+func DBLPCompleteConfig() DBLPConfig {
+	return DBLPConfig{
+		Papers:          500000,
+		Authors:         368000,
+		Conferences:     500,
+		YearsPerConf:    16,
+		AvgCitations:    5,
+		AuthorsPerPaper: 4,
+		Seed:            1,
+	}
+}
+
+// Scale returns a copy of the config with all entity counts multiplied
+// by f (at least 1 each), letting experiments run shape-preserving
+// reductions of the paper-scale datasets.
+func (c DBLPConfig) Scale(f float64) DBLPConfig {
+	scale := func(n int) int {
+		s := int(float64(n) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	c.Papers = scale(c.Papers)
+	c.Authors = scale(c.Authors)
+	c.Conferences = scale(c.Conferences)
+	if c.Conferences > c.Papers {
+		c.Conferences = c.Papers
+	}
+	return c
+}
+
+// Dataset is one generated corpus: the data graph, the expert rate
+// assignment for its schema, and a name for reporting.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+	Rates *graph.Rates
+}
+
+// GenerateDBLP builds a synthetic bibliographic graph:
+//
+//   - every paper gets a topic-mixture title, a conference instance
+//     (contains edge), and 1..AuthorsPerPaper authors (by edges);
+//   - authors have Zipf-like productivity (low IDs are prolific);
+//   - citations point to earlier papers, preferring the same topic and
+//     already-cited papers (preferential attachment), so citation hubs
+//     emerge like the "Data Cube" paper of the running example.
+func GenerateDBLP(c DBLPConfig) (*Dataset, error) {
+	if c.Papers <= 0 || c.Authors <= 0 || c.Conferences <= 0 {
+		return nil, fmt.Errorf("datagen: non-positive entity counts in %+v", c)
+	}
+	if c.YearsPerConf <= 0 {
+		c.YearsPerConf = 1
+	}
+	if c.AuthorsPerPaper <= 0 {
+		c.AuthorsPerPaper = 3
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	d := NewDBLPSchema()
+	b := graph.NewBuilder(d.Schema)
+
+	// Conferences, each with a topic affinity, and their year nodes.
+	confs := make([]graph.NodeID, c.Conferences)
+	confTopic := make([]int, c.Conferences)
+	years := make([][]graph.NodeID, c.Conferences)
+	for i := range confs {
+		confs[i] = b.AddNode(d.Conference, graph.Attr{Name: "Name", Value: conferenceName(i)})
+		confTopic[i] = i % NumTopics()
+		years[i] = make([]graph.NodeID, c.YearsPerConf)
+		for y := range years[i] {
+			yearNum := 1990 + y
+			years[i][y] = b.AddNode(d.Year,
+				graph.Attr{Name: "Name", Value: conferenceName(i)},
+				graph.Attr{Name: "Year", Value: fmt.Sprintf("%d", yearNum)})
+			b.AddEdge(confs[i], years[i][y], d.HasInstance)
+		}
+	}
+
+	// Authors with topic preferences.
+	authors := make([]graph.NodeID, c.Authors)
+	authorTopic := make([]int, c.Authors)
+	for i := range authors {
+		authors[i] = b.AddNode(d.Author, graph.Attr{Name: "Name", Value: personName(rng)})
+		authorTopic[i] = rng.Intn(NumTopics())
+	}
+	// Bucket authors by topic for matching papers to authors.
+	authorsByTopic := make([][]int, NumTopics())
+	for i, t := range authorTopic {
+		authorsByTopic[t] = append(authorsByTopic[t], i)
+	}
+
+	// Papers in chronological order.
+	papers := make([]graph.NodeID, c.Papers)
+	paperTopic := make([]int, c.Papers)
+	// papersByTopic holds indexes of earlier papers per topic for the
+	// citation sampler; inDegPlus1 drives preferential attachment.
+	papersByTopic := make([][]int, NumTopics())
+	inDeg := make([]int, c.Papers)
+	for i := range papers {
+		topic := rng.Intn(NumTopics())
+		secondary := -1
+		if rng.Intn(3) == 0 {
+			secondary = rng.Intn(NumTopics())
+		}
+		paperTopic[i] = topic
+		conf := pickConf(rng, confTopic, topic)
+		y := rng.Intn(c.YearsPerConf)
+		title := titleFor(rng, topic, secondary)
+		papers[i] = b.AddNode(d.Paper,
+			graph.Attr{Name: "Title", Value: title},
+			graph.Attr{Name: "Venue", Value: fmt.Sprintf("%s %d", conferenceName(conf), 1990+y)})
+		b.AddEdge(years[conf][y], papers[i], d.Contains)
+
+		// Authors: mostly from the matching topic bucket.
+		nAuth := 1 + rng.Intn(c.AuthorsPerPaper)
+		seen := map[int]bool{}
+		for a := 0; a < nAuth; a++ {
+			var ai int
+			pool := authorsByTopic[topic]
+			if len(pool) > 0 && rng.Intn(4) != 0 {
+				// Zipf-ish: square the uniform to favor low indexes.
+				u := rng.Float64()
+				ai = pool[int(u*u*float64(len(pool)))]
+			} else {
+				ai = rng.Intn(c.Authors)
+			}
+			if !seen[ai] {
+				seen[ai] = true
+				b.AddEdge(papers[i], authors[ai], d.By)
+			}
+		}
+
+		// Citations to earlier papers: 80% same topic, preferential
+		// attachment via rejection sampling on in-degree.
+		nCites := poissonish(rng, c.AvgCitations)
+		for cit := 0; cit < nCites; cit++ {
+			j := sampleCitation(rng, papersByTopic, topic, i, inDeg)
+			if j >= 0 {
+				b.AddEdge(papers[i], papers[j], d.Cites)
+				inDeg[j]++
+			}
+		}
+		papersByTopic[topic] = append(papersByTopic[topic], i)
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "dblp", Graph: g, Rates: d.ExpertRates()}, nil
+}
+
+// pickConf picks a conference, preferring one whose topic matches.
+func pickConf(rng *rand.Rand, confTopic []int, topic int) int {
+	for try := 0; try < 4; try++ {
+		c := rng.Intn(len(confTopic))
+		if confTopic[c] == topic {
+			return c
+		}
+	}
+	return rng.Intn(len(confTopic))
+}
+
+// poissonish samples a small count with the given mean (geometric-ish
+// mixture; exact distribution shape does not matter, the mean does).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	for rng.Float64() < mean/(mean+1) {
+		n++
+		if n > int(10*mean)+10 {
+			break
+		}
+	}
+	return n
+}
+
+// sampleCitation picks an earlier paper to cite: with probability 0.8 a
+// same-topic paper, otherwise any earlier paper; within the pool, two
+// candidates are drawn and the one with higher in-degree wins
+// (tournament preferential attachment).
+func sampleCitation(rng *rand.Rand, papersByTopic [][]int, topic, current int, inDeg []int) int {
+	pool := papersByTopic[topic]
+	if rng.Intn(5) == 0 || len(pool) == 0 {
+		if current == 0 {
+			return -1
+		}
+		return rng.Intn(current)
+	}
+	a := pool[rng.Intn(len(pool))]
+	b := pool[rng.Intn(len(pool))]
+	if inDeg[b] > inDeg[a] {
+		a = b
+	}
+	return a
+}

@@ -1,0 +1,41 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Preset generates one of the four Table 1 corpora by name:
+// "dblptop", "dblpcomplete", "ds7", or "ds7cancer" (case-insensitive),
+// scaled by scale and seeded by seed. This is the single resolution
+// point shared by the CLIs and the experiment harness.
+func Preset(name string, scale float64, seed int64) (*Dataset, error) {
+	switch strings.ToLower(name) {
+	case "dblptop":
+		c := DBLPTopConfig().Scale(scale)
+		c.Seed = seed
+		return GenerateDBLP(c)
+	case "dblpcomplete":
+		c := DBLPCompleteConfig().Scale(scale)
+		c.Seed = seed
+		return GenerateDBLP(c)
+	case "ds7":
+		c := DS7Config().Scale(scale)
+		c.Seed = seed
+		return GenerateBio(c)
+	case "ds7cancer":
+		c := DS7CancerConfig().Scale(scale)
+		c.Seed = seed
+		return GenerateBio(c)
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q (want %s)", name, strings.Join(PresetNames(), ", "))
+	}
+}
+
+// PresetNames lists the valid Preset names, sorted.
+func PresetNames() []string {
+	names := []string{"dblptop", "dblpcomplete", "ds7", "ds7cancer"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders a curve family as CSV: one row per setting, one
+// column per iteration — ready for plotting the figures.
+func (r *CurveResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	maxLen := 0
+	for _, l := range r.Labels {
+		if n := len(r.Curves[l]); n > maxLen {
+			maxLen = n
+		}
+	}
+	header := []string{"setting"}
+	for i := 0; i < maxLen; i++ {
+		header = append(header, "iter"+strconv.Itoa(i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, l := range r.Labels {
+		row := []string{l}
+		for _, v := range r.Curves[l] {
+			row = append(row, strconv.FormatFloat(v, 'f', 6, 64))
+		}
+		for len(row) < maxLen+1 { // pad so the CSV stays rectangular
+			row = append(row, "")
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the timing panel as CSV: one row per query
+// iteration with the four stage times (microseconds) and the
+// ObjectRank2 iteration count.
+func (r *TimingResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"iteration", "objectrank2_us", "explain_build_us", "explain_run_us",
+		"reformulate_us", "or2_iterations",
+	}); err != nil {
+		return err
+	}
+	for i, it := range r.Iters {
+		label := "initial"
+		if i > 0 {
+			label = fmt.Sprintf("reform%d", i)
+		}
+		row := []string{
+			label,
+			strconv.FormatInt(it.RankTime.Microseconds(), 10),
+			strconv.FormatInt(it.ExplainBuild.Microseconds(), 10),
+			strconv.FormatInt(it.ExplainRun.Microseconds(), 10),
+			strconv.FormatInt(it.ReformulateTime.Microseconds(), 10),
+			strconv.Itoa(it.RankIterations),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the Table 1 reproduction as CSV.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "nodes", "edges", "size_mb", "paper_nodes", "paper_edges"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Name,
+			strconv.Itoa(row.Nodes),
+			strconv.Itoa(row.Edges),
+			strconv.FormatFloat(row.SizeMB, 'f', 2, 64),
+			strconv.Itoa(row.PaperNodes),
+			strconv.Itoa(row.PaperEdges),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the Table 2 reproduction as CSV.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "objectrank2", "objectrank"}); err != nil {
+		return err
+	}
+	for i, q := range r.Queries {
+		if err := cw.Write([]string{
+			q,
+			strconv.FormatFloat(r.OR2[i], 'f', 0, 64),
+			strconv.FormatFloat(r.OR[i], 'f', 0, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"average",
+		strconv.FormatFloat(r.AvgOR2, 'f', 2, 64),
+		strconv.FormatFloat(r.AvgOR, 'f', 2, 64)}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

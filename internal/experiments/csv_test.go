@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, data string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestCurveResultCSV(t *testing.T) {
+	r := &CurveResult{
+		Labels: []string{"a", "b"},
+		Curves: map[string][]float64{
+			"a": {0.1, 0.2, 0.3},
+			"b": {0.4, 0.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "setting" || rows[0][3] != "iter2" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "a" || rows[1][1] != "0.100000" {
+		t.Errorf("row a = %v", rows[1])
+	}
+	if len(rows[2]) != 4 || rows[2][3] != "" { // shorter curve padded
+		t.Errorf("row b = %v", rows[2])
+	}
+}
+
+func TestTimingResultCSV(t *testing.T) {
+	r := &TimingResult{
+		Dataset: "x",
+		Iters: []TimingIter{
+			{RankTime: 1500 * time.Microsecond, RankIterations: 7},
+			{RankTime: 800 * time.Microsecond, ExplainBuild: time.Millisecond, RankIterations: 4},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0] != "initial" || rows[1][1] != "1500" || rows[1][5] != "7" {
+		t.Errorf("initial row = %v", rows[1])
+	}
+	if rows[2][0] != "reform1" || rows[2][2] != "1000" {
+		t.Errorf("reform row = %v", rows[2])
+	}
+}
+
+func TestTableCSVs(t *testing.T) {
+	t1 := &Table1Result{Rows: []Table1Row{
+		{Name: "D", Nodes: 10, Edges: 20, SizeMB: 1.5, PaperNodes: 100, PaperEdges: 200},
+	}}
+	var buf bytes.Buffer
+	if err := t1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if rows[1][0] != "D" || rows[1][3] != "1.50" {
+		t.Errorf("table1 row = %v", rows[1])
+	}
+
+	t2 := &Table2Result{
+		Queries: []string{"olap"},
+		OR2:     []float64{7},
+		OR:      []float64{6},
+		AvgOR2:  7, AvgOR: 6,
+	}
+	buf.Reset()
+	if err := t2.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, buf.String())
+	if len(rows) != 3 || rows[2][0] != "average" || rows[1][1] != "7" {
+		t.Errorf("table2 rows = %v", rows)
+	}
+}
+
+func TestSaveCSVIntegration(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := testCfg(&buf)
+	cfg.CSVDir = dir
+	if _, err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure15(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.csv", "figure15.csv"} {
+		data, err := readFile(t, dir, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows := parseCSV(t, data)
+		if len(rows) < 2 {
+			t.Errorf("%s has %d rows", name, len(rows))
+		}
+	}
+}
+
+func readFile(t *testing.T, dir, name string) (string, error) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	return string(b), err
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node (database object) in a data graph.
+type NodeID int32
+
+// Attr is one name/value pair of a node's tuple. The keywords of a node
+// are the tokens of its attribute values (Section 2 of the paper).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Edge is one typed data-graph edge as supplied to the Builder.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	Type EdgeTypeID
+}
+
+// Arc is one edge of the authority transfer data graph D^A: a directed
+// typed connection that can carry authority. Every data edge yields two
+// arcs, one per direction. InvDeg is 1/OutDeg(from, Type) precomputed at
+// build time, so the authority transfer rate of the arc under a given
+// rate vector is Rates.Rate(Type) * InvDeg (Equation 1). The out-degree
+// never changes when rates are reformulated, which is why it can be
+// frozen while rates stay adjustable.
+type Arc struct {
+	To     NodeID
+	Type   TransferTypeID
+	InvDeg float32
+}
+
+// Graph is a frozen data graph together with its derived authority
+// transfer data graph in CSR (compressed sparse row) form. Build one
+// with a Builder. A Graph is immutable and safe for concurrent reads.
+type Graph struct {
+	schema *Schema
+
+	labels []TypeID
+	attrs  [][]Attr
+
+	numEdges int
+
+	// Forward CSR over transfer arcs (both directions of every data
+	// edge): arcs going OUT of node i are arcs[arcStart[i]:arcStart[i+1]].
+	arcStart []int32
+	arcs     []Arc
+
+	// Reverse CSR: arcs coming INTO node i, stored with To = source
+	// node (i.e. rarcs[k].To is the node the authority comes FROM) and
+	// InvDeg = the source's inverse out-degree for that arc type.
+	rarcStart []int32
+	rarcs     []Arc
+}
+
+// Schema returns the schema graph the data graph conforms to.
+func (g *Graph) Schema() *Schema { return g.schema }
+
+// NumNodes returns |V_D|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns |E_D|, the number of data edges (each of which
+// yields two transfer arcs).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumArcs returns the number of authority transfer arcs (2 * NumEdges).
+func (g *Graph) NumArcs() int { return len(g.arcs) }
+
+// Label returns the node type of v.
+func (g *Graph) Label(v NodeID) TypeID { return g.labels[v] }
+
+// LabelName returns the node type name of v.
+func (g *Graph) LabelName(v NodeID) string { return g.schema.TypeName(g.labels[v]) }
+
+// Attrs returns the attribute tuple of v. The returned slice must not
+// be modified.
+func (g *Graph) Attrs(v NodeID) []Attr { return g.attrs[v] }
+
+// Attr returns the value of the named attribute of v, or "" if absent.
+func (g *Graph) Attr(v NodeID, name string) string {
+	for _, a := range g.attrs[v] {
+		if a.Name == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Text returns the concatenation of all attribute values of v, the
+// node's document text for IR purposes (its keyword set is the token
+// set of this text).
+func (g *Graph) Text(v NodeID) string {
+	as := g.attrs[v]
+	switch len(as) {
+	case 0:
+		return ""
+	case 1:
+		return as[0].Value
+	}
+	var b strings.Builder
+	for i, a := range as {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}
+
+// Display returns a short human-readable rendering of v for result
+// lists and explanations: its type name and first attribute value.
+func (g *Graph) Display(v NodeID) string {
+	label := g.LabelName(v)
+	if as := g.attrs[v]; len(as) > 0 {
+		return fmt.Sprintf("%s[%d] %s=%q", label, v, as[0].Name, as[0].Value)
+	}
+	return fmt.Sprintf("%s[%d]", label, v)
+}
+
+// OutArcs returns the transfer arcs leaving v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutArcs(v NodeID) []Arc {
+	return g.arcs[g.arcStart[v]:g.arcStart[v+1]]
+}
+
+// InArcs returns the transfer arcs entering v. Each returned Arc has To
+// set to the SOURCE node of the arc and InvDeg set to that source's
+// inverse per-type out-degree, so the arc's authority transfer rate is
+// still Rates.Rate(Type) * InvDeg. The slice aliases internal storage.
+func (g *Graph) InArcs(v NodeID) []Arc {
+	return g.rarcs[g.rarcStart[v]:g.rarcStart[v+1]]
+}
+
+// OutDeg returns OutDeg(v, t): the number of transfer arcs of type t
+// leaving v (Equation 1's denominator).
+func (g *Graph) OutDeg(v NodeID, t TransferTypeID) int {
+	n := 0
+	for _, a := range g.OutArcs(v) {
+		if a.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// ArcWeight returns the authority transfer rate a(arc) of an arc under
+// the given rates: alpha(type)/OutDeg(source, type) per Equation 1.
+func (g *Graph) ArcWeight(a Arc, r *Rates) float64 {
+	return r.Rate(a.Type) * float64(a.InvDeg)
+}
+
+// FindNodes returns up to limit nodes whose attribute values contain
+// the given substring (case-insensitive). A linear scan intended for
+// CLI and demo lookups, not query processing.
+func (g *Graph) FindNodes(substr string, limit int) []NodeID {
+	if limit <= 0 {
+		limit = 10
+	}
+	needle := strings.ToLower(substr)
+	var out []NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, a := range g.attrs[v] {
+			if strings.Contains(strings.ToLower(a.Value), needle) {
+				out = append(out, NodeID(v))
+				break
+			}
+		}
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// NodesOfType returns all nodes with the given label, in ID order.
+func (g *Graph) NodesOfType(t TypeID) []NodeID {
+	var out []NodeID
+	for v, l := range g.labels {
+		if l == t {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// CountByType returns the number of nodes per node type, indexed by
+// TypeID.
+func (g *Graph) CountByType() []int {
+	counts := make([]int, g.schema.NumNodeTypes())
+	for _, l := range g.labels {
+		counts[l]++
+	}
+	return counts
+}
+
+// SizeBytes estimates the in-memory size of the frozen graph (labels,
+// attributes, both CSR halves), used for the Table 1 dataset-size
+// column.
+func (g *Graph) SizeBytes() int64 {
+	size := int64(len(g.labels)) * 4
+	size += int64(len(g.arcStart)+len(g.rarcStart)) * 4
+	size += int64(len(g.arcs)+len(g.rarcs)) * 12
+	for _, as := range g.attrs {
+		size += 24 // slice header
+		for _, a := range as {
+			size += int64(len(a.Name) + len(a.Value) + 32)
+		}
+	}
+	return size
+}

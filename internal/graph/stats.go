@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a data graph's structure: the per-type node and edge
+// counts and degree distribution facts that determine authority-flow
+// behaviour (and that the synthetic generators must match to stand in
+// for the paper's corpora).
+type Stats struct {
+	Nodes int
+	Edges int
+	// NodesByType maps node type name to count.
+	NodesByType map[string]int
+	// EdgesByType maps schema edge role to count.
+	EdgesByType map[string]int
+	// MaxOutDeg / MaxInDeg are over data edges (forward arcs).
+	MaxOutDeg int
+	MaxInDeg  int
+	// AvgOutDeg is Edges/Nodes.
+	AvgOutDeg float64
+	// Components is the number of weakly connected components.
+	Components int
+	// LargestComponent is the node count of the biggest component.
+	LargestComponent int
+}
+
+// ComputeStats gathers Stats in two passes over the CSR.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		NodesByType: make(map[string]int),
+		EdgesByType: make(map[string]int),
+	}
+	schema := g.Schema()
+	for v := 0; v < g.NumNodes(); v++ {
+		s.NodesByType[g.LabelName(NodeID(v))]++
+		out, in := 0, 0
+		for _, a := range g.OutArcs(NodeID(v)) {
+			if a.Type.Dir() == Forward {
+				out++
+				s.EdgesByType[schema.EdgeTypeInfo(a.Type.EdgeType()).Role]++
+			}
+		}
+		for _, a := range g.InArcs(NodeID(v)) {
+			if a.Type.Dir() == Forward {
+				in++
+			}
+		}
+		if out > s.MaxOutDeg {
+			s.MaxOutDeg = out
+		}
+		if in > s.MaxInDeg {
+			s.MaxInDeg = in
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgOutDeg = float64(s.Edges) / float64(s.Nodes)
+	}
+	s.Components, s.LargestComponent = components(g)
+	return s
+}
+
+// components counts weakly connected components with an iterative
+// union-find over the transfer arcs.
+func components(g *Graph) (count, largest int) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0
+	}
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		for _, a := range g.OutArcs(NodeID(u)) {
+			ru, rv := find(int32(u)), find(int32(a.To))
+			if ru != rv {
+				parent[ru] = rv
+			}
+		}
+	}
+	size := make(map[int32]int)
+	for i := 0; i < n; i++ {
+		size[find(int32(i))]++
+	}
+	for _, s := range size {
+		if s > largest {
+			largest = s
+		}
+	}
+	return len(size), largest
+}
+
+// String renders the stats as a small table.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d edges=%d avg-out=%.2f max-out=%d max-in=%d components=%d largest=%d\n",
+		s.Nodes, s.Edges, s.AvgOutDeg, s.MaxOutDeg, s.MaxInDeg, s.Components, s.LargestComponent)
+	var types []string
+	for t := range s.NodesByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(&b, "  %-20s %d nodes\n", t, s.NodesByType[t])
+	}
+	var roles []string
+	for r := range s.EdgesByType {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		fmt.Fprintf(&b, "  %-20s %d edges\n", r, s.EdgesByType[r])
+	}
+	return b.String()
+}

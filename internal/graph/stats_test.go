@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsFigure1(t *testing.T) {
+	g, ids := figure1Graph(t)
+	s := ComputeStats(g)
+	if s.Nodes != 7 || s.Edges != 9 {
+		t.Fatalf("nodes/edges = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.NodesByType["Paper"] != 4 || s.NodesByType["Author"] != 1 {
+		t.Errorf("NodesByType = %v", s.NodesByType)
+	}
+	if s.EdgesByType["cites"] != 4 {
+		t.Errorf("EdgesByType[cites] = %d", s.EdgesByType["cites"])
+	}
+	if s.EdgesByType["by"] != 2 || s.EdgesByType["contains"] != 2 || s.EdgesByType["hasInstance"] != 1 {
+		t.Errorf("EdgesByType = %v", s.EdgesByType)
+	}
+	// v4 cites 2 papers + 1 author edge = out-degree 3 (data edges).
+	if s.MaxOutDeg != 3 {
+		t.Errorf("MaxOutDeg = %d", s.MaxOutDeg)
+	}
+	// v7 is cited 3 times.
+	if s.MaxInDeg != 3 {
+		t.Errorf("MaxInDeg = %d", s.MaxInDeg)
+	}
+	// The figure-1 graph is connected.
+	if s.Components != 1 || s.LargestComponent != 7 {
+		t.Errorf("components = %d largest = %d", s.Components, s.LargestComponent)
+	}
+	str := s.String()
+	if !strings.Contains(str, "Paper") || !strings.Contains(str, "cites") {
+		t.Errorf("String = %q", str)
+	}
+	_ = ids
+}
+
+func TestComputeStatsDisconnected(t *testing.T) {
+	s := NewSchema()
+	paper := s.AddNodeType("Paper")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	b := NewBuilder(s)
+	a := b.AddNode(paper)
+	c := b.AddNode(paper)
+	b.AddNode(paper) // isolated
+	b.AddNode(paper) // isolated
+	b.AddEdge(a, c, cites)
+	g := b.MustBuild()
+	st := ComputeStats(g)
+	if st.Components != 3 {
+		t.Errorf("components = %d, want 3", st.Components)
+	}
+	if st.LargestComponent != 2 {
+		t.Errorf("largest = %d, want 2", st.LargestComponent)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := NewSchema()
+	s.AddNodeType("Paper")
+	g := NewBuilder(s).MustBuild()
+	st := ComputeStats(g)
+	if st.Nodes != 0 || st.Components != 0 || st.AvgOutDeg != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

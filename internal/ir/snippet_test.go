@@ -1,0 +1,79 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnippetShortTextUnchanged(t *testing.T) {
+	q := NewQuery("olap")
+	if got := Snippet("short olap text", q, 160); got != "short olap text" {
+		t.Errorf("Snippet = %q", got)
+	}
+}
+
+func TestSnippetCentersOnTerms(t *testing.T) {
+	prefix := strings.Repeat("filler words here and there ", 20)
+	text := prefix + "the olap cube aggregation core " + prefix
+	q := NewQuery("olap", "cube")
+	got := Snippet(text, q, 60)
+	if !strings.Contains(got, "olap") || !strings.Contains(got, "cube") {
+		t.Errorf("snippet missed terms: %q", got)
+	}
+	if len(got) > 60+20 { // width plus boundary snap + ellipses
+		t.Errorf("snippet too long: %d bytes", len(got))
+	}
+	if !strings.HasPrefix(got, "…") || !strings.HasSuffix(got, "…") {
+		t.Errorf("snippet not marked as truncated: %q", got)
+	}
+}
+
+func TestSnippetPicksDensestWindow(t *testing.T) {
+	// One lonely hit early, two hits close together late: the window
+	// must cover the pair.
+	text := "olap " + strings.Repeat("x ", 100) + "olap cube end"
+	q := NewQuery("olap", "cube")
+	got := Snippet(text, q, 30)
+	if !strings.Contains(got, "cube") {
+		t.Errorf("snippet chose the sparse window: %q", got)
+	}
+}
+
+func TestSnippetNoHits(t *testing.T) {
+	text := strings.Repeat("unrelated words ", 30)
+	got := Snippet(text, NewQuery("olap"), 40)
+	if len(got) > 45 {
+		t.Errorf("no-hit snippet too long: %q", got)
+	}
+	if !strings.HasSuffix(got, "…") {
+		t.Errorf("no-hit snippet not marked truncated: %q", got)
+	}
+}
+
+func TestSnippetDefaultsAndEdges(t *testing.T) {
+	if got := Snippet("", NewQuery("x"), 0); got != "" {
+		t.Errorf("empty text = %q", got)
+	}
+	// Width 0 falls back to the default.
+	long := strings.Repeat("word olap ", 50)
+	got := Snippet(long, NewQuery("olap"), 0)
+	if len(got) == 0 || len(got) > 200 {
+		t.Errorf("default-width snippet = %d bytes", len(got))
+	}
+}
+
+func FuzzSnippet(f *testing.F) {
+	f.Add("the olap cube aggregation", "olap", 20)
+	f.Add("", "", 0)
+	f.Add(strings.Repeat("ü ", 100), "ü", 10)
+	f.Fuzz(func(t *testing.T, text, term string, width int) {
+		if width > 1<<20 || width < -1<<20 {
+			return
+		}
+		got := Snippet(text, NewQuery(term), width)
+		// Never longer than the input plus ellipses markers.
+		if len(got) > len(text)+6 {
+			t.Fatalf("snippet grew: %d > %d", len(got), len(text))
+		}
+	})
+}

@@ -1,0 +1,317 @@
+// Package precompute implements the [BHP04]-style ObjectRank
+// precomputation that the paper names as its remedy for slow
+// exploratory search on the large corpora ("precompute ObjectRank2
+// values as in [BHP04]", Section 6.2).
+//
+// The key property making this exact rather than heuristic: the
+// ObjectRank2 fixpoint r = d·A·r + (1−d)·s is LINEAR in the jump
+// distribution s, so for a multi-keyword query whose base distribution
+// is a convex combination of the per-term base distributions,
+//
+//	s(Q) = Σ_t γ_t · ŝ_t   ⇒   r(Q) = Σ_t γ_t · r_t
+//
+// where r_t is the converged per-term score vector and γ_t is the
+// term's share of the combined base mass. A Store therefore holds one
+// converged vector per vocabulary term (optionally truncated to its
+// top-K entries, as [BHP04] stores top-k lists) plus the term's raw
+// base mass Z_t, and answers arbitrary weighted multi-keyword queries
+// by linear combination — no power iteration at query time.
+package precompute
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// Entry is one node's precomputed score for a term.
+type Entry struct {
+	Node  int32
+	Score float64
+}
+
+// termData is a term's truncated score vector and base mass.
+type termData struct {
+	Entries []Entry // sorted by descending score
+	// Z is the term's unnormalized base mass Σ_v IRScore(v, {t}):
+	// the combination coefficient numerator.
+	Z float64
+}
+
+// Store holds precomputed per-term ObjectRank2 vectors.
+type Store struct {
+	topK  int
+	n     int // graph size, for validation
+	rates []float64
+	terms map[string]termData
+}
+
+// BuildOptions control Store construction.
+type BuildOptions struct {
+	// TopK truncates each term's stored vector to its K highest-scoring
+	// nodes (0 = keep everything). [BHP04] stores truncated lists; the
+	// combination then ranks within the union of the per-term lists.
+	TopK int
+	// Workers parallelizes the per-term fixpoints (0 = serial).
+	Workers int
+}
+
+// Build runs one single-term ObjectRank2 fixpoint per given term under
+// the engine's current rates and stores the results. Terms with empty
+// base sets are skipped. The engine must not have its rates changed
+// while Build runs.
+func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
+	st := &Store{
+		topK:  opts.TopK,
+		n:     eng.Graph().NumNodes(),
+		rates: eng.Rates().Vector(),
+		terms: make(map[string]termData, len(terms)),
+	}
+	// Force the shared warm-start cache before fanning out.
+	eng.GlobalRank()
+
+	workers := opts.Workers
+	if workers <= 1 {
+		for _, t := range terms {
+			if td, ok := buildTerm(eng, t, opts.TopK); ok {
+				st.terms[t] = td
+			}
+		}
+		return st
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if td, ok := buildTerm(eng, t, opts.TopK); ok {
+					mu.Lock()
+					st.terms[t] = td
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range terms {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return st
+}
+
+func buildTerm(eng *core.Engine, term string, topK int) (termData, bool) {
+	q := ir.NewQuery(term)
+	// Base mass BEFORE normalization: recomputed from the index so the
+	// combination coefficients are exact.
+	z := 0.0
+	for _, sd := range eng.Index().BaseSet(q) {
+		z += sd.Score
+	}
+	if z == 0 {
+		return termData{}, false
+	}
+	res := eng.Rank(q)
+	entries := make([]Entry, 0, len(res.Scores))
+	for v, s := range res.Scores {
+		if s > 0 {
+			entries = append(entries, Entry{Node: int32(v), Score: s})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	if topK > 0 && len(entries) > topK {
+		entries = entries[:topK]
+	}
+	return termData{Entries: entries, Z: z}, true
+}
+
+// Terms returns the number of stored terms.
+func (s *Store) Terms() int { return len(s.terms) }
+
+// Has reports whether the term has a precomputed vector.
+func (s *Store) Has(term string) bool {
+	_, ok := s.terms[term]
+	return ok
+}
+
+// TopK returns the per-term truncation limit (0 = untruncated).
+func (s *Store) TopK() int { return s.topK }
+
+// Rates returns the rate vector the store was built under; a store is
+// only valid for engines running the same rates.
+func (s *Store) Rates() []float64 {
+	return append([]float64(nil), s.rates...)
+}
+
+// Query answers a weighted multi-keyword query by linear combination of
+// the precomputed per-term vectors, returning the top-k nodes. The
+// second result reports whether EVERY positive-weight query term was
+// precomputed; if false the combination covers only the known terms.
+// With an untruncated store the scores equal a fresh ObjectRank2
+// execution's (up to fixpoint tolerance).
+//
+// The combination weight of term t is γ_t ∝ qtf-saturated weight × Z_t,
+// mirroring how Engine.BaseSet mixes per-term contributions before
+// normalizing to a probability vector.
+func (s *Store) Query(q *ir.Query, k int) ([]rank.Ranked, bool) {
+	terms := q.Terms()
+	weights := q.Weights()
+	type part struct {
+		td    termData
+		gamma float64
+	}
+	var parts []part
+	complete := true
+	total := 0.0
+	for i, t := range terms {
+		w := weights[i]
+		if w <= 0 {
+			continue
+		}
+		td, ok := s.terms[t]
+		if !ok {
+			complete = false
+			continue
+		}
+		g := qtfSat(w) * td.Z
+		parts = append(parts, part{td: td, gamma: g})
+		total += g
+	}
+	if total == 0 {
+		return nil, complete
+	}
+	// Dense accumulator + touched list: far cheaper than a map for the
+	// hot query path, and the touched list keeps the result collection
+	// proportional to the union of the per-term lists.
+	combined := make([]float64, s.n)
+	seen := make([]bool, s.n)
+	var touched []int32
+	for _, p := range parts {
+		c := p.gamma / total
+		for _, e := range p.td.Entries {
+			combined[e.Node] += c * e.Score
+			if !seen[e.Node] {
+				seen[e.Node] = true
+				touched = append(touched, e.Node)
+			}
+		}
+	}
+	ranked := make([]rank.Ranked, 0, len(touched))
+	for _, v := range touched {
+		ranked = append(ranked, rank.Ranked{Node: graph.NodeID(v), Score: combined[v]})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Node < ranked[j].Node
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked, complete
+}
+
+// qtfSat mirrors ir's query-side BM25 saturation with the default k3.
+func qtfSat(w float64) float64 {
+	const k3 = 1000
+	return (k3 + 1) * w / (k3 + w)
+}
+
+// storeSnapshot is the gob wire form.
+type storeSnapshot struct {
+	Version int
+	TopK    int
+	N       int
+	Rates   []float64
+	Terms   map[string]termData
+}
+
+const storeVersion = 1
+
+// Save writes the store to w.
+func (s *Store) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&storeSnapshot{
+		Version: storeVersion,
+		TopK:    s.topK,
+		N:       s.n,
+		Rates:   s.rates,
+		Terms:   s.terms,
+	})
+}
+
+// Load reads a store from r.
+func Load(r io.Reader) (*Store, error) {
+	var snap storeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("precompute: decode: %w", err)
+	}
+	if snap.Version != storeVersion {
+		return nil, fmt.Errorf("precompute: snapshot version %d, want %d", snap.Version, storeVersion)
+	}
+	return &Store{topK: snap.TopK, n: snap.N, rates: snap.Rates, terms: snap.Terms}, nil
+}
+
+// SaveFile writes the store to path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := s.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store from path.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}
+
+// ValidFor reports whether the store was built over a graph of the same
+// size and the same rate vector as the engine's current state.
+func (s *Store) ValidFor(eng *core.Engine) bool {
+	if eng.Graph().NumNodes() != s.n {
+		return false
+	}
+	cur := eng.Rates().Vector()
+	if len(cur) != len(s.rates) {
+		return false
+	}
+	for i := range cur {
+		if cur[i] != s.rates[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"authorityflow/internal/graph"
+)
+
+func TestHITSStarGraph(t *testing.T) {
+	// Three papers all cite one: the cited paper is the top authority,
+	// the citing papers are the hubs.
+	g, _ := paperGraph(t, 4, [][2]int{{0, 3}, {1, 3}, {2, 3}}, 0.7, 0)
+	res := HITS(g, nil, 1e-10, 1000)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Authorities[3] <= res.Authorities[0] {
+		t.Errorf("cited paper should be top authority: %v", res.Authorities)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Hubs[i] <= res.Hubs[3] {
+			t.Errorf("citing paper %d should out-hub the sink: %v", i, res.Hubs)
+		}
+	}
+	// L2 normalization.
+	sum := 0.0
+	for _, a := range res.Authorities {
+		sum += a * a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("authority norm = %v", sum)
+	}
+}
+
+func TestHITSSubsetRestriction(t *testing.T) {
+	// Edges 0->1 and 2->3; restricting to {0,1} must zero out 2 and 3.
+	g, _ := paperGraph(t, 4, [][2]int{{0, 1}, {2, 3}}, 0.7, 0)
+	res := HITS(g, []graph.NodeID{0, 1}, 1e-10, 100)
+	if res.Authorities[3] != 0 || res.Hubs[2] != 0 {
+		t.Errorf("subset leaked: %v %v", res.Authorities, res.Hubs)
+	}
+	if res.Authorities[1] <= 0 {
+		t.Error("in-subset authority missing")
+	}
+	// Out-of-range subset entries are ignored, not fatal.
+	res = HITS(g, []graph.NodeID{0, 1, 99, -5}, 1e-10, 100)
+	if res.Authorities[1] <= 0 {
+		t.Error("subset with bad ids broke scoring")
+	}
+}
+
+func TestHITSEmptyAndDefaults(t *testing.T) {
+	g, _ := paperGraph(t, 2, nil, 0.7, 0)
+	res := HITS(g, nil, 0, 0) // defaults kick in
+	if res.Iterations == 0 {
+		t.Error("no iterations run")
+	}
+	// No edges: authority goes to zero vector (normalization no-op).
+	for _, a := range res.Authorities {
+		if a != 0 {
+			t.Errorf("authority on edgeless graph = %v", a)
+		}
+	}
+}
+
+func TestFocusedSubgraph(t *testing.T) {
+	// Chain 0 -> 1 -> 2 -> 3.
+	g, _ := paperGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, 0.7, 0)
+	got := FocusedSubgraph(g, []graph.NodeID{0}, 1)
+	want := map[graph.NodeID]bool{0: true, 1: true}
+	if len(got) != 2 {
+		t.Fatalf("radius 1 = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected node %d", v)
+		}
+	}
+	// Radius includes backward arcs (transfer arcs go both ways), so
+	// from node 2 at radius 1 both 1 and 3 are reachable.
+	got = FocusedSubgraph(g, []graph.NodeID{2}, 1)
+	if len(got) != 3 {
+		t.Errorf("radius-1 around middle = %v", got)
+	}
+	// Duplicates in base are deduplicated.
+	got = FocusedSubgraph(g, []graph.NodeID{0, 0, 0}, 0)
+	if len(got) != 1 {
+		t.Errorf("dedup failed: %v", got)
+	}
+}

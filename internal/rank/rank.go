@@ -1,0 +1,312 @@
+// Package rank implements the authority-flow fixpoint computations the
+// paper builds on: the damped power iteration shared by PageRank,
+// ObjectRank and ObjectRank2 (Equation 4), global PageRank, the
+// original 0/1-base-set ObjectRank of [BHP04], and the modified
+// multi-keyword ObjectRank with normalizing exponents (Equation 16)
+// used as the Table 2 baseline.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"authorityflow/internal/graph"
+)
+
+// Options control a power-iteration run.
+type Options struct {
+	// Damping is the probability d of following an edge rather than
+	// jumping back to the base set. The paper uses 0.85.
+	Damping float64
+	// Threshold is the L1 convergence threshold on successive score
+	// vectors. The paper's performance experiments use 0.002.
+	Threshold float64
+	// MaxIters bounds the number of iterations (default 200).
+	MaxIters int
+	// Init, if non-nil, is the starting score vector: the warm-start
+	// mechanism of Section 6.2, where a reformulated query starts from
+	// the previous query's converged scores.
+	Init []float64
+}
+
+// Defaults returns the paper's standard options: d = 0.85, threshold
+// 0.002, at most 200 iterations.
+func Defaults() Options {
+	return Options{Damping: 0.85, Threshold: 0.002, MaxIters: 200}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.002
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+	return o
+}
+
+// Result is the outcome of a power-iteration run.
+type Result struct {
+	// Scores holds the converged authority score of every node.
+	Scores []float64
+	// Iterations is the number of iterations executed. The warm-start
+	// experiments (Figures 14b–17b) track this count.
+	Iterations int
+	// Converged reports whether the L1 threshold was reached before
+	// MaxIters.
+	Converged bool
+}
+
+// Run executes the damped authority-flow fixpoint
+//
+//	r = d·A·r + (1−d)·base
+//
+// over the authority transfer data graph derived from g and rates,
+// where A's entries are the Equation 1 arc weights
+// alpha(type)/OutDeg(u, type). base is the random-jump distribution; it
+// should sum to 1 (use NormalizeDist). Nodes never listed in base still
+// receive authority through incoming arcs.
+func Run(g *graph.Graph, rates *graph.Rates, base []float64, opts Options) Result {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	cur := make([]float64, n)
+	if opts.Init != nil && len(opts.Init) == n {
+		copy(cur, opts.Init)
+	} else {
+		copy(cur, base)
+	}
+	next := make([]float64, n)
+	alpha := rates.Vector()
+	d := opts.Damping
+
+	res := Result{}
+	for it := 0; it < opts.MaxIters; it++ {
+		for v := range next {
+			next[v] = (1 - d) * base[v]
+		}
+		for u := 0; u < n; u++ {
+			ru := cur[u]
+			if ru == 0 {
+				continue
+			}
+			for _, a := range g.OutArcs(graph.NodeID(u)) {
+				w := alpha[a.Type]
+				if w == 0 {
+					continue
+				}
+				next[a.To] += d * w * float64(a.InvDeg) * ru
+			}
+		}
+		res.Iterations = it + 1
+		diff := 0.0
+		for v := range next {
+			diff += math.Abs(next[v] - cur[v])
+		}
+		cur, next = next, cur
+		if diff < opts.Threshold {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = cur
+	return res
+}
+
+// NormalizeDist scales a non-negative vector in place so it sums to 1.
+// A zero vector is left unchanged. Returns the same slice.
+func NormalizeDist(v []float64) []float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}
+
+// PageRank computes the global PageRank of the graph: the fixpoint with
+// a uniform random-jump distribution over all nodes. The paper uses
+// global ObjectRank values (equivalently, PageRank over the authority
+// transfer data graph) to warm-start the first query (Section 6.2).
+func PageRank(g *graph.Graph, rates *graph.Rates, opts Options) Result {
+	n := g.NumNodes()
+	base := make([]float64, n)
+	if n == 0 {
+		return Result{Scores: base, Converged: true}
+	}
+	u := 1 / float64(n)
+	for i := range base {
+		base[i] = u
+	}
+	return Run(g, rates, base, opts)
+}
+
+// ObjectRank computes the original [BHP04] ObjectRank for a base set
+// with the 0/1 jump distribution: every base-set node receives jump
+// probability 1/|S(Q)|.
+func ObjectRank(g *graph.Graph, rates *graph.Rates, baseSet []graph.NodeID, opts Options) Result {
+	n := g.NumNodes()
+	base := make([]float64, n)
+	if len(baseSet) > 0 {
+		u := 1 / float64(len(baseSet))
+		for _, v := range baseSet {
+			base[v] = u
+		}
+	}
+	return Run(g, rates, base, opts)
+}
+
+// ObjectRankMulti computes the modified multi-keyword ObjectRank of
+// Equation 16: per-keyword ObjectRank scores are combined as
+//
+//	r(v) = prod_i r_ti(v)^g(ti),  g(t) = 1/log(|S(t)|)
+//
+// so that popular keywords (large base sets, hence skewed scores) do
+// not dominate the conjunction. baseSets holds one 0/1 base set per
+// keyword. The returned Result's Iterations is the sum over keywords.
+func ObjectRankMulti(g *graph.Graph, rates *graph.Rates, baseSets [][]graph.NodeID, opts Options) Result {
+	n := g.NumNodes()
+	combined := make([]float64, n)
+	for i := range combined {
+		combined[i] = 1
+	}
+	total := Result{Scores: combined, Converged: true}
+	for _, bs := range baseSets {
+		r := ObjectRank(g, rates, bs, opts)
+		total.Iterations += r.Iterations
+		total.Converged = total.Converged && r.Converged
+		exp := normalizingExponent(len(bs))
+		for v := range combined {
+			combined[v] *= math.Pow(r.Scores[v], exp)
+		}
+	}
+	return total
+}
+
+// normalizingExponent returns g(t) = 1/log(|S(t)|), clamped to 1 for
+// base sets too small for the logarithm to exceed 1.
+func normalizingExponent(baseSize int) float64 {
+	if baseSize <= 0 {
+		return 1
+	}
+	l := math.Log(float64(baseSize))
+	if l <= 1 {
+		return 1
+	}
+	return 1 / l
+}
+
+// Ranked is one node with its authority score.
+type Ranked struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// TopK returns the k highest-scoring nodes in descending score order
+// (ties broken by ascending node ID, for determinism). Selection uses a
+// bounded min-heap, O(n log k), so top-10 screens stay cheap on
+// million-node graphs.
+func TopK(scores []float64, k int) []Ranked {
+	sel := newSelector(k)
+	if sel == nil {
+		return nil
+	}
+	for i, s := range scores {
+		sel.offer(Ranked{Node: graph.NodeID(i), Score: s})
+	}
+	return sel.sorted()
+}
+
+// TopKOfType returns the k highest-scoring nodes of one node type,
+// which the paper's survey screens use to present only Paper results.
+func TopKOfType(g *graph.Graph, scores []float64, t graph.TypeID, k int) []Ranked {
+	sel := newSelector(k)
+	if sel == nil {
+		return nil
+	}
+	for i, s := range scores {
+		if g.Label(graph.NodeID(i)) == t {
+			sel.offer(Ranked{Node: graph.NodeID(i), Score: s})
+		}
+	}
+	return sel.sorted()
+}
+
+// selector is a bounded min-heap keeping the k best Ranked entries
+// under the (score desc, node asc) order.
+type selector struct {
+	k    int
+	heap []Ranked // min-heap: heap[0] is the WORST kept entry
+}
+
+func newSelector(k int) *selector {
+	if k <= 0 {
+		return nil
+	}
+	return &selector{k: k, heap: make([]Ranked, 0, k)}
+}
+
+// worse reports whether a ranks below b in the final order.
+func worse(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+func (s *selector) offer(r Ranked) {
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, r)
+		s.up(len(s.heap) - 1)
+		return
+	}
+	if worse(r, s.heap[0]) || r == s.heap[0] {
+		return
+	}
+	s.heap[0] = r
+	s.down(0)
+}
+
+func (s *selector) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *selector) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && worse(s.heap[l], s.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && worse(s.heap[r], s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}
+
+// sorted drains the selector into descending final order.
+func (s *selector) sorted() []Ranked {
+	out := append([]Ranked(nil), s.heap...)
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}

@@ -1,0 +1,289 @@
+// Package server implements the HTTP JSON API of the deployed
+// ObjectRank2 demo (the paper's web system at
+// dbir.cis.fiu.edu/ObjectRankReformulation): querying, result
+// explanation, and feedback-driven reformulation with per-process
+// trained rates.
+//
+// Endpoints:
+//
+//	GET /query?q=olap&k=10
+//	GET /explain?q=olap&target=123
+//	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both
+//	GET /rates
+//	GET /healthz
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/storage"
+)
+
+// Server serves one dataset through one engine. Reformulation state
+// (the trained authority transfer rates) is process-wide, guarded by
+// mu, as in the deployed system.
+type Server struct {
+	mu  sync.Mutex
+	ds  *datagen.Dataset
+	eng *core.Engine
+}
+
+// New builds a Server over a dataset.
+func New(ds *datagen.Dataset, cfg core.Config) (*Server, error) {
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{ds: ds, eng: eng}, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/reformulate", s.handleReformulate)
+	mux.HandleFunc("/rates", s.handleRates)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// Result is one JSON-rendered ranked node.
+type Result struct {
+	Node    int64   `json:"node"`
+	Score   float64 `json:"score"`
+	Display string  `json:"display"`
+	Snippet string  `json:"snippet,omitempty"`
+	InBase  bool    `json:"inBase"`
+}
+
+// QueryResponse is the /query payload.
+type QueryResponse struct {
+	Query      string   `json:"query"`
+	BaseSet    int      `json:"baseSet"`
+	Iterations int      `json:"iterations"`
+	Results    []Result `json:"results"`
+}
+
+// ReformulateResponse is the /reformulate payload.
+type ReformulateResponse struct {
+	Query     string          `json:"query"`
+	Rates     string          `json:"rates"`
+	Expansion []ExpansionTerm `json:"expansion,omitempty"`
+	Results   []Result        `json:"results"`
+}
+
+// ExpansionTerm is one content-expansion term in a reformulation
+// response.
+type ExpansionTerm struct {
+	Term   string  `json:"term"`
+	Weight float64 `json:"weight"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Name:   s.ds.Name,
+		Nodes:  s.ds.Graph.NumNodes(),
+		Edges:  s.ds.Graph.NumEdges(),
+	})
+}
+
+func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rates := s.eng.Rates()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rates":  rates.String(),
+		"vector": rates.Vector(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, k, ok := parseQuery(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	res := s.eng.Rank(q)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Query:      q.String(),
+		BaseSet:    len(res.Base),
+		Iterations: res.Iterations,
+		Results:    s.results(res, k),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, _, ok := parseQuery(w, r)
+	if !ok {
+		return
+	}
+	target, err := strconv.Atoi(r.URL.Query().Get("target"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad or missing target")
+		return
+	}
+	s.mu.Lock()
+	res := s.eng.Rank(q)
+	sg, err := s.eng.Explain(res, graph.NodeID(target), core.DefaultExplain())
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = storage.ExportHTML(w, s.ds.Graph, sg)
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		_ = storage.ExportDOT(w, s.ds.Graph, sg)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_ = storage.ExportJSON(w, s.ds.Graph, sg)
+	}
+}
+
+func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
+	q, k, ok := parseQuery(w, r)
+	if !ok {
+		return
+	}
+	var opts core.ReformulateOptions
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "structure":
+		opts = core.StructureOnly()
+	case "content":
+		opts = core.ContentOnly()
+	case "both":
+		opts = core.ContentAndStructure()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode "+mode)
+		return
+	}
+	var ids []int
+	for _, part := range strings.Split(r.URL.Query().Get("feedback"), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad feedback id "+part)
+			return
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		writeError(w, http.StatusBadRequest, "feedback ids required")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.eng.Rank(q)
+	var subs []*core.Subgraph
+	for _, id := range ids {
+		sg, err := s.eng.Explain(res, graph.NodeID(id), core.DefaultExplain())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		subs = append(subs, sg)
+	}
+	ref, err := s.eng.Reformulate(q, subs, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.eng.SetRates(ref.Rates); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res2 := s.eng.RankFrom(ref.Query, res.Scores)
+	resp := ReformulateResponse{
+		Query:   ref.Query.String(),
+		Rates:   ref.Rates.String(),
+		Results: s.results(res2, k),
+	}
+	for _, wt := range ref.Expansion {
+		resp.Expansion = append(resp.Expansion, ExpansionTerm{Term: wt.Term, Weight: wt.Weight})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) results(res *core.RankResult, k int) []Result {
+	out := make([]Result, 0, k)
+	for _, r := range res.TopK(k) {
+		out = append(out, Result{
+			Node:    int64(r.Node),
+			Score:   r.Score,
+			Display: s.ds.Graph.Display(r.Node),
+			Snippet: ir.Snippet(s.ds.Graph.Text(r.Node), res.Query, 160),
+			InBase:  res.InBase(r.Node),
+		})
+	}
+	return out
+}
+
+func parseQuery(w http.ResponseWriter, r *http.Request) (*ir.Query, int, bool) {
+	raw := r.URL.Query().Get("q")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "q parameter required")
+		return nil, 0, false
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 || v > 1000 {
+			writeError(w, http.StatusBadRequest, "k must be in 1..1000")
+			return nil, 0, false
+		}
+		k = v
+	}
+	return ir.ParseQuery(raw), k, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// Engine exposes the underlying engine for tests and embedding.
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Dataset exposes the served dataset.
+func (s *Server) Dataset() *datagen.Dataset { return s.ds }
+
+// RankWith runs a query outside HTTP (used by embedding callers), with
+// the same locking discipline as the handlers.
+func (s *Server) RankWith(q *ir.Query) *core.RankResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Rank(q)
+}

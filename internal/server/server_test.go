@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+	"authorityflow/internal/storage"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := testServer(t)
+	var h HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if h.Status != "ok" || h.Nodes != s.Dataset().Graph.NumNodes() {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var q QueryResponse
+	if code := getJSON(t, ts.URL+"/query?q=olap&k=5", &q); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if q.BaseSet == 0 {
+		t.Error("empty base set for olap")
+	}
+	if len(q.Results) == 0 || len(q.Results) > 5 {
+		t.Errorf("results = %d", len(q.Results))
+	}
+	for i := 1; i < len(q.Results); i++ {
+		if q.Results[i].Score > q.Results[i-1].Score {
+			t.Error("results not sorted")
+		}
+	}
+	if q.Results[0].Display == "" {
+		t.Error("missing display string")
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	_, ts := testServer(t)
+	if code := getJSON(t, ts.URL+"/query", nil); code != 400 {
+		t.Errorf("missing q: status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/query?q=olap&k=0", nil); code != 400 {
+		t.Errorf("bad k: status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/query?q=olap&k=9999", nil); code != 400 {
+		t.Errorf("huge k: status = %d", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	// Find a real target first.
+	res := s.RankWith(ir.NewQuery("olap"))
+	top := res.TopK(1)
+	if len(top) == 0 || top[0].Score == 0 {
+		t.Skip("no olap results at this scale")
+	}
+	var sg storage.SubgraphJSON
+	url := fmt.Sprintf("%s/explain?q=olap&target=%d", ts.URL, top[0].Node)
+	if code := getJSON(t, url, &sg); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if sg.Target != int64(top[0].Node) {
+		t.Errorf("target = %d", sg.Target)
+	}
+	if len(sg.Nodes) == 0 {
+		t.Error("empty explaining subgraph")
+	}
+	// Errors.
+	if code := getJSON(t, ts.URL+"/explain?q=olap", nil); code != 400 {
+		t.Errorf("missing target: status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/explain?q=olap&target=99999999", nil); code != 400 {
+		t.Errorf("bad target: status = %d", code)
+	}
+}
+
+func TestReformulateEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	res := s.RankWith(ir.NewQuery("olap"))
+	top := res.TopK(2)
+	if len(top) < 2 || top[1].Score == 0 {
+		t.Skip("not enough olap results at this scale")
+	}
+	before := s.Engine().Rates().Vector()
+
+	var out ReformulateResponse
+	url := fmt.Sprintf("%s/reformulate?q=olap&feedback=%d,%d&mode=structure", ts.URL, top[0].Node, top[1].Node)
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Rates == "" || len(out.Results) == 0 {
+		t.Errorf("response = %+v", out)
+	}
+	if len(out.Expansion) != 0 {
+		t.Error("structure mode should not expand the query")
+	}
+	// The trained rates persist on the server.
+	after := s.Engine().Rates().Vector()
+	changed := false
+	for i := range before {
+		if before[i] != after[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("reformulation did not persist rates")
+	}
+	// /rates reflects them.
+	var rates struct {
+		Vector []float64 `json:"vector"`
+	}
+	if code := getJSON(t, ts.URL+"/rates", &rates); code != 200 {
+		t.Fatal("rates endpoint failed")
+	}
+	for i := range rates.Vector {
+		if rates.Vector[i] != after[i] {
+			t.Fatal("/rates disagrees with engine state")
+		}
+	}
+
+	// Content mode returns expansion terms.
+	url = fmt.Sprintf("%s/reformulate?q=olap&feedback=%d&mode=both", ts.URL, top[0].Node)
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("both mode status = %d", code)
+	}
+	if len(out.Expansion) == 0 {
+		t.Error("both mode should expand the query")
+	}
+}
+
+func TestReformulateEndpointErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/reformulate?q=olap", 400},                       // no feedback
+		{"/reformulate?q=olap&feedback=abc", 400},          // bad id
+		{"/reformulate?q=olap&feedback=1&mode=bogus", 400}, // bad mode
+		{"/reformulate?feedback=1", 400},                   // no query
+		{"/reformulate?q=olap&feedback=99999999", 400},     // out of range
+	}
+	for _, c := range cases {
+		if code := getJSON(t, ts.URL+c.url, nil); code != c.want {
+			t.Errorf("%s: status = %d, want %d", c.url, code, c.want)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	_, ts := testServer(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			q := []string{"olap", "xml", "mining", "search"}[i%4]
+			resp, err := http.Get(ts.URL + "/query?q=" + q)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	// Queries racing reformulations must stay serialized by the
+	// server's mutex; run with -race to catch violations.
+	s, ts := testServer(t)
+	res := s.RankWith(ir.NewQuery("olap"))
+	top := res.TopK(1)
+	if len(top) == 0 || top[0].Score == 0 {
+		t.Skip("no feedback target at this scale")
+	}
+	target := top[0].Node
+	done := make(chan error, 10)
+	for i := 0; i < 10; i++ {
+		go func(i int) {
+			var url string
+			if i%3 == 0 {
+				url = fmt.Sprintf("%s/reformulate?q=olap&feedback=%d", ts.URL, target)
+			} else {
+				url = ts.URL + "/query?q=olap"
+			}
+			resp, err := http.Get(url)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					err = fmt.Errorf("%s: status %d", url, resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 10; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExplainFormats(t *testing.T) {
+	s, ts := testServer(t)
+	res := s.RankWith(ir.NewQuery("olap"))
+	top := res.TopK(1)
+	if len(top) == 0 || top[0].Score == 0 {
+		t.Skip("no results at this scale")
+	}
+	base := fmt.Sprintf("%s/explain?q=olap&target=%d", ts.URL, top[0].Node)
+
+	resp, err := http.Get(base + "&format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/html") {
+		t.Errorf("html content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "<svg") {
+		t.Error("html format missing SVG")
+	}
+
+	resp, err = http.Get(base + "&format=dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if !strings.HasPrefix(body, "digraph") {
+		t.Error("dot format malformed")
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

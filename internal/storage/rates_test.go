@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/graph"
+)
+
+func TestRatesJSONRoundTrip(t *testing.T) {
+	d := datagen.NewDBLPSchema()
+	r := d.ExpertRates()
+	var buf bytes.Buffer
+	if err := SaveRates(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Paper-cites->Paper") {
+		t.Errorf("JSON lacks readable names:\n%s", buf.String())
+	}
+	got, err := LoadRates(&buf, d.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, wv := got.Vector(), r.Vector()
+	for i := range wv {
+		if gv[i] != wv[i] {
+			t.Fatalf("rate %d: %v vs %v", i, gv[i], wv[i])
+		}
+	}
+}
+
+func TestLoadRatesRejectsMismatch(t *testing.T) {
+	d := datagen.NewDBLPSchema()
+	bio := datagen.NewBioSchema()
+	var buf bytes.Buffer
+	if err := SaveRates(&buf, d.ExpertRates()); err != nil {
+		t.Fatal(err)
+	}
+	// DBLP rates against the bio schema: unknown names.
+	if _, err := LoadRates(bytes.NewReader(buf.Bytes()), bio.Schema); err == nil {
+		t.Error("cross-schema load should fail")
+	}
+	// Garbage.
+	if _, err := LoadRates(strings.NewReader("{"), d.Schema); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Over-unity rates are rejected by validation.
+	if _, err := LoadRates(strings.NewReader(`{"rates":{"Paper-cites->Paper":0.9,"Paper-by->Author":0.9}}`), d.Schema); err == nil {
+		t.Error("invalid outgoing sums should fail")
+	}
+	// Negative rates are rejected.
+	if _, err := LoadRates(strings.NewReader(`{"rates":{"Paper-cites->Paper":-1}}`), d.Schema); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestRatesFileRoundTrip(t *testing.T) {
+	d := datagen.NewDBLPSchema()
+	path := filepath.Join(t.TempDir(), "rates.json")
+	if err := SaveRatesFile(path, d.ExpertRates()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRatesFile(path, d.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate(graph.TransferType(d.Cites, graph.Forward)) != 0.7 {
+		t.Error("file round trip lost rates")
+	}
+	if _, err := LoadRatesFile(filepath.Join(t.TempDir(), "missing.json"), d.Schema); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRatesAbsentTypesDefaultZero(t *testing.T) {
+	d := datagen.NewDBLPSchema()
+	got, err := LoadRates(strings.NewReader(`{"rates":{"Paper-cites->Paper":0.5}}`), d.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate(graph.TransferType(d.By, graph.Forward)) != 0 {
+		t.Error("absent type should default to 0")
+	}
+	if got.Rate(graph.TransferType(d.Cites, graph.Forward)) != 0.5 {
+		t.Error("present type lost")
+	}
+}

@@ -1,0 +1,142 @@
+// Package storage persists datasets and exports explaining subgraphs.
+// Datasets (graph + rates) serialize to a versioned gob snapshot so the
+// synthetic corpora of the experiments can be generated once and
+// reloaded; explaining subgraphs export to JSON (for programmatic
+// consumers, mirroring the paper's deployed web demo) and Graphviz DOT
+// (for display to the user, the Section 4 motivation).
+package storage
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/graph"
+)
+
+// snapshotVersion guards against decoding snapshots from incompatible
+// releases.
+const snapshotVersion = 1
+
+// snapshot is the portable on-disk form of a dataset: the schema and
+// raw node/edge lists, from which the CSR graph is rebuilt on load.
+type snapshot struct {
+	Version   int
+	Name      string
+	NodeTypes []string
+	EdgeTypes []snapshotEdgeType
+	Rates     []float64
+	Labels    []int32
+	Attrs     [][]graph.Attr
+	Edges     []snapshotEdge
+}
+
+type snapshotEdgeType struct {
+	Role     string
+	From, To int32
+}
+
+type snapshotEdge struct {
+	From, To int32
+	Type     int32
+}
+
+// Save writes a dataset snapshot to w.
+func Save(w io.Writer, ds *datagen.Dataset) error {
+	g := ds.Graph
+	s := g.Schema()
+	snap := snapshot{
+		Version: snapshotVersion,
+		Name:    ds.Name,
+		Rates:   ds.Rates.Vector(),
+	}
+	for t := 0; t < s.NumNodeTypes(); t++ {
+		snap.NodeTypes = append(snap.NodeTypes, s.TypeName(graph.TypeID(t)))
+	}
+	for e := 0; e < s.NumEdgeTypes(); e++ {
+		et := s.EdgeTypeInfo(graph.EdgeTypeID(e))
+		snap.EdgeTypes = append(snap.EdgeTypes, snapshotEdgeType{Role: et.Role, From: int32(et.From), To: int32(et.To)})
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		snap.Labels = append(snap.Labels, int32(g.Label(graph.NodeID(v))))
+		snap.Attrs = append(snap.Attrs, g.Attrs(graph.NodeID(v)))
+	}
+	// Forward transfer arcs correspond one-to-one with data edges.
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, a := range g.OutArcs(graph.NodeID(v)) {
+			if a.Type.Dir() == graph.Forward {
+				snap.Edges = append(snap.Edges, snapshotEdge{
+					From: int32(v), To: int32(a.To), Type: int32(a.Type.EdgeType()),
+				})
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a dataset snapshot from r and rebuilds the graph.
+func Load(r io.Reader) (*datagen.Dataset, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("storage: decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("storage: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	s := graph.NewSchema()
+	for _, name := range snap.NodeTypes {
+		s.AddNodeType(name)
+	}
+	for _, et := range snap.EdgeTypes {
+		if _, err := s.AddEdgeType(et.Role, graph.TypeID(et.From), graph.TypeID(et.To)); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+	}
+	b := graph.NewBuilder(s)
+	for i, l := range snap.Labels {
+		b.AddNode(graph.TypeID(l), snap.Attrs[i]...)
+	}
+	for _, e := range snap.Edges {
+		b.AddEdge(graph.NodeID(e.From), graph.NodeID(e.To), graph.EdgeTypeID(e.Type))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("storage: rebuild: %w", err)
+	}
+	rates := graph.NewRates(s)
+	if err := rates.SetVector(snap.Rates); err != nil {
+		return nil, fmt.Errorf("storage: rates: %w", err)
+	}
+	return &datagen.Dataset{Name: snap.Name, Graph: g, Rates: rates}, nil
+}
+
+// SaveFile writes a dataset snapshot to path.
+func SaveFile(path string, ds *datagen.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := Save(w, ds); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset snapshot from path.
+func LoadFile(path string) (*datagen.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

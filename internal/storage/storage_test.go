@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+func testDataset(t testing.TB) *datagen.Dataset {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.01)
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if got.Graph.NumNodes() != ds.Graph.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", got.Graph.NumNodes(), ds.Graph.NumNodes())
+	}
+	if got.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatalf("edges = %d, want %d", got.Graph.NumEdges(), ds.Graph.NumEdges())
+	}
+	// Node content and arc structure survive.
+	for v := 0; v < ds.Graph.NumNodes(); v += 53 {
+		id := graph.NodeID(v)
+		if got.Graph.Text(id) != ds.Graph.Text(id) {
+			t.Fatalf("text mismatch at %d", v)
+		}
+		if got.Graph.LabelName(id) != ds.Graph.LabelName(id) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+		if len(got.Graph.OutArcs(id)) != len(ds.Graph.OutArcs(id)) {
+			t.Fatalf("arc count mismatch at %d", v)
+		}
+	}
+	// Rates survive.
+	gv, wv := got.Rates.Vector(), ds.Rates.Vector()
+	for i := range wv {
+		if gv[i] != wv[i] {
+			t.Fatalf("rate %d = %v, want %v", i, gv[i], wv[i])
+		}
+	}
+	// Rankings over the reloaded graph are identical.
+	opts := core.Config{Rank: rank.Options{Threshold: 1e-9, MaxIters: 300}}
+	e1, err := core.NewEngine(ds.Graph, ds.Rates, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.NewEngine(got.Graph, got.Rates, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ir.NewQuery("olap")
+	r1, r2 := e1.Rank(q), e2.Rank(q)
+	for i := range r1.Scores {
+		if r1.Scores[i] != r2.Scores[i] {
+			t.Fatalf("score mismatch at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := testDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumNodes() != ds.Graph.NumNodes() {
+		t.Error("file round trip lost nodes")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage input should error")
+	}
+}
+
+func explainSomething(t testing.TB) (*graph.Graph, *core.Subgraph) {
+	t.Helper()
+	ds := testDataset(t)
+	e, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{Rank: rank.Options{Threshold: 1e-7, MaxIters: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Rank(ir.NewQuery("olap"))
+	top := res.TopK(1)
+	if len(top) == 0 || top[0].Score == 0 {
+		t.Fatal("no results to explain")
+	}
+	sg, err := e.Explain(res, top[0].Node, core.DefaultExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Graph, sg
+}
+
+func TestExportJSON(t *testing.T) {
+	g, sg := explainSomething(t)
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, g, sg); err != nil {
+		t.Fatal(err)
+	}
+	var out SubgraphJSON
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Target != int64(sg.Target) {
+		t.Errorf("target = %d", out.Target)
+	}
+	if len(out.Nodes) != len(sg.Nodes) {
+		t.Errorf("nodes = %d, want %d", len(out.Nodes), len(sg.Nodes))
+	}
+	if len(out.Arcs) != len(sg.Arcs) {
+		t.Errorf("arcs = %d, want %d", len(out.Arcs), len(sg.Arcs))
+	}
+	// Arcs are sorted by descending flow for display.
+	for i := 1; i < len(out.Arcs); i++ {
+		if out.Arcs[i].Flow > out.Arcs[i-1].Flow {
+			t.Error("arcs not sorted by flow")
+			break
+		}
+	}
+	if out.Query == "" {
+		t.Error("query missing")
+	}
+}
+
+func TestExportDOT(t *testing.T) {
+	g, sg := explainSomething(t)
+	var buf bytes.Buffer
+	if err := ExportDOT(&buf, g, sg); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, "digraph explain {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("malformed DOT:\n%s", dot)
+	}
+	if !strings.Contains(dot, "peripheries=2") {
+		t.Error("target not highlighted")
+	}
+	if strings.Count(dot, "->") != len(sg.Arcs) {
+		t.Errorf("DOT arc count mismatch")
+	}
+}
+
+func TestExportHTML(t *testing.T) {
+	g, sg := explainSomething(t)
+	var buf bytes.Buffer
+	if err := ExportHTML(&buf, g, sg); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.HasPrefix(doc, "<!DOCTYPE html>") {
+		t.Error("not an HTML document")
+	}
+	if !strings.Contains(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+		t.Error("missing SVG")
+	}
+	// One <g class="node"...> per subgraph node; exactly one target box.
+	if got := strings.Count(doc, `class="node"`) + strings.Count(doc, `class="node target"`); got != len(sg.Nodes) {
+		t.Errorf("rendered %d node boxes, want %d", got, len(sg.Nodes))
+	}
+	if got := strings.Count(doc, `class="node target"`); got != 1 {
+		t.Errorf("rendered %d target boxes, want 1", got)
+	}
+	// One path per arc.
+	if got := strings.Count(doc, `class="arc"`); got != len(sg.Arcs) {
+		t.Errorf("rendered %d arcs, want %d", got, len(sg.Arcs))
+	}
+	// Attribute values are HTML-escaped: no raw angle brackets from
+	// transfer-type names like "Paper-cites->Paper".
+	if strings.Contains(doc, "cites->") {
+		t.Error("unescaped transfer-type name in HTML")
+	}
+}
