@@ -128,8 +128,16 @@ func DefaultBM25() BM25Params { return ir.DefaultBM25() }
 
 // Ranking engine (internal/core, internal/rank).
 type (
-	// Engine is the ObjectRank2 query processor.
+	// Engine is the ObjectRank2 query processor: an immutable Corpus
+	// plus an atomically versioned rates snapshot. All read paths are
+	// lock-free and safe under full concurrency with SetRates.
 	Engine = core.Engine
+	// Corpus is the immutable half of an engine — graph, index, options
+	// and buffer pool — shareable between several engines.
+	Corpus = core.Corpus
+	// Pinned is a consistent engine view at one rates snapshot, for
+	// multi-step flows (rank → explain → reformulate → publish).
+	Pinned = core.Pinned
 	// Config collects engine construction parameters.
 	Config = core.Config
 	// RankOptions control the power iteration (damping, threshold).
@@ -159,6 +167,18 @@ type (
 func NewEngine(g *Graph, rates *Rates, cfg Config) (*Engine, error) {
 	return core.NewEngine(g, rates, cfg)
 }
+
+// NewCorpus indexes g and freezes the immutable substrate of a query
+// processor; pair with NewEngineWith to share it across engines.
+func NewCorpus(g *Graph, cfg Config) *Corpus { return core.NewCorpus(g, cfg) }
+
+// NewEngineWith returns an engine over an existing (possibly shared)
+// corpus with the given initial rates.
+func NewEngineWith(c *Corpus, rates *Rates) (*Engine, error) { return core.NewEngineWith(c, rates) }
+
+// ErrRatesConflict is returned by Engine.TrySetRates when the rates
+// were replaced concurrently (optimistic-concurrency conflict).
+var ErrRatesConflict = core.ErrRatesConflict
 
 // DefaultRankOptions returns the paper's defaults: damping 0.85,
 // threshold 0.002, 200 iterations.

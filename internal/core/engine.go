@@ -7,40 +7,44 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"authorityflow/internal/graph"
 	"authorityflow/internal/ir"
 	"authorityflow/internal/rank"
 )
 
-// Engine ties a data graph, its inverted index, and an authority
-// transfer rate assignment into an ObjectRank2 query processor.
-//
-// Rates are mutable via SetRates because structure-based reformulation
-// replaces them between feedback iterations; everything else is frozen.
-// An Engine is safe for concurrent Rank/Explain calls as long as
-// SetRates is not called concurrently.
-type Engine struct {
-	g       *graph.Graph
-	ix      *ir.Index
-	rates   *graph.Rates
+// Corpus is the immutable half of a query processor: the frozen data
+// graph with its CSR adjacency, the inverted index over node text, the
+// rank options, the worker policy, and the shared score-buffer pool.
+// Everything in a Corpus is read-only after construction and therefore
+// safe for unbounded concurrent use; several Engines (e.g. per-tenant
+// rate assignments over one dataset) can share a single Corpus without
+// duplicating the graph or index.
+type Corpus struct {
+	g  *graph.Graph
+	ix *ir.Index
+	// opts keeps the caller's raw options (zero fields and sentinels
+	// intact — the kernel normalizes per run); nopts caches the
+	// normalized view for components that need literal values, such as
+	// the explain stage's damping factor.
 	opts    rank.Options
+	nopts   rank.Options
 	workers int
-
-	// global caches the PageRank vector used to warm-start initial
-	// queries (Section 6.2), computed on first use.
-	globalOnce sync.Once
-	global     []float64
+	pool    *rank.BufferPool
 }
 
-// Config collects Engine construction parameters.
+// Config collects construction parameters for a Corpus (and hence an
+// Engine).
 type Config struct {
 	// BM25 parameters for the node index; zero value means DefaultBM25.
 	BM25 ir.BM25Params
 	// Rank options (damping, threshold, max iterations); zero fields
-	// take the paper defaults (0.85, 0.002, 200).
+	// take the paper defaults (0.85, 0.002, 200) and the rank package's
+	// explicit-zero sentinels are honored.
 	Rank rank.Options
 	// Workers selects the power-iteration execution: 0 runs the serial
 	// kernel (bitwise-deterministic, right for small graphs), -1 uses
@@ -49,47 +53,164 @@ type Config struct {
 	Workers int
 }
 
-// NewEngine indexes the text of every node of g and returns an engine
-// using the given authority transfer rates. The rates are cloned; later
-// external mutation does not affect the engine.
-func NewEngine(g *graph.Graph, rates *graph.Rates, cfg Config) (*Engine, error) {
-	if g.Schema() != rates.Schema() {
-		return nil, fmt.Errorf("core: rates defined over a different schema than the graph")
-	}
-	if err := rates.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
+// NewCorpus indexes the text of every node of g and freezes the
+// immutable substrate of a query processor.
+func NewCorpus(g *graph.Graph, cfg Config) *Corpus {
 	if cfg.BM25 == (ir.BM25Params{}) {
 		cfg.BM25 = ir.DefaultBM25()
 	}
 	ix := ir.BuildIndex(g.NumNodes(), func(i int) string { return g.Text(graph.NodeID(i)) }, cfg.BM25)
-	return &Engine{g: g, ix: ix, rates: rates.Clone(), opts: cfg.Rank, workers: cfg.Workers}, nil
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = rank.AutoWorkers()
+	}
+	return &Corpus{
+		g:       g,
+		ix:      ix,
+		opts:    cfg.Rank,
+		nopts:   cfg.Rank.Normalized(),
+		workers: workers,
+		pool:    rank.NewBufferPool(),
+	}
 }
 
-// Graph returns the engine's data graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the corpus's data graph.
+func (c *Corpus) Graph() *graph.Graph { return c.g }
 
-// Index returns the engine's inverted index.
-func (e *Engine) Index() *ir.Index { return e.ix }
+// Index returns the corpus's inverted index.
+func (c *Corpus) Index() *ir.Index { return c.ix }
 
-// Rates returns a copy of the current authority transfer rates.
-func (e *Engine) Rates() *graph.Rates { return e.rates.Clone() }
+// Options returns the rank options in effect (as configured; zero
+// fields mean the paper defaults).
+func (c *Corpus) Options() rank.Options { return c.opts }
 
-// SetRates replaces the authority transfer rates (cloned). Used after a
-// structure-based reformulation.
-func (e *Engine) SetRates(r *graph.Rates) error {
-	if r.Schema() != e.g.Schema() {
+// ratesSnapshot is one immutable published state of the mutable half of
+// an Engine: a rate assignment, its flat vector (what the kernel
+// reads), and a monotonically increasing version. Snapshots are never
+// mutated after publication — reformulation builds a fresh snapshot and
+// publishes it with a compare-and-swap — so readers that loaded a
+// snapshot can keep using it lock-free for as long as they like.
+type ratesSnapshot struct {
+	rates   *graph.Rates
+	alpha   []float64
+	version uint64
+}
+
+// Engine ties an immutable Corpus to an atomically swapped rates
+// snapshot, forming an ObjectRank2 query processor.
+//
+// Concurrency model: Rank, Explain, Reformulate and every other read
+// path load the current snapshot once at entry and never look again,
+// so they are safe under full concurrency with SetRates/TrySetRates,
+// which publish a new snapshot via compare-and-swap. There are no
+// locks anywhere on the serving path. Use Pin to hold one snapshot
+// across a multi-step operation (rank → explain → reformulate) so all
+// steps see the same rates.
+type Engine struct {
+	corpus *Corpus
+	snap   atomic.Pointer[ratesSnapshot]
+
+	// global caches the PageRank vector used to warm-start initial
+	// queries (Section 6.2), computed on first use.
+	globalOnce sync.Once
+	global     []float64
+}
+
+// ErrRatesConflict is returned by TrySetRates when the engine's rates
+// were replaced concurrently: the caller's version token no longer
+// names the current snapshot. HTTP layers map it to 409 Conflict.
+var ErrRatesConflict = errors.New("core: rates were changed concurrently (version conflict)")
+
+// NewEngine indexes the text of every node of g and returns an engine
+// using the given authority transfer rates. The rates are cloned; later
+// external mutation does not affect the engine.
+func NewEngine(g *graph.Graph, rates *graph.Rates, cfg Config) (*Engine, error) {
+	return NewEngineWith(NewCorpus(g, cfg), rates)
+}
+
+// NewEngineWith returns an engine over an existing (possibly shared)
+// corpus with the given initial authority transfer rates (cloned).
+func NewEngineWith(c *Corpus, rates *graph.Rates) (*Engine, error) {
+	if err := validateRates(c.g, rates); err != nil {
+		return nil, err
+	}
+	e := &Engine{corpus: c}
+	clone := rates.Clone()
+	e.snap.Store(&ratesSnapshot{rates: clone, alpha: clone.Vector(), version: 1})
+	return e, nil
+}
+
+func validateRates(g *graph.Graph, r *graph.Rates) error {
+	if r.Schema() != g.Schema() {
 		return fmt.Errorf("core: rates defined over a different schema than the graph")
 	}
 	if err := r.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	e.rates = r.Clone()
 	return nil
 }
 
-// Options returns the rank options in effect.
-func (e *Engine) Options() rank.Options { return e.opts }
+// Corpus returns the engine's immutable substrate.
+func (e *Engine) Corpus() *Corpus { return e.corpus }
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *graph.Graph { return e.corpus.g }
+
+// Index returns the engine's inverted index.
+func (e *Engine) Index() *ir.Index { return e.corpus.ix }
+
+// Rates returns a copy of the current authority transfer rates.
+func (e *Engine) Rates() *graph.Rates { return e.snap.Load().rates.Clone() }
+
+// RatesVersion returns the version of the currently published rates
+// snapshot. Versions start at 1 and increase by one per successful
+// SetRates/TrySetRates; they are the optimistic-concurrency token of
+// the reformulation API.
+func (e *Engine) RatesVersion() uint64 { return e.snap.Load().version }
+
+// SetRates replaces the authority transfer rates (cloned) by publishing
+// a fresh snapshot, unconditionally (last writer wins). Used after a
+// structure-based reformulation. Safe under full concurrency with every
+// read path; in-flight operations keep the snapshot they started with.
+func (e *Engine) SetRates(r *graph.Rates) error {
+	if err := validateRates(e.corpus.g, r); err != nil {
+		return err
+	}
+	clone := r.Clone()
+	alpha := clone.Vector()
+	for {
+		old := e.snap.Load()
+		next := &ratesSnapshot{rates: clone, alpha: alpha, version: old.version + 1}
+		if e.snap.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// TrySetRates publishes new rates only if the current snapshot still
+// carries the given version — the optimistic-concurrency write of a
+// reformulation computed against that snapshot. On success it returns
+// the new version; if another writer got there first it returns the
+// winning snapshot's version alongside ErrRatesConflict, and the caller
+// should re-run its reformulation against fresh state (or surface 409).
+func (e *Engine) TrySetRates(r *graph.Rates, ifVersion uint64) (uint64, error) {
+	if err := validateRates(e.corpus.g, r); err != nil {
+		return e.RatesVersion(), err
+	}
+	clone := r.Clone()
+	old := e.snap.Load()
+	if old.version != ifVersion {
+		return old.version, ErrRatesConflict
+	}
+	next := &ratesSnapshot{rates: clone, alpha: clone.Vector(), version: old.version + 1}
+	if !e.snap.CompareAndSwap(old, next) {
+		return e.snap.Load().version, ErrRatesConflict
+	}
+	return next.version, nil
+}
+
+// Options returns the rank options in effect (as configured).
+func (e *Engine) Options() rank.Options { return e.corpus.opts }
 
 // BaseSet computes the weighted query base set S(Q): every node
 // containing at least one query keyword, scored by IRScore(v, Q)
@@ -97,7 +218,7 @@ func (e *Engine) Options() rank.Options { return e.opts }
 // random-jump probabilities. This is the defining difference between
 // ObjectRank2 and the original 0/1 ObjectRank.
 func (e *Engine) BaseSet(q *ir.Query) []ir.ScoredDoc {
-	base := e.ix.BaseSet(q)
+	base := e.corpus.ix.BaseSet(q)
 	sum := 0.0
 	for _, sd := range base {
 		sum += sd.Score
@@ -115,6 +236,9 @@ type RankResult struct {
 	// Query is the (possibly reformulated) query vector that was run.
 	Query *ir.Query
 	// Scores holds the converged ObjectRank2 score r^Q(v) per node.
+	// When the result is no longer needed, Engine.Release returns the
+	// vector to the engine's buffer pool; after that the result must
+	// not be read again.
 	Scores []float64
 	// Base is the normalized weighted base set used for random jumps.
 	Base []ir.ScoredDoc
@@ -122,6 +246,10 @@ type RankResult struct {
 	// iteration counts are the warm-start metric of Figures 14b–17b.
 	Iterations int
 	Converged  bool
+	// RatesVersion is the version of the rates snapshot the execution
+	// ran under — the optimistic-concurrency token to present when
+	// publishing a reformulation derived from this result.
+	RatesVersion uint64
 }
 
 // TopK returns the k best nodes by ObjectRank2 score.
@@ -142,67 +270,70 @@ func (r *RankResult) InBase(v graph.NodeID) bool {
 	return false
 }
 
+// Release returns a result's score vector to the engine's buffer pool,
+// closing the zero-allocation serving loop. The result's Scores must
+// not be touched afterwards (TopK included). Optional: results that are
+// never released are simply collected by the GC.
+func (e *Engine) Release(res *RankResult) {
+	if res == nil || res.Scores == nil {
+		return
+	}
+	e.corpus.pool.Put(res.Scores)
+	res.Scores = nil
+}
+
 // Rank executes ObjectRank2 (Equation 4) for q, warm-started from the
 // cached global PageRank as the paper does for initial queries.
 func (e *Engine) Rank(q *ir.Query) *RankResult {
-	return e.rankWith(q, e.globalScores())
+	return e.rankAt(e.snap.Load(), q, e.globalScores())
 }
 
 // RankFrom executes ObjectRank2 warm-started from a previous score
 // vector — the Section 6.2 optimization for reformulated queries, whose
-// scores are expected to be close to the previous iteration's.
+// scores are expected to be close to the previous iteration's. The init
+// vector is only read, never retained.
 func (e *Engine) RankFrom(q *ir.Query, init []float64) *RankResult {
-	return e.rankWith(q, init)
+	return e.rankAt(e.snap.Load(), q, init)
 }
 
 // RankCold executes ObjectRank2 with no warm start (the ablation
 // baseline).
 func (e *Engine) RankCold(q *ir.Query) *RankResult {
-	return e.rankWith(q, nil)
+	return e.rankAt(e.snap.Load(), q, nil)
 }
 
-func (e *Engine) rankWith(q *ir.Query, init []float64) *RankResult {
+func (e *Engine) rankAt(snap *ratesSnapshot, q *ir.Query, init []float64) *RankResult {
+	c := e.corpus
 	base := e.BaseSet(q)
-	jump := make([]float64, e.g.NumNodes())
+	jump := c.pool.GetZeroed(c.g.NumNodes())
 	if len(base) == 0 {
 		// No node contains any query keyword: the fixpoint is
 		// identically zero, so skip the iteration (a warm start would
 		// otherwise only decay toward zero).
-		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true}
+		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version}
 	}
 	for _, sd := range base {
 		jump[sd.Doc] = sd.Score
 	}
-	opts := e.opts
+	opts := c.opts
 	opts.Init = init
-	res := e.run(jump, opts)
+	res := rank.Iterate(c.g, snap.alpha, jump, opts, c.workers, c.pool)
+	c.pool.Put(jump)
 	return &RankResult{
-		Query:      q,
-		Scores:     res.Scores,
-		Base:       base,
-		Iterations: res.Iterations,
-		Converged:  res.Converged,
+		Query:        q,
+		Scores:       res.Scores,
+		Base:         base,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		RatesVersion: snap.version,
 	}
-}
-
-// run dispatches between the serial and parallel power-iteration
-// kernels per the engine's Workers setting.
-func (e *Engine) run(jump []float64, opts rank.Options) rank.Result {
-	if e.workers != 0 {
-		w := e.workers
-		if w < 0 {
-			w = 0 // RunParallel auto-sizes on <= 0
-		}
-		return rank.RunParallel(e.g, e.rates, jump, opts, w)
-	}
-	return rank.Run(e.g, e.rates, jump, opts)
 }
 
 // GlobalRank returns the query-independent PageRank over the authority
 // transfer data graph, computed once (under the rates in force at first
 // use) and cached. It is only ever used as a warm-start vector — the
 // fixpoint a query converges to does not depend on it — so it is
-// deliberately NOT invalidated by SetRates, matching the paper's
+// deliberately NOT invalidated by rate changes, matching the paper's
 // protocol of global-initializing only the initial user query.
 func (e *Engine) GlobalRank() []float64 {
 	s := e.globalScores()
@@ -213,7 +344,8 @@ func (e *Engine) GlobalRank() []float64 {
 
 func (e *Engine) globalScores() []float64 {
 	e.globalOnce.Do(func() {
-		e.global = rank.PageRank(e.g, e.rates, e.opts).Scores
+		snap := e.snap.Load()
+		e.global = rank.PageRank(e.corpus.g, snap.rates, e.corpus.opts).Scores
 	})
 	return e.global
 }
@@ -222,21 +354,23 @@ func (e *Engine) globalScores() []float64 {
 // Equation 16 (0/1 per-keyword base sets combined with normalizing
 // exponents) for comparison surveys such as Table 2.
 func (e *Engine) ObjectRankBaseline(q *ir.Query) *RankResult {
+	snap := e.snap.Load()
 	var baseSets [][]graph.NodeID
 	for _, t := range q.Terms() {
 		single := ir.NewQuery(t)
 		var bs []graph.NodeID
-		for _, sd := range e.ix.BaseSet(single) {
+		for _, sd := range e.corpus.ix.BaseSet(single) {
 			bs = append(bs, graph.NodeID(sd.Doc))
 		}
 		baseSets = append(baseSets, bs)
 	}
-	res := rank.ObjectRankMulti(e.g, e.rates, baseSets, e.opts)
+	res := rank.ObjectRankMulti(e.corpus.g, snap.rates, baseSets, e.corpus.opts)
 	return &RankResult{
-		Query:      q,
-		Scores:     res.Scores,
-		Iterations: res.Iterations,
-		Converged:  res.Converged,
+		Query:        q,
+		Scores:       res.Scores,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		RatesVersion: snap.version,
 	}
 }
 
@@ -251,14 +385,14 @@ func (e *Engine) HITSBaseline(q *ir.Query, radius int) *RankResult {
 	if len(base) == 0 {
 		// An empty base set focuses on nothing; HITS's nil-subset
 		// convention (whole graph) must not kick in.
-		return &RankResult{Query: q, Scores: make([]float64, e.g.NumNodes()), Base: base, Converged: true}
+		return &RankResult{Query: q, Scores: make([]float64, e.corpus.g.NumNodes()), Base: base, Converged: true}
 	}
 	nodes := make([]graph.NodeID, len(base))
 	for i, sd := range base {
 		nodes[i] = graph.NodeID(sd.Doc)
 	}
-	focused := rank.FocusedSubgraph(e.g, nodes, radius)
-	res := rank.HITS(e.g, focused, e.opts.Threshold, e.opts.MaxIters)
+	focused := rank.FocusedSubgraph(e.corpus.g, nodes, radius)
+	res := rank.HITS(e.corpus.g, focused, e.corpus.nopts.Threshold, e.corpus.nopts.MaxIters)
 	return &RankResult{
 		Query:      q,
 		Scores:     res.Authorities,
@@ -266,4 +400,63 @@ func (e *Engine) HITSBaseline(q *ir.Query, radius int) *RankResult {
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
 	}
+}
+
+// Pinned is a consistent read-only view of the engine at one rates
+// snapshot. Every operation on a Pinned view — ranking, explaining,
+// reformulating — uses the rates captured at Pin time, regardless of
+// concurrent SetRates calls, so multi-step flows (rank → explain →
+// reformulate → publish) compose without locks: compute against the
+// pin, then publish with TrySetRates(rates, pin.Version()) and retry on
+// conflict.
+type Pinned struct {
+	e    *Engine
+	snap *ratesSnapshot
+}
+
+// Pin captures the current rates snapshot.
+func (e *Engine) Pin() *Pinned { return &Pinned{e: e, snap: e.snap.Load()} }
+
+// Version returns the pinned snapshot's version token.
+func (p *Pinned) Version() uint64 { return p.snap.version }
+
+// Rates returns a copy of the pinned rates.
+func (p *Pinned) Rates() *graph.Rates { return p.snap.rates.Clone() }
+
+// Engine returns the engine the view was pinned from.
+func (p *Pinned) Engine() *Engine { return p.e }
+
+// Rank executes ObjectRank2 under the pinned rates, warm-started from
+// the cached global PageRank.
+func (p *Pinned) Rank(q *ir.Query) *RankResult {
+	return p.e.rankAt(p.snap, q, p.e.globalScores())
+}
+
+// RankFrom executes ObjectRank2 under the pinned rates, warm-started
+// from a previous score vector.
+func (p *Pinned) RankFrom(q *ir.Query, init []float64) *RankResult {
+	return p.e.rankAt(p.snap, q, init)
+}
+
+// RankCold executes ObjectRank2 under the pinned rates with no warm
+// start.
+func (p *Pinned) RankCold(q *ir.Query) *RankResult {
+	return p.e.rankAt(p.snap, q, nil)
+}
+
+// Explain builds the explaining subgraph for target under the pinned
+// rates.
+func (p *Pinned) Explain(res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	return p.e.explainAt(p.snap, res, target, opts)
+}
+
+// Reformulate produces a reformulated query under the pinned rates.
+func (p *Pinned) Reformulate(q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
+	return p.e.reformulateAt(p.snap, q, feedback, nil, opts)
+}
+
+// ReformulateWeighted is Reformulate with per-feedback-object
+// confidence weights, under the pinned rates.
+func (p *Pinned) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+	return p.e.reformulateAt(p.snap, q, feedback, confidences, opts)
 }

@@ -132,12 +132,20 @@ func (sg *Subgraph) NodeAuthority(v graph.NodeID) float64 {
 // by which its incoming flows are scaled to discount authority that
 // leaks out of the subgraph.
 func (e *Engine) Explain(res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	if int(target) < 0 || int(target) >= e.g.NumNodes() {
+	return e.explainAt(e.snap.Load(), res, target, opts)
+}
+
+// explainAt is Explain against one pinned rates snapshot, so a
+// Pinned view's explain stage cannot observe rates published after the
+// view was taken. The engine's own Explain simply pins the current
+// snapshot at entry.
+func (e *Engine) explainAt(snap *ratesSnapshot, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	g := e.corpus.g
+	if int(target) < 0 || int(target) >= g.NumNodes() {
 		return nil, fmt.Errorf("core: explain target %d out of range", target)
 	}
 	opts = opts.withDefaults()
-	alpha := e.rates.Vector()
-	g := e.g
+	alpha := snap.alpha
 	buildStart := time.Now()
 
 	// Stage (i)a: backward breadth-first search from the target over
@@ -200,7 +208,7 @@ func (e *Engine) Explain(res *RankResult, target graph.NodeID, opts ExplainOptio
 		Query:   res.Query,
 		H:       make(map[graph.NodeID]float64, len(inG)),
 		Dist:    make(map[graph.NodeID]int, len(inG)),
-		damping: e.dampingValue(),
+		damping: e.corpus.nopts.Damping,
 		inFlow:  make(map[graph.NodeID]float64, len(inG)),
 		outFlow: make(map[graph.NodeID]float64, len(inG)),
 	}
@@ -248,13 +256,6 @@ func (e *Engine) Explain(res *RankResult, target graph.NodeID, opts ExplainOptio
 	sg.AdjustDuration = time.Since(adjustStart)
 	sg.inFlow[target] += 0 // ensure the target has an entry even with no arcs
 	return sg, nil
-}
-
-func (e *Engine) dampingValue() float64 {
-	if e.opts.Damping != 0 {
-		return e.opts.Damping
-	}
-	return 0.85
 }
 
 // runAdjustment iterates Equation 10 to convergence:

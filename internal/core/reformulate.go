@@ -82,7 +82,7 @@ type Reformulation struct {
 // Multiple feedback objects combine by summation (5.3, Equations
 // 14–15).
 func (e *Engine) Reformulate(q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return e.ReformulateWeighted(q, feedback, nil, opts)
+	return e.reformulateAt(e.snap.Load(), q, feedback, nil, opts)
 }
 
 // ReformulateWeighted is Reformulate with a per-feedback-object
@@ -94,6 +94,18 @@ func (e *Engine) Reformulate(q *ir.Query, feedback []*Subgraph, opts Reformulate
 // Section 5.3); the weight count must otherwise match the feedback
 // count and weights must be non-negative.
 func (e *Engine) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+	return e.reformulateAt(e.snap.Load(), q, feedback, confidences, opts)
+}
+
+// reformulateAt is ReformulateWeighted against one pinned rates
+// snapshot: the cloned-and-adjusted Rates in the result derive from the
+// snapshot's rates, not from whatever SetRates may have published since
+// the caller started its feedback round. Combined with
+// TrySetRates(result.Rates, snapshotVersion) this gives callers an
+// optimistic-concurrency loop: the adjustment is computed off a stable
+// basis and publication fails (rather than silently clobbering) when
+// another writer got there first.
+func (e *Engine) reformulateAt(snap *ratesSnapshot, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
 	if len(feedback) == 0 {
 		return nil, fmt.Errorf("core: reformulation requires at least one feedback object")
 	}
@@ -112,28 +124,29 @@ func (e *Engine) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confiden
 		return confidences[i]
 	}
 	opts = opts.withDefaults()
-	out := &Reformulation{Query: q.Clone(), Rates: e.rates.Clone()}
+	g := e.corpus.g
+	out := &Reformulation{Query: q.Clone(), Rates: snap.rates.Clone()}
 
 	if opts.Ce > 0 {
 		weights := make(map[string]float64)
 		for i, sg := range feedback {
 			per := make(map[string]float64)
-			contentWeights(e.g, sg, opts.Cd, per) // Equation 14: weighted sum across objects
+			contentWeights(g, sg, opts.Cd, per) // Equation 14: weighted sum across objects
 			for t, w := range per {
 				weights[t] += weightOf(i) * w
 			}
 		}
-		out.Expansion = e.expandQuery(out.Query, weights, opts)
+		out.Expansion = expandQuery(out.Query, weights, opts)
 	}
 	if opts.Cf > 0 {
-		flows := make([]float64, e.g.Schema().NumTransferTypes())
+		flows := make([]float64, g.Schema().NumTransferTypes())
 		for i, sg := range feedback {
 			for _, a := range sg.Arcs { // Equation 15: weighted sum across objects
 				flows[a.Type] += weightOf(i) * a.Flow
 			}
 		}
 		out.FlowByType = append([]float64(nil), flows...)
-		out.Rates = adjustRates(e.rates, flows, opts.Cf)
+		out.Rates = adjustRates(snap.rates, flows, opts.Cf)
 	}
 	return out, nil
 }
@@ -171,7 +184,7 @@ func contentWeights(g *graph.Graph, sg *Subgraph, cd float64, acc map[string]flo
 // candidate terms, normalizes their weights so the maximum equals the
 // current query's average term weight a_q (Section 5.1 normalization),
 // and adds C_e times each normalized weight to the query vector.
-func (e *Engine) expandQuery(q *ir.Query, weights map[string]float64, opts ReformulateOptions) []WeightedTerm {
+func expandQuery(q *ir.Query, weights map[string]float64, opts ReformulateOptions) []WeightedTerm {
 	candidates := make([]WeightedTerm, 0, len(weights))
 	for t, w := range weights {
 		if w > 0 {

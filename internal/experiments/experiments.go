@@ -41,6 +41,12 @@ type Config struct {
 	// CSVDir, when non-empty, makes each experiment also write its data
 	// as <experiment>.csv into the directory (for plotting).
 	CSVDir string
+	// Workers selects the power-iteration execution for every engine the
+	// experiments build: 0 = serial (bitwise-deterministic, the default
+	// so published numbers reproduce exactly), -1 = all cores, >0 pins
+	// the worker count. Parallel runs match serial results up to
+	// floating-point summation order.
+	Workers int
 }
 
 // withDefaults fills zero fields; defaultScale differs per experiment
@@ -67,7 +73,10 @@ const (
 )
 
 func (c Config) engineConfig() core.Config {
-	return core.Config{Rank: rank.Options{Damping: 0.85, Threshold: c.Threshold, MaxIters: 500}}
+	return core.Config{
+		Rank:    rank.Options{Damping: 0.85, Threshold: c.Threshold, MaxIters: 500},
+		Workers: c.Workers,
+	}
 }
 
 func (c Config) printf(format string, args ...any) {

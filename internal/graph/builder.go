@@ -138,6 +138,18 @@ func (b *Builder) Build() (*Graph, error) {
 	// (u -> a.To) maps to exactly one reverse-CSR entry at a.To, with
 	// the same type and InvDeg, so the finished forward CSR fills the
 	// reverse CSR in one linear pass.
+	//
+	// Ordering invariant: each node's reverse run is sorted by (source,
+	// type) — the exact order in which a source-major scatter sweep
+	// (ascending source, out-arcs sorted by type) would deposit
+	// contributions onto the node. The rank kernel's gather formulation
+	// relies on this to accumulate floating-point sums in the same order
+	// as the scatter formulation, making serial results bit-identical
+	// across the two. The linear fill below already visits sources in
+	// ascending order and each source's out-arcs in (type, to) order, so
+	// the runs come out sorted without an extra pass; the sort is kept
+	// as a guard against future fill-order changes (it is O(arcs) on
+	// already-sorted input for the library's pdqsort).
 	inCur := make([]int32, n)
 	copy(inCur, g.rarcStart[:n])
 	for u := 0; u < n; u++ {
@@ -149,10 +161,10 @@ func (b *Builder) Build() (*Graph, error) {
 	for v := 0; v < n; v++ {
 		run := g.rarcs[g.rarcStart[v]:g.rarcStart[v+1]]
 		sort.Slice(run, func(i, j int) bool {
-			if run[i].Type != run[j].Type {
-				return run[i].Type < run[j].Type
+			if run[i].To != run[j].To {
+				return run[i].To < run[j].To
 			}
-			return run[i].To < run[j].To
+			return run[i].Type < run[j].Type
 		})
 	}
 

@@ -136,6 +136,30 @@ func (g *Graph) InArcs(v NodeID) []Arc {
 	return g.rarcs[g.rarcStart[v]:g.rarcStart[v+1]]
 }
 
+// ForwardCSR exposes the frozen forward adjacency as flat CSR arrays:
+// start offsets (length NumNodes+1) and the packed arc array. Arcs
+// leaving node v occupy arcs[start[v]:start[v+1]], sorted by (type,
+// target). Both slices alias internal storage and must be treated as
+// read-only; they are safe for unsynchronized concurrent reads.
+func (g *Graph) ForwardCSR() (start []int32, arcs []Arc) {
+	return g.arcStart, g.arcs
+}
+
+// ReverseCSR exposes the frozen reverse adjacency as flat CSR arrays:
+// start offsets (length NumNodes+1) and the packed {source, type,
+// inverse out-degree} arc array. Arcs entering node v occupy
+// arcs[start[v]:start[v+1]] with To holding the SOURCE node, sorted by
+// (source, type) — the same order in which a source-major scatter sweep
+// deposits contributions onto v, which is what lets the rank kernel's
+// gather loop reproduce scatter results bit-for-bit. Both slices alias
+// internal storage and must be treated as read-only; they are safe for
+// unsynchronized concurrent reads. This is the hot-loop interface of
+// the power-iteration kernel: index arithmetic over contiguous memory,
+// no per-node slice headers.
+func (g *Graph) ReverseCSR() (start []int32, arcs []Arc) {
+	return g.rarcStart, g.rarcs
+}
+
 // OutDeg returns OutDeg(v, t): the number of transfer arcs of type t
 // leaving v (Equation 1's denominator).
 func (g *Graph) OutDeg(v NodeID, t TransferTypeID) int {

@@ -65,15 +65,18 @@ type BuildOptions struct {
 	Workers int
 }
 
-// Build runs one single-term ObjectRank2 fixpoint per given term under
-// the engine's current rates and stores the results. Terms with empty
-// base sets are skipped. The engine must not have its rates changed
-// while Build runs.
+// Build runs one single-term ObjectRank2 fixpoint per given term and
+// stores the results. The whole build is pinned to ONE rates snapshot
+// taken at entry, so every per-term vector — and the recorded rate
+// vector the store validates against — reflects a single consistent
+// rate assignment even if SetRates lands mid-build. Terms with empty
+// base sets are skipped.
 func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
+	pin := eng.Pin()
 	st := &Store{
 		topK:  opts.TopK,
 		n:     eng.Graph().NumNodes(),
-		rates: eng.Rates().Vector(),
+		rates: pin.Rates().Vector(),
 		terms: make(map[string]termData, len(terms)),
 	}
 	// Force the shared warm-start cache before fanning out.
@@ -82,7 +85,7 @@ func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 	workers := opts.Workers
 	if workers <= 1 {
 		for _, t := range terms {
-			if td, ok := buildTerm(eng, t, opts.TopK); ok {
+			if td, ok := buildTerm(pin, t, opts.TopK); ok {
 				st.terms[t] = td
 			}
 		}
@@ -97,7 +100,7 @@ func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 		go func() {
 			defer wg.Done()
 			for t := range ch {
-				if td, ok := buildTerm(eng, t, opts.TopK); ok {
+				if td, ok := buildTerm(pin, t, opts.TopK); ok {
 					mu.Lock()
 					st.terms[t] = td
 					mu.Unlock()
@@ -113,7 +116,8 @@ func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 	return st
 }
 
-func buildTerm(eng *core.Engine, term string, topK int) (termData, bool) {
+func buildTerm(pin *core.Pinned, term string, topK int) (termData, bool) {
+	eng := pin.Engine()
 	q := ir.NewQuery(term)
 	// Base mass BEFORE normalization: recomputed from the index so the
 	// combination coefficients are exact.
@@ -124,13 +128,14 @@ func buildTerm(eng *core.Engine, term string, topK int) (termData, bool) {
 	if z == 0 {
 		return termData{}, false
 	}
-	res := eng.Rank(q)
+	res := pin.Rank(q)
 	entries := make([]Entry, 0, len(res.Scores))
 	for v, s := range res.Scores {
 		if s > 0 {
 			entries = append(entries, Entry{Node: int32(v), Score: s})
 		}
 	}
+	eng.Release(res)
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Score != entries[j].Score {
 			return entries[i].Score > entries[j].Score

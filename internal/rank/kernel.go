@@ -1,0 +1,219 @@
+package rank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"authorityflow/internal/graph"
+)
+
+// BufferPool recycles score vectors across power-iteration runs so
+// steady-state serving allocates (almost) nothing per query. It wraps a
+// sync.Pool and is safe for concurrent use; the zero value is NOT
+// usable — construct with NewBufferPool. All kernel entry points accept
+// a nil pool, in which case buffers are plainly allocated and the
+// garbage collector reclaims them as before.
+//
+// Buffers handed out by Get carry arbitrary stale contents; every
+// kernel path fully overwrites them before reading.
+type BufferPool struct {
+	pool sync.Pool
+}
+
+// NewBufferPool returns an empty buffer pool.
+func NewBufferPool() *BufferPool {
+	return &BufferPool{pool: sync.Pool{New: func() any { return ([]float64)(nil) }}}
+}
+
+// Get returns a slice of length n, recycled when possible. Contents are
+// undefined. Safe on a nil pool (plain allocation).
+func (p *BufferPool) Get(n int) []float64 {
+	if p == nil {
+		return make([]float64, n)
+	}
+	buf := p.pool.Get().([]float64)
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// GetZeroed returns a zero-filled slice of length n.
+func (p *BufferPool) GetZeroed(n int) []float64 {
+	buf := p.Get(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Put returns a buffer for reuse. The caller must not touch buf
+// afterwards. Safe on a nil pool (no-op).
+func (p *BufferPool) Put(buf []float64) {
+	if p == nil || buf == nil {
+		return
+	}
+	p.pool.Put(buf) //nolint:staticcheck // slice headers are small; the backing array is what we recycle
+}
+
+// ReleaseTo hands the result's score vector back to a buffer pool and
+// clears it, closing the zero-allocation loop of pooled serving: run →
+// read scores → release. The caller must not retain r.Scores across the
+// call. Safe on a nil pool (no-op, scores kept).
+func (r *Result) ReleaseTo(p *BufferPool) {
+	if p == nil || r.Scores == nil {
+		return
+	}
+	p.Put(r.Scores)
+	r.Scores = nil
+}
+
+// AutoWorkers returns the worker count used by "use all cores"
+// requests: GOMAXPROCS at call time.
+func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Iterate is the unified power-iteration kernel every ranking mode in
+// this package reduces to. It executes the damped fixpoint
+//
+//	r = d·A·r + (1−d)·base
+//
+// over the authority transfer data graph of g, where A's entries are
+// the Equation 1 arc weights alpha[type]·InvDeg (alpha is indexed by
+// TransferTypeID, as produced by Rates.Vector). The iteration uses the
+// gather formulation over the graph's reverse CSR —
+//
+//	next[v] = (1−d)·base[v] + d · Σ over in-arcs (u→v) of alpha[t]·InvDeg(u,t)·cur[u]
+//
+// — so parallel workers own disjoint slices of next and never contend.
+// Because the reverse CSR is ordered by (source, type), the serial
+// gather accumulates each node's sum in exactly the order the legacy
+// scatter loop did, making workers<=1 results bit-identical to the
+// historical Run implementation.
+//
+// workers <= 1 selects the serial, bitwise-deterministic path; larger
+// values fan the node range out over that many goroutines (results then
+// match serial up to floating-point summation order). pool, when
+// non-nil, supplies the score buffers; the returned Result.Scores comes
+// from the pool and can be recycled with Result.ReleaseTo.
+//
+// Iterate panics on malformed inputs — a base or Init vector whose
+// length differs from g.NumNodes(), or an alpha vector that does not
+// cover the schema's transfer types — because silently truncating or
+// ignoring them (as earlier versions did with stale Init vectors after
+// a graph rebuild) turns caller bugs into quietly wrong rankings.
+func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, workers int, pool *BufferPool) Result {
+	opts = opts.Normalized()
+	n := g.NumNodes()
+	if len(base) != n {
+		panic(fmt.Sprintf("rank: base distribution has %d entries for a %d-node graph", len(base), n))
+	}
+	if opts.Init != nil && len(opts.Init) != n {
+		panic(fmt.Sprintf("rank: Init vector has %d entries for a %d-node graph (stale warm start from a rebuilt graph?)", len(opts.Init), n))
+	}
+	if len(alpha) < g.Schema().NumTransferTypes() {
+		panic(fmt.Sprintf("rank: alpha vector has %d entries, schema has %d transfer types", len(alpha), g.Schema().NumTransferTypes()))
+	}
+
+	cur := pool.Get(n)
+	if opts.Init != nil {
+		copy(cur, opts.Init)
+	} else {
+		copy(cur, base)
+	}
+	next := pool.Get(n)
+
+	start, arcs := g.ReverseCSR()
+	d := opts.Damping
+
+	if workers > n {
+		workers = n
+	}
+	res := Result{}
+	if workers <= 1 {
+		for it := 0; it < opts.MaxIters; it++ {
+			diff := sweep(start, arcs, alpha, d, base, cur, next, 0, n)
+			res.Iterations = it + 1
+			cur, next = next, cur
+			if diff < opts.Threshold {
+				res.Converged = true
+				break
+			}
+		}
+		res.Scores = cur
+		pool.Put(next)
+		return res
+	}
+
+	// Parallel: static disjoint node ranges per worker, one barrier per
+	// iteration. Workers write only their own slice of next and their
+	// own diffs entry, and read cur/base/CSR, all frozen within an
+	// iteration — no locks needed.
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = w * n / workers
+	}
+	diffs := make([]float64, workers)
+	var wg sync.WaitGroup
+	for it := 0; it < opts.MaxIters; it++ {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				diffs[w] = sweep(start, arcs, alpha, d, base, cur, next, bounds[w], bounds[w+1])
+			}(w)
+		}
+		wg.Wait()
+		res.Iterations = it + 1
+		total := 0.0
+		for _, x := range diffs {
+			total += x
+		}
+		cur, next = next, cur
+		if total < opts.Threshold {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = cur
+	pool.Put(next)
+	return res
+}
+
+// sweep is THE power-iteration inner loop — the only one in the
+// package. It performs one damped gather pass over the node range
+// [lo, hi): for each node it accumulates (1−d)·base[v] plus the damped
+// in-flow read off the reverse CSR, writes next[v], and folds the L1
+// delta against cur[v] into the returned partial. Index arithmetic over
+// the two flat CSR arrays is the whole body; there are no slice-header
+// loads or map lookups on the hot path.
+//
+// Bitwise determinism contract: for a full-range call the sequence of
+// floating-point additions per node — (1−d)·base[v] first, then
+// d·alpha[t]·InvDeg·cur[u] terms in (source, type) order — and the
+// ascending-v L1 accumulation reproduce the legacy scatter loop's
+// operation order exactly, so scores AND the convergence decision are
+// bit-identical to it. Terms whose rate is zero are skipped; they would
+// contribute an exact +0.0, which cannot change any partial sum.
+func sweep(start []int32, arcs []graph.Arc, alpha []float64, d float64, base, cur, next []float64, lo, hi int) float64 {
+	diff := 0.0
+	oneMinusD := 1 - d
+	for v := lo; v < hi; v++ {
+		sum := oneMinusD * base[v]
+		for k := start[v]; k < start[v+1]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			sum += d * w * float64(a.InvDeg) * cur[a.To]
+		}
+		next[v] = sum
+		delta := sum - cur[v]
+		if delta < 0 {
+			delta = -delta
+		}
+		diff += delta
+	}
+	return diff
+}

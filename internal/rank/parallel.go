@@ -1,87 +1,21 @@
 package rank
 
 import (
-	"math"
-	"runtime"
-	"sync"
-
 	"authorityflow/internal/graph"
 )
 
-// RunParallel executes the same damped fixpoint as Run using all
-// available cores. It uses the gather formulation over the reverse CSR —
-//
-//	next[v] = (1−d)·base[v] + d · sum over in-arcs (u→v) of w(u→v)·cur[u]
-//
-// — so workers own disjoint slices of next and never contend. Results
-// match Run up to floating-point summation order. Intended for the
-// paper-scale corpora (DBLPcomplete, DS7), where the per-iteration edge
-// scan dominates; on small graphs the goroutine fan-out costs more than
-// it saves, so Run remains the default.
+// RunParallel executes the same damped fixpoint as Run using multiple
+// cores: it is the parallel entry of the unified kernel (Iterate with
+// workers > 1). Workers own disjoint slices of the score vector and
+// never contend; results match Run up to floating-point summation
+// order. Intended for the paper-scale corpora (DBLPcomplete, DS7),
+// where the per-iteration edge scan dominates; on small graphs the
+// goroutine fan-out costs more than it saves, so Run remains the
+// default. workers <= 0 uses all cores (AutoWorkers); workers == 1
+// degenerates to the serial, bitwise-deterministic path.
 func RunParallel(g *graph.Graph, rates *graph.Rates, base []float64, opts Options, workers int) Result {
-	opts = opts.withDefaults()
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = AutoWorkers()
 	}
-	n := g.NumNodes()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n == 0 {
-		return Run(g, rates, base, opts)
-	}
-
-	cur := make([]float64, n)
-	if opts.Init != nil && len(opts.Init) == n {
-		copy(cur, opts.Init)
-	} else {
-		copy(cur, base)
-	}
-	next := make([]float64, n)
-	alpha := rates.Vector()
-	d := opts.Damping
-
-	// Static node ranges per worker.
-	bounds := make([]int, workers+1)
-	for w := 0; w <= workers; w++ {
-		bounds[w] = w * n / workers
-	}
-	diffs := make([]float64, workers)
-
-	var wg sync.WaitGroup
-	res := Result{}
-	for it := 0; it < opts.MaxIters; it++ {
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func(w int) {
-				defer wg.Done()
-				lo, hi := bounds[w], bounds[w+1]
-				diff := 0.0
-				for v := lo; v < hi; v++ {
-					sum := (1 - d) * base[v]
-					for _, a := range g.InArcs(graph.NodeID(v)) {
-						if rw := alpha[a.Type]; rw != 0 {
-							sum += d * rw * float64(a.InvDeg) * cur[a.To]
-						}
-					}
-					next[v] = sum
-					diff += math.Abs(sum - cur[v])
-				}
-				diffs[w] = diff
-			}(w)
-		}
-		wg.Wait()
-		res.Iterations = it + 1
-		total := 0.0
-		for _, x := range diffs {
-			total += x
-		}
-		cur, next = next, cur
-		if total < opts.Threshold {
-			res.Converged = true
-			break
-		}
-	}
-	res.Scores = cur
-	return res
+	return Iterate(g, rates.Vector(), base, opts, workers, nil)
 }

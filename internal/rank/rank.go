@@ -14,20 +14,55 @@ import (
 )
 
 // Options control a power-iteration run.
+//
+// Zero-value semantics: a zero Damping, Threshold or MaxIters means
+// "use the paper default" (0.85, 0.002, 200), applied by Normalized()
+// at every kernel entry. To request an ACTUAL zero — damping 0 (scores
+// equal the base distribution), threshold 0 (never stop early), or
+// zero iterations (scores equal the start vector) — use the explicit
+// sentinels ZeroDamping, ZeroThreshold and ZeroIters. Earlier versions
+// silently conflated "unset" with "zero", which made Damping: 0
+// impossible to express; the sentinels close that gap without breaking
+// the zero value's use-the-defaults convenience.
 type Options struct {
 	// Damping is the probability d of following an edge rather than
-	// jumping back to the base set. The paper uses 0.85.
+	// jumping back to the base set. The paper uses 0.85. Zero means the
+	// default; ZeroDamping (any negative value) means an actual 0.
 	Damping float64
 	// Threshold is the L1 convergence threshold on successive score
-	// vectors. The paper's performance experiments use 0.002.
+	// vectors. The paper's performance experiments use 0.002. Zero
+	// means the default; ZeroThreshold (any negative value) disables
+	// early stopping so the run always executes MaxIters iterations.
 	Threshold float64
-	// MaxIters bounds the number of iterations (default 200).
+	// MaxIters bounds the number of iterations. Zero means the default
+	// (200); ZeroIters (any negative value) means run no iterations at
+	// all, leaving the scores at the start vector.
 	MaxIters int
 	// Init, if non-nil, is the starting score vector: the warm-start
 	// mechanism of Section 6.2, where a reformulated query starts from
-	// the previous query's converged scores.
+	// the previous query's converged scores. Its length must equal the
+	// graph's node count; the kernel panics on a mismatch (a stale
+	// warm-start vector from a rebuilt graph is a caller bug, not a
+	// condition to silently ignore).
 	Init []float64
 }
+
+// Explicit-zero sentinels for Options fields whose natural zero value
+// is reserved for "use the paper default". Any negative value is
+// treated identically; these names exist so intent is grep-able.
+const (
+	// ZeroDamping requests damping factor 0: no authority propagates,
+	// the fixpoint equals the base distribution.
+	ZeroDamping float64 = -1
+	// ZeroThreshold requests convergence threshold 0: the L1 early-stop
+	// never fires and the run executes exactly MaxIters iterations
+	// (Converged stays false).
+	ZeroThreshold float64 = -1
+	// ZeroIters requests zero iterations: the result's scores are the
+	// start vector (Init if given, else the base distribution),
+	// Iterations is 0 and Converged is false.
+	ZeroIters int = -1
+)
 
 // Defaults returns the paper's standard options: d = 0.85, threshold
 // 0.002, at most 200 iterations.
@@ -35,15 +70,29 @@ func Defaults() Options {
 	return Options{Damping: 0.85, Threshold: 0.002, MaxIters: 200}
 }
 
-func (o Options) withDefaults() Options {
-	if o.Damping == 0 {
+// Normalized resolves the zero-value/sentinel convention into literal
+// field values: zero fields become the paper defaults, negative
+// (sentinel) fields become actual zeros. The result is idempotent under
+// further Normalized calls and is what every kernel entry point applies
+// to its options before running. Init passes through untouched.
+func (o Options) Normalized() Options {
+	switch {
+	case o.Damping == 0:
 		o.Damping = 0.85
+	case o.Damping < 0:
+		o.Damping = 0
 	}
-	if o.Threshold == 0 {
+	switch {
+	case o.Threshold == 0:
 		o.Threshold = 0.002
+	case o.Threshold < 0:
+		o.Threshold = 0
 	}
-	if o.MaxIters == 0 {
+	switch {
+	case o.MaxIters == 0:
 		o.MaxIters = 200
+	case o.MaxIters < 0:
+		o.MaxIters = 0
 	}
 	return o
 }
@@ -69,50 +118,13 @@ type Result struct {
 // alpha(type)/OutDeg(u, type). base is the random-jump distribution; it
 // should sum to 1 (use NormalizeDist). Nodes never listed in base still
 // receive authority through incoming arcs.
+//
+// Run is the serial, bitwise-deterministic entry of the unified kernel
+// (Iterate with one worker and no buffer pool); its results are
+// bit-identical to the historical scatter implementation. Panics if
+// opts.Init is non-nil with a length other than g.NumNodes().
 func Run(g *graph.Graph, rates *graph.Rates, base []float64, opts Options) Result {
-	opts = opts.withDefaults()
-	n := g.NumNodes()
-	cur := make([]float64, n)
-	if opts.Init != nil && len(opts.Init) == n {
-		copy(cur, opts.Init)
-	} else {
-		copy(cur, base)
-	}
-	next := make([]float64, n)
-	alpha := rates.Vector()
-	d := opts.Damping
-
-	res := Result{}
-	for it := 0; it < opts.MaxIters; it++ {
-		for v := range next {
-			next[v] = (1 - d) * base[v]
-		}
-		for u := 0; u < n; u++ {
-			ru := cur[u]
-			if ru == 0 {
-				continue
-			}
-			for _, a := range g.OutArcs(graph.NodeID(u)) {
-				w := alpha[a.Type]
-				if w == 0 {
-					continue
-				}
-				next[a.To] += d * w * float64(a.InvDeg) * ru
-			}
-		}
-		res.Iterations = it + 1
-		diff := 0.0
-		for v := range next {
-			diff += math.Abs(next[v] - cur[v])
-		}
-		cur, next = next, cur
-		if diff < opts.Threshold {
-			res.Converged = true
-			break
-		}
-	}
-	res.Scores = cur
-	return res
+	return Iterate(g, rates.Vector(), base, opts, 1, nil)
 }
 
 // NormalizeDist scales a non-negative vector in place so it sums to 1.

@@ -8,17 +8,27 @@
 //
 //	GET /query?q=olap&k=10
 //	GET /explain?q=olap&target=123
-//	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both
+//	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both[&version=N]
 //	GET /rates
 //	GET /healthz
+//
+// Concurrency: the server holds no locks. Every handler loads the
+// engine's current rates snapshot once (explicitly via core.Pin for the
+// multi-step reformulation flow, implicitly inside Engine.Rank for
+// single-step queries) and serves from it; concurrent reformulations
+// publish through the engine's compare-and-swap. /reformulate is
+// optimistic: the response carries the rates version it ran under, an
+// optional version=N parameter asserts the client's expected version,
+// and a lost race returns 409 Conflict with the winning version so the
+// client can re-read and retry.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
 	"authorityflow/internal/core"
 	"authorityflow/internal/datagen"
@@ -28,10 +38,10 @@ import (
 )
 
 // Server serves one dataset through one engine. Reformulation state
-// (the trained authority transfer rates) is process-wide, guarded by
-// mu, as in the deployed system.
+// (the trained authority transfer rates) is process-wide, published as
+// atomically versioned snapshots by the engine; handlers are lock-free
+// and safe under unbounded concurrency.
 type Server struct {
-	mu  sync.Mutex
 	ds  *datagen.Dataset
 	eng *core.Engine
 }
@@ -65,20 +75,36 @@ type Result struct {
 	InBase  bool    `json:"inBase"`
 }
 
-// QueryResponse is the /query payload.
+// QueryResponse is the /query payload. Version is the rates-snapshot
+// version the ranking ran under; clients that later reformulate based
+// on these results should pass it as the version parameter to detect
+// concurrent rate changes.
 type QueryResponse struct {
 	Query      string   `json:"query"`
 	BaseSet    int      `json:"baseSet"`
 	Iterations int      `json:"iterations"`
+	Version    uint64   `json:"version"`
 	Results    []Result `json:"results"`
 }
 
-// ReformulateResponse is the /reformulate payload.
+// ReformulateResponse is the /reformulate payload. Version is the
+// rates-snapshot version AFTER the structure-based update was
+// published (equal to the pre-reformulation version when the mode
+// carries no rate change or publication was skipped).
 type ReformulateResponse struct {
 	Query     string          `json:"query"`
 	Rates     string          `json:"rates"`
+	Version   uint64          `json:"version"`
 	Expansion []ExpansionTerm `json:"expansion,omitempty"`
 	Results   []Result        `json:"results"`
+}
+
+// ConflictResponse is the 409 payload of /reformulate: another
+// reformulation published first. Version is the currently published
+// rates version; re-query and retry against it.
+type ConflictResponse struct {
+	Error   string `json:"error"`
+	Version uint64 `json:"version"`
 }
 
 // ExpansionTerm is one content-expansion term in a reformulation
@@ -106,12 +132,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	rates := s.eng.Rates()
-	s.mu.Unlock()
+	pin := s.eng.Pin()
+	rates := pin.Rates()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"rates":  rates.String(),
-		"vector": rates.Vector(),
+		"rates":   rates.String(),
+		"vector":  rates.Vector(),
+		"version": pin.Version(),
 	})
 }
 
@@ -120,15 +146,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
 	res := s.eng.Rank(q)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Query:      q.String(),
 		BaseSet:    len(res.Base),
 		Iterations: res.Iterations,
+		Version:    res.RatesVersion,
 		Results:    s.results(res, k),
-	})
+	}
+	s.eng.Release(res)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -141,10 +168,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad or missing target")
 		return
 	}
-	s.mu.Lock()
-	res := s.eng.Rank(q)
-	sg, err := s.eng.Explain(res, graph.NodeID(target), core.DefaultExplain())
-	s.mu.Unlock()
+	// Pin one snapshot so the ranking and its explanation cannot see
+	// different rates even if a reformulation lands in between.
+	pin := s.eng.Pin()
+	res := pin.Rank(q)
+	sg, err := pin.Explain(res, graph.NodeID(target), core.DefaultExplain())
+	s.eng.Release(res)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -197,24 +226,52 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res := s.eng.Rank(q)
+	// The whole flow — rank, explain each feedback object, reformulate,
+	// publish — runs against ONE pinned snapshot; no lock is held, so
+	// concurrent queries proceed at full speed. Publication is
+	// optimistic: TrySetRates succeeds only if the pinned version is
+	// still current, otherwise the client gets 409 plus the winning
+	// version and retries.
+	pin := s.eng.Pin()
+	if vs := r.URL.Query().Get("version"); vs != "" {
+		v, err := strconv.ParseUint(vs, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad version token "+vs)
+			return
+		}
+		if v != pin.Version() {
+			writeJSON(w, http.StatusConflict, ConflictResponse{
+				Error:   "rates were changed since version " + vs,
+				Version: pin.Version(),
+			})
+			return
+		}
+	}
+	res := pin.Rank(q)
+	defer s.eng.Release(res)
 	var subs []*core.Subgraph
 	for _, id := range ids {
-		sg, err := s.eng.Explain(res, graph.NodeID(id), core.DefaultExplain())
+		sg, err := pin.Explain(res, graph.NodeID(id), core.DefaultExplain())
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		subs = append(subs, sg)
 	}
-	ref, err := s.eng.Reformulate(q, subs, opts)
+	ref, err := pin.Reformulate(q, subs, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := s.eng.SetRates(ref.Rates); err != nil {
+	newVersion, err := s.eng.TrySetRates(ref.Rates, pin.Version())
+	if errors.Is(err, core.ErrRatesConflict) {
+		writeJSON(w, http.StatusConflict, ConflictResponse{
+			Error:   "rates were changed concurrently; re-query and retry",
+			Version: newVersion,
+		})
+		return
+	}
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -222,8 +279,10 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	resp := ReformulateResponse{
 		Query:   ref.Query.String(),
 		Rates:   ref.Rates.String(),
+		Version: newVersion,
 		Results: s.results(res2, k),
 	}
+	s.eng.Release(res2)
 	for _, wt := range ref.Expansion {
 		resp.Expansion = append(resp.Expansion, ExpansionTerm{Term: wt.Term, Weight: wt.Weight})
 	}
@@ -280,10 +339,10 @@ func (s *Server) Engine() *core.Engine { return s.eng }
 // Dataset exposes the served dataset.
 func (s *Server) Dataset() *datagen.Dataset { return s.ds }
 
-// RankWith runs a query outside HTTP (used by embedding callers), with
-// the same locking discipline as the handlers.
+// RankWith runs a query outside HTTP (used by embedding callers). Like
+// the handlers it is lock-free; the result's scores belong to the
+// engine's buffer pool and may be handed back with Engine().Release
+// once read.
 func (s *Server) RankWith(q *ir.Query) *core.RankResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.Rank(q)
 }

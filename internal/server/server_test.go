@@ -222,8 +222,11 @@ func TestConcurrentQueries(t *testing.T) {
 }
 
 func TestConcurrentMixedTraffic(t *testing.T) {
-	// Queries racing reformulations must stay serialized by the
-	// server's mutex; run with -race to catch violations.
+	// Queries racing reformulations run lock-free against atomically
+	// published rates snapshots; run with -race to catch violations.
+	// Queries must always succeed; a reformulation either succeeds
+	// (200) or loses the optimistic publication race (409) — never
+	// anything else.
 	s, ts := testServer(t)
 	res := s.RankWith(ir.NewQuery("olap"))
 	top := res.TopK(1)
@@ -235,7 +238,8 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		go func(i int) {
 			var url string
-			if i%3 == 0 {
+			reform := i%3 == 0
+			if reform {
 				url = fmt.Sprintf("%s/reformulate?q=olap&feedback=%d", ts.URL, target)
 			} else {
 				url = ts.URL + "/query?q=olap"
@@ -243,7 +247,11 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 			resp, err := http.Get(url)
 			if err == nil {
 				resp.Body.Close()
-				if resp.StatusCode != 200 {
+				switch {
+				case resp.StatusCode == 200:
+				case reform && resp.StatusCode == 409:
+					// Lost the CAS race to a concurrent reformulation.
+				default:
 					err = fmt.Errorf("%s: status %d", url, resp.StatusCode)
 				}
 			}
@@ -254,6 +262,129 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestReformulateVersionToken(t *testing.T) {
+	s, ts := testServer(t)
+	res := s.RankWith(ir.NewQuery("olap"))
+	top := res.TopK(1)
+	if len(top) == 0 || top[0].Score == 0 {
+		t.Skip("no feedback target at this scale")
+	}
+	target := top[0].Node
+
+	// /query and /rates report the current version.
+	var q QueryResponse
+	if code := getJSON(t, ts.URL+"/query?q=olap", &q); code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+	if q.Version == 0 {
+		t.Fatal("query response missing rates version")
+	}
+	var rates struct {
+		Version uint64 `json:"version"`
+	}
+	if code := getJSON(t, ts.URL+"/rates", &rates); code != 200 {
+		t.Fatal("rates endpoint failed")
+	}
+	if rates.Version != q.Version {
+		t.Fatalf("/rates version %d != /query version %d", rates.Version, q.Version)
+	}
+
+	// Reformulating with the current token succeeds and bumps the
+	// version.
+	var out ReformulateResponse
+	url := fmt.Sprintf("%s/reformulate?q=olap&feedback=%d&version=%d", ts.URL, target, q.Version)
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("reformulate status = %d", code)
+	}
+	if out.Version != q.Version+1 {
+		t.Errorf("version after reformulation = %d, want %d", out.Version, q.Version+1)
+	}
+
+	// Re-presenting the now-stale token yields 409 with the winning
+	// version.
+	var conflict ConflictResponse
+	if code := getJSON(t, url, &conflict); code != 409 {
+		t.Fatalf("stale version status = %d, want 409", code)
+	}
+	if conflict.Version != out.Version {
+		t.Errorf("conflict reports version %d, want %d", conflict.Version, out.Version)
+	}
+
+	// A malformed token is a 400, not a conflict.
+	bad := fmt.Sprintf("%s/reformulate?q=olap&feedback=%d&version=banana", ts.URL, target)
+	if code := getJSON(t, bad, nil); code != 400 {
+		t.Errorf("bad token status = %d, want 400", code)
+	}
+}
+
+func TestConcurrentReformulationStress(t *testing.T) {
+	// A heavier hammer for -race: many goroutines mixing /query,
+	// /reformulate and /rates. Exactly version(final) - version(initial)
+	// reformulations may succeed; every other one must 409.
+	s, ts := testServer(t)
+	res := s.RankWith(ir.NewQuery("olap"))
+	top := res.TopK(1)
+	if len(top) == 0 || top[0].Score == 0 {
+		t.Skip("no feedback target at this scale")
+	}
+	target := top[0].Node
+	startVersion := s.Engine().RatesVersion()
+
+	const n = 24
+	codes := make(chan int, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			var url string
+			switch i % 4 {
+			case 0:
+				url = fmt.Sprintf("%s/reformulate?q=olap&feedback=%d", ts.URL, target)
+			case 1:
+				url = ts.URL + "/rates"
+			default:
+				url = ts.URL + "/query?q=olap"
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				codes <- 0
+				return
+			}
+			resp.Body.Close()
+			if i%4 != 0 && resp.StatusCode != 200 {
+				errs <- fmt.Errorf("%s: status %d", url, resp.StatusCode)
+			} else {
+				errs <- nil
+			}
+			if i%4 == 0 {
+				codes <- resp.StatusCode
+			} else {
+				codes <- 0
+			}
+		}(i)
+	}
+	succeeded := 0
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		switch c := <-codes; c {
+		case 200:
+			succeeded++
+		case 0, 409:
+		default:
+			t.Fatalf("reformulate status = %d", c)
+		}
+	}
+	bumps := int(s.Engine().RatesVersion() - startVersion)
+	if succeeded != bumps {
+		t.Errorf("%d reformulations succeeded but version advanced by %d", succeeded, bumps)
+	}
+	if succeeded == 0 {
+		t.Error("no reformulation succeeded at all")
 	}
 }
 
