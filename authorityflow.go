@@ -41,6 +41,7 @@ package authorityflow
 import (
 	"io"
 
+	"authorityflow/internal/cache"
 	"authorityflow/internal/core"
 	"authorityflow/internal/datagen"
 	"authorityflow/internal/eval"
@@ -314,11 +315,44 @@ func BuildStore(eng *Engine, terms []string, opts StoreOptions) *Store {
 func LoadStoreFile(path string) (*Store, error) { return precompute.LoadFile(path) }
 
 // NewServer builds the HTTP JSON API server of the deployed demo over a
-// dataset. Mount Handler() into any http server.
-func NewServer(ds *Dataset, cfg Config) (*server.Server, error) { return server.New(ds, cfg) }
+// dataset. Mount Handler() into any http server. Options such as
+// WithServerCache enable the serving cache.
+func NewServer(ds *Dataset, cfg Config, opts ...ServerOption) (*server.Server, error) {
+	return server.New(ds, cfg, opts...)
+}
 
 // Server is the HTTP JSON API of the deployed ObjectRank2 demo.
 type Server = server.Server
+
+// ServerOption configures optional server behaviour.
+type ServerOption = server.Option
+
+// WithServerCache enables the server's serving cache with the given
+// total byte budget (0 = 64 MiB) and post-publication prewarm term
+// count (0 = off).
+func WithServerCache(maxBytes int64, prewarmTerms int) ServerOption {
+	return server.WithCache(maxBytes, prewarmTerms)
+}
+
+// Serving cache (internal/cache): version-keyed term-vector and result
+// caches with singleflight miss collapsing, LRU byte budgets,
+// warm-start reuse across rate updates, and background prewarming.
+type (
+	// CachedEngine wraps an Engine with the serving cache.
+	CachedEngine = cache.CachedEngine
+	// CacheOptions configure a CachedEngine (byte budgets, shards,
+	// prewarm).
+	CacheOptions = cache.Options
+	// CacheStats is a point-in-time snapshot of cache counters.
+	CacheStats = cache.StatsSnapshot
+	// CachedAnswer is one cached query answer (top-k items plus
+	// provenance).
+	CachedAnswer = cache.Answer
+)
+
+// NewCachedEngine wraps eng with the serving cache. Call Close on the
+// result when prewarming is enabled.
+func NewCachedEngine(eng *Engine, opts CacheOptions) *CachedEngine { return cache.New(eng, opts) }
 
 // GeneratePreset builds one of the four Table 1 corpora by name
 // ("dblptop", "dblpcomplete", "ds7", "ds7cancer") at the given scale

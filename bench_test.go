@@ -294,6 +294,82 @@ func BenchmarkObjectRank2QueryParallel(b *testing.B) {
 	}
 }
 
+// ---- Serving-cache query-path benches. ----
+//
+// The three QueryPath benches compare the latency ladder of one
+// repeated query on the DBLP-scale corpus: a cold solve, a Section 6.2
+// warm-started solve, and a serving-cache hit (internal/cache). CI runs
+// them as a smoke step: go test -bench=QueryPath -benchtime=1x
+
+var (
+	qpOnce sync.Once
+	qpCE   *authorityflow.CachedEngine
+)
+
+func queryPathWorld(b *testing.B) (*authorityflow.Engine, *authorityflow.CachedEngine) {
+	_, eng := microWorld(b)
+	qpOnce.Do(func() {
+		qpCE = authorityflow.NewCachedEngine(eng, authorityflow.CacheOptions{})
+	})
+	return eng, qpCE
+}
+
+// BenchmarkQueryPathCold is the baseline: full power iteration from the
+// base distribution plus top-k selection.
+func BenchmarkQueryPathCold(b *testing.B) {
+	eng, _ := queryPathWorld(b)
+	q := authorityflow.NewQuery("olap")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.RankCold(q)
+		if got := res.TopK(10); len(got) == 0 {
+			b.Fatal("empty result")
+		}
+		eng.Release(res)
+	}
+}
+
+// BenchmarkQueryPathWarmStart runs the same query warm-started from its
+// own converged scores — the per-solve floor of the paper's §6.2 reuse.
+func BenchmarkQueryPathWarmStart(b *testing.B) {
+	eng, _ := queryPathWorld(b)
+	q := authorityflow.NewQuery("olap")
+	init := eng.RankCold(q).Scores
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.RankFrom(q, init)
+		if got := res.TopK(10); len(got) == 0 {
+			b.Fatal("empty result")
+		}
+		eng.Release(res)
+	}
+}
+
+// BenchmarkQueryPathCacheHit serves the repeated query from the
+// internal/cache result cache — the steady-state latency of a popular
+// query. The acceptance bar is >= 10x faster than QueryPathCold.
+func BenchmarkQueryPathCacheHit(b *testing.B) {
+	_, ce := queryPathWorld(b)
+	q := authorityflow.NewQuery("olap")
+	if ans := ce.Query(q, 10); len(ans.Results) == 0 {
+		b.Fatal("empty primed result")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans := ce.Query(q, 10)
+		if len(ans.Results) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.StopTimer()
+	if st := ce.Stats(); st.Result.Hits == 0 {
+		b.Fatal("benchmark did not exercise the result-cache hit path")
+	}
+}
+
 // BenchmarkExtensionBaselines regenerates the three-way baseline
 // comparison (ObjectRank2 vs ObjectRank vs HITS).
 func BenchmarkExtensionBaselines(b *testing.B) {

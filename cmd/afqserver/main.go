@@ -9,9 +9,18 @@
 //	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both
 //	GET /rates
 //	GET /healthz
+//	GET /stats
 //
 // Reformulation state (the trained rates) is per-process: subsequent
 // queries use the latest rates, as in the deployed system.
+//
+// The serving cache (-cache-mb, default 64 MiB; 0 disables) makes
+// repeated and concurrent queries cheap: converged per-term score
+// vectors and full top-k answers are cached under the current rates
+// version, concurrent identical misses collapse onto one power
+// iteration, and -prewarm N refreshes the N hottest terms in the
+// background after every reformulation publishes new rates. /stats
+// reports hit/miss/eviction/singleflight/bytes counters.
 package main
 
 import (
@@ -34,6 +43,8 @@ func main() {
 		gen     = flag.String("gen", "dblptop", "dataset preset to generate when -data is empty")
 		scale   = flag.Float64("scale", 0.1, "scale factor when generating")
 		workers = flag.Int("workers", 0, "power-iteration workers (0 serial, -1 all cores)")
+		cacheMB = flag.Int("cache-mb", 64, "serving-cache byte budget in MiB (0 disables the cache)")
+		prewarm = flag.Int("prewarm", 8, "hottest terms to refresh after each rates publication (0 disables; needs -cache-mb > 0)")
 	)
 	flag.Parse()
 
@@ -42,13 +53,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)
 	}
-	s, err := server.New(ds, core.Config{Workers: *workers})
+	var opts []server.Option
+	if *cacheMB > 0 {
+		opts = append(opts, server.WithCache(int64(*cacheMB)<<20, *prewarm))
+	}
+	s, err := server.New(ds, core.Config{Workers: *workers}, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("afqserver: %s (%d nodes, %d edges) on %s",
-		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), *addr)
+	defer s.Close()
+	log.Printf("afqserver: %s (%d nodes, %d edges) on %s (cache %d MiB, prewarm %d)",
+		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), *addr, *cacheMB, *prewarm)
 	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
 }
 

@@ -1,0 +1,629 @@
+// Package cache is the serving-path cache of the ObjectRank2 system:
+// the layer that makes repeated and concurrent querying cheap, the
+// online counterpart of the offline [BHP04]-style precompute.Store.
+//
+// It holds two sharded, byte-budgeted LRU caches keyed by the identity
+// of the rates snapshot a computation ran under (the
+// graph.RateVectorKey fingerprint PR 1's versioned snapshots made
+// safely derivable):
+//
+//   - a term-vector cache: converged per-term ObjectRank2 score vectors
+//     under (ratesKey, term), populated on demand through a singleflight
+//     group so N concurrent misses on one term run exactly one power
+//     iteration;
+//   - a result cache: full top-k answers under
+//     (ratesKey, k, canonical query), so a repeated query is a hash
+//     lookup instead of a solve.
+//
+// Invalidation is implicit: publishing new rates changes the rates key,
+// making every old entry unreachable. Old same-term vectors are not
+// wasted, though — the first solve of a term under the new rates pulls
+// the previous version's converged vector OUT of the cache and hands it
+// to rank.Options.Init (warm-start reuse, the paper's Section 6.2
+// optimization applied across rate updates), and a background prewarmer
+// refreshes the hottest terms as soon as a new version is published.
+package cache
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// Options configure a CachedEngine.
+type Options struct {
+	// MaxBytes is the total byte budget across both caches. When
+	// VectorBytes/ResultBytes are zero it is split 7/8 term vectors,
+	// 1/8 results (term vectors are the expensive thing to recompute).
+	// Zero means DefaultMaxBytes.
+	MaxBytes int64
+	// VectorBytes / ResultBytes pin the per-side budgets explicitly,
+	// overriding the MaxBytes split.
+	VectorBytes int64
+	ResultBytes int64
+	// Shards is the lock-striping factor of each LRU (rounded up to a
+	// power of two). Zero means 8.
+	Shards int
+	// PrewarmTerms, when positive, starts a background goroutine that
+	// refreshes the N hottest query terms after every rates
+	// publication, so the first queries against a new version find warm
+	// vectors. Zero disables prewarming.
+	PrewarmTerms int
+}
+
+// DefaultMaxBytes is the default total cache budget (64 MiB).
+const DefaultMaxBytes int64 = 64 << 20
+
+// CachedEngine wraps a core.Engine with the serving cache. All methods
+// are safe for unbounded concurrent use; the underlying engine may be
+// used directly at the same time (cache entries are keyed by rates
+// identity, so they can never serve stale answers after a SetRates).
+type CachedEngine struct {
+	eng     *core.Engine
+	vectors *shardedLRU
+	results *shardedLRU
+	flights flightGroup
+	stats   stats
+
+	// mu guards versionKeys and hot.
+	mu sync.Mutex
+	// versionKeys memoizes snapshot version -> rate-vector fingerprint,
+	// both so the fingerprint is computed once per published version
+	// and so a version bump can locate the PREVIOUS version's entries
+	// for warm-start hand-over.
+	versionKeys map[uint64]uint64
+	// hot counts term popularity for the prewarmer.
+	hot map[string]int64
+
+	prewarmN  int
+	prewarmCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a CachedEngine over eng. When opts.PrewarmTerms > 0 it
+// registers the engine's publish hook and starts the prewarm goroutine;
+// call Close to stop it.
+func New(eng *core.Engine, opts Options) *CachedEngine {
+	total := opts.MaxBytes
+	if total <= 0 {
+		total = DefaultMaxBytes
+	}
+	vb, rb := opts.VectorBytes, opts.ResultBytes
+	if vb <= 0 {
+		vb = total - total/8
+	}
+	if rb <= 0 {
+		rb = total / 8
+		if rb < 1 {
+			rb = 1
+		}
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	c := &CachedEngine{
+		eng:         eng,
+		versionKeys: make(map[uint64]uint64),
+		hot:         make(map[string]int64),
+		prewarmN:    opts.PrewarmTerms,
+	}
+	c.vectors = newShardedLRU(vb, shards, &c.stats.vectorEvictions)
+	c.results = newShardedLRU(rb, shards, &c.stats.resultEvictions)
+	if c.prewarmN > 0 {
+		c.prewarmCh = make(chan struct{}, 1)
+		c.done = make(chan struct{})
+		c.wg.Add(1)
+		go c.prewarmLoop()
+		eng.SetPublishHook(func(oldVersion, newVersion uint64) {
+			select {
+			case c.prewarmCh <- struct{}{}:
+			default: // a prewarm is already pending; it will see the newest snapshot
+			}
+		})
+	}
+	return c
+}
+
+// Close detaches the publish hook and stops the prewarm goroutine (if
+// any). Idempotent; the cache itself remains usable afterwards.
+func (c *CachedEngine) Close() {
+	c.closeOnce.Do(func() {
+		if c.done != nil {
+			c.eng.SetPublishHook(nil)
+			close(c.done)
+			c.wg.Wait()
+		}
+	})
+}
+
+// Engine returns the wrapped engine.
+func (c *CachedEngine) Engine() *core.Engine { return c.eng }
+
+// ResultItem is one cached ranked node: what a top-k answer needs to be
+// re-rendered without touching score vectors.
+type ResultItem struct {
+	Node   graph.NodeID
+	Score  float64
+	InBase bool
+}
+
+// Answer is one served query answer.
+type Answer struct {
+	// Query is the query that was answered.
+	Query *ir.Query
+	// Results is the top-k list, descending score. The slice is shared
+	// with the cache and must be treated as read-only.
+	Results []ResultItem
+	// Iterations is the power-iteration count of the solve that
+	// produced the answer (0 only for a degenerate empty query).
+	Iterations int
+	// BaseSet is the base-set size |S(Q)|.
+	BaseSet int
+	// Version is the rates-snapshot version the answer is valid for.
+	Version uint64
+	// Source reports how the answer was produced: "result" (result
+	// cache hit), "term" (term-vector cache hit, top-k recomputed),
+	// or "computed" (a solve ran — possibly another concurrent
+	// caller's, see StatsSnapshot.SingleflightDedup).
+	Source string
+}
+
+// cachedResult is the result cache's stored value.
+type cachedResult struct {
+	items   []ResultItem
+	iters   int
+	baseN   int
+	version uint64
+}
+
+// termVector is the term-vector cache's stored value: one converged
+// single-term ObjectRank2 execution. The vector is immutable after
+// insertion and is never returned to the engine's buffer pool.
+type termVector struct {
+	vec       []float64
+	iters     int
+	baseN     int
+	converged bool
+	// warmStarted records whether this solve was initialized from the
+	// previous rates version's vector (telemetry only).
+	warmStarted bool
+}
+
+// Iterations returns the iteration count of the solve that produced
+// the vector.
+func (tv *termVector) Iterations() int { return tv.iters }
+
+// ---- key derivation ----
+
+// ratesKeyFor returns the rate-vector fingerprint of the pinned
+// snapshot, memoized per version. Keying by value fingerprint rather
+// than by version means value-identical republished rates keep cache
+// entries valid; the fingerprint and the precompute store's validity
+// check share one definition of "same rates"
+// (graph.RateVectorKey / graph.SameRateVector).
+func (c *CachedEngine) ratesKeyFor(pin *core.Pinned) uint64 {
+	v := pin.Version()
+	c.mu.Lock()
+	k, ok := c.versionKeys[v]
+	c.mu.Unlock()
+	if ok {
+		return k
+	}
+	k = graph.RateVectorKey(pin.Rates().Vector())
+	c.mu.Lock()
+	if len(c.versionKeys) > 4096 { // bound growth across very long rate-training runs
+		trimmed := make(map[uint64]uint64, 2)
+		if prev, ok := c.versionKeys[v-1]; ok {
+			trimmed[v-1] = prev
+		}
+		c.versionKeys = trimmed
+	}
+	c.versionKeys[v] = k
+	c.mu.Unlock()
+	return k
+}
+
+// previousTermKey returns the cache key of the same term under the
+// snapshot version preceding v, if that version's rates identity is
+// known and actually differs from rk.
+func (c *CachedEngine) previousTermKey(v uint64, rk uint64, term string) (string, bool) {
+	c.mu.Lock()
+	prev, ok := c.versionKeys[v-1]
+	c.mu.Unlock()
+	if !ok || prev == rk {
+		return "", false
+	}
+	return termKey(prev, term), true
+}
+
+func termKey(rk uint64, term string) string {
+	return "t\x00" + strconv.FormatUint(rk, 16) + "\x00" + term
+}
+
+func resultKey(rk uint64, k int, q *ir.Query) string {
+	var b strings.Builder
+	b.WriteString("r\x00")
+	b.WriteString(strconv.FormatUint(rk, 16))
+	b.WriteString("\x00")
+	b.WriteString(strconv.Itoa(k))
+	b.WriteString("\x00")
+	b.WriteString(CanonicalQuery(q))
+	return b.String()
+}
+
+// CanonicalQuery renders a query as a normalized cache-key fragment:
+// terms sorted lexicographically, weights in exact hexadecimal float
+// form, zero/negative-weight terms dropped (they contribute nothing to
+// the base set). Two queries with equal canonical forms produce the
+// same base distribution up to floating-point summation order.
+func CanonicalQuery(q *ir.Query) string {
+	terms := q.Terms()
+	weights := q.Weights()
+	type tw struct {
+		t string
+		w float64
+	}
+	kept := make([]tw, 0, len(terms))
+	for i, t := range terms {
+		if weights[i] > 0 {
+			kept = append(kept, tw{t, weights[i]})
+		}
+	}
+	for i := 1; i < len(kept); i++ { // insertion sort; queries are tiny
+		for j := i; j > 0 && kept[j].t < kept[j-1].t; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
+	var b strings.Builder
+	for _, e := range kept {
+		b.WriteString(e.t)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(e.w, 'x', -1, 64))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// singleTerm reports whether q is effectively a single-keyword query
+// (exactly one positive-weight term). For such queries the normalized
+// base distribution is independent of the term's weight, so one cached
+// vector serves them all.
+func singleTerm(q *ir.Query) (string, bool) {
+	terms := q.Terms()
+	weights := q.Weights()
+	found := ""
+	for i, t := range terms {
+		if weights[i] <= 0 {
+			continue
+		}
+		if found != "" {
+			return "", false
+		}
+		found = t
+	}
+	return found, found != ""
+}
+
+// ---- size accounting ----
+
+const entryOverhead = 96 // map entry + lruEntry + headers, approximate
+
+func termEntrySize(key string, n int) int64 {
+	return int64(8*n + len(key) + entryOverhead)
+}
+
+func resultEntrySize(key string, k int) int64 {
+	return int64(24*k + len(key) + entryOverhead)
+}
+
+// ---- query paths ----
+
+// Query answers q with the top k nodes under the engine's current
+// rates, consulting the result cache, then (for single-keyword
+// queries) the term-vector cache, then running the same solve the
+// uncached engine would. Cache-hit answers are bit-identical to the
+// answer computed on the original miss.
+func (c *CachedEngine) Query(q *ir.Query, k int) *Answer {
+	return c.queryAt(c.eng.Pin(), q, k, nil)
+}
+
+// QueryFrom is Query warm-started from a previous score vector (the
+// reformulated-query path): on a full miss the solve starts from init
+// instead of the global PageRank. init is only read.
+func (c *CachedEngine) QueryFrom(q *ir.Query, k int, init []float64) *Answer {
+	return c.queryAt(c.eng.Pin(), q, k, init)
+}
+
+// QueryPinned is Query under an explicitly pinned snapshot.
+func (c *CachedEngine) QueryPinned(pin *core.Pinned, q *ir.Query, k int) *Answer {
+	return c.queryAt(pin, q, k, nil)
+}
+
+func (c *CachedEngine) queryAt(pin *core.Pinned, q *ir.Query, k int, init []float64) *Answer {
+	if k <= 0 {
+		k = 10
+	}
+	c.recordHot(q)
+	rk := c.ratesKeyFor(pin)
+	v := pin.Version()
+	key := resultKey(rk, k, q)
+	if e, ok := c.results.Get(key); ok {
+		c.stats.resultHits.Add(1)
+		return c.answerFrom(e.(*cachedResult), q, "result")
+	}
+	c.stats.resultMisses.Add(1)
+
+	if term, ok := singleTerm(q); ok {
+		tv, hit := c.termVectorFor(pin, rk, term)
+		cr := c.storeTopK(key, q, k, v, tv)
+		src := "computed"
+		if hit {
+			src = "term"
+		}
+		return c.answerFrom(cr, q, src)
+	}
+
+	// Multi-keyword: run the full solve (identical to the uncached
+	// engine's path, so cached answers are bit-compatible with it),
+	// deduplicating concurrent identical queries through the flight
+	// group.
+	val, shared := c.flights.Do(key, func() any {
+		if e, ok := c.results.Get(key); ok { // lost a miss/flight race
+			return e.(*cachedResult)
+		}
+		var res *core.RankResult
+		if init != nil {
+			res = pin.RankFrom(q, init)
+		} else {
+			res = pin.Rank(q)
+		}
+		c.stats.computes.Add(1)
+		cr := resultFrom(res, k)
+		c.eng.Release(res)
+		c.results.Put(key, cr, resultEntrySize(key, len(cr.items)))
+		return cr
+	})
+	if shared {
+		c.stats.dedup.Add(1)
+	}
+	return c.answerFrom(val.(*cachedResult), q, "computed")
+}
+
+// resultFrom converts a live RankResult into a cached top-k entry.
+func resultFrom(res *core.RankResult, k int) *cachedResult {
+	ranked := res.TopK(k)
+	items := make([]ResultItem, len(ranked))
+	for i, r := range ranked {
+		items[i] = ResultItem{Node: r.Node, Score: r.Score, InBase: res.InBase(r.Node)}
+	}
+	return &cachedResult{items: items, iters: res.Iterations, baseN: len(res.Base), version: res.RatesVersion}
+}
+
+// storeTopK ranks a cached term vector's top k and stores the answer in
+// the result cache so the next identical request skips even the top-k
+// scan.
+func (c *CachedEngine) storeTopK(key string, q *ir.Query, k int, v uint64, tv *termVector) *cachedResult {
+	term, _ := singleTerm(q)
+	ranked := rank.TopK(tv.vec, k)
+	items := make([]ResultItem, len(ranked))
+	ix := c.eng.Index()
+	for i, r := range ranked {
+		items[i] = ResultItem{
+			Node:   r.Node,
+			Score:  r.Score,
+			InBase: ix.TF(int32(r.Node), term) > 0,
+		}
+	}
+	cr := &cachedResult{items: items, iters: tv.iters, baseN: tv.baseN, version: v}
+	c.results.Put(key, cr, resultEntrySize(key, len(items)))
+	return cr
+}
+
+func (c *CachedEngine) answerFrom(cr *cachedResult, q *ir.Query, source string) *Answer {
+	return &Answer{
+		Query:      q,
+		Results:    cr.items,
+		Iterations: cr.iters,
+		BaseSet:    cr.baseN,
+		Version:    cr.version,
+		Source:     source,
+	}
+}
+
+// termVectorFor returns the converged single-term vector for term under
+// the pinned snapshot, computing (at most once across concurrent
+// callers) on a miss. hit reports whether the vector came straight from
+// the cache.
+func (c *CachedEngine) termVectorFor(pin *core.Pinned, rk uint64, term string) (tv *termVector, hit bool) {
+	key := termKey(rk, term)
+	if e, ok := c.vectors.Get(key); ok {
+		c.stats.vectorHits.Add(1)
+		return e.(*termVector), true
+	}
+	c.stats.vectorMisses.Add(1)
+	val, shared := c.flights.Do(key, func() any {
+		if e, ok := c.vectors.Get(key); ok { // lost a miss/flight race
+			return e.(*termVector)
+		}
+		return c.computeTerm(pin, rk, key, term)
+	})
+	if shared {
+		c.stats.dedup.Add(1)
+	}
+	return val.(*termVector), false
+}
+
+// computeTerm runs one single-term ObjectRank2 solve and inserts the
+// converged vector. On the first solve after a rates bump, the previous
+// version's converged vector for the same term (if still resident) is
+// removed from the cache and donated as the warm start, so the new
+// solve refines an already-close vector instead of starting from the
+// global PageRank.
+func (c *CachedEngine) computeTerm(pin *core.Pinned, rk uint64, key, term string) *termVector {
+	var init []float64
+	warm := false
+	if prevKey, ok := c.previousTermKey(pin.Version(), rk, term); ok {
+		if old, ok2 := c.vectors.Remove(prevKey); ok2 {
+			init = old.(*termVector).vec
+			warm = true
+		}
+	}
+	q := ir.NewQuery(term)
+	var res *core.RankResult
+	if init != nil {
+		res = pin.RankFrom(q, init)
+	} else {
+		res = pin.Rank(q)
+	}
+	c.stats.computes.Add(1)
+	if warm {
+		c.stats.warmStarts.Add(1)
+	}
+	vec := make([]float64, len(res.Scores))
+	copy(vec, res.Scores)
+	tv := &termVector{
+		vec:         vec,
+		iters:       res.Iterations,
+		baseN:       len(res.Base),
+		converged:   res.Converged,
+		warmStarted: warm,
+	}
+	c.eng.Release(res)
+	c.vectors.Put(key, tv, termEntrySize(key, len(vec)))
+	return tv
+}
+
+// RankPinned produces a full core.RankResult under the pinned snapshot,
+// serving single-keyword queries from the term-vector cache (the scores
+// are copied out, so the caller may Release the result as usual) and
+// everything else by a normal solve. This is the explain path's entry:
+// explanations need whole score vectors, not top-k lists.
+func (c *CachedEngine) RankPinned(pin *core.Pinned, q *ir.Query) *core.RankResult {
+	if term, ok := singleTerm(q); ok {
+		c.recordHot(q)
+		rk := c.ratesKeyFor(pin)
+		tv, _ := c.termVectorFor(pin, rk, term)
+		scores := make([]float64, len(tv.vec))
+		copy(scores, tv.vec)
+		return &core.RankResult{
+			Query:        q,
+			Scores:       scores,
+			Base:         c.eng.BaseSet(q),
+			Iterations:   tv.iters,
+			Converged:    tv.converged,
+			RatesVersion: pin.Version(),
+		}
+	}
+	return pin.Rank(q)
+}
+
+// ---- hot-term tracking ----
+
+func (c *CachedEngine) recordHot(q *ir.Query) {
+	if c.prewarmN <= 0 {
+		return
+	}
+	terms := q.Terms()
+	weights := q.Weights()
+	c.mu.Lock()
+	for i, t := range terms {
+		if weights[i] <= 0 {
+			continue
+		}
+		c.hot[t]++
+	}
+	if len(c.hot) > 8192 { // decay: halve everything, drop the cold tail
+		for t, n := range c.hot {
+			n /= 2
+			if n == 0 {
+				delete(c.hot, t)
+			} else {
+				c.hot[t] = n
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// hottest returns up to n terms by descending popularity.
+func (c *CachedEngine) hottest(n int) []string {
+	c.mu.Lock()
+	type tc struct {
+		t string
+		n int64
+	}
+	all := make([]tc, 0, len(c.hot))
+	for t, cnt := range c.hot {
+		all = append(all, tc{t, cnt})
+	}
+	c.mu.Unlock()
+	for i := 1; i < len(all); i++ { // insertion sort by count desc, term asc
+		for j := i; j > 0 && (all[j].n > all[j-1].n || (all[j].n == all[j-1].n && all[j].t < all[j-1].t)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// ---- prewarmer ----
+
+// prewarmLoop waits for rates publications (signalled by the engine's
+// publish hook) and refreshes the hottest terms under the then-current
+// snapshot. Signals are coalesced: a publication arriving mid-prewarm
+// queues exactly one more pass, which will pin the newest snapshot.
+func (c *CachedEngine) prewarmLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.prewarmCh:
+			c.prewarmOnce()
+		}
+	}
+}
+
+func (c *CachedEngine) prewarmOnce() {
+	terms := c.hottest(c.prewarmN)
+	if len(terms) == 0 {
+		return
+	}
+	pin := c.eng.Pin()
+	rk := c.ratesKeyFor(pin)
+	for _, t := range terms {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		c.termVectorFor(pin, rk, t)
+		c.stats.prewarmed.Add(1)
+	}
+}
+
+// Prewarm synchronously computes (or refreshes) the vectors of the
+// given terms under the current rates — a deployment warm-up hook for
+// process start.
+func (c *CachedEngine) Prewarm(terms []string) {
+	pin := c.eng.Pin()
+	rk := c.ratesKeyFor(pin)
+	for _, t := range terms {
+		c.termVectorFor(pin, rk, t)
+		c.stats.prewarmed.Add(1)
+	}
+}

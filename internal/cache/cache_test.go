@@ -1,0 +1,424 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+func testEngine(t testing.TB, opts rank.Options) (*datagen.Dataset, *core.Engine) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{Rank: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, eng
+}
+
+// perturb returns a valid rate assignment slightly different from r:
+// the first non-zero rate scaled by 0.9 (outgoing sums only shrink, so
+// Validate stays happy).
+func perturb(t *testing.T, r *graph.Rates) *graph.Rates {
+	t.Helper()
+	p := r.Clone()
+	v := p.Vector()
+	for i, x := range v {
+		if x > 0 {
+			v[i] = x * 0.9
+			break
+		}
+	}
+	if err := p.SetVector(v); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSingleflightDedup is the satellite race test: 64 goroutines miss
+// on the same term concurrently; exactly one power iteration must run
+// and every goroutine must receive the identical vector. Run with
+// -race.
+func TestSingleflightDedup(t *testing.T) {
+	// ZeroThreshold disables early convergence so every solve runs the
+	// full 300 iterations — a wide-enough window that goroutines really
+	// do pile up on the in-flight computation.
+	_, eng := testEngine(t, rank.Options{Threshold: rank.ZeroThreshold, MaxIters: 300})
+	c := New(eng, Options{})
+	defer c.Close()
+
+	const n = 64
+	pin := eng.Pin()
+	rk := c.ratesKeyFor(pin)
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		got   [n]*termVector
+	)
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			tv, _ := c.termVectorFor(pin, rk, "olap")
+			got[i] = tv
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if computes := c.stats.computes.Load(); computes != 1 {
+		t.Fatalf("kernel invocations = %d, want exactly 1", computes)
+	}
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d received a different vector object", i)
+		}
+	}
+	if got[0] == nil || len(got[0].vec) != eng.Graph().NumNodes() {
+		t.Fatalf("bad vector: %+v", got[0])
+	}
+	s := c.Stats()
+	if s.Vector.Hits+s.Vector.Misses != n {
+		t.Errorf("hits(%d)+misses(%d) != %d", s.Vector.Hits, s.Vector.Misses, n)
+	}
+	if s.Vector.Misses >= 2 && s.SingleflightDedup == 0 {
+		t.Errorf("misses = %d but no singleflight dedup recorded", s.Vector.Misses)
+	}
+}
+
+// TestInvalidationAndWarmStart is the satellite invalidation test:
+// bumping the rates makes old-version entries unreachable, the next
+// solve warm-starts from the donated previous-version vector,
+// converges in no more iterations than a cold solve, and lands within
+// 1e-12 of the cold solve's scores.
+func TestInvalidationAndWarmStart(t *testing.T) {
+	// A tight threshold drives both solves essentially to the fixpoint,
+	// so warm and cold results must agree to ~1e-13 regardless of their
+	// different starting points.
+	tight := rank.Options{Threshold: 5e-14, MaxIters: 5000}
+	ds, eng := testEngine(t, tight)
+	c := New(eng, Options{})
+	defer c.Close()
+
+	q := ir.NewQuery("olap")
+	ans1 := c.Query(q, 10)
+	if ans1.Source != "computed" || ans1.Version != 1 {
+		t.Fatalf("first answer = %+v", ans1)
+	}
+	oldRK := c.ratesKeyFor(eng.Pin())
+	if _, ok := c.vectors.Get(termKey(oldRK, "olap")); !ok {
+		t.Fatal("term vector not cached after first query")
+	}
+
+	newRates := perturb(t, ds.Rates)
+	if _, err := eng.TrySetRates(newRates, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ans2 := c.Query(q, 10)
+	if ans2.Version != 2 {
+		t.Fatalf("version = %d, want 2", ans2.Version)
+	}
+	if ans2.Source == "result" || ans2.Source == "term" {
+		t.Fatalf("old-version entry served after rates bump (source=%q)", ans2.Source)
+	}
+	if w := c.stats.warmStarts.Load(); w != 1 {
+		t.Fatalf("warm starts = %d, want 1", w)
+	}
+	// The donated previous-version vector must be gone: handed over,
+	// not still resident under the old key.
+	if _, ok := c.vectors.Get(termKey(oldRK, "olap")); ok {
+		t.Error("previous-version vector still resident after warm-start hand-over")
+	}
+
+	newRK := c.ratesKeyFor(eng.Pin())
+	if newRK == oldRK {
+		t.Fatal("rates key did not change after rates bump")
+	}
+	e, ok := c.vectors.Get(termKey(newRK, "olap"))
+	if !ok {
+		t.Fatal("no term vector at the new rates key")
+	}
+	warm := e.(*termVector)
+	if !warm.warmStarted || !warm.converged {
+		t.Fatalf("warm vector flags = %+v", warm)
+	}
+
+	// Cold reference at the new rates: a fresh engine with no cache and
+	// no warm start.
+	engCold, err := core.NewEngine(ds.Graph, newRates, core.Config{Rank: tight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := engCold.RankCold(q)
+	if !cold.Converged {
+		t.Fatal("cold reference did not converge")
+	}
+	if warm.iters > cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold %d — warm must be <= cold",
+			warm.iters, cold.Iterations)
+	}
+	for v := range cold.Scores {
+		d := warm.vec[v] - cold.Scores[v]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-12 {
+			t.Fatalf("node %d: warm %g vs cold %g differ by %g > 1e-12",
+				v, warm.vec[v], cold.Scores[v], d)
+		}
+	}
+}
+
+// TestCacheHitBitCompatible: cached answers (result cache and term
+// cache) must be bitwise identical to what the uncached engine
+// computes at the same rates version.
+func TestCacheHitBitCompatible(t *testing.T) {
+	_, eng := testEngine(t, rank.Options{})
+	c := New(eng, Options{})
+	defer c.Close()
+
+	for _, q := range []*ir.Query{ir.NewQuery("olap"), ir.NewQuery("olap", "cube")} {
+		miss := c.Query(q, 10)
+		hit := c.Query(q, 10)
+		if hit.Source != "result" {
+			t.Fatalf("%v: second answer source = %q, want result", q, hit.Source)
+		}
+		ref := eng.Rank(q)
+		top := ref.TopK(10)
+		if len(top) != len(hit.Results) || len(miss.Results) != len(top) {
+			t.Fatalf("%v: result lengths differ: %d vs %d", q, len(top), len(hit.Results))
+		}
+		for i := range top {
+			if top[i].Node != hit.Results[i].Node || top[i].Score != hit.Results[i].Score {
+				t.Fatalf("%v: rank %d: uncached (%d, %v) vs cached (%d, %v)",
+					q, i, top[i].Node, top[i].Score, hit.Results[i].Node, hit.Results[i].Score)
+			}
+			if ref.InBase(top[i].Node) != hit.Results[i].InBase {
+				t.Fatalf("%v: rank %d: InBase mismatch", q, i)
+			}
+		}
+		if miss.Iterations != ref.Iterations || hit.Iterations != ref.Iterations {
+			t.Errorf("%v: iterations: miss %d, hit %d, uncached %d",
+				q, miss.Iterations, hit.Iterations, ref.Iterations)
+		}
+		eng.Release(ref)
+	}
+}
+
+// TestRankPinnedMatchesEngine: the explain path's full-vector entry
+// must reproduce the uncached ranking exactly, including after a cache
+// hit, and its scores must be a private copy (releasable without
+// corrupting the cache).
+func TestRankPinnedMatchesEngine(t *testing.T) {
+	_, eng := testEngine(t, rank.Options{})
+	c := New(eng, Options{})
+	defer c.Close()
+
+	q := ir.NewQuery("olap")
+	ref := eng.Rank(q)
+	for round := 0; round < 2; round++ { // miss, then hit
+		res := c.RankPinned(eng.Pin(), q)
+		for v := range ref.Scores {
+			if res.Scores[v] != ref.Scores[v] {
+				t.Fatalf("round %d: node %d: %g != %g", round, v, res.Scores[v], ref.Scores[v])
+			}
+		}
+		if len(res.Base) != len(ref.Base) {
+			t.Fatalf("round %d: base sizes %d != %d", round, len(res.Base), len(ref.Base))
+		}
+		eng.Release(res) // must not corrupt the cached vector
+	}
+	eng.Release(ref)
+}
+
+func TestCanonicalQuery(t *testing.T) {
+	a := CanonicalQuery(ir.NewQuery("olap", "cube"))
+	b := CanonicalQuery(ir.NewQuery("cube", "olap"))
+	if a != b {
+		t.Errorf("order-sensitive canonical form: %q vs %q", a, b)
+	}
+	w := ir.NewQuery("olap", "cube")
+	w.SetWeight("cube", 0.5)
+	if CanonicalQuery(w) == a {
+		t.Error("weight change did not change canonical form")
+	}
+	neg := ir.NewQuery("olap")
+	neg.SetWeight("dropped", -1)
+	if CanonicalQuery(neg) != CanonicalQuery(ir.NewQuery("olap")) {
+		t.Error("non-positive-weight term should not affect the canonical form")
+	}
+	if term, ok := singleTerm(neg); !ok || term != "olap" {
+		t.Errorf("singleTerm = %q, %v", term, ok)
+	}
+	if _, ok := singleTerm(ir.NewQuery("olap", "cube")); ok {
+		t.Error("two-term query classified as single-term")
+	}
+}
+
+func TestLRUByteBudget(t *testing.T) {
+	var ev atomic.Int64
+	l := newShardedLRU(1024, 1, &ev)
+	for i := 0; i < 16; i++ {
+		l.Put(string(rune('a'+i)), i, 128)
+	}
+	if l.Bytes() > 1024 {
+		t.Errorf("bytes = %d exceeds budget", l.Bytes())
+	}
+	if ev.Load() == 0 {
+		t.Error("no evictions recorded under pressure")
+	}
+	if _, ok := l.Get("a"); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	// Most recent entry must be resident.
+	if _, ok := l.Get(string(rune('a' + 15))); !ok {
+		t.Error("most recent entry evicted")
+	}
+	// Oversized entries are rejected, not admitted.
+	before := l.Bytes()
+	l.Put("huge", 1, 4096)
+	if _, ok := l.Get("huge"); ok || l.Bytes() != before {
+		t.Error("oversized entry admitted")
+	}
+	// Remove hands the value over.
+	v, ok := l.Remove(string(rune('a' + 15)))
+	if !ok || v.(int) != 15 {
+		t.Errorf("Remove = %v, %v", v, ok)
+	}
+	if _, ok := l.Get(string(rune('a' + 15))); ok {
+		t.Error("removed entry still resident")
+	}
+}
+
+// TestEvictionUnderPressure: a tiny vector budget forces term-vector
+// evictions while serving stays correct.
+func TestEvictionUnderPressure(t *testing.T) {
+	_, eng := testEngine(t, rank.Options{})
+	n := eng.Graph().NumNodes()
+	// Budget fits roughly one vector per shard with a single shard:
+	// inserting several distinct terms must evict.
+	c := New(eng, Options{VectorBytes: int64(8*n + 512), ResultBytes: 16 << 10, Shards: 1})
+	defer c.Close()
+
+	terms := eng.Index().TermsWithDF(3)
+	if len(terms) > 6 {
+		terms = terms[:6]
+	}
+	if len(terms) < 3 {
+		t.Skip("vocabulary too small at this scale")
+	}
+	for _, term := range terms {
+		c.Query(ir.NewQuery(term), 5)
+	}
+	s := c.Stats()
+	if s.Vector.Evictions == 0 {
+		t.Errorf("no vector evictions under a one-vector budget: %+v", s.Vector)
+	}
+	if s.Vector.Bytes > s.Vector.BudgetBytes {
+		t.Errorf("resident bytes %d exceed budget %d", s.Vector.Bytes, s.Vector.BudgetBytes)
+	}
+	// Serving an evicted term still works (recompute path).
+	ans := c.Query(ir.NewQuery(terms[0]), 5)
+	if ans == nil || ans.Version != 1 {
+		t.Fatalf("bad answer after eviction: %+v", ans)
+	}
+}
+
+// TestPrewarm: after a rates publication, the background prewarmer
+// refreshes the hottest terms at the new version without any query
+// arriving.
+func TestPrewarm(t *testing.T) {
+	ds, eng := testEngine(t, rank.Options{})
+	c := New(eng, Options{PrewarmTerms: 2})
+	defer c.Close()
+
+	// Make "olap" hot.
+	for i := 0; i < 3; i++ {
+		c.Query(ir.NewQuery("olap"), 5)
+	}
+	if err := eng.SetRates(perturb(t, ds.Rates)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	newRK := c.ratesKeyFor(eng.Pin())
+	for {
+		if _, ok := c.vectors.Get(termKey(newRK, "olap")); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prewarmer did not refresh hot term; stats = %+v", c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Stats().Prewarmed == 0 {
+		t.Error("prewarmed counter not incremented")
+	}
+	// The prewarm itself should have warm-started from the donated v1
+	// vector (it was resident).
+	if c.Stats().WarmStarts == 0 {
+		t.Error("prewarm did not warm-start from the previous version's vector")
+	}
+}
+
+// TestConcurrentServeAndPublish hammers the cached serving path while
+// rates are republished — the -race workout for the cache, prewarmer,
+// and publish hook together.
+func TestConcurrentServeAndPublish(t *testing.T) {
+	ds, eng := testEngine(t, rank.Options{})
+	c := New(eng, Options{PrewarmTerms: 2})
+	defer c.Close()
+
+	terms := eng.Index().TermsWithDF(3)
+	if len(terms) > 4 {
+		terms = terms[:4]
+	}
+	if len(terms) == 0 {
+		t.Skip("vocabulary too small")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := ir.NewQuery(terms[(w+i)%len(terms)])
+				if ans := c.Query(q, 5); ans == nil {
+					t.Error("nil answer")
+					return
+				}
+				i++
+			}
+		}(w)
+	}
+	rates := []*graph.Rates{ds.Rates.Clone(), perturb(t, ds.Rates)}
+	for i := 0; i < 6; i++ {
+		if err := eng.SetRates(rates[i%2]); err != nil {
+			t.Error(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

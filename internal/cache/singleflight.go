@@ -1,0 +1,54 @@
+package cache
+
+import "sync"
+
+// flightGroup collapses concurrent duplicate work: N goroutines asking
+// for the same key while a computation is in flight all wait for the
+// one leader and share its result. This is a minimal in-tree
+// singleflight (the repo deliberately takes no external dependencies);
+// unlike golang.org/x/sync/singleflight it returns the leader's value
+// as `any` and reports whether the caller was a follower.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+}
+
+// Do runs fn under key, ensuring that concurrent calls with the same
+// key execute fn exactly once among them: the first caller (the leader)
+// runs fn, every caller that arrives before the leader finishes blocks
+// and receives the leader's value. shared is true for followers.
+//
+// Callers that arrive AFTER the leader finished start a fresh flight,
+// so fn must itself consult the backing cache first (double-checked
+// miss) for "at most one computation ever" semantics.
+func (g *flightGroup) Do(key string, fn func() any) (val any, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		// Release followers only after the key is gone, so a follower
+		// that immediately retries cannot re-join a completed flight.
+		c.wg.Done()
+	}()
+	c.val = fn()
+	return c.val, false
+}

@@ -110,10 +110,40 @@ type Engine struct {
 	corpus *Corpus
 	snap   atomic.Pointer[ratesSnapshot]
 
+	// publishHook, when set, is invoked after every successful rates
+	// publication with the replaced and new snapshot versions. The
+	// serving cache subscribes here to trigger prewarming; see
+	// SetPublishHook.
+	publishHook atomic.Pointer[func(oldVersion, newVersion uint64)]
+
 	// global caches the PageRank vector used to warm-start initial
 	// queries (Section 6.2), computed on first use.
 	globalOnce sync.Once
 	global     []float64
+}
+
+// SetPublishHook registers f to be called after every successful rates
+// publication (SetRates or TrySetRates) with the versions of the
+// replaced and the newly published snapshot. At most one hook is held;
+// a nil f removes it. The hook runs synchronously on the publishing
+// goroutine AFTER the compare-and-swap, so it observes the new snapshot
+// via the engine's normal read paths; it must not itself publish rates
+// (that would recurse). This is the engine-level integration point for
+// version-keyed caches: invalidation is implicit (cache keys embed the
+// rates identity), the hook exists to kick off background refresh work
+// such as prewarming hot terms.
+func (e *Engine) SetPublishHook(f func(oldVersion, newVersion uint64)) {
+	if f == nil {
+		e.publishHook.Store(nil)
+		return
+	}
+	e.publishHook.Store(&f)
+}
+
+func (e *Engine) notifyPublish(oldVersion, newVersion uint64) {
+	if h := e.publishHook.Load(); h != nil {
+		(*h)(oldVersion, newVersion)
+	}
 }
 
 // ErrRatesConflict is returned by TrySetRates when the engine's rates
@@ -182,6 +212,7 @@ func (e *Engine) SetRates(r *graph.Rates) error {
 		old := e.snap.Load()
 		next := &ratesSnapshot{rates: clone, alpha: alpha, version: old.version + 1}
 		if e.snap.CompareAndSwap(old, next) {
+			e.notifyPublish(old.version, next.version)
 			return nil
 		}
 	}
@@ -206,6 +237,7 @@ func (e *Engine) TrySetRates(r *graph.Rates, ifVersion uint64) (uint64, error) {
 	if !e.snap.CompareAndSwap(old, next) {
 		return e.snap.Load().version, ErrRatesConflict
 	}
+	e.notifyPublish(old.version, next.version)
 	return next.version, nil
 }
 

@@ -304,19 +304,19 @@ func LoadFile(path string) (*Store, error) {
 }
 
 // ValidFor reports whether the store was built over a graph of the same
-// size and the same rate vector as the engine's current state.
+// size and the same rate vector as the engine's current state. The
+// rates comparison is graph.SameRateVector — the same predicate the
+// serving cache's key derivation (graph.RateVectorKey) hashes — so
+// "store rates match live rates" and "cache entry matches live rates"
+// cannot drift apart.
 func (s *Store) ValidFor(eng *core.Engine) bool {
 	if eng.Graph().NumNodes() != s.n {
 		return false
 	}
-	cur := eng.Rates().Vector()
-	if len(cur) != len(s.rates) {
-		return false
-	}
-	for i := range cur {
-		if cur[i] != s.rates[i] {
-			return false
-		}
-	}
-	return true
+	return graph.SameRateVector(eng.Rates().Vector(), s.rates)
 }
+
+// RatesKey returns the graph.RateVectorKey fingerprint of the rates the
+// store was built under — directly comparable with the serving cache's
+// key component for the same rate assignment.
+func (s *Store) RatesKey() uint64 { return graph.RateVectorKey(s.rates) }

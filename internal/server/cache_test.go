@@ -1,0 +1,247 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/rank"
+)
+
+// testCachedServer builds a cache-enabled server next to an uncached
+// twin over the SAME dataset, so responses can be compared.
+func testCachedServer(t *testing.T) (*Server, *httptest.Server, *Server) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core1 := core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}}
+	s, err := New(ds, core1, WithCache(8<<20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	plain, err := New(ds, core1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, plain
+}
+
+func TestCachedQueryHitAndStats(t *testing.T) {
+	_, ts, _ := testCachedServer(t)
+
+	var first, second QueryResponse
+	if code := getJSON(t, ts.URL+"/query?q=olap&k=5", &first); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if first.Cache == "" || first.Cache == "result" {
+		t.Errorf("first query cache source = %q, want a non-hit source", first.Cache)
+	}
+	if code := getJSON(t, ts.URL+"/query?q=olap&k=5", &second); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if second.Cache != "result" {
+		t.Errorf("second query cache source = %q, want result", second.Cache)
+	}
+	if len(first.Results) != len(second.Results) {
+		t.Fatalf("result lengths differ: %d vs %d", len(first.Results), len(second.Results))
+	}
+	for i := range first.Results {
+		if first.Results[i] != second.Results[i] {
+			t.Errorf("result %d differs between miss and hit: %+v vs %+v",
+				i, first.Results[i], second.Results[i])
+		}
+	}
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("/stats status = %d", code)
+	}
+	if !st.CacheEnabled || st.Cache == nil {
+		t.Fatalf("stats = %+v, want cache enabled", st)
+	}
+	if st.Cache.Result.Hits == 0 {
+		t.Errorf("no result-cache hits recorded: %+v", st.Cache.Result)
+	}
+	if st.Cache.Computes == 0 {
+		t.Errorf("no computes recorded: %+v", st.Cache)
+	}
+	if st.RatesVersion != 1 {
+		t.Errorf("ratesVersion = %d, want 1", st.RatesVersion)
+	}
+}
+
+// TestCachedMatchesUncached: a cache-enabled server must return the
+// same /query payload (scores, order, base flags) as an uncached
+// server over the same dataset and options.
+func TestCachedMatchesUncached(t *testing.T) {
+	_, ts, plain := testCachedServer(t)
+	plainTS := httptest.NewServer(plain.Handler())
+	defer plainTS.Close()
+
+	for _, q := range []string{"olap", "olap+cube", "data+mining"} {
+		url := "/query?q=" + q + "&k=10"
+		var cached, uncached QueryResponse
+		if code := getJSON(t, ts.URL+url, &cached); code != 200 {
+			t.Fatalf("%s: status %d", q, code)
+		}
+		// Hit the cached server twice so the comparison also covers the
+		// hit path.
+		if code := getJSON(t, ts.URL+url, &cached); code != 200 {
+			t.Fatalf("%s: status %d", q, code)
+		}
+		if code := getJSON(t, plainTS.URL+url, &uncached); code != 200 {
+			t.Fatalf("%s: status %d", q, code)
+		}
+		if len(cached.Results) != len(uncached.Results) {
+			t.Fatalf("%s: lengths %d vs %d", q, len(cached.Results), len(uncached.Results))
+		}
+		if cached.BaseSet != uncached.BaseSet || cached.Iterations != uncached.Iterations {
+			t.Errorf("%s: meta differs: cached {base %d, iters %d} vs uncached {base %d, iters %d}",
+				q, cached.BaseSet, cached.Iterations, uncached.BaseSet, uncached.Iterations)
+		}
+		for i := range cached.Results {
+			c, u := cached.Results[i], uncached.Results[i]
+			if c.Node != u.Node || c.Score != u.Score || c.InBase != u.InBase || c.Display != u.Display {
+				t.Errorf("%s: result %d differs: %+v vs %+v", q, i, c, u)
+			}
+		}
+	}
+}
+
+func TestHealthzReportsVersionAndCache(t *testing.T) {
+	s, ts, _ := testCachedServer(t)
+	var h HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if h.RatesVersion != 1 || !h.CacheEnabled {
+		t.Errorf("healthz = %+v, want ratesVersion 1, cacheEnabled true", h)
+	}
+	if h.Nodes != s.Dataset().Graph.NumNodes() || h.Edges != s.Dataset().Graph.NumEdges() {
+		t.Errorf("healthz counts = %+v", h)
+	}
+
+	// An uncached server reports the cache off and /stats still works.
+	plainTS := httptest.NewServer(testCachedServerPlain(t).Handler())
+	defer plainTS.Close()
+	var h2 HealthResponse
+	getJSON(t, plainTS.URL+"/healthz", &h2)
+	if h2.CacheEnabled {
+		t.Error("uncached server claims cacheEnabled")
+	}
+	var st StatsResponse
+	if code := getJSON(t, plainTS.URL+"/stats", &st); code != 200 {
+		t.Fatalf("/stats status = %d", code)
+	}
+	if st.CacheEnabled || st.Cache != nil {
+		t.Errorf("uncached /stats = %+v", st)
+	}
+}
+
+func testCachedServerPlain(t *testing.T) *Server {
+	t.Helper()
+	s, _ := testServer(t)
+	return s
+}
+
+// TestCachedReformulateBumpsVersion: a reformulation through a cached
+// server publishes new rates; /query afterwards serves the new version
+// (never a stale cached answer) and /healthz reflects the bump.
+func TestCachedReformulateBumpsVersion(t *testing.T) {
+	_, ts, _ := testCachedServer(t)
+
+	var q1 QueryResponse
+	getJSON(t, ts.URL+"/query?q=olap&k=3", &q1)
+	if len(q1.Results) == 0 {
+		t.Skip("no results at this scale")
+	}
+	target := q1.Results[0].Node
+
+	var ref ReformulateResponse
+	code := getJSON(t, fmt.Sprintf("%s/reformulate?q=olap&feedback=%d&mode=structure", ts.URL, target), &ref)
+	if code != 200 {
+		t.Fatalf("reformulate status = %d", code)
+	}
+	if ref.Version != 2 {
+		t.Fatalf("post-reformulation version = %d, want 2", ref.Version)
+	}
+	var q2 QueryResponse
+	getJSON(t, ts.URL+"/query?q=olap&k=3", &q2)
+	if q2.Version != 2 {
+		t.Errorf("query after reformulation served version %d, want 2", q2.Version)
+	}
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.RatesVersion != 2 {
+		t.Errorf("healthz ratesVersion = %d, want 2", h.RatesVersion)
+	}
+}
+
+// TestCachedServerConcurrency is the -race workout of the cached HTTP
+// path: concurrent queries (hitting, missing, deduplicating) racing
+// reformulations that publish new rates.
+func TestCachedServerConcurrency(t *testing.T) {
+	_, ts, _ := testCachedServer(t)
+
+	var q1 QueryResponse
+	getJSON(t, ts.URL+"/query?q=olap&k=3", &q1)
+	if len(q1.Results) == 0 {
+		t.Skip("no results at this scale")
+	}
+	target := q1.Results[0].Node
+
+	queries := []string{"olap", "olap+cube", "cube", "data"}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				resp, err := http.Get(ts.URL + "/query?q=" + queries[(w+i)%len(queries)] + "&k=5")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			resp, err := http.Get(fmt.Sprintf("%s/reformulate?q=olap&feedback=%d&mode=structure", ts.URL, target))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 && resp.StatusCode != 409 && resp.StatusCode != 400 {
+				t.Errorf("reformulate status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Cache == nil || st.Cache.Result.Hits+st.Cache.Vector.Hits == 0 {
+		t.Errorf("no cache hits under concurrent load: %+v", st.Cache)
+	}
+}

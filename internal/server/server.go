@@ -11,6 +11,7 @@
 //	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both[&version=N]
 //	GET /rates
 //	GET /healthz
+//	GET /stats
 //
 // Concurrency: the server holds no locks. Every handler loads the
 // engine's current rates snapshot once (explicitly via core.Pin for the
@@ -21,6 +22,12 @@
 // optional version=N parameter asserts the client's expected version,
 // and a lost race returns 409 Conflict with the winning version so the
 // client can re-read and retry.
+//
+// With WithCache, the query paths run through the internal/cache
+// serving cache: repeated queries hit a version-keyed result cache,
+// single-keyword queries share converged term vectors, concurrent
+// identical misses collapse onto one solve, and /stats exposes the
+// hit/miss/eviction/singleflight/bytes counters.
 package server
 
 import (
@@ -30,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 
+	"authorityflow/internal/cache"
 	"authorityflow/internal/core"
 	"authorityflow/internal/datagen"
 	"authorityflow/internal/graph"
@@ -42,17 +50,62 @@ import (
 // atomically versioned snapshots by the engine; handlers are lock-free
 // and safe under unbounded concurrency.
 type Server struct {
-	ds  *datagen.Dataset
-	eng *core.Engine
+	ds    *datagen.Dataset
+	eng   *core.Engine
+	cache *cache.CachedEngine // nil when serving uncached
 }
 
-// New builds a Server over a dataset.
-func New(ds *datagen.Dataset, cfg core.Config) (*Server, error) {
+// Option configures optional Server behaviour.
+type Option func(*serverOptions)
+
+type serverOptions struct {
+	cacheOpts    cache.Options
+	cacheEnabled bool
+}
+
+// WithCache enables the serving cache with the given total byte budget
+// (0 = cache.DefaultMaxBytes) and number of hot terms to prewarm after
+// each rates publication (0 = no prewarming).
+func WithCache(maxBytes int64, prewarmTerms int) Option {
+	return func(o *serverOptions) {
+		o.cacheEnabled = true
+		o.cacheOpts.MaxBytes = maxBytes
+		o.cacheOpts.PrewarmTerms = prewarmTerms
+	}
+}
+
+// WithCacheOptions enables the serving cache with full cache.Options.
+func WithCacheOptions(co cache.Options) Option {
+	return func(o *serverOptions) {
+		o.cacheEnabled = true
+		o.cacheOpts = co
+	}
+}
+
+// New builds a Server over a dataset. Without options the server runs
+// uncached, exactly as before; pass WithCache to enable the serving
+// cache.
+func New(ds *datagen.Dataset, cfg core.Config, opts ...Option) (*Server, error) {
 	eng, err := core.NewEngine(ds.Graph, ds.Rates, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{ds: ds, eng: eng}, nil
+	var so serverOptions
+	for _, o := range opts {
+		o(&so)
+	}
+	s := &Server{ds: ds, eng: eng}
+	if so.cacheEnabled {
+		s.cache = cache.New(eng, so.cacheOpts)
+	}
+	return s, nil
+}
+
+// Close releases background resources (the cache's prewarmer, if any).
+func (s *Server) Close() {
+	if s.cache != nil {
+		s.cache.Close()
+	}
 }
 
 // Handler returns the routed HTTP handler.
@@ -63,6 +116,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/reformulate", s.handleReformulate)
 	mux.HandleFunc("/rates", s.handleRates)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
@@ -80,11 +134,14 @@ type Result struct {
 // on these results should pass it as the version parameter to detect
 // concurrent rate changes.
 type QueryResponse struct {
-	Query      string   `json:"query"`
-	BaseSet    int      `json:"baseSet"`
-	Iterations int      `json:"iterations"`
-	Version    uint64   `json:"version"`
-	Results    []Result `json:"results"`
+	Query      string `json:"query"`
+	BaseSet    int    `json:"baseSet"`
+	Iterations int    `json:"iterations"`
+	Version    uint64 `json:"version"`
+	// Cache reports how a cache-enabled server produced the answer
+	// ("result", "term", or "computed"); omitted when serving uncached.
+	Cache   string   `json:"cache,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // ReformulateResponse is the /reformulate payload. Version is the
@@ -114,21 +171,48 @@ type ExpansionTerm struct {
 	Weight float64 `json:"weight"`
 }
 
-// HealthResponse is the /healthz payload.
+// HealthResponse is the /healthz payload: enough for an operator to
+// see WHAT a replica is serving — dataset identity and size, the
+// currently published rates version, and whether the serving cache is
+// on.
 type HealthResponse struct {
-	Status string `json:"status"`
-	Name   string `json:"name"`
-	Nodes  int    `json:"nodes"`
-	Edges  int    `json:"edges"`
+	Status       string `json:"status"`
+	Name         string `json:"name"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+	RatesVersion uint64 `json:"ratesVersion"`
+	CacheEnabled bool   `json:"cacheEnabled"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
-		Name:   s.ds.Name,
-		Nodes:  s.ds.Graph.NumNodes(),
-		Edges:  s.ds.Graph.NumEdges(),
+		Status:       "ok",
+		Name:         s.ds.Name,
+		Nodes:        s.ds.Graph.NumNodes(),
+		Edges:        s.ds.Graph.NumEdges(),
+		RatesVersion: s.eng.RatesVersion(),
+		CacheEnabled: s.cache != nil,
 	})
+}
+
+// StatsResponse is the /stats payload: the serving cache's counters
+// (nil when the cache is disabled) plus the current rates version.
+type StatsResponse struct {
+	CacheEnabled bool                 `json:"cacheEnabled"`
+	RatesVersion uint64               `json:"ratesVersion"`
+	Cache        *cache.StatsSnapshot `json:"cache,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		CacheEnabled: s.cache != nil,
+		RatesVersion: s.eng.RatesVersion(),
+	}
+	if s.cache != nil {
+		snap := s.cache.Stats()
+		resp.Cache = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
@@ -144,6 +228,18 @@ func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, k, ok := parseQuery(w, r)
 	if !ok {
+		return
+	}
+	if s.cache != nil {
+		ans := s.cache.Query(q, k)
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Query:      q.String(),
+			BaseSet:    ans.BaseSet,
+			Iterations: ans.Iterations,
+			Version:    ans.Version,
+			Cache:      ans.Source,
+			Results:    s.renderItems(q, ans.Results),
+		})
 		return
 	}
 	res := s.eng.Rank(q)
@@ -169,9 +265,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Pin one snapshot so the ranking and its explanation cannot see
-	// different rates even if a reformulation lands in between.
+	// different rates even if a reformulation lands in between. With the
+	// cache on, single-keyword rankings come straight from the shared
+	// term vectors (copied out, since Release returns scores to the
+	// pool).
 	pin := s.eng.Pin()
-	res := pin.Rank(q)
+	var res *core.RankResult
+	if s.cache != nil {
+		res = s.cache.RankPinned(pin, q)
+	} else {
+		res = pin.Rank(q)
+	}
 	sg, err := pin.Explain(res, graph.NodeID(target), core.DefaultExplain())
 	s.eng.Release(res)
 	if err != nil {
@@ -247,7 +351,12 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res := pin.Rank(q)
+	var res *core.RankResult
+	if s.cache != nil {
+		res = s.cache.RankPinned(pin, q)
+	} else {
+		res = pin.Rank(q)
+	}
 	defer s.eng.Release(res)
 	var subs []*core.Subgraph
 	for _, id := range ids {
@@ -275,14 +384,23 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	res2 := s.eng.RankFrom(ref.Query, res.Scores)
 	resp := ReformulateResponse{
 		Query:   ref.Query.String(),
 		Rates:   ref.Rates.String(),
 		Version: newVersion,
-		Results: s.results(res2, k),
 	}
-	s.eng.Release(res2)
+	if s.cache != nil {
+		// Warm-start the reformulated solve from the feedback ranking's
+		// scores AND seed the result cache at the just-published
+		// version, so follow-up /query calls for the reformulated query
+		// hit immediately.
+		ans := s.cache.QueryFrom(ref.Query, k, res.Scores)
+		resp.Results = s.renderItems(ref.Query, ans.Results)
+	} else {
+		res2 := s.eng.RankFrom(ref.Query, res.Scores)
+		resp.Results = s.results(res2, k)
+		s.eng.Release(res2)
+	}
 	for _, wt := range ref.Expansion {
 		resp.Expansion = append(resp.Expansion, ExpansionTerm{Term: wt.Term, Weight: wt.Weight})
 	}
@@ -298,6 +416,23 @@ func (s *Server) results(res *core.RankResult, k int) []Result {
 			Display: s.ds.Graph.Display(r.Node),
 			Snippet: ir.Snippet(s.ds.Graph.Text(r.Node), res.Query, 160),
 			InBase:  res.InBase(r.Node),
+		})
+	}
+	return out
+}
+
+// renderItems converts cached result items to the JSON form, attaching
+// display text and snippets (which are graph-derived and therefore
+// never stale).
+func (s *Server) renderItems(q *ir.Query, items []cache.ResultItem) []Result {
+	out := make([]Result, 0, len(items))
+	for _, it := range items {
+		out = append(out, Result{
+			Node:    int64(it.Node),
+			Score:   it.Score,
+			Display: s.ds.Graph.Display(it.Node),
+			Snippet: ir.Snippet(s.ds.Graph.Text(it.Node), q, 160),
+			InBase:  it.InBase,
 		})
 	}
 	return out
@@ -335,6 +470,9 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 
 // Engine exposes the underlying engine for tests and embedding.
 func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Cache exposes the serving cache (nil when disabled).
+func (s *Server) Cache() *cache.CachedEngine { return s.cache }
 
 // Dataset exposes the served dataset.
 func (s *Server) Dataset() *datagen.Dataset { return s.ds }
