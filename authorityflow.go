@@ -47,6 +47,7 @@ import (
 	"authorityflow/internal/eval"
 	"authorityflow/internal/graph"
 	"authorityflow/internal/ir"
+	"authorityflow/internal/obs"
 	"authorityflow/internal/precompute"
 	"authorityflow/internal/rank"
 	"authorityflow/internal/server"
@@ -333,6 +334,27 @@ type ServerOption = server.Option
 func WithServerCache(maxBytes int64, prewarmTerms int) ServerOption {
 	return server.WithCache(maxBytes, prewarmTerms)
 }
+
+// ServerObsOptions configure the server's observability subsystem:
+// access/slow-query logs, the slow-query threshold, pprof, and an
+// optional shared metric registry. The zero value keeps /metrics and
+// request IDs on with everything else off.
+type ServerObsOptions = server.ObsOptions
+
+// WithServerObservability configures the server's observability
+// subsystem (see ServerObsOptions). Servers built without it still
+// serve /metrics and X-Request-ID from a default configuration.
+func WithServerObservability(o ServerObsOptions) ServerOption {
+	return server.WithObservability(o)
+}
+
+// MetricsRegistry is the stdlib-only Prometheus-text metric registry of
+// internal/obs; pass one in ServerObsOptions.Registry to co-host
+// several servers' metric families on a single exposition endpoint.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Serving cache (internal/cache): version-keyed term-vector and result
 // caches with singleflight miss collapsing, LRU byte budgets,

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"authorityflow"
@@ -367,6 +368,40 @@ func BenchmarkQueryPathCacheHit(b *testing.B) {
 	b.StopTimer()
 	if st := ce.Stats(); st.Result.Hits == 0 {
 		b.Fatal("benchmark did not exercise the result-cache hit path")
+	}
+}
+
+// BenchmarkQueryPathInstrumented is BenchmarkQueryPathCold with a live
+// per-iteration observer attached (the serving stack's /metrics
+// configuration: every iteration increments a counter). Comparing its
+// ns/op and allocs/op against QueryPathCold bounds the observability
+// overhead on the hot path; the disabled-observer zero-alloc contract
+// itself is enforced by TestIterateDisabledObserverZeroAlloc in
+// internal/rank.
+func BenchmarkQueryPathInstrumented(b *testing.B) {
+	ds, _ := microWorld(b)
+	var iterations atomic.Uint64
+	eng, err := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{
+		Rank: authorityflow.RankOptions{
+			Observe: func(iter int, residual float64) { iterations.Add(1) },
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := authorityflow.NewQuery("olap")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.RankCold(q)
+		if got := res.TopK(10); len(got) == 0 {
+			b.Fatal("empty result")
+		}
+		eng.Release(res)
+	}
+	b.StopTimer()
+	if iterations.Load() == 0 {
+		b.Fatal("observer never fired during instrumented solves")
 	}
 }
 

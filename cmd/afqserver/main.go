@@ -2,7 +2,7 @@
 // reformulation over HTTP — the counterpart of the paper's web demo
 // (http://dbir.cis.fiu.edu/ObjectRankReformulation/).
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET /query?q=olap&k=10
 //	GET /explain?q=olap&target=123
@@ -10,6 +10,8 @@
 //	GET /rates
 //	GET /healthz
 //	GET /stats
+//	GET /metrics        (Prometheus text exposition)
+//	GET /debug/pprof/   (only with -pprof)
 //
 // Reformulation state (the trained rates) is per-process: subsequent
 // queries use the latest rates, as in the deployed system.
@@ -20,15 +22,32 @@
 // version, concurrent identical misses collapse onto one power
 // iteration, and -prewarm N refreshes the N hottest terms in the
 // background after every reformulation publishes new rates. /stats
-// reports hit/miss/eviction/singleflight/bytes counters.
+// reports hit/miss/eviction/singleflight/bytes counters; /metrics
+// exposes the same counters (plus per-handler latency histograms and
+// kernel instrumentation) in Prometheus format.
+//
+// Observability flags: -access-log ("-" for stderr, or a file path)
+// turns on one structured JSON line per request; -slow-query-ms N logs
+// requests slower than N ms together with their pipeline span events;
+// -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests finish, then the prewarmer is stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"authorityflow/internal/core"
 	"authorityflow/internal/datagen"
@@ -45,6 +64,10 @@ func main() {
 		workers = flag.Int("workers", 0, "power-iteration workers (0 serial, -1 all cores)")
 		cacheMB = flag.Int("cache-mb", 64, "serving-cache byte budget in MiB (0 disables the cache)")
 		prewarm = flag.Int("prewarm", 8, "hottest terms to refresh after each rates publication (0 disables; needs -cache-mb > 0)")
+
+		accessLog = flag.String("access-log", "", `access log destination: "" off, "-" stderr, else a file path`)
+		slowMS    = flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds with their span events (0 disables)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -53,7 +76,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)
 	}
-	var opts []server.Option
+
+	obsOpts, logCloser, err := obsOptions(*accessLog, *slowMS, *pprofOn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
+		os.Exit(1)
+	}
+	if logCloser != nil {
+		defer logCloser.Close()
+	}
+
+	opts := []server.Option{server.WithObservability(obsOpts)}
 	if *cacheMB > 0 {
 		opts = append(opts, server.WithCache(int64(*cacheMB)<<20, *prewarm))
 	}
@@ -62,10 +95,92 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)
 	}
-	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
+		os.Exit(1)
+	}
 	log.Printf("afqserver: %s (%d nodes, %d edges) on %s (cache %d MiB, prewarm %d)",
-		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), *addr, *cacheMB, *prewarm)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), ln.Addr(), *cacheMB, *prewarm)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv := newHTTPServer(s.Handler())
+	if err := serve(ctx, srv, ln, s.Close); err != nil {
+		log.Fatalf("afqserver: %v", err)
+	}
+	log.Printf("afqserver: shut down cleanly")
+}
+
+// newHTTPServer builds the production http.Server configuration:
+// header-read and idle timeouts so slow-loris clients and dead
+// keep-alive connections cannot pin resources forever. No WriteTimeout:
+// large-k queries on big corpora legitimately stream for a while.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// serve runs srv on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to 10 s to finish, and cleanup (closing the engine/prewarmer) runs
+// after the last request completes. Returns nil on a clean shutdown.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, cleanup func()) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested.
+		if cleanup != nil {
+			cleanup()
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	return err
+}
+
+// obsOptions translates the observability flags into server options.
+// The returned closer is non-nil when the access log went to a file.
+func obsOptions(accessLog string, slowMS int, pprofOn bool) (server.ObsOptions, io.Closer, error) {
+	o := server.ObsOptions{
+		SlowThreshold: time.Duration(slowMS) * time.Millisecond,
+		Pprof:         pprofOn,
+	}
+	var closer io.Closer
+	switch accessLog {
+	case "":
+	case "-":
+		o.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return o, nil, fmt.Errorf("access log: %w", err)
+		}
+		o.AccessLog = f
+		closer = f
+	}
+	if slowMS > 0 && o.AccessLog == nil {
+		// Slow-query logging with no access-log destination still needs
+		// somewhere to write; default to stderr.
+		o.SlowLog = os.Stderr
+	}
+	return o, closer, nil
 }
 
 func load(data, gen string, scale float64) (*datagen.Dataset, error) {

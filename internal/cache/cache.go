@@ -155,6 +155,25 @@ type ResultItem struct {
 	InBase bool
 }
 
+// Answer.Source values: how a cache-enabled query path produced its
+// answer. Exported as constants so the observability layer's
+// cache-outcome metric labels and the HTTP responses' "cache" field
+// can never disagree on spelling.
+const (
+	// SourceResult: the full top-k answer came from the result cache.
+	SourceResult = "result"
+	// SourceTerm: a cached converged term vector was re-ranked (top-k
+	// scan only, no kernel work).
+	SourceTerm = "term"
+	// SourceComputed: a power-iteration solve ran — possibly another
+	// concurrent caller's (see StatsSnapshot.SingleflightDedup).
+	SourceComputed = "computed"
+)
+
+// Sources lists every Answer.Source value, in cheapest-first order —
+// the label domain of the server's cache-outcome counters.
+func Sources() []string { return []string{SourceResult, SourceTerm, SourceComputed} }
+
 // Answer is one served query answer.
 type Answer struct {
 	// Query is the query that was answered.
@@ -169,10 +188,8 @@ type Answer struct {
 	BaseSet int
 	// Version is the rates-snapshot version the answer is valid for.
 	Version uint64
-	// Source reports how the answer was produced: "result" (result
-	// cache hit), "term" (term-vector cache hit, top-k recomputed),
-	// or "computed" (a solve ran — possibly another concurrent
-	// caller's, see StatsSnapshot.SingleflightDedup).
+	// Source reports how the answer was produced: SourceResult,
+	// SourceTerm, or SourceComputed (see the Source constants).
 	Source string
 }
 
@@ -357,16 +374,16 @@ func (c *CachedEngine) queryAt(pin *core.Pinned, q *ir.Query, k int, init []floa
 	key := resultKey(rk, k, q)
 	if e, ok := c.results.Get(key); ok {
 		c.stats.resultHits.Add(1)
-		return c.answerFrom(e.(*cachedResult), q, "result")
+		return c.answerFrom(e.(*cachedResult), q, SourceResult)
 	}
 	c.stats.resultMisses.Add(1)
 
 	if term, ok := singleTerm(q); ok {
 		tv, hit := c.termVectorFor(pin, rk, term)
 		cr := c.storeTopK(key, q, k, v, tv)
-		src := "computed"
+		src := SourceComputed
 		if hit {
-			src = "term"
+			src = SourceTerm
 		}
 		return c.answerFrom(cr, q, src)
 	}
@@ -394,7 +411,7 @@ func (c *CachedEngine) queryAt(pin *core.Pinned, q *ir.Query, k int, init []floa
 	if shared {
 		c.stats.dedup.Add(1)
 	}
-	return c.answerFrom(val.(*cachedResult), q, "computed")
+	return c.answerFrom(val.(*cachedResult), q, SourceComputed)
 }
 
 // resultFrom converts a live RankResult into a cached top-k entry.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"authorityflow/internal/graph"
 	"authorityflow/internal/ir"
@@ -116,10 +117,57 @@ type Engine struct {
 	// SetPublishHook.
 	publishHook atomic.Pointer[func(oldVersion, newVersion uint64)]
 
+	// solveHook, when set, is invoked after every completed kernel
+	// execution on the ObjectRank2 path with that solve's SolveStats.
+	// The observability layer subscribes here to drive its kernel-solve
+	// counters and iterations-to-convergence histogram; see
+	// SetSolveHook.
+	solveHook atomic.Pointer[func(SolveStats)]
+
 	// global caches the PageRank vector used to warm-start initial
 	// queries (Section 6.2), computed on first use.
 	globalOnce sync.Once
 	global     []float64
+}
+
+// SolveStats describes one completed power-iteration execution on the
+// engine's ObjectRank2 path (Rank/RankFrom/RankCold and their Pinned
+// variants — including solves issued internally by the serving cache,
+// which all funnel through the same path).
+type SolveStats struct {
+	// Iterations and Converged mirror the kernel result.
+	Iterations int
+	Converged  bool
+	// WarmStarted reports whether the solve began from a caller-
+	// provided Init vector (§6.2 warm start) rather than cold.
+	WarmStarted bool
+	// BaseSet is the size of the weighted base set |S(Q)|.
+	BaseSet int
+	// BaseSetDur and SolveDur are the wall-clock durations of the
+	// base-set/IR-scoring stage and the kernel iteration stage.
+	BaseSetDur time.Duration
+	SolveDur   time.Duration
+}
+
+// SetSolveHook registers f to be called after every completed kernel
+// execution with that solve's statistics. At most one hook is held; a
+// nil f removes it. The hook runs synchronously on the solving
+// goroutine, so concurrent solves invoke it concurrently — it must be
+// safe for concurrent use and should be cheap (a few atomic updates).
+// Degenerate executions that never enter the kernel (an empty base
+// set) do not fire the hook.
+func (e *Engine) SetSolveHook(f func(SolveStats)) {
+	if f == nil {
+		e.solveHook.Store(nil)
+		return
+	}
+	e.solveHook.Store(&f)
+}
+
+func (e *Engine) notifySolve(st SolveStats) {
+	if h := e.solveHook.Load(); h != nil {
+		(*h)(st)
+	}
 }
 
 // SetPublishHook registers f to be called after every successful rates
@@ -282,6 +330,13 @@ type RankResult struct {
 	// ran under — the optimistic-concurrency token to present when
 	// publishing a reformulation derived from this result.
 	RatesVersion uint64
+	// BaseSetDur and SolveDur are the wall-clock stage timings of the
+	// execution (IR scoring vs kernel iteration) — the per-request
+	// trace's span durations. Zero for results that did not run the
+	// kernel (empty base set, cache hits reconstructed from stored
+	// vectors).
+	BaseSetDur time.Duration
+	SolveDur   time.Duration
 }
 
 // TopK returns the k best nodes by ObjectRank2 score.
@@ -336,21 +391,33 @@ func (e *Engine) RankCold(q *ir.Query) *RankResult {
 
 func (e *Engine) rankAt(snap *ratesSnapshot, q *ir.Query, init []float64) *RankResult {
 	c := e.corpus
+	t0 := time.Now()
 	base := e.BaseSet(q)
 	jump := c.pool.GetZeroed(c.g.NumNodes())
+	baseDur := time.Since(t0)
 	if len(base) == 0 {
 		// No node contains any query keyword: the fixpoint is
 		// identically zero, so skip the iteration (a warm start would
 		// otherwise only decay toward zero).
-		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version}
+		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, BaseSetDur: baseDur}
 	}
 	for _, sd := range base {
 		jump[sd.Doc] = sd.Score
 	}
 	opts := c.opts
 	opts.Init = init
+	t1 := time.Now()
 	res := rank.Iterate(c.g, snap.alpha, jump, opts, c.workers, c.pool)
+	solveDur := time.Since(t1)
 	c.pool.Put(jump)
+	e.notifySolve(SolveStats{
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		WarmStarted: init != nil,
+		BaseSet:     len(base),
+		BaseSetDur:  baseDur,
+		SolveDur:    solveDur,
+	})
 	return &RankResult{
 		Query:        q,
 		Scores:       res.Scores,
@@ -358,6 +425,8 @@ func (e *Engine) rankAt(snap *ratesSnapshot, q *ir.Query, init []float64) *RankR
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
 		RatesVersion: snap.version,
+		BaseSetDur:   baseDur,
+		SolveDur:     solveDur,
 	}
 }
 

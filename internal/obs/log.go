@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Logger writes structured single-line JSON records. It exists so the
+// access and slow-query logs are machine-parseable without pulling in
+// a logging dependency: each Log call renders one JSON object with the
+// caller's key/value pairs IN CALL ORDER (unlike encoding a map, which
+// would sort keys and bury the timestamp mid-line) terminated by '\n',
+// under a mutex so concurrent requests never interleave bytes.
+//
+// A nil *Logger is a no-op, so call sites log unconditionally.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing to w, or nil (a no-op logger)
+// when w is nil.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log writes one JSON object from alternating key, value arguments.
+// Keys should be strings (anything else is fmt.Sprint-ed); values are
+// rendered with encoding/json, falling back to their quoted
+// fmt.Sprint form if they fail to marshal. An odd trailing key gets
+// null. No-op on a nil logger.
+func (l *Logger) Log(kv ...any) {
+	if l == nil {
+		return
+	}
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		kb, _ := json.Marshal(key) // a string always marshals
+		b.Write(kb)
+		b.WriteByte(':')
+		if i+1 >= len(kv) {
+			b.WriteString("null")
+			continue
+		}
+		vb, err := json.Marshal(kv[i+1])
+		if err != nil {
+			vb, _ = json.Marshal(fmt.Sprint(kv[i+1]))
+		}
+		b.Write(vb)
+	}
+	b.WriteString("}\n")
+	l.mu.Lock()
+	_, _ = l.w.Write(b.Bytes())
+	l.mu.Unlock()
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequestIDPropagation: the middleware's generated ID must be the
+// same in the response header and in the handler's context, and an
+// inbound X-Request-ID must be reused verbatim.
+func TestRequestIDPropagation(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewMiddleware(reg, "test")
+	var ctxID string
+	h := mw.Wrap("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctxID = RequestIDFrom(r.Context())
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	hdrID := rec.Header().Get(RequestIDHeader)
+	if hdrID == "" || hdrID != ctxID {
+		t.Fatalf("header ID %q != context ID %q (or empty)", hdrID, ctxID)
+	}
+	if len(hdrID) != 16 {
+		t.Fatalf("generated ID %q is not 16 hex chars", hdrID)
+	}
+
+	// Inbound ID is propagated, not replaced.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "caller-chosen-id")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "caller-chosen-id" {
+		t.Fatalf("inbound ID not reused: %q", got)
+	}
+	if ctxID != "caller-chosen-id" {
+		t.Fatalf("context ID %q, want inbound id", ctxID)
+	}
+
+	// Distinct requests get distinct generated IDs.
+	if a, b := NewRequestID(), NewRequestID(); a == b {
+		t.Fatalf("two generated IDs collided: %s", a)
+	}
+}
+
+// TestMiddlewareMetrics: one request must produce exactly one
+// requests_total{handler,code} increment and one latency observation.
+func TestMiddlewareMetrics(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewMiddleware(reg, "test")
+	h := mw.Wrap("/q", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/q?x=1", nil))
+	}
+	if got := mw.Requests().With("/q", "400").Count(); got != 3 {
+		t.Fatalf("requests_total{/q,400} = %d, want 3", got)
+	}
+	if got := mw.latency.With("/q").Count(); got != 3 {
+		t.Fatalf("latency count = %d, want 3", got)
+	}
+	if got := mw.inflight.Value(); got != 0 {
+		t.Fatalf("inflight after requests = %g, want 0", got)
+	}
+
+	// A handler that writes nothing still records a 200.
+	h200 := mw.Wrap("/silent", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h200.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/silent", nil))
+	if got := mw.Requests().With("/silent", "200").Count(); got != 1 {
+		t.Fatalf("silent handler recorded %d, want 1 under code 200", got)
+	}
+}
+
+// TestAccessLogLine: the access log must be one parseable JSON object
+// per request with the documented fields.
+func TestAccessLogLine(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewMiddleware(reg, "test")
+	var buf bytes.Buffer
+	mw.AccessLog = NewLogger(&buf)
+	h := mw.Wrap("/q", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello"))
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/q?k=5", nil))
+
+	line := strings.TrimSpace(buf.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access log line is not JSON: %v\n%s", err, line)
+	}
+	for _, key := range []string{"ts", "id", "handler", "method", "url", "status", "bytes", "durMs"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("access log missing %q: %s", key, line)
+		}
+	}
+	if rec["handler"] != "/q" || rec["url"] != "/q?k=5" || rec["status"] != float64(200) || rec["bytes"] != float64(5) {
+		t.Fatalf("access log fields wrong: %s", line)
+	}
+	// Key order is preserved: ts must come first.
+	if !strings.HasPrefix(line, `{"ts":`) {
+		t.Fatalf("access log does not start with ts: %s", line)
+	}
+}
+
+// TestSlowQueryLog: a request over the threshold emits one slow-log
+// line carrying the request ID and the handler's span events; a fast
+// request emits nothing; threshold 0 disables entirely.
+func TestSlowQueryLog(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewMiddleware(reg, "test")
+	var slow bytes.Buffer
+	mw.SlowLog = NewLogger(&slow)
+	mw.SlowThreshold = time.Millisecond
+
+	h := mw.Wrap("/q", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := TraceFrom(r.Context())
+		tr.Event("parse", "q=olap")
+		time.Sleep(3 * time.Millisecond)
+		tr.Event("solve", "iters=12")
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/q", nil))
+
+	line := strings.TrimSpace(slow.String())
+	if line == "" {
+		t.Fatal("slow request did not produce a slow-log line")
+	}
+	var logged struct {
+		ID    string       `json:"id"`
+		DurMS float64      `json:"durMs"`
+		Spans []TraceEvent `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(line), &logged); err != nil {
+		t.Fatalf("slow log not JSON: %v\n%s", err, line)
+	}
+	if logged.ID != rec.Header().Get(RequestIDHeader) {
+		t.Fatalf("slow log id %q != response header %q", logged.ID, rec.Header().Get(RequestIDHeader))
+	}
+	if len(logged.Spans) != 2 || logged.Spans[0].Name != "parse" || logged.Spans[1].Name != "solve" {
+		t.Fatalf("slow log spans wrong: %+v", logged.Spans)
+	}
+	if logged.Spans[1].OffsetMS < logged.Spans[0].OffsetMS {
+		t.Fatal("span offsets not monotone")
+	}
+	if mw.SlowCount() != 1 {
+		t.Fatalf("SlowCount = %d, want 1", mw.SlowCount())
+	}
+
+	// Fast request: no new line.
+	slow.Reset()
+	fast := mw.Wrap("/f", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	fast.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/f", nil))
+	if slow.Len() != 0 {
+		t.Fatalf("fast request logged: %s", slow.String())
+	}
+
+	// Threshold 0 disables even for slow handlers.
+	mw.SlowThreshold = 0
+	slowAgain := mw.Wrap("/s", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+	}))
+	slowAgain.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/s", nil))
+	if slow.Len() != 0 {
+		t.Fatal("threshold 0 still logged a slow query")
+	}
+}
+
+// TestNilSafety: nil Trace, nil Logger and nil Middleware must all be
+// usable no-ops.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Event("x", "y")
+	tr.Eventf("x", "n=%d", 1)
+	if tr.ID() != "" || tr.Events() != nil || !tr.Start().IsZero() {
+		t.Fatal("nil trace accessors not zero")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(empty ctx) = %v", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("RequestIDFrom(empty ctx) = %q", got)
+	}
+	var lg *Logger
+	lg.Log("k", "v") // must not panic
+	if NewLogger(nil) != nil {
+		t.Fatal("NewLogger(nil) != nil")
+	}
+	var mw *Middleware
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := mw.Wrap("/x", inner); got == nil {
+		t.Fatal("nil middleware Wrap returned nil")
+	}
+}
+
+// TestLoggerShapes covers key ordering, non-string keys, unmarshalable
+// values, and the odd trailing key.
+func TestLoggerShapes(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+	lg.Log("b", 1, "a", "two", 3, func() {}, "tail")
+	line := strings.TrimSpace(buf.String())
+	// Order preserved, int key Sprint-ed, func value falls back to its
+	// Sprint form, trailing key null.
+	if !strings.HasPrefix(line, `{"b":1,"a":"two","3":`) || !strings.HasSuffix(line, `"tail":null}`) {
+		t.Fatalf("logger line shape: %s", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("logger line not valid JSON: %v\n%s", err, line)
+	}
+}
+
+// TestTraceEvents checks offsets are cumulative and events copy out.
+func TestTraceEvents(t *testing.T) {
+	tr := NewTrace("abc")
+	tr.Event("a", "first")
+	time.Sleep(time.Millisecond)
+	tr.Eventf("b", "n=%d", 7)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].Name != "a" || ev[0].Detail != "first" || ev[1].Detail != "n=7" {
+		t.Fatalf("events content: %+v", ev)
+	}
+	if ev[1].Offset <= ev[0].Offset {
+		t.Fatal("offsets not increasing")
+	}
+	// Returned slice is a copy.
+	ev[0].Name = "mutated"
+	if tr.Events()[0].Name != "a" {
+		t.Fatal("Events did not copy")
+	}
+	// Context round-trip.
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr || RequestIDFrom(ctx) != "abc" {
+		t.Fatal("context round-trip failed")
+	}
+}

@@ -134,6 +134,9 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 		for it := 0; it < opts.MaxIters; it++ {
 			diff := sweep(start, arcs, alpha, d, base, cur, next, 0, n)
 			res.Iterations = it + 1
+			if opts.Observe != nil {
+				opts.Observe(it+1, diff)
+			}
 			cur, next = next, cur
 			if diff < opts.Threshold {
 				res.Converged = true
@@ -168,6 +171,9 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 		total := 0.0
 		for _, x := range diffs {
 			total += x
+		}
+		if opts.Observe != nil {
+			opts.Observe(it+1, total)
 		}
 		cur, next = next, cur
 		if total < opts.Threshold {

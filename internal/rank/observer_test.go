@@ -1,0 +1,123 @@
+package rank
+
+import (
+	"testing"
+)
+
+// TestObserverMatchesIterations runs the kernel with a recording
+// observer and checks the per-iteration callbacks agree exactly with
+// the final Result: one call per executed iteration, 1-based indices
+// in order, and a final residual consistent with the convergence
+// decision.
+func TestObserverMatchesIterations(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	opts := Options{Threshold: 1e-10, MaxIters: 500}
+
+	var iters []int
+	var residuals []float64
+	opts.Observe = func(iter int, residual float64) {
+		iters = append(iters, iter)
+		residuals = append(residuals, residual)
+	}
+
+	for _, workers := range []int{1, 3} {
+		iters, residuals = nil, nil
+		res := Iterate(g, r.Vector(), base, opts, workers, nil)
+		if !res.Converged {
+			t.Fatalf("workers=%d: fixture run did not converge", workers)
+		}
+		if len(iters) != res.Iterations {
+			t.Fatalf("workers=%d: observer saw %d iterations, kernel reports %d", workers, len(iters), res.Iterations)
+		}
+		for i, it := range iters {
+			if it != i+1 {
+				t.Fatalf("workers=%d: call %d reported iteration %d, want %d", workers, i, it, i+1)
+			}
+		}
+		// Every residual before the last must be at or above threshold
+		// (the run continued); the last must be below (it stopped).
+		th := opts.Normalized().Threshold
+		for i, rd := range residuals[:len(residuals)-1] {
+			if rd < th {
+				t.Fatalf("workers=%d: iteration %d residual %g below threshold %g but run continued", workers, i+1, rd, th)
+			}
+		}
+		if last := residuals[len(residuals)-1]; last >= th {
+			t.Fatalf("workers=%d: final residual %g not below threshold %g despite convergence", workers, last, th)
+		}
+		// Residuals of a converging damped iteration must reach the
+		// threshold monotonically enough that the last is the minimum.
+		for _, rd := range residuals[:len(residuals)-1] {
+			if rd < residuals[len(residuals)-1] {
+				t.Fatalf("workers=%d: interior residual %g below final residual", workers, rd)
+			}
+		}
+	}
+}
+
+// TestObserverZeroIters checks the observer is never called when the
+// sentinel requests zero iterations.
+func TestObserverZeroIters(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	calls := 0
+	opts := Options{MaxIters: ZeroIters, Observe: func(int, float64) { calls++ }}
+	res := Iterate(g, r.Vector(), base, opts, 1, nil)
+	if res.Iterations != 0 || calls != 0 {
+		t.Fatalf("zero-iteration run: Iterations=%d observer calls=%d, want 0/0", res.Iterations, calls)
+	}
+}
+
+// TestObserverDoesNotChangeScores verifies observation is pure: bit
+// pattern of the converged scores is identical with and without an
+// observer attached (the golden-fixture guarantee must survive the
+// instrumentation hook).
+func TestObserverDoesNotChangeScores(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	plain := Iterate(g, r.Vector(), base, Options{Threshold: 1e-10, MaxIters: 500}, 1, nil)
+	observed := Iterate(g, r.Vector(), base, Options{
+		Threshold: 1e-10, MaxIters: 500,
+		Observe: func(int, float64) {},
+	}, 1, nil)
+	if plain.Iterations != observed.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", plain.Iterations, observed.Iterations)
+	}
+	for v := range plain.Scores {
+		if plain.Scores[v] != observed.Scores[v] {
+			t.Fatalf("score %d differs: %v vs %v", v, plain.Scores[v], observed.Scores[v])
+		}
+	}
+}
+
+// seedKernelAllocsPerRun is the pooled serial kernel's steady-state
+// allocation count measured on the PRE-observability seed (commit
+// 09dd806): 4 allocs/op, all of them sync.Pool slice-header boxing in
+// BufferPool.Get/Put — none from the iteration loop itself. The
+// observer hook must not add to it.
+const seedKernelAllocsPerRun = 4
+
+// TestIterateDisabledObserverZeroAlloc is the overhead contract of the
+// observability PR: with Observe == nil, the pooled serial kernel path
+// must allocate exactly what the seed kernel allocated — i.e. the
+// per-iteration observer hook adds 0 allocs/op when disabled.
+func TestIterateDisabledObserverZeroAlloc(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	alpha := r.Vector()
+	pool := NewBufferPool()
+	opts := Options{Threshold: 1e-10, MaxIters: 500}
+	// Warm the pool so steady state is measured, not first-use growth.
+	res := Iterate(g, alpha, base, opts, 1, pool)
+	res.ReleaseTo(pool)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		r := Iterate(g, alpha, base, opts, 1, pool)
+		r.ReleaseTo(pool)
+	})
+	if allocs > seedKernelAllocsPerRun {
+		t.Fatalf("disabled-observer pooled kernel path allocates %v allocs/op, seed allocated %d — the observer hook added overhead",
+			allocs, seedKernelAllocsPerRun)
+	}
+}

@@ -45,7 +45,30 @@ type Options struct {
 	// warm-start vector from a rebuilt graph is a caller bug, not a
 	// condition to silently ignore).
 	Init []float64
+	// Observe, if non-nil, is invoked by the kernel after EVERY
+	// completed power iteration with the 1-based iteration index and
+	// that iteration's L1 residual (the convergence quantity compared
+	// against Threshold), so observability layers can audit where a
+	// solve spends its effort — the per-solve behaviour behind the
+	// paper's §6.2 warm-start claims. The last call's index equals the
+	// run's final Result.Iterations.
+	//
+	// Contract: the nil path is guaranteed allocation-free and costs
+	// one branch per iteration, so serving with observation disabled is
+	// indistinguishable from a kernel without the hook (enforced by
+	// TestIterateDisabledObserverZeroAlloc). A non-nil observer runs on
+	// the coordinating goroutine of its own solve, never inside the
+	// parallel sweep workers; concurrent solves call their observers
+	// concurrently, so a shared observer must be safe for concurrent
+	// use. Observers must not retain or mutate kernel state.
+	Observe IterObserver
 }
+
+// IterObserver receives one callback per completed power iteration:
+// the 1-based iteration index and the iteration's L1 residual
+// Σ|next[v]−cur[v]|. See Options.Observe for the concurrency and
+// allocation contract.
+type IterObserver func(iter int, residual float64)
 
 // Explicit-zero sentinels for Options fields whose natural zero value
 // is reserved for "use the paper default". Any negative value is
@@ -74,7 +97,8 @@ func Defaults() Options {
 // field values: zero fields become the paper defaults, negative
 // (sentinel) fields become actual zeros. The result is idempotent under
 // further Normalized calls and is what every kernel entry point applies
-// to its options before running. Init passes through untouched.
+// to its options before running. Init and Observe pass through
+// untouched.
 func (o Options) Normalized() Options {
 	switch {
 	case o.Damping == 0:

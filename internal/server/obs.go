@@ -1,0 +1,187 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"authorityflow/internal/cache"
+	"authorityflow/internal/core"
+	"authorityflow/internal/obs"
+)
+
+// ObsOptions configure the server's observability subsystem. The zero
+// value is fully functional: metrics, /metrics exposition and request
+// IDs are always on (they are a few atomic adds per request); the zero
+// value merely disables the access log, the slow-query log, and
+// /debug/pprof.
+type ObsOptions struct {
+	// Registry receives the server's metric families. Nil means a
+	// fresh private registry (exposed at /metrics either way); pass a
+	// shared registry to co-host several servers' metrics.
+	Registry *obs.Registry
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request.
+	AccessLog io.Writer
+	// SlowLog receives one JSON line — including the request's span
+	// events — per request slower than SlowThreshold. Nil falls back
+	// to AccessLog.
+	SlowLog io.Writer
+	// SlowThreshold is the slow-query latency threshold; 0 disables
+	// slow-query logging.
+	SlowThreshold time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off
+	// by default: profiling endpoints expose heap contents and must be
+	// an explicit operator decision.
+	Pprof bool
+}
+
+// WithObservability configures the observability subsystem (logs,
+// slow-query threshold, pprof, shared registry). Servers built without
+// this option still serve /metrics and request IDs from a default
+// configuration.
+func WithObservability(o ObsOptions) Option {
+	return func(so *serverOptions) { so.obs = o }
+}
+
+// serverObs bundles the server's metric families, HTTP middleware and
+// logs. One instance per Server; all fields are written at
+// construction and read concurrently afterwards.
+type serverObs struct {
+	reg   *obs.Registry
+	mw    *obs.Middleware
+	start time.Time
+	pprof bool
+
+	// cacheOutcome counts /query answers by provenance: the cache
+	// Source values plus "uncached".
+	cacheOutcome *obs.CounterVec
+	// Kernel-side families, fed by the engine's solve hook and the
+	// per-iteration observer.
+	solves           *obs.Counter
+	warmSolves       *obs.Counter
+	kernelIterations *obs.Histogram
+	solveSeconds     *obs.Histogram
+	iterTotal        *obs.Counter
+	ratesVersion     *obs.Gauge
+}
+
+// uncachedOutcome is the cacheOutcome label of answers served without
+// a serving cache.
+const uncachedOutcome = "uncached"
+
+// newServerObs registers every metric family. Family names are
+// namespaced afq_*; see DESIGN.md §7 for the full table.
+func newServerObs(o ObsOptions) *serverObs {
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	so := &serverObs{reg: reg, start: time.Now(), pprof: o.Pprof}
+	so.mw = obs.NewMiddleware(reg, "afq")
+	so.mw.AccessLog = obs.NewLogger(o.AccessLog)
+	slow := o.SlowLog
+	if slow == nil {
+		slow = o.AccessLog
+	}
+	so.mw.SlowLog = obs.NewLogger(slow)
+	so.mw.SlowThreshold = o.SlowThreshold
+
+	so.cacheOutcome = reg.NewCounterVec("afq_query_cache_outcome_total",
+		"Served /query answers by provenance: result (result-cache hit), term (term-vector hit), computed (kernel solve ran), uncached (no serving cache).",
+		"source")
+	for _, s := range append(cache.Sources(), uncachedOutcome) {
+		so.cacheOutcome.With(s) // pre-create so every outcome is visible at 0
+	}
+	so.solves = reg.NewCounter("afq_kernel_solves_total",
+		"Completed power-iteration kernel executions (all entry points, including cache-internal solves and prewarms).")
+	so.warmSolves = reg.NewCounter("afq_kernel_warm_solves_total",
+		"Kernel executions that were §6.2 warm-started from a previous score vector.")
+	so.kernelIterations = reg.NewHistogram("afq_kernel_iterations",
+		"Iterations to convergence per kernel execution.", obs.IterationBuckets())
+	so.solveSeconds = reg.NewHistogram("afq_kernel_solve_seconds",
+		"Wall-clock duration of the kernel iteration stage per execution.", obs.DefaultLatencyBuckets())
+	so.iterTotal = reg.NewCounter("afq_kernel_iterations_total",
+		"Total power iterations executed across all kernel runs (fed by the per-iteration observer).")
+	so.ratesVersion = reg.NewGauge("afq_rates_version",
+		"Version of the currently published rates snapshot.")
+	reg.NewGaugeFunc("afq_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(so.start).Seconds() })
+	return so
+}
+
+// uptimeSeconds reports how long the server has been up.
+func (so *serverObs) uptimeSeconds() float64 { return time.Since(so.start).Seconds() }
+
+// observeIteration is the rank.IterObserver threaded into the engine's
+// kernel options: one atomic add per power iteration, from any solve.
+func (so *serverObs) observeIteration(iter int, residual float64) {
+	so.iterTotal.Inc()
+}
+
+// attach wires the metrics that depend on the constructed engine and
+// cache: the solve hook, the rates-version gauge refresh, and —
+// when the serving cache is on — counter/gauge views over the cache's
+// own atomic counters. Both /metrics and /stats read those SAME
+// atomics, so the two endpoints cannot drift.
+func (so *serverObs) attach(s *Server) {
+	s.eng.SetSolveHook(func(st core.SolveStats) {
+		so.solves.Inc()
+		if st.WarmStarted {
+			so.warmSolves.Inc()
+		}
+		so.kernelIterations.Observe(float64(st.Iterations))
+		so.solveSeconds.Observe(st.SolveDur.Seconds())
+	})
+	so.reg.OnGather(func() {
+		so.ratesVersion.Set(float64(s.eng.RatesVersion()))
+	})
+	if s.cache == nil {
+		return
+	}
+	snap := func() cache.StatsSnapshot { return s.cache.Stats() }
+	type cf struct {
+		name, help string
+		fn         func(st cache.StatsSnapshot) float64
+	}
+	counters := []cf{
+		{"afq_cache_vector_hits_total", "Term-vector cache hits.", func(st cache.StatsSnapshot) float64 { return float64(st.Vector.Hits) }},
+		{"afq_cache_vector_misses_total", "Term-vector cache misses.", func(st cache.StatsSnapshot) float64 { return float64(st.Vector.Misses) }},
+		{"afq_cache_vector_evictions_total", "Term-vector cache evictions.", func(st cache.StatsSnapshot) float64 { return float64(st.Vector.Evictions) }},
+		{"afq_cache_result_hits_total", "Result cache hits.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Hits) }},
+		{"afq_cache_result_misses_total", "Result cache misses.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Misses) }},
+		{"afq_cache_result_evictions_total", "Result cache evictions.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Evictions) }},
+		{"afq_cache_singleflight_dedup_total", "Calls answered by joining another caller's in-flight solve.", func(st cache.StatsSnapshot) float64 { return float64(st.SingleflightDedup) }},
+		{"afq_cache_computes_total", "Kernel solves issued by the serving cache.", func(st cache.StatsSnapshot) float64 { return float64(st.Computes) }},
+		{"afq_cache_warm_starts_total", "Cache solves warm-started from the previous rates version's vector.", func(st cache.StatsSnapshot) float64 { return float64(st.WarmStarts) }},
+		{"afq_cache_prewarmed_total", "Terms refreshed by the background prewarmer.", func(st cache.StatsSnapshot) float64 { return float64(st.Prewarmed) }},
+	}
+	for _, c := range counters {
+		fn := c.fn
+		so.reg.NewCounterFunc(c.name, c.help, func() float64 { return fn(snap()) })
+	}
+	gauges := []cf{
+		{"afq_cache_vector_bytes", "Term-vector cache resident bytes.", func(st cache.StatsSnapshot) float64 { return float64(st.Vector.Bytes) }},
+		{"afq_cache_vector_entries", "Term-vector cache entries.", func(st cache.StatsSnapshot) float64 { return float64(st.Vector.Entries) }},
+		{"afq_cache_vector_budget_bytes", "Term-vector cache byte budget.", func(st cache.StatsSnapshot) float64 { return float64(st.Vector.BudgetBytes) }},
+		{"afq_cache_result_bytes", "Result cache resident bytes.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Bytes) }},
+		{"afq_cache_result_entries", "Result cache entries.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Entries) }},
+		{"afq_cache_result_budget_bytes", "Result cache byte budget.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.BudgetBytes) }},
+	}
+	for _, g := range gauges {
+		fn := g.fn
+		so.reg.NewGaugeFunc(g.name, g.help, func() float64 { return fn(snap()) })
+	}
+}
+
+// mountPprof wires the net/http/pprof handlers onto mux (behind the
+// ObsOptions.Pprof flag — profiling endpoints are opt-in).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/obs"
+	"authorityflow/internal/rank"
+)
+
+// obsTestServer builds a server with the given extra options on the
+// standard small fixture.
+func obsTestServer(t *testing.T, extra ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}}, extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// syncBuffer is a mutex-guarded buffer: the middleware writes its log
+// line after the handler returns, which can race the client's read, so
+// tests poll String() under the lock.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitFor polls until cond returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// scrapeMetrics fetches /metrics and returns sample name(+labels) →
+// value plus the raw body.
+func scrapeMetrics(t *testing.T, base string) (map[string]float64, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample value in %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples, string(raw)
+}
+
+// TestMetricsEndpoint drives queries through an uncached server and
+// asserts the stated metric families show up in valid exposition with
+// values consistent with the traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := obsTestServer(t)
+	for i := 0; i < 3; i++ {
+		mustGet(t, ts.URL+"/query?q=olap&k=5", 200)
+	}
+	mustGet(t, ts.URL+"/query", 400) // parse error
+	mustGet(t, ts.URL+"/healthz", 200)
+
+	samples, raw := scrapeMetrics(t, ts.URL)
+	if got := samples[`afq_http_requests_total{handler="/query",code="200"}`]; got != 3 {
+		t.Errorf("query 200 count = %g, want 3", got)
+	}
+	if got := samples[`afq_http_requests_total{handler="/query",code="400"}`]; got != 1 {
+		t.Errorf("query 400 count = %g, want 1", got)
+	}
+	if got := samples[`afq_http_request_seconds_count{handler="/query"}`]; got != 4 {
+		t.Errorf("query latency observations = %g, want 4", got)
+	}
+	// Kernel families: 3 successful /query calls on an uncached server →
+	// 3 solves, and the iteration histogram/counter grew.
+	if got := samples["afq_kernel_solves_total"]; got != 3 {
+		t.Errorf("kernel solves = %g, want 3", got)
+	}
+	if got := samples["afq_kernel_iterations_count"]; got != 3 {
+		t.Errorf("iteration histogram count = %g, want 3", got)
+	}
+	if samples["afq_kernel_iterations_total"] < 3 {
+		t.Errorf("iterations_total = %g, want >= 3", samples["afq_kernel_iterations_total"])
+	}
+	if samples["afq_kernel_solve_seconds_count"] != 3 {
+		t.Errorf("solve_seconds count = %g, want 3", samples["afq_kernel_solve_seconds_count"])
+	}
+	// Uncached outcome counter.
+	if got := samples[`afq_query_cache_outcome_total{source="uncached"}`]; got != 3 {
+		t.Errorf("uncached outcomes = %g, want 3", got)
+	}
+	// Rates version gauge present; uptime positive.
+	if _, ok := samples["afq_rates_version"]; !ok {
+		t.Error("afq_rates_version missing")
+	}
+	if samples["afq_uptime_seconds"] <= 0 {
+		t.Error("afq_uptime_seconds not positive")
+	}
+	// Histogram buckets must be cumulative: +Inf equals _count.
+	if inf := samples[`afq_http_request_seconds_bucket{handler="/query",le="+Inf"}`]; inf != samples[`afq_http_request_seconds_count{handler="/query"}`] {
+		t.Errorf("+Inf bucket %g != count", inf)
+	}
+	for _, fam := range []string{
+		"afq_http_requests_total", "afq_http_request_seconds",
+		"afq_http_slow_requests_total", "afq_http_inflight_requests",
+		"afq_query_cache_outcome_total", "afq_kernel_solves_total",
+		"afq_kernel_warm_solves_total", "afq_kernel_iterations",
+		"afq_kernel_solve_seconds", "afq_kernel_iterations_total",
+		"afq_rates_version", "afq_uptime_seconds",
+	} {
+		if !strings.Contains(raw, "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+}
+
+// TestMetricsStatsAgree: /stats is re-backed by the registry, so the
+// numbers it reports must exactly equal what /metrics exposes — for the
+// HTTP counters, the kernel counters AND the cache counters (read from
+// the same atomics).
+func TestMetricsStatsAgree(t *testing.T) {
+	_, ts := obsTestServer(t, WithCache(8<<20, 0))
+	for i := 0; i < 4; i++ {
+		mustGet(t, ts.URL+"/query?q=olap&k=5", 200) // 1 miss + 3 result hits
+	}
+	mustGet(t, ts.URL+"/query?q=xml&k=5", 200)
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("/stats status = %d", code)
+	}
+	samples, _ := scrapeMetrics(t, ts.URL)
+
+	if !st.CacheEnabled || st.Cache == nil {
+		t.Fatal("cache stats missing")
+	}
+	pairs := []struct {
+		name string
+		stat float64
+	}{
+		{"afq_cache_result_hits_total", float64(st.Cache.Result.Hits)},
+		{"afq_cache_result_misses_total", float64(st.Cache.Result.Misses)},
+		{"afq_cache_vector_hits_total", float64(st.Cache.Vector.Hits)},
+		{"afq_cache_vector_misses_total", float64(st.Cache.Vector.Misses)},
+		{"afq_cache_computes_total", float64(st.Cache.Computes)},
+		{"afq_cache_singleflight_dedup_total", float64(st.Cache.SingleflightDedup)},
+		{"afq_cache_result_bytes", float64(st.Cache.Result.Bytes)},
+		{"afq_cache_vector_bytes", float64(st.Cache.Vector.Bytes)},
+		{"afq_kernel_solves_total", float64(st.Kernel.Solves)},
+		{"afq_kernel_iterations_total", float64(st.Kernel.IterationsTotal)},
+		{"afq_rates_version", float64(st.RatesVersion)},
+	}
+	for _, p := range pairs {
+		if got, ok := samples[p.name]; !ok || got != p.stat {
+			t.Errorf("%s: /metrics %g (present=%t) != /stats %g", p.name, got, ok, p.stat)
+		}
+	}
+	// HTTP byHandler keys mirror the /metrics labels.
+	if st.HTTP.ByHandler["/query 200"] != 5 {
+		t.Errorf("byHandler[/query 200] = %d, want 5", st.HTTP.ByHandler["/query 200"])
+	}
+	if got := samples[`afq_http_requests_total{handler="/query",code="200"}`]; got != 5 {
+		t.Errorf("metrics /query 200 = %g, want 5", got)
+	}
+	// Cache outcome counter: 2 misses computed, 3 result hits.
+	if got := samples[`afq_query_cache_outcome_total{source="computed"}`]; got != 2 {
+		t.Errorf("computed outcomes = %g, want 2", got)
+	}
+	if got := samples[`afq_query_cache_outcome_total{source="result"}`]; got != 3 {
+		t.Errorf("result outcomes = %g, want 3", got)
+	}
+	// Pre-created outcome children are visible at 0.
+	if got, ok := samples[`afq_query_cache_outcome_total{source="term"}`]; !ok || got != 0 {
+		t.Errorf("term outcome not pre-created at 0 (got %g, present=%t)", got, ok)
+	}
+}
+
+// TestRequestIDOnResponses: every endpoint, success or error, carries
+// X-Request-ID, and error payloads embed the same ID.
+func TestRequestIDOnResponses(t *testing.T) {
+	_, ts := obsTestServer(t)
+	resp, err := http.Get(ts.URL + "/query?q=olap&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(obs.RequestIDHeader) == "" {
+		t.Error("success response missing X-Request-ID")
+	}
+
+	resp, err = http.Get(ts.URL + "/query") // 400: q required
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	id := resp.Header.Get(obs.RequestIDHeader)
+	if id == "" {
+		t.Fatal("error response missing X-Request-ID")
+	}
+	var payload struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("error payload not JSON: %v", err)
+	}
+	if payload.Error == "" {
+		t.Error("error payload missing error message")
+	}
+	if payload.RequestID != id {
+		t.Errorf("error payload requestId %q != header %q", payload.RequestID, id)
+	}
+
+	// Caller-supplied ID round-trips into the error payload.
+	req, _ := http.NewRequest("GET", ts.URL+"/query", nil)
+	req.Header.Set(obs.RequestIDHeader, "my-trace-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var payload2 struct {
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&payload2); err != nil {
+		t.Fatalf("error payload not JSON: %v", err)
+	}
+	if payload2.RequestID != "my-trace-42" {
+		t.Errorf("caller ID not in error payload: %q", payload2.RequestID)
+	}
+}
+
+// TestHealthzUptime: /healthz reports a positive, growing uptime.
+func TestHealthzUptime(t *testing.T) {
+	_, ts := obsTestServer(t)
+	var h1, h2 HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h1)
+	time.Sleep(5 * time.Millisecond)
+	getJSON(t, ts.URL+"/healthz", &h2)
+	if h1.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %g, want > 0", h1.UptimeSeconds)
+	}
+	if h2.UptimeSeconds <= h1.UptimeSeconds {
+		t.Fatalf("uptime not growing: %g then %g", h1.UptimeSeconds, h2.UptimeSeconds)
+	}
+}
+
+// TestSlowQueryLogServer: with a tiny threshold every query is slow and
+// the log line must contain the pipeline span events; with the log off
+// nothing is written.
+func TestSlowQueryLogServer(t *testing.T) {
+	var buf syncBuffer
+	_, ts := obsTestServer(t, WithObservability(ObsOptions{
+		SlowLog:       &buf,
+		SlowThreshold: time.Nanosecond,
+	}))
+	mustGet(t, ts.URL+"/query?q=olap&k=5", 200)
+
+	if !waitFor(t, 2*time.Second, func() bool { return strings.TrimSpace(buf.String()) != "" }) {
+		t.Fatal("no slow-query line with nanosecond threshold")
+	}
+	line := strings.TrimSpace(buf.String())
+	first := strings.SplitN(line, "\n", 2)[0]
+	var logged struct {
+		Handler string `json:"handler"`
+		ID      string `json:"id"`
+		Spans   []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(first), &logged); err != nil {
+		t.Fatalf("slow log not JSON: %v\n%s", err, first)
+	}
+	if logged.Handler != "/query" || logged.ID == "" {
+		t.Fatalf("slow log fields wrong: %s", first)
+	}
+	names := make([]string, len(logged.Spans))
+	for i, sp := range logged.Spans {
+		names[i] = sp.Name
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"parse", "solve", "render"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("slow log spans %v missing %q", names, want)
+		}
+	}
+}
+
+// TestPprofGating: /debug/pprof is 404 by default and mounted with the
+// flag.
+func TestPprofGating(t *testing.T) {
+	_, off := obsTestServer(t)
+	if code := statusOf(t, off.URL+"/debug/pprof/"); code != 404 {
+		t.Errorf("pprof without flag: status = %d, want 404", code)
+	}
+	_, on := obsTestServer(t, WithObservability(ObsOptions{Pprof: true}))
+	if code := statusOf(t, on.URL+"/debug/pprof/"); code != 200 {
+		t.Errorf("pprof with flag: status = %d, want 200", code)
+	}
+	if code := statusOf(t, on.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline: status = %d, want 200", code)
+	}
+}
+
+// TestSharedRegistry: a caller-supplied registry receives the server's
+// families (co-hosted exposition).
+func TestSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, _ := obsTestServer(t, WithObservability(ObsOptions{Registry: reg}))
+	if s.Metrics() != reg {
+		t.Fatal("server did not adopt the shared registry")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "afq_kernel_solves_total") {
+		t.Fatal("shared registry missing server families")
+	}
+}
+
+// ---- small helpers ----
+
+func mustGet(t *testing.T, url string, wantCode int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status = %d, want %d", url, resp.StatusCode, wantCode)
+	}
+}
+
+func statusOf(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

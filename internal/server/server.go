@@ -42,6 +42,8 @@ import (
 	"authorityflow/internal/datagen"
 	"authorityflow/internal/graph"
 	"authorityflow/internal/ir"
+	"authorityflow/internal/obs"
+	"authorityflow/internal/rank"
 	"authorityflow/internal/storage"
 )
 
@@ -53,6 +55,7 @@ type Server struct {
 	ds    *datagen.Dataset
 	eng   *core.Engine
 	cache *cache.CachedEngine // nil when serving uncached
+	obs   *serverObs          // always non-nil; see ObsOptions
 }
 
 // Option configures optional Server behaviour.
@@ -61,6 +64,7 @@ type Option func(*serverOptions)
 type serverOptions struct {
 	cacheOpts    cache.Options
 	cacheEnabled bool
+	obs          ObsOptions
 }
 
 // WithCache enables the serving cache with the given total byte budget
@@ -86,19 +90,42 @@ func WithCacheOptions(co cache.Options) Option {
 // uncached, exactly as before; pass WithCache to enable the serving
 // cache.
 func New(ds *datagen.Dataset, cfg core.Config, opts ...Option) (*Server, error) {
-	eng, err := core.NewEngine(ds.Graph, ds.Rates, cfg)
-	if err != nil {
-		return nil, err
-	}
 	var so serverOptions
 	for _, o := range opts {
 		o(&so)
 	}
-	s := &Server{ds: ds, eng: eng}
+	sobs := newServerObs(so.obs)
+	// Thread the per-iteration kernel observer through the engine's
+	// rank options (chaining any observer the caller already set), so
+	// afq_kernel_iterations_total counts every iteration of every
+	// solve. The nil path inside the kernel stays allocation-free; this
+	// closure is one atomic add per iteration.
+	cfg.Rank.Observe = chainIterObserver(cfg.Rank.Observe, sobs.observeIteration)
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ds: ds, eng: eng, obs: sobs}
 	if so.cacheEnabled {
 		s.cache = cache.New(eng, so.cacheOpts)
 	}
+	sobs.attach(s)
 	return s, nil
+}
+
+// chainIterObserver composes two per-iteration observers (either may
+// be nil).
+func chainIterObserver(a, b rank.IterObserver) rank.IterObserver {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(iter int, residual float64) {
+		a(iter, residual)
+		b(iter, residual)
+	}
 }
 
 // Close releases background resources (the cache's prewarmer, if any).
@@ -108,17 +135,32 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. Every route runs inside
+// the observability middleware (request ID + X-Request-ID header,
+// per-handler request/latency metrics, access and slow-query logs);
+// /metrics serves the Prometheus exposition, and /debug/pprof/ is
+// mounted when ObsOptions.Pprof is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/explain", s.handleExplain)
-	mux.HandleFunc("/reformulate", s.handleReformulate)
-	mux.HandleFunc("/rates", s.handleRates)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/stats", s.handleStats)
+	route := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, s.obs.mw.Wrap(path, h))
+	}
+	route("/query", s.handleQuery)
+	route("/explain", s.handleExplain)
+	route("/reformulate", s.handleReformulate)
+	route("/rates", s.handleRates)
+	route("/healthz", s.handleHealth)
+	route("/stats", s.handleStats)
+	mux.Handle("/metrics", s.obs.mw.Wrap("/metrics", s.obs.reg.Handler()))
+	if s.obs.pprof {
+		mountPprof(mux)
+	}
 	return mux
 }
+
+// Metrics exposes the server's metric registry (for embedding callers
+// that co-host exposition or assert on metrics in tests).
+func (s *Server) Metrics() *obs.Registry { return s.obs.reg }
 
 // Result is one JSON-rendered ranked node.
 type Result struct {
@@ -176,37 +218,76 @@ type ExpansionTerm struct {
 // currently published rates version, and whether the serving cache is
 // on.
 type HealthResponse struct {
-	Status       string `json:"status"`
-	Name         string `json:"name"`
-	Nodes        int    `json:"nodes"`
-	Edges        int    `json:"edges"`
-	RatesVersion uint64 `json:"ratesVersion"`
-	CacheEnabled bool   `json:"cacheEnabled"`
+	Status        string  `json:"status"`
+	Name          string  `json:"name"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	RatesVersion  uint64  `json:"ratesVersion"`
+	CacheEnabled  bool    `json:"cacheEnabled"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:       "ok",
-		Name:         s.ds.Name,
-		Nodes:        s.ds.Graph.NumNodes(),
-		Edges:        s.ds.Graph.NumEdges(),
-		RatesVersion: s.eng.RatesVersion(),
-		CacheEnabled: s.cache != nil,
+		Status:        "ok",
+		Name:          s.ds.Name,
+		Nodes:         s.ds.Graph.NumNodes(),
+		Edges:         s.ds.Graph.NumEdges(),
+		RatesVersion:  s.eng.RatesVersion(),
+		CacheEnabled:  s.cache != nil,
+		UptimeSeconds: s.obs.uptimeSeconds(),
 	})
 }
 
-// StatsResponse is the /stats payload: the serving cache's counters
-// (nil when the cache is disabled) plus the current rates version.
+// StatsResponse is the /stats payload. The legacy shape (cacheEnabled,
+// ratesVersion, cache) is preserved; the counters are re-backed by the
+// observability subsystem — the cache block reads the SAME atomic
+// counters the /metrics afq_cache_* families read, and the new http /
+// kernel blocks read the registry's own metric objects — so /stats and
+// /metrics can never drift.
 type StatsResponse struct {
-	CacheEnabled bool                 `json:"cacheEnabled"`
-	RatesVersion uint64               `json:"ratesVersion"`
-	Cache        *cache.StatsSnapshot `json:"cache,omitempty"`
+	CacheEnabled  bool                 `json:"cacheEnabled"`
+	RatesVersion  uint64               `json:"ratesVersion"`
+	UptimeSeconds float64              `json:"uptimeSeconds"`
+	HTTP          HTTPStats            `json:"http"`
+	Kernel        KernelStats          `json:"kernel"`
+	Cache         *cache.StatsSnapshot `json:"cache,omitempty"`
+}
+
+// HTTPStats summarizes the middleware's request counters, keyed
+// "handler code" (e.g. "/query 200") exactly as /metrics labels them.
+type HTTPStats struct {
+	RequestsTotal int64            `json:"requestsTotal"`
+	ByHandler     map[string]int64 `json:"byHandler,omitempty"`
+	SlowRequests  int64            `json:"slowRequests"`
+}
+
+// KernelStats summarizes the kernel-side families.
+type KernelStats struct {
+	Solves          int64 `json:"solves"`
+	WarmSolves      int64 `json:"warmSolves"`
+	IterationsTotal int64 `json:"iterationsTotal"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	byHandler := make(map[string]int64)
+	s.obs.mw.Requests().Each(func(labels []string, n uint64) {
+		byHandler[labels[0]+" "+labels[1]] = int64(n)
+	})
 	resp := StatsResponse{
-		CacheEnabled: s.cache != nil,
-		RatesVersion: s.eng.RatesVersion(),
+		CacheEnabled:  s.cache != nil,
+		RatesVersion:  s.eng.RatesVersion(),
+		UptimeSeconds: s.obs.uptimeSeconds(),
+		HTTP: HTTPStats{
+			RequestsTotal: int64(s.obs.mw.Requests().Total()),
+			ByHandler:     byHandler,
+			SlowRequests:  int64(s.obs.mw.SlowCount()),
+		},
+		Kernel: KernelStats{
+			Solves:          int64(s.obs.solves.Count()),
+			WarmSolves:      int64(s.obs.warmSolves.Count()),
+			IterationsTotal: int64(s.obs.iterTotal.Count()),
+		},
 	}
 	if s.cache != nil {
 		snap := s.cache.Stats()
@@ -230,19 +311,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	tr.Eventf("parse", "q=%s k=%d", q.String(), k)
 	if s.cache != nil {
 		ans := s.cache.Query(q, k)
-		writeJSON(w, http.StatusOK, QueryResponse{
+		tr.Eventf("solve", "source=%s iters=%d base=%d version=%d",
+			ans.Source, ans.Iterations, ans.BaseSet, ans.Version)
+		s.obs.cacheOutcome.With(ans.Source).Inc()
+		resp := QueryResponse{
 			Query:      q.String(),
 			BaseSet:    ans.BaseSet,
 			Iterations: ans.Iterations,
 			Version:    ans.Version,
 			Cache:      ans.Source,
 			Results:    s.renderItems(q, ans.Results),
-		})
+		}
+		tr.Eventf("render", "results=%d", len(resp.Results))
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	res := s.eng.Rank(q)
+	tr.Eventf("baseSet", "size=%d dur=%s", len(res.Base), res.BaseSetDur)
+	tr.Eventf("solve", "iters=%d converged=%t dur=%s", res.Iterations, res.Converged, res.SolveDur)
+	s.obs.cacheOutcome.With(uncachedOutcome).Inc()
 	resp := QueryResponse{
 		Query:      q.String(),
 		BaseSet:    len(res.Base),
@@ -251,6 +342,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Results:    s.results(res, k),
 	}
 	s.eng.Release(res)
+	tr.Eventf("render", "results=%d", len(resp.Results))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -261,7 +353,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	target, err := strconv.Atoi(r.URL.Query().Get("target"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad or missing target")
+		writeError(w, r, http.StatusBadRequest, "bad or missing target")
 		return
 	}
 	// Pin one snapshot so the ranking and its explanation cannot see
@@ -270,16 +362,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// term vectors (copied out, since Release returns scores to the
 	// pool).
 	pin := s.eng.Pin()
+	tr := obs.TraceFrom(r.Context())
+	tr.Eventf("parse", "q=%s target=%d", q.String(), target)
 	var res *core.RankResult
 	if s.cache != nil {
 		res = s.cache.RankPinned(pin, q)
 	} else {
 		res = pin.Rank(q)
 	}
+	tr.Eventf("solve", "iters=%d base=%d", res.Iterations, len(res.Base))
 	sg, err := pin.Explain(res, graph.NodeID(target), core.DefaultExplain())
+	tr.Event("explain", "")
 	s.eng.Release(res)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	switch r.URL.Query().Get("format") {
@@ -309,7 +405,7 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	case "both":
 		opts = core.ContentAndStructure()
 	default:
-		writeError(w, http.StatusBadRequest, "unknown mode "+mode)
+		writeError(w, r, http.StatusBadRequest, "unknown mode "+mode)
 		return
 	}
 	var ids []int
@@ -320,13 +416,13 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		}
 		id, err := strconv.Atoi(part)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad feedback id "+part)
+			writeError(w, r, http.StatusBadRequest, "bad feedback id "+part)
 			return
 		}
 		ids = append(ids, id)
 	}
 	if len(ids) == 0 {
-		writeError(w, http.StatusBadRequest, "feedback ids required")
+		writeError(w, r, http.StatusBadRequest, "feedback ids required")
 		return
 	}
 
@@ -336,11 +432,13 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	// optimistic: TrySetRates succeeds only if the pinned version is
 	// still current, otherwise the client gets 409 plus the winning
 	// version and retries.
+	tr := obs.TraceFrom(r.Context())
+	tr.Eventf("parse", "q=%s feedback=%d", q.String(), len(ids))
 	pin := s.eng.Pin()
 	if vs := r.URL.Query().Get("version"); vs != "" {
 		v, err := strconv.ParseUint(vs, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad version token "+vs)
+			writeError(w, r, http.StatusBadRequest, "bad version token "+vs)
 			return
 		}
 		if v != pin.Version() {
@@ -358,20 +456,23 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		res = pin.Rank(q)
 	}
 	defer s.eng.Release(res)
+	tr.Eventf("solve", "iters=%d base=%d version=%d", res.Iterations, len(res.Base), pin.Version())
 	var subs []*core.Subgraph
 	for _, id := range ids {
 		sg, err := pin.Explain(res, graph.NodeID(id), core.DefaultExplain())
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		subs = append(subs, sg)
 	}
+	tr.Eventf("explain", "subgraphs=%d", len(subs))
 	ref, err := pin.Reformulate(q, subs, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr.Eventf("reformulate", "rates=%s expansion=%d", ref.Rates.String(), len(ref.Expansion))
 	newVersion, err := s.eng.TrySetRates(ref.Rates, pin.Version())
 	if errors.Is(err, core.ErrRatesConflict) {
 		writeJSON(w, http.StatusConflict, ConflictResponse{
@@ -381,9 +482,10 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
+	tr.Eventf("publish", "version=%d", newVersion)
 	resp := ReformulateResponse{
 		Query:   ref.Query.String(),
 		Rates:   ref.Rates.String(),
@@ -441,14 +543,14 @@ func (s *Server) renderItems(q *ir.Query, items []cache.ResultItem) []Result {
 func parseQuery(w http.ResponseWriter, r *http.Request) (*ir.Query, int, bool) {
 	raw := r.URL.Query().Get("q")
 	if raw == "" {
-		writeError(w, http.StatusBadRequest, "q parameter required")
+		writeError(w, r, http.StatusBadRequest, "q parameter required")
 		return nil, 0, false
 	}
 	k := 10
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		v, err := strconv.Atoi(ks)
 		if err != nil || v <= 0 || v > 1000 {
-			writeError(w, http.StatusBadRequest, "k must be in 1..1000")
+			writeError(w, r, http.StatusBadRequest, "k must be in 1..1000")
 			return nil, 0, false
 		}
 		k = v
@@ -464,8 +566,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// writeError renders a JSON error payload including the request ID
+// (when the request ran inside the tracing middleware), so a user
+// report quoting the error can be joined against the access and
+// slow-query logs.
+func writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	body := map[string]string{"error": msg}
+	if id := obs.RequestIDFrom(r.Context()); id != "" {
+		body["requestId"] = id
+	}
+	writeJSON(w, code, body)
 }
 
 // Engine exposes the underlying engine for tests and embedding.
