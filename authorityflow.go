@@ -39,6 +39,7 @@
 package authorityflow
 
 import (
+	"context"
 	"io"
 
 	"authorityflow/internal/cache"
@@ -312,6 +313,13 @@ func BuildStore(eng *Engine, terms []string, opts StoreOptions) *Store {
 	return precompute.Build(eng, terms, opts)
 }
 
+// BuildStoreCtx is BuildStore under a context: cancellation stops the
+// per-term solves within one power-iteration sweep and returns the
+// partial store built so far together with ctx's error.
+func BuildStoreCtx(ctx context.Context, eng *Engine, terms []string, opts StoreOptions) (*Store, error) {
+	return precompute.BuildCtx(ctx, eng, terms, opts)
+}
+
 // LoadStoreFile reads a precomputed store from path.
 func LoadStoreFile(path string) (*Store, error) { return precompute.LoadFile(path) }
 
@@ -346,6 +354,21 @@ type ServerObsOptions = server.ObsOptions
 // serve /metrics and X-Request-ID from a default configuration.
 func WithServerObservability(o ServerObsOptions) ServerOption {
 	return server.WithObservability(o)
+}
+
+// ServerAdmissionOptions bound the server's concurrent query work:
+// MaxInflight admission slots for the expensive endpoints, a QueueWait
+// shedding budget (503 + Retry-After when exceeded), and a QueryTimeout
+// per-request deadline (504 when it fires; clients may shorten it via
+// the X-Request-Timeout-Ms header, never extend it). The zero value
+// disables every limit.
+type ServerAdmissionOptions = server.AdmissionOptions
+
+// WithServerAdmission configures admission control and per-request
+// deadlines on the server's expensive endpoints (/query, /explain,
+// /reformulate); operator endpoints are never throttled.
+func WithServerAdmission(o ServerAdmissionOptions) ServerOption {
+	return server.WithAdmission(o)
 }
 
 // MetricsRegistry is the stdlib-only Prometheus-text metric registry of

@@ -11,11 +11,13 @@
 package authorityflow_test
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"authorityflow"
 	"authorityflow/internal/experiments"
@@ -402,6 +404,33 @@ func BenchmarkQueryPathInstrumented(b *testing.B) {
 	b.StopTimer()
 	if iterations.Load() == 0 {
 		b.Fatal("observer never fired during instrumented solves")
+	}
+}
+
+// BenchmarkQueryPathWithDeadline is BenchmarkQueryPathCold run through
+// the context-threaded entry point under a live (never-firing)
+// deadline — the PR-4 serving configuration, where every request
+// carries a -query-timeout context the kernel polls once per sweep.
+// Comparing its ns/op and allocs/op against QueryPathCold bounds the
+// cancellation machinery's hot-path cost; the disabled-ctx zero-alloc
+// contract itself is enforced by TestIterateContextZeroAlloc in
+// internal/rank.
+func BenchmarkQueryPathWithDeadline(b *testing.B) {
+	eng, _ := queryPathWorld(b)
+	q := authorityflow.NewQuery("olap")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RankColdCtx(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.TopK(10); len(got) == 0 {
+			b.Fatal("empty result")
+		}
+		eng.Release(res)
 	}
 }
 

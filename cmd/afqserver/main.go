@@ -26,6 +26,15 @@
 // exposes the same counters (plus per-handler latency histograms and
 // kernel instrumentation) in Prometheus format.
 //
+// Admission control (off by default): -max-inflight caps concurrently
+// admitted expensive requests (/query, /explain, /reformulate; operator
+// endpoints are never throttled) — excess requests wait up to
+// -queue-wait for a slot and are then shed with 503 + Retry-After;
+// -query-timeout sets a per-request deadline answered with 504 when it
+// fires, and clients may shorten (never extend) it per request with
+// the X-Request-Timeout-Ms header. A fired deadline reaches the
+// power-iteration kernel within one sweep.
+//
 // Observability flags: -access-log ("-" for stderr, or a file path)
 // turns on one structured JSON line per request; -slow-query-ms N logs
 // requests slower than N ms together with their pipeline span events;
@@ -65,6 +74,10 @@ func main() {
 		cacheMB = flag.Int("cache-mb", 64, "serving-cache byte budget in MiB (0 disables the cache)")
 		prewarm = flag.Int("prewarm", 8, "hottest terms to refresh after each rates publication (0 disables; needs -cache-mb > 0)")
 
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently admitted expensive requests (/query, /explain, /reformulate); 0 = unlimited")
+		queueWait    = flag.Duration("queue-wait", 0, "how long a request may wait for an admission slot before shedding with 503 (needs -max-inflight; 0 = shed immediately when saturated)")
+		queryTimeout = flag.Duration("query-timeout", 0, "server-side per-request deadline, answered 504 when exceeded; clients may shorten it via X-Request-Timeout-Ms, never extend it (0 = none)")
+
 		accessLog = flag.String("access-log", "", `access log destination: "" off, "-" stderr, else a file path`)
 		slowMS    = flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds with their span events (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -86,7 +99,14 @@ func main() {
 		defer logCloser.Close()
 	}
 
-	opts := []server.Option{server.WithObservability(obsOpts)}
+	opts := []server.Option{
+		server.WithObservability(obsOpts),
+		server.WithAdmission(server.AdmissionOptions{
+			MaxInflight:  *maxInflight,
+			QueueWait:    *queueWait,
+			QueryTimeout: *queryTimeout,
+		}),
+	}
 	if *cacheMB > 0 {
 		opts = append(opts, server.WithCache(int64(*cacheMB)<<20, *prewarm))
 	}

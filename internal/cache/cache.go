@@ -25,9 +25,11 @@
 package cache
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"authorityflow/internal/core"
 	"authorityflow/internal/graph"
@@ -80,11 +82,19 @@ type CachedEngine struct {
 	// hot counts term popularity for the prewarmer.
 	hot map[string]int64
 
-	prewarmN  int
-	prewarmCh chan struct{}
-	done      chan struct{}
-	wg        sync.WaitGroup
-	closeOnce sync.Once
+	prewarmN int
+	// prewarmCh signals the prewarm goroutine; prewarmCtx is cancelled
+	// by Close so a prewarm blocked inside a long solve aborts within
+	// one kernel sweep instead of stalling shutdown.
+	prewarmCh     chan struct{}
+	prewarmCtx    context.Context
+	prewarmCancel context.CancelFunc
+	wg            sync.WaitGroup
+	closeOnce     sync.Once
+	// closed flips once in Close; the publish hook consults it so a
+	// publication racing shutdown is a no-op instead of signalling a
+	// prewarmer that is going (or has gone) away.
+	closed atomic.Bool
 }
 
 // New builds a CachedEngine over eng. When opts.PrewarmTerms > 0 it
@@ -119,10 +129,16 @@ func New(eng *core.Engine, opts Options) *CachedEngine {
 	c.results = newShardedLRU(rb, shards, &c.stats.resultEvictions)
 	if c.prewarmN > 0 {
 		c.prewarmCh = make(chan struct{}, 1)
-		c.done = make(chan struct{})
+		c.prewarmCtx, c.prewarmCancel = context.WithCancel(context.Background())
 		c.wg.Add(1)
 		go c.prewarmLoop()
 		eng.SetPublishHook(func(oldVersion, newVersion uint64) {
+			if c.closed.Load() {
+				// A publication racing (or following) Close: the
+				// prewarmer is shutting down; dropping the signal is
+				// the whole point — see TestCloseDuringPublish.
+				return
+			}
 			select {
 			case c.prewarmCh <- struct{}{}:
 			default: // a prewarm is already pending; it will see the newest snapshot
@@ -133,12 +149,17 @@ func New(eng *core.Engine, opts Options) *CachedEngine {
 }
 
 // Close detaches the publish hook and stops the prewarm goroutine (if
-// any). Idempotent; the cache itself remains usable afterwards.
+// any), cancelling a prewarm solve in progress. Idempotent; the cache
+// itself remains usable afterwards. Safe to call concurrently with
+// SetRates publications: the hook becomes a no-op the moment closed
+// flips, so a racing publisher can neither block nor revive the
+// prewarmer.
 func (c *CachedEngine) Close() {
 	c.closeOnce.Do(func() {
-		if c.done != nil {
+		c.closed.Store(true)
+		if c.prewarmCancel != nil {
 			c.eng.SetPublishHook(nil)
-			close(c.done)
+			c.prewarmCancel()
 			c.wg.Wait()
 		}
 	})
@@ -349,22 +370,51 @@ func resultEntrySize(key string, k int) int64 {
 // uncached engine would. Cache-hit answers are bit-identical to the
 // answer computed on the original miss.
 func (c *CachedEngine) Query(q *ir.Query, k int) *Answer {
-	return c.queryAt(c.eng.Pin(), q, k, nil)
+	a, _ := c.queryAt(context.Background(), c.eng.Pin(), q, k, nil)
+	return a
+}
+
+// QueryCtx is Query under a request context: the caller stops waiting
+// the moment ctx dies and receives ctx.Err(). A cancelled caller never
+// aborts a shared in-flight solve while other callers still want it —
+// the solve runs detached and is cancelled only when EVERY waiter has
+// left (see flightGroup). Cache fills from shared solves therefore
+// land even when the caller that triggered them gave up.
+func (c *CachedEngine) QueryCtx(ctx context.Context, q *ir.Query, k int) (*Answer, error) {
+	return c.queryAt(ctx, c.eng.Pin(), q, k, nil)
 }
 
 // QueryFrom is Query warm-started from a previous score vector (the
 // reformulated-query path): on a full miss the solve starts from init
 // instead of the global PageRank. init is only read.
 func (c *CachedEngine) QueryFrom(q *ir.Query, k int, init []float64) *Answer {
-	return c.queryAt(c.eng.Pin(), q, k, init)
+	a, _ := c.queryAt(context.Background(), c.eng.Pin(), q, k, init)
+	return a
+}
+
+// QueryFromCtx is QueryFrom under a request context (see QueryCtx).
+func (c *CachedEngine) QueryFromCtx(ctx context.Context, q *ir.Query, k int, init []float64) (*Answer, error) {
+	return c.queryAt(ctx, c.eng.Pin(), q, k, init)
 }
 
 // QueryPinned is Query under an explicitly pinned snapshot.
 func (c *CachedEngine) QueryPinned(pin *core.Pinned, q *ir.Query, k int) *Answer {
-	return c.queryAt(pin, q, k, nil)
+	a, _ := c.queryAt(context.Background(), pin, q, k, nil)
+	return a
 }
 
-func (c *CachedEngine) queryAt(pin *core.Pinned, q *ir.Query, k int, init []float64) *Answer {
+// QueryPinnedCtx is QueryPinned under a request context (see QueryCtx).
+func (c *CachedEngine) QueryPinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query, k int) (*Answer, error) {
+	return c.queryAt(ctx, pin, q, k, nil)
+}
+
+func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, init []float64) (*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		k = 10
 	}
@@ -374,44 +424,64 @@ func (c *CachedEngine) queryAt(pin *core.Pinned, q *ir.Query, k int, init []floa
 	key := resultKey(rk, k, q)
 	if e, ok := c.results.Get(key); ok {
 		c.stats.resultHits.Add(1)
-		return c.answerFrom(e.(*cachedResult), q, SourceResult)
+		return c.answerFrom(e.(*cachedResult), q, SourceResult), nil
 	}
 	c.stats.resultMisses.Add(1)
 
 	if term, ok := singleTerm(q); ok {
-		tv, hit := c.termVectorFor(pin, rk, term)
+		tv, hit, err := c.termVectorFor(ctx, pin, rk, term)
+		if err != nil {
+			return nil, err
+		}
 		cr := c.storeTopK(key, q, k, v, tv)
 		src := SourceComputed
 		if hit {
 			src = SourceTerm
 		}
-		return c.answerFrom(cr, q, src)
+		return c.answerFrom(cr, q, src), nil
 	}
 
 	// Multi-keyword: run the full solve (identical to the uncached
 	// engine's path, so cached answers are bit-compatible with it),
 	// deduplicating concurrent identical queries through the flight
-	// group.
-	val, shared := c.flights.Do(key, func() any {
-		if e, ok := c.results.Get(key); ok { // lost a miss/flight race
-			return e.(*cachedResult)
+	// group. The solve runs under the flight's DETACHED context, so
+	// this caller's cancellation cannot abort a fill that other
+	// callers are still waiting on.
+	for {
+		val, shared, err := c.flights.DoCtx(ctx, key, func(dctx context.Context) (any, error) {
+			if e, ok := c.results.Get(key); ok { // lost a miss/flight race
+				return e.(*cachedResult), nil
+			}
+			var res *core.RankResult
+			var rerr error
+			if init != nil {
+				res, rerr = pin.RankFromCtx(dctx, q, init)
+			} else {
+				res, rerr = pin.RankCtx(dctx, q)
+			}
+			if rerr != nil {
+				return nil, rerr // all waiters left; solve abandoned
+			}
+			c.stats.computes.Add(1)
+			cr := resultFrom(res, k)
+			c.eng.Release(res)
+			c.results.Put(key, cr, resultEntrySize(key, len(cr.items)))
+			return cr, nil
+		})
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr // our own context died
+			}
+			// We joined (late) a flight that was already draining — its
+			// detached solve was cancelled because every earlier waiter
+			// left. Our context is live, so retry with a fresh flight.
+			continue
 		}
-		var res *core.RankResult
-		if init != nil {
-			res = pin.RankFrom(q, init)
-		} else {
-			res = pin.Rank(q)
+		if shared {
+			c.stats.dedup.Add(1)
 		}
-		c.stats.computes.Add(1)
-		cr := resultFrom(res, k)
-		c.eng.Release(res)
-		c.results.Put(key, cr, resultEntrySize(key, len(cr.items)))
-		return cr
-	})
-	if shared {
-		c.stats.dedup.Add(1)
+		return c.answerFrom(val.(*cachedResult), q, SourceComputed), nil
 	}
-	return c.answerFrom(val.(*cachedResult), q, SourceComputed)
 }
 
 // resultFrom converts a live RankResult into a cached top-k entry.
@@ -458,24 +528,33 @@ func (c *CachedEngine) answerFrom(cr *cachedResult, q *ir.Query, source string) 
 // termVectorFor returns the converged single-term vector for term under
 // the pinned snapshot, computing (at most once across concurrent
 // callers) on a miss. hit reports whether the vector came straight from
-// the cache.
-func (c *CachedEngine) termVectorFor(pin *core.Pinned, rk uint64, term string) (tv *termVector, hit bool) {
+// the cache. The solve runs under the flight group's detached context:
+// ctx governs only this caller's wait (see QueryCtx).
+func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, rk uint64, term string) (tv *termVector, hit bool, err error) {
 	key := termKey(rk, term)
 	if e, ok := c.vectors.Get(key); ok {
 		c.stats.vectorHits.Add(1)
-		return e.(*termVector), true
+		return e.(*termVector), true, nil
 	}
 	c.stats.vectorMisses.Add(1)
-	val, shared := c.flights.Do(key, func() any {
-		if e, ok := c.vectors.Get(key); ok { // lost a miss/flight race
-			return e.(*termVector)
+	for {
+		val, shared, err := c.flights.DoCtx(ctx, key, func(dctx context.Context) (any, error) {
+			if e, ok := c.vectors.Get(key); ok { // lost a miss/flight race
+				return e.(*termVector), nil
+			}
+			return c.computeTerm(dctx, pin, rk, key, term)
+		})
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, false, cerr
+			}
+			continue // joined a draining flight; retry fresh (see queryAt)
 		}
-		return c.computeTerm(pin, rk, key, term)
-	})
-	if shared {
-		c.stats.dedup.Add(1)
+		if shared {
+			c.stats.dedup.Add(1)
+		}
+		return val.(*termVector), false, nil
 	}
-	return val.(*termVector), false
 }
 
 // computeTerm runs one single-term ObjectRank2 solve and inserts the
@@ -484,7 +563,7 @@ func (c *CachedEngine) termVectorFor(pin *core.Pinned, rk uint64, term string) (
 // removed from the cache and donated as the warm start, so the new
 // solve refines an already-close vector instead of starting from the
 // global PageRank.
-func (c *CachedEngine) computeTerm(pin *core.Pinned, rk uint64, key, term string) *termVector {
+func (c *CachedEngine) computeTerm(ctx context.Context, pin *core.Pinned, rk uint64, key, term string) (*termVector, error) {
 	var init []float64
 	warm := false
 	if prevKey, ok := c.previousTermKey(pin.Version(), rk, term); ok {
@@ -495,10 +574,18 @@ func (c *CachedEngine) computeTerm(pin *core.Pinned, rk uint64, key, term string
 	}
 	q := ir.NewQuery(term)
 	var res *core.RankResult
+	var err error
 	if init != nil {
-		res = pin.RankFrom(q, init)
+		res, err = pin.RankFromCtx(ctx, q, init)
 	} else {
-		res = pin.Rank(q)
+		res, err = pin.RankCtx(ctx, q)
+	}
+	if err != nil {
+		// Solve abandoned (every waiter left, or a prewarm shut down):
+		// nothing is cached; the next miss recomputes. The donated
+		// warm-start vector (if any) is lost with it — acceptable, it
+		// was already invalid under the new rates.
+		return nil, err
 	}
 	c.stats.computes.Add(1)
 	if warm {
@@ -515,7 +602,7 @@ func (c *CachedEngine) computeTerm(pin *core.Pinned, rk uint64, key, term string
 	}
 	c.eng.Release(res)
 	c.vectors.Put(key, tv, termEntrySize(key, len(vec)))
-	return tv
+	return tv, nil
 }
 
 // RankPinned produces a full core.RankResult under the pinned snapshot,
@@ -524,10 +611,20 @@ func (c *CachedEngine) computeTerm(pin *core.Pinned, rk uint64, key, term string
 // everything else by a normal solve. This is the explain path's entry:
 // explanations need whole score vectors, not top-k lists.
 func (c *CachedEngine) RankPinned(pin *core.Pinned, q *ir.Query) *core.RankResult {
+	res, _ := c.RankPinnedCtx(context.Background(), pin, q)
+	return res
+}
+
+// RankPinnedCtx is RankPinned under a request context (see QueryCtx
+// for the shared-solve detachment rules).
+func (c *CachedEngine) RankPinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query) (*core.RankResult, error) {
 	if term, ok := singleTerm(q); ok {
 		c.recordHot(q)
 		rk := c.ratesKeyFor(pin)
-		tv, _ := c.termVectorFor(pin, rk, term)
+		tv, _, err := c.termVectorFor(ctx, pin, rk, term)
+		if err != nil {
+			return nil, err
+		}
 		scores := make([]float64, len(tv.vec))
 		copy(scores, tv.vec)
 		return &core.RankResult{
@@ -537,9 +634,9 @@ func (c *CachedEngine) RankPinned(pin *core.Pinned, q *ir.Query) *core.RankResul
 			Iterations:   tv.iters,
 			Converged:    tv.converged,
 			RatesVersion: pin.Version(),
-		}
+		}, nil
 	}
-	return pin.Rank(q)
+	return pin.RankCtx(ctx, q)
 }
 
 // ---- hot-term tracking ----
@@ -607,7 +704,7 @@ func (c *CachedEngine) prewarmLoop() {
 	defer c.wg.Done()
 	for {
 		select {
-		case <-c.done:
+		case <-c.prewarmCtx.Done():
 			return
 		case <-c.prewarmCh:
 			c.prewarmOnce()
@@ -623,12 +720,11 @@ func (c *CachedEngine) prewarmOnce() {
 	pin := c.eng.Pin()
 	rk := c.ratesKeyFor(pin)
 	for _, t := range terms {
-		select {
-		case <-c.done:
+		// prewarmCtx dies on Close: a prewarm solve in progress is
+		// abandoned within one kernel sweep and no further terms start.
+		if _, _, err := c.termVectorFor(c.prewarmCtx, pin, rk, t); err != nil {
 			return
-		default:
 		}
-		c.termVectorFor(pin, rk, t)
 		c.stats.prewarmed.Add(1)
 	}
 }
@@ -640,7 +736,9 @@ func (c *CachedEngine) Prewarm(terms []string) {
 	pin := c.eng.Pin()
 	rk := c.ratesKeyFor(pin)
 	for _, t := range terms {
-		c.termVectorFor(pin, rk, t)
+		if _, _, err := c.termVectorFor(context.Background(), pin, rk, t); err != nil {
+			return
+		}
 		c.stats.prewarmed.Add(1)
 	}
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -73,7 +74,7 @@ func TestSingleflightDedup(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait()
-			tv, _ := c.termVectorFor(pin, rk, "olap")
+			tv, _, _ := c.termVectorFor(context.Background(), pin, rk, "olap")
 			got[i] = tv
 		}(i)
 	}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// TestRankCtxCancelled: a pre-cancelled context stops the query before
+// the solve starts — nil result, context.Canceled — and no score vector
+// escapes the engine's pool.
+func TestRankCtxCancelled(t *testing.T) {
+	e := newFixture(t).newEngine(t)
+	q := ir.NewQuery("olap")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if res, err := e.RankCtx(ctx, q); err != context.Canceled || res != nil {
+		t.Fatalf("RankCtx = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if res, err := e.RankColdCtx(ctx, q); err != context.Canceled || res != nil {
+		t.Fatalf("RankColdCtx = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if res, err := e.Pin().RankCtx(ctx, q); err != context.Canceled || res != nil {
+		t.Fatalf("Pinned.RankCtx = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// TestRankCtxLiveMatchesRank: a live context changes nothing — the
+// RankCtx result is bit-identical to the plain Rank result (same
+// snapshot, same warm start discipline).
+func TestRankCtxLiveMatchesRank(t *testing.T) {
+	e := newFixture(t).newEngine(t)
+	q := ir.NewQuery("olap")
+
+	plain := e.RankCold(q)
+	withCtx, err := e.RankColdCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("RankColdCtx under live ctx: %v", err)
+	}
+	if plain.Iterations != withCtx.Iterations || plain.Converged != withCtx.Converged {
+		t.Fatalf("iterations/converged differ: %d/%t vs %d/%t",
+			plain.Iterations, plain.Converged, withCtx.Iterations, withCtx.Converged)
+	}
+	for v := range plain.Scores {
+		if plain.Scores[v] != withCtx.Scores[v] {
+			t.Fatalf("score %d differs: %v vs %v", v, plain.Scores[v], withCtx.Scores[v])
+		}
+	}
+	e.Release(plain)
+	e.Release(withCtx)
+}
+
+// TestExplainCtxCancelled: explain under a dead context returns the
+// context error from the first phase boundary; a live context produces
+// the same subgraph as the plain entry point.
+func TestExplainCtxCancelled(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	res := e.Rank(ir.NewQuery("olap"))
+	defer e.Release(res)
+	target := f.ids["v7"]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if sg, err := e.ExplainCtx(ctx, res, target, DefaultExplain()); err != context.Canceled || sg != nil {
+		t.Fatalf("ExplainCtx = (%v, %v), want (nil, context.Canceled)", sg, err)
+	}
+	if sg, err := e.Pin().ExplainCtx(ctx, res, target, DefaultExplain()); err != context.Canceled || sg != nil {
+		t.Fatalf("Pinned.ExplainCtx = (%v, %v), want (nil, context.Canceled)", sg, err)
+	}
+
+	plain, err := e.Explain(res, target, DefaultExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := e.ExplainCtx(context.Background(), res, target, DefaultExplain())
+	if err != nil {
+		t.Fatalf("ExplainCtx under live ctx: %v", err)
+	}
+	if plain.ExplainedScore() != live.ExplainedScore() || plain.Iterations != live.Iterations {
+		t.Fatalf("live-ctx explain differs: score %v/%v iters %d/%d",
+			plain.ExplainedScore(), live.ExplainedScore(), plain.Iterations, live.Iterations)
+	}
+}
+
+// TestReformulateCtxCancelled: reformulation under a dead context
+// returns the context error before touching the snapshot's rates.
+func TestReformulateCtxCancelled(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	q := ir.NewQuery("olap")
+	res := e.Rank(q)
+	defer e.Release(res)
+	sg, err := e.Explain(res, f.ids["v7"], DefaultExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if out, err := e.ReformulateCtx(ctx, q, []*Subgraph{sg}, ContentAndStructure()); err != context.Canceled || out != nil {
+		t.Fatalf("ReformulateCtx = (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	if out, err := e.ReformulateWeightedCtx(ctx, q, []*Subgraph{sg}, []float64{1}, ContentAndStructure()); err != context.Canceled || out != nil {
+		t.Fatalf("ReformulateWeightedCtx = (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	if out, err := e.Pin().ReformulateCtx(ctx, q, []*Subgraph{sg}, ContentAndStructure()); err != context.Canceled || out != nil {
+		t.Fatalf("Pinned.ReformulateCtx = (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+
+	// Live context: identical outcome to the plain entry point.
+	plain, err := e.Reformulate(q, []*Subgraph{sg}, ContentAndStructure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := e.ReformulateCtx(context.Background(), q, []*Subgraph{sg}, ContentAndStructure())
+	if err != nil {
+		t.Fatalf("ReformulateCtx under live ctx: %v", err)
+	}
+	if len(plain.Expansion) != len(live.Expansion) {
+		t.Fatalf("expansion sizes differ: %d vs %d", len(plain.Expansion), len(live.Expansion))
+	}
+	for i := range plain.Expansion {
+		if plain.Expansion[i] != live.Expansion[i] {
+			t.Fatalf("expansion %d differs: %+v vs %+v", i, plain.Expansion[i], live.Expansion[i])
+		}
+	}
+}
+
+// TestRankCtxMidSolveCancel drives a cancellation from the solve hook's
+// observer path: a context cancelled during the fixpoint makes RankCtx
+// return the context error and recycle the partial vector instead of
+// publishing it.
+func TestRankCtxMidSolveCancel(t *testing.T) {
+	f := newFixture(t)
+	// A fresh engine with ZeroThreshold forces the solve to run the full
+	// MaxIters budget, leaving plenty of sweeps to cancel within.
+	e, err := NewEngine(f.g, f.rates, Config{
+		Rank: rank.Options{Damping: 0.85, Threshold: rank.ZeroThreshold, MaxIters: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hooked := false
+	e.SetSolveHook(func(SolveStats) { hooked = true })
+	// Cancel after the warm-start global solve: GlobalRank runs without
+	// the caller ctx, so only the query solve observes the cancellation.
+	e.GlobalRank()
+	cancel()
+	res, err := e.RankCtx(ctx, ir.NewQuery("olap"))
+	if err != context.Canceled || res != nil {
+		t.Fatalf("RankCtx = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if hooked {
+		t.Fatal("solve hook fired for a cancelled solve")
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -372,7 +373,19 @@ func (e *Engine) Release(res *RankResult) {
 // Rank executes ObjectRank2 (Equation 4) for q, warm-started from the
 // cached global PageRank as the paper does for initial queries.
 func (e *Engine) Rank(q *ir.Query) *RankResult {
-	return e.rankAt(e.snap.Load(), q, e.globalScores())
+	res, _ := e.rankAt(context.Background(), e.snap.Load(), q, e.globalScores())
+	return res
+}
+
+// RankCtx is Rank under a request context: the kernel polls ctx once
+// per sweep and the call returns (nil, ctx.Err()) promptly on
+// cancellation or deadline expiry. A cancelled solve publishes NOTHING
+// — the partial score vector goes straight back to the engine's buffer
+// pool, so no caller can observe a half-converged ranking. The solve
+// hook does not fire for cancelled runs (they are not completed kernel
+// executions).
+func (e *Engine) RankCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
+	return e.rankAt(ctx, e.snap.Load(), q, e.globalScores())
 }
 
 // RankFrom executes ObjectRank2 warm-started from a previous score
@@ -380,16 +393,39 @@ func (e *Engine) Rank(q *ir.Query) *RankResult {
 // scores are expected to be close to the previous iteration's. The init
 // vector is only read, never retained.
 func (e *Engine) RankFrom(q *ir.Query, init []float64) *RankResult {
-	return e.rankAt(e.snap.Load(), q, init)
+	res, _ := e.rankAt(context.Background(), e.snap.Load(), q, init)
+	return res
+}
+
+// RankFromCtx is RankFrom under a request context (see RankCtx for the
+// cancellation contract).
+func (e *Engine) RankFromCtx(ctx context.Context, q *ir.Query, init []float64) (*RankResult, error) {
+	return e.rankAt(ctx, e.snap.Load(), q, init)
 }
 
 // RankCold executes ObjectRank2 with no warm start (the ablation
 // baseline).
 func (e *Engine) RankCold(q *ir.Query) *RankResult {
-	return e.rankAt(e.snap.Load(), q, nil)
+	res, _ := e.rankAt(context.Background(), e.snap.Load(), q, nil)
+	return res
 }
 
-func (e *Engine) rankAt(snap *ratesSnapshot, q *ir.Query, init []float64) *RankResult {
+// RankColdCtx is RankCold under a request context (see RankCtx for the
+// cancellation contract).
+func (e *Engine) RankColdCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
+	return e.rankAt(ctx, e.snap.Load(), q, nil)
+}
+
+// rankAt is the single ObjectRank2 execution path: every Rank* entry —
+// Engine, Pinned, cache-internal — funnels here. ctx must be non-nil
+// (use context.Background() for uncancellable runs; those never return
+// an error). On cancellation the partial kernel vector is returned to
+// the buffer pool and (nil, ctx.Err()) comes back: scores are never
+// partially published.
+func (e *Engine) rankAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, init []float64) (*RankResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c := e.corpus
 	t0 := time.Now()
 	base := e.BaseSet(q)
@@ -399,17 +435,25 @@ func (e *Engine) rankAt(snap *ratesSnapshot, q *ir.Query, init []float64) *RankR
 		// No node contains any query keyword: the fixpoint is
 		// identically zero, so skip the iteration (a warm start would
 		// otherwise only decay toward zero).
-		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, BaseSetDur: baseDur}
+		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, BaseSetDur: baseDur}, nil
 	}
 	for _, sd := range base {
 		jump[sd.Doc] = sd.Score
 	}
 	opts := c.opts
 	opts.Init = init
+	opts.Ctx = ctx
 	t1 := time.Now()
 	res := rank.Iterate(c.g, snap.alpha, jump, opts, c.workers, c.pool)
 	solveDur := time.Since(t1)
 	c.pool.Put(jump)
+	if res.Err != nil {
+		// Cancelled mid-solve: recycle the partial vector, publish
+		// nothing, and do not fire the solve hook (the execution did
+		// not complete).
+		res.ReleaseTo(c.pool)
+		return nil, res.Err
+	}
 	e.notifySolve(SolveStats{
 		Iterations:  res.Iterations,
 		Converged:   res.Converged,
@@ -427,7 +471,7 @@ func (e *Engine) rankAt(snap *ratesSnapshot, q *ir.Query, init []float64) *RankR
 		RatesVersion: snap.version,
 		BaseSetDur:   baseDur,
 		SolveDur:     solveDur,
-	}
+	}, nil
 }
 
 // GlobalRank returns the query-independent PageRank over the authority
@@ -530,34 +574,71 @@ func (p *Pinned) Engine() *Engine { return p.e }
 // Rank executes ObjectRank2 under the pinned rates, warm-started from
 // the cached global PageRank.
 func (p *Pinned) Rank(q *ir.Query) *RankResult {
-	return p.e.rankAt(p.snap, q, p.e.globalScores())
+	res, _ := p.e.rankAt(context.Background(), p.snap, q, p.e.globalScores())
+	return res
+}
+
+// RankCtx is Rank under a request context (see Engine.RankCtx for the
+// cancellation contract).
+func (p *Pinned) RankCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
+	return p.e.rankAt(ctx, p.snap, q, p.e.globalScores())
 }
 
 // RankFrom executes ObjectRank2 under the pinned rates, warm-started
 // from a previous score vector.
 func (p *Pinned) RankFrom(q *ir.Query, init []float64) *RankResult {
-	return p.e.rankAt(p.snap, q, init)
+	res, _ := p.e.rankAt(context.Background(), p.snap, q, init)
+	return res
+}
+
+// RankFromCtx is RankFrom under a request context.
+func (p *Pinned) RankFromCtx(ctx context.Context, q *ir.Query, init []float64) (*RankResult, error) {
+	return p.e.rankAt(ctx, p.snap, q, init)
 }
 
 // RankCold executes ObjectRank2 under the pinned rates with no warm
 // start.
 func (p *Pinned) RankCold(q *ir.Query) *RankResult {
-	return p.e.rankAt(p.snap, q, nil)
+	res, _ := p.e.rankAt(context.Background(), p.snap, q, nil)
+	return res
+}
+
+// RankColdCtx is RankCold under a request context.
+func (p *Pinned) RankColdCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
+	return p.e.rankAt(ctx, p.snap, q, nil)
 }
 
 // Explain builds the explaining subgraph for target under the pinned
 // rates.
 func (p *Pinned) Explain(res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	return p.e.explainAt(p.snap, res, target, opts)
+	return p.e.explainAt(context.Background(), p.snap, res, target, opts)
+}
+
+// ExplainCtx is Explain under a request context: the traversal stages
+// and the Equation 10 flow-adjustment fixpoint poll ctx (the fixpoint
+// once per iteration) and return ctx.Err() promptly on cancellation.
+func (p *Pinned) ExplainCtx(ctx context.Context, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	return p.e.explainAt(ctx, p.snap, res, target, opts)
 }
 
 // Reformulate produces a reformulated query under the pinned rates.
 func (p *Pinned) Reformulate(q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return p.e.reformulateAt(p.snap, q, feedback, nil, opts)
+	return p.e.reformulateAt(context.Background(), p.snap, q, feedback, nil, opts)
+}
+
+// ReformulateCtx is Reformulate under a request context.
+func (p *Pinned) ReformulateCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
+	return p.e.reformulateAt(ctx, p.snap, q, feedback, nil, opts)
 }
 
 // ReformulateWeighted is Reformulate with per-feedback-object
 // confidence weights, under the pinned rates.
 func (p *Pinned) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
-	return p.e.reformulateAt(p.snap, q, feedback, confidences, opts)
+	return p.e.reformulateAt(context.Background(), p.snap, q, feedback, confidences, opts)
+}
+
+// ReformulateWeightedCtx is ReformulateWeighted under a request
+// context.
+func (p *Pinned) ReformulateWeightedCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+	return p.e.reformulateAt(ctx, p.snap, q, feedback, confidences, opts)
 }

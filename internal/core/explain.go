@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -132,14 +133,30 @@ func (sg *Subgraph) NodeAuthority(v graph.NodeID) float64 {
 // by which its incoming flows are scaled to discount authority that
 // leaks out of the subgraph.
 func (e *Engine) Explain(res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	return e.explainAt(e.snap.Load(), res, target, opts)
+	return e.explainAt(context.Background(), e.snap.Load(), res, target, opts)
+}
+
+// ExplainCtx is Explain under a cancellable context: the construction
+// stage checks ctx at its phase boundaries (after each BFS and after
+// arc collection) and the Equation 10 fixpoint polls once per
+// iteration, so a cancelled or expired request abandons the build
+// within one phase/iteration and returns ctx.Err() instead of a
+// subgraph. A nil or background context behaves exactly like Explain.
+func (e *Engine) ExplainCtx(ctx context.Context, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	return e.explainAt(ctx, e.snap.Load(), res, target, opts)
 }
 
 // explainAt is Explain against one pinned rates snapshot, so a
 // Pinned view's explain stage cannot observe rates published after the
 // view was taken. The engine's own Explain simply pins the current
 // snapshot at entry.
-func (e *Engine) explainAt(snap *ratesSnapshot, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+func (e *Engine) explainAt(ctx context.Context, snap *ratesSnapshot, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := e.corpus.g
 	if int(target) < 0 || int(target) >= g.NumNodes() {
 		return nil, fmt.Errorf("core: explain target %d out of range", target)
@@ -169,6 +186,13 @@ func (e *Engine) explainAt(snap *ratesSnapshot, res *RankResult, target graph.No
 				queue = append(queue, a.To)
 			}
 		}
+	}
+
+	// Phase boundary: the backward BFS can touch a Radius-bounded
+	// neighborhood of the whole graph; bail before starting the forward
+	// pass if the request died meanwhile.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Stage (i)b: forward breadth-first search from the base-set nodes
@@ -202,6 +226,10 @@ func (e *Engine) explainAt(snap *ratesSnapshot, res *RankResult, target graph.No
 		}
 	}
 	inG[target] = true
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	sg := &Subgraph{
 		Target:  target,
@@ -242,9 +270,13 @@ func (e *Engine) explainAt(snap *ratesSnapshot, res *RankResult, target graph.No
 	// Stage (ii): the Equation 10 fixpoint. h(target) is pinned to 1;
 	// every other node's factor is the rate-weighted sum of its
 	// successors' factors inside the subgraph, discounting authority
-	// that leaks outside.
+	// that leaks outside. Like the ranking kernel, the fixpoint polls
+	// ctx once per iteration, so a dead request abandons the adjustment
+	// within one sweep.
 	adjustStart := time.Now()
-	sg.runAdjustment(opts)
+	if err := sg.runAdjustment(ctx, opts); err != nil {
+		return nil, err
+	}
 
 	// Final flows (Equation 7) and per-node flow sums (Equation 6).
 	for i := range sg.Arcs {
@@ -265,8 +297,11 @@ func (e *Engine) explainAt(snap *ratesSnapshot, res *RankResult, target graph.No
 // with h(target) = 1 fixed. Per Observation 2 the original ObjectRank2
 // scores are not needed. The iteration converges by Theorem 1 (the
 // computation mirrors PageRank with in/out edges swapped and no damping
-// factor, on a graph where every node reaches the target).
-func (sg *Subgraph) runAdjustment(opts ExplainOptions) {
+// factor, on a graph where every node reaches the target). ctx is
+// polled once per iteration, mirroring the ranking kernel's per-sweep
+// cancellation contract; on cancellation the context error is returned
+// and the subgraph must be discarded.
+func (sg *Subgraph) runAdjustment(ctx context.Context, opts ExplainOptions) error {
 	// Group arcs by source for the per-node sums. Only arc rates are
 	// needed — per Observation 2, the original ObjectRank2 scores play
 	// no role in the reduction factors.
@@ -284,6 +319,9 @@ func (sg *Subgraph) runAdjustment(opts ExplainOptions) {
 		h[v] = 1
 	}
 	for it := 0; it < opts.MaxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sg.Iterations = it + 1
 		maxDiff := 0.0
 		for _, v := range sg.Nodes {
@@ -304,4 +342,5 @@ func (sg *Subgraph) runAdjustment(opts ExplainOptions) {
 			break
 		}
 	}
+	return nil
 }

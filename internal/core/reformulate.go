@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -82,7 +83,17 @@ type Reformulation struct {
 // Multiple feedback objects combine by summation (5.3, Equations
 // 14–15).
 func (e *Engine) Reformulate(q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return e.reformulateAt(e.snap.Load(), q, feedback, nil, opts)
+	return e.reformulateAt(context.Background(), e.snap.Load(), q, feedback, nil, opts)
+}
+
+// ReformulateCtx is Reformulate under a cancellable context. The
+// reformulation itself is cheap (its cost is linear in the feedback
+// subgraphs, not the corpus), so ctx is checked at entry and between
+// the content and structure components — enough to make an already-dead
+// request return immediately without starting the clone-and-adjust
+// work.
+func (e *Engine) ReformulateCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
+	return e.reformulateAt(ctx, e.snap.Load(), q, feedback, nil, opts)
 }
 
 // ReformulateWeighted is Reformulate with a per-feedback-object
@@ -94,7 +105,13 @@ func (e *Engine) Reformulate(q *ir.Query, feedback []*Subgraph, opts Reformulate
 // Section 5.3); the weight count must otherwise match the feedback
 // count and weights must be non-negative.
 func (e *Engine) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
-	return e.reformulateAt(e.snap.Load(), q, feedback, confidences, opts)
+	return e.reformulateAt(context.Background(), e.snap.Load(), q, feedback, confidences, opts)
+}
+
+// ReformulateWeightedCtx is ReformulateWeighted under a cancellable
+// context (see ReformulateCtx for the checking granularity).
+func (e *Engine) ReformulateWeightedCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+	return e.reformulateAt(ctx, e.snap.Load(), q, feedback, confidences, opts)
 }
 
 // reformulateAt is ReformulateWeighted against one pinned rates
@@ -105,7 +122,13 @@ func (e *Engine) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confiden
 // optimistic-concurrency loop: the adjustment is computed off a stable
 // basis and publication fails (rather than silently clobbering) when
 // another writer got there first.
-func (e *Engine) reformulateAt(snap *ratesSnapshot, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+func (e *Engine) reformulateAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(feedback) == 0 {
 		return nil, fmt.Errorf("core: reformulation requires at least one feedback object")
 	}
@@ -137,6 +160,9 @@ func (e *Engine) reformulateAt(snap *ratesSnapshot, q *ir.Query, feedback []*Sub
 			}
 		}
 		out.Expansion = expandQuery(out.Query, weights, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if opts.Cf > 0 {
 		flows := make([]float64, g.Schema().NumTransferTypes())

@@ -1,0 +1,72 @@
+package precompute
+
+import (
+	"context"
+	"testing"
+
+	"authorityflow/internal/core"
+)
+
+// TestBuildCtxCancelled: a pre-cancelled context aborts the build
+// before any term solve starts — the returned partial store is empty
+// and the error is the context error (serial and parallel paths).
+func TestBuildCtxCancelled(t *testing.T) {
+	eng, _ := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 3} {
+		st, err := BuildCtx(ctx, eng, []string{"olap", "xml", "query"}, BuildOptions{Workers: workers})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if st == nil || st.Terms() != 0 {
+			t.Fatalf("workers=%d: partial store has %d terms after pre-cancelled build, want 0", workers, st.Terms())
+		}
+	}
+}
+
+// TestBuildCtxLiveMatchesBuild: a live context is a no-op — BuildCtx
+// produces the same store as Build, term for term.
+func TestBuildCtxLiveMatchesBuild(t *testing.T) {
+	eng, _ := testEngine(t)
+	terms := []string{"olap", "xml"}
+	plain := Build(eng, terms, BuildOptions{TopK: 20})
+	withCtx, err := BuildCtx(context.Background(), eng, terms, BuildOptions{TopK: 20})
+	if err != nil {
+		t.Fatalf("BuildCtx under live ctx: %v", err)
+	}
+	if plain.Terms() != withCtx.Terms() {
+		t.Fatalf("term counts differ: %d vs %d", plain.Terms(), withCtx.Terms())
+	}
+	for _, term := range terms {
+		if plain.Has(term) != withCtx.Has(term) {
+			t.Fatalf("term %q presence differs", term)
+		}
+	}
+}
+
+// TestBuildCtxMidBuildCancel cancels after the first completed
+// per-term solve (the forced GlobalRank warm-start does not route
+// through the solve hook) and asserts the serial build stops early with
+// a partial — but internally consistent — store: exactly the terms
+// completed before the cutoff are stored, fully converged, and the
+// error is the context error.
+func TestBuildCtxMidBuildCancel(t *testing.T) {
+	eng, _ := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	solves := 0
+	eng.SetSolveHook(func(core.SolveStats) {
+		solves++
+		if solves == 1 { // first per-term solve
+			cancel()
+		}
+	})
+	st, err := BuildCtx(ctx, eng, []string{"olap", "xml", "query", "database"}, BuildOptions{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Terms() != 1 || !st.Has("olap") {
+		t.Fatalf("partial store holds %d terms (olap=%t), want exactly the pre-cutoff term",
+			st.Terms(), st.Has("olap"))
+	}
+}

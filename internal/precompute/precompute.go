@@ -20,6 +20,7 @@ package precompute
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -70,8 +71,25 @@ type BuildOptions struct {
 // taken at entry, so every per-term vector — and the recorded rate
 // vector the store validates against — reflects a single consistent
 // rate assignment even if SetRates lands mid-build. Terms with empty
-// base sets are skipped.
+// base sets are skipped. Build is BuildCtx under a background context;
+// use BuildCtx to make a long build abortable.
 func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
+	st, _ := BuildCtx(context.Background(), eng, terms, opts)
+	return st
+}
+
+// BuildCtx is Build under a cancellable context: each per-term fixpoint
+// runs with ctx attached (so a cancellation lands within one kernel
+// sweep), no new terms are started after ctx dies, and the ctx error is
+// returned alongside the PARTIAL store covering the terms that finished
+// before the cutoff. A partial store is internally consistent — every
+// stored vector is fully converged under the pinned rates — but covers
+// fewer terms; callers that require completeness must discard it when
+// err != nil.
+func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildOptions) (*Store, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pin := eng.Pin()
 	st := &Store{
 		topK:  opts.TopK,
@@ -79,17 +97,25 @@ func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 		rates: pin.Rates().Vector(),
 		terms: make(map[string]termData, len(terms)),
 	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	// Force the shared warm-start cache before fanning out.
 	eng.GlobalRank()
 
 	workers := opts.Workers
 	if workers <= 1 {
 		for _, t := range terms {
-			if td, ok := buildTerm(pin, t, opts.TopK); ok {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+			if td, ok, err := buildTerm(ctx, pin, t, opts.TopK); err != nil {
+				return st, err
+			} else if ok {
 				st.terms[t] = td
 			}
 		}
-		return st
+		return st, nil
 	}
 
 	var mu sync.Mutex
@@ -100,7 +126,11 @@ func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 		go func() {
 			defer wg.Done()
 			for t := range ch {
-				if td, ok := buildTerm(pin, t, opts.TopK); ok {
+				td, ok, err := buildTerm(ctx, pin, t, opts.TopK)
+				if err != nil {
+					continue // ctx died mid-solve; drain remaining terms
+				}
+				if ok {
 					mu.Lock()
 					st.terms[t] = td
 					mu.Unlock()
@@ -108,15 +138,20 @@ func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 			}
 		}()
 	}
+feed:
 	for _, t := range terms {
-		ch <- t
+		select {
+		case ch <- t:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
-	return st
+	return st, ctx.Err()
 }
 
-func buildTerm(pin *core.Pinned, term string, topK int) (termData, bool) {
+func buildTerm(ctx context.Context, pin *core.Pinned, term string, topK int) (termData, bool, error) {
 	eng := pin.Engine()
 	q := ir.NewQuery(term)
 	// Base mass BEFORE normalization: recomputed from the index so the
@@ -126,9 +161,12 @@ func buildTerm(pin *core.Pinned, term string, topK int) (termData, bool) {
 		z += sd.Score
 	}
 	if z == 0 {
-		return termData{}, false
+		return termData{}, false, nil
 	}
-	res := pin.Rank(q)
+	res, err := pin.RankCtx(ctx, q)
+	if err != nil {
+		return termData{}, false, err
+	}
 	entries := make([]Entry, 0, len(res.Scores))
 	for v, s := range res.Scores {
 		if s > 0 {
@@ -145,7 +183,7 @@ func buildTerm(pin *core.Pinned, term string, topK int) (termData, bool) {
 	if topK > 0 && len(entries) > topK {
 		entries = entries[:topK]
 	}
-	return termData{Entries: entries, Z: z}, true
+	return termData{Entries: entries, Z: z}, true, nil
 }
 
 // Terms returns the number of stored terms.

@@ -1,0 +1,172 @@
+package rank
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestIterateCancelBeforeStart: a context that is already dead at entry
+// stops the run before the first sweep — zero iterations, Err set, and
+// the scores equal the start vector (base distribution or Init).
+func TestIterateCancelBeforeStart(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, workers := range []int{1, 3} {
+		res := Iterate(g, r.Vector(), base, Options{Ctx: ctx}, workers, nil)
+		if res.Err != context.Canceled {
+			t.Fatalf("workers=%d: Err=%v, want context.Canceled", workers, res.Err)
+		}
+		if res.Iterations != 0 || res.Converged {
+			t.Fatalf("workers=%d: Iterations=%d Converged=%t after pre-cancelled ctx, want 0/false",
+				workers, res.Iterations, res.Converged)
+		}
+		for v := range base {
+			if res.Scores[v] != base[v] {
+				t.Fatalf("workers=%d: score %d = %v, want start-vector value %v", workers, v, res.Scores[v], base[v])
+			}
+		}
+	}
+}
+
+// TestIterateCancelMidSolve cancels the context from the per-iteration
+// observer at iteration N and asserts the kernel stops within exactly
+// one sweep: the run executes iteration N (the cancel arrives after its
+// sweep completed), the per-sweep poll fires before sweep N+1, and the
+// published scores are the COMPLETE state of iteration N — bit-identical
+// to an uncancelled run truncated at MaxIters=N. Scores are never
+// partially published.
+func TestIterateCancelMidSolve(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	const stopAt = 3
+
+	// Reference: what a run truncated exactly at stopAt iterations
+	// produces (ZeroThreshold disables early convergence).
+	ref := Iterate(g, r.Vector(), base, Options{Threshold: ZeroThreshold, MaxIters: stopAt}, 1, nil)
+	if ref.Iterations != stopAt {
+		t.Fatalf("reference run executed %d iterations, want %d", ref.Iterations, stopAt)
+	}
+
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := Options{
+			Threshold: ZeroThreshold,
+			MaxIters:  500,
+			Ctx:       ctx,
+			Observe: func(iter int, residual float64) {
+				if iter == stopAt {
+					cancel()
+				}
+			},
+		}
+		res := Iterate(g, r.Vector(), base, opts, workers, nil)
+		if res.Err != context.Canceled {
+			t.Fatalf("workers=%d: Err=%v, want context.Canceled", workers, res.Err)
+		}
+		if res.Iterations != stopAt {
+			t.Fatalf("workers=%d: run executed %d iterations after cancel at %d — did not stop within one sweep",
+				workers, res.Iterations, stopAt)
+		}
+		if res.Converged {
+			t.Fatalf("workers=%d: cancelled run reported Converged", workers)
+		}
+		if workers == 1 {
+			// Serial path is bitwise deterministic: the cancelled run's
+			// scores must be bit-identical to the truncated reference.
+			for v := range ref.Scores {
+				if res.Scores[v] != ref.Scores[v] {
+					t.Fatalf("score %d = %b, want the complete iteration-%d state %b",
+						v, res.Scores[v], stopAt, ref.Scores[v])
+				}
+			}
+		} else {
+			// Parallel matches up to summation order.
+			for v := range ref.Scores {
+				if math.Abs(res.Scores[v]-ref.Scores[v]) > 1e-12 {
+					t.Fatalf("workers=%d: score %d = %v, want ~%v", workers, v, res.Scores[v], ref.Scores[v])
+				}
+			}
+		}
+		cancel()
+	}
+}
+
+// TestIterateDeadlineExceeded: an expired deadline surfaces
+// context.DeadlineExceeded (the 504 mapping of the HTTP layer), not
+// Canceled.
+func TestIterateDeadlineExceeded(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	res := Iterate(g, r.Vector(), base, Options{Ctx: ctx}, 1, nil)
+	if res.Err != context.DeadlineExceeded {
+		t.Fatalf("Err=%v, want context.DeadlineExceeded", res.Err)
+	}
+}
+
+// TestIterateBackgroundCtxMatchesNil: running under a live (never
+// cancelled) context changes nothing — scores, iterations and the
+// convergence decision are bit-identical to a nil-Ctx run.
+func TestIterateBackgroundCtxMatchesNil(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	plain := Iterate(g, r.Vector(), base, Options{Threshold: 1e-10, MaxIters: 500}, 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx := Iterate(g, r.Vector(), base, Options{Threshold: 1e-10, MaxIters: 500, Ctx: ctx}, 1, nil)
+	if withCtx.Err != nil {
+		t.Fatalf("live-ctx run reported Err=%v", withCtx.Err)
+	}
+	if plain.Iterations != withCtx.Iterations || plain.Converged != withCtx.Converged {
+		t.Fatalf("iterations/converged differ: %d/%t vs %d/%t",
+			plain.Iterations, plain.Converged, withCtx.Iterations, withCtx.Converged)
+	}
+	for v := range plain.Scores {
+		if plain.Scores[v] != withCtx.Scores[v] {
+			t.Fatalf("score %d differs: %v vs %v", v, plain.Scores[v], withCtx.Scores[v])
+		}
+	}
+}
+
+// TestIterateContextZeroAlloc is the PR-4 overhead contract: the
+// per-sweep cancellation poll adds 0 allocs/op over the PR-3 kernel on
+// the pooled serial path, BOTH with Ctx nil (serving without deadlines)
+// and with a live cancellable context attached (serving with deadlines
+// that do not fire). seedKernelAllocsPerRun is the PR-3 baseline.
+func TestIterateContextZeroAlloc(t *testing.T) {
+	g, r := fig1Fixture(t)
+	base := fig1Base(g)
+	alpha := r.Vector()
+	pool := NewBufferPool()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"nilCtx", nil},
+		{"background", context.Background()},
+		{"cancellable", ctx},
+	}
+	for _, tc := range cases {
+		opts := Options{Threshold: 1e-10, MaxIters: 500, Ctx: tc.ctx}
+		// Warm the pool so steady state is measured.
+		res := Iterate(g, alpha, base, opts, 1, pool)
+		res.ReleaseTo(pool)
+		allocs := testing.AllocsPerRun(100, func() {
+			r := Iterate(g, alpha, base, opts, 1, pool)
+			r.ReleaseTo(pool)
+		})
+		if allocs > seedKernelAllocsPerRun {
+			t.Fatalf("%s: pooled kernel path allocates %v allocs/op, PR-3 baseline is %d — the ctx poll added overhead",
+				tc.name, allocs, seedKernelAllocsPerRun)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package rank
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalizingExponentGolden pins the g(t) clamp behaviour for the
+// degenerate base-set sizes where Equation 16's 1/ln(|S(t)|) is
+// undefined or inverted (see the normalizingExponent doc and DESIGN.md
+// §2): sizes 0, 1 and 2 clamp to exponent 1 (raw scores), size 3 is the
+// first size that follows the paper's formula exactly, and from there
+// the exponent tracks 1/ln(n) bit-for-bit.
+func TestNormalizingExponentGolden(t *testing.T) {
+	golden := []struct {
+		size int
+		want float64
+	}{
+		{0, 1},                 // empty base set: ln(0) = -Inf, clamp
+		{1, 1},                 // ln(1) = 0: division by zero, clamp
+		{2, 1},                 // ln(2) ≈ 0.693 < 1: exponent would EXCEED 1, clamp
+		{3, 1 / math.Log(3)},   // ln(3) ≈ 1.0986 > 1: paper formula, ≈ 0.9102
+		{10, 1 / math.Log(10)}, // deep in paper territory, ≈ 0.4343
+	}
+	for _, g := range golden {
+		if got := normalizingExponent(g.size); got != g.want {
+			t.Errorf("normalizingExponent(%d) = %v, want %v", g.size, got, g.want)
+		}
+	}
+	// Spot-check the boundary numerically: the size-3 exponent must be
+	// strictly below 1 (no clamp) and above the size-10 exponent
+	// (monotone damping of popular keywords).
+	e3, e10 := normalizingExponent(3), normalizingExponent(10)
+	if !(e3 < 1 && e10 < e3) {
+		t.Fatalf("exponent not monotone: g(3)=%v g(10)=%v", e3, e10)
+	}
+}
+
+// TestNormalizingExponentNeverExceedsOne sweeps sizes 0..100: the clamp
+// guarantees the combination never AMPLIFIES a keyword's skew (exponent
+// > 1 on scores < 1 would shrink rare-keyword scores harder than common
+// ones — the inversion the clamp exists to prevent).
+func TestNormalizingExponentNeverExceedsOne(t *testing.T) {
+	for n := 0; n <= 100; n++ {
+		if e := normalizingExponent(n); e > 1 || e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("normalizingExponent(%d) = %v out of (0, 1]", n, e)
+		}
+	}
+}

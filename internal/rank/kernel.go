@@ -97,6 +97,16 @@ func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 // non-nil, supplies the score buffers; the returned Result.Scores comes
 // from the pool and can be recycled with Result.ReleaseTo.
 //
+// Cancellation: when opts.Ctx is non-nil, ctx.Err() is polled exactly
+// once per sweep on the coordinating goroutine, before the next
+// iteration starts — so a cancelled run stops within one sweep of the
+// cancellation, Result.Err carries the context error, and Scores always
+// hold a COMPLETE iteration state (the swap happens only after a full
+// sweep; workers never publish a half-written vector). The poll is one
+// branch plus one atomic read and allocates nothing, so the serving
+// path with deadlines enabled is indistinguishable from the PR-3
+// kernel until a deadline actually fires.
+//
 // Iterate panics on malformed inputs — a base or Init vector whose
 // length differs from g.NumNodes(), or an alpha vector that does not
 // cover the schema's transfer types — because silently truncating or
@@ -129,9 +139,16 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 	if workers > n {
 		workers = n
 	}
+	ctx := opts.Ctx
 	res := Result{}
 	if workers <= 1 {
 		for it := 0; it < opts.MaxIters; it++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+					break
+				}
+			}
 			diff := sweep(start, arcs, alpha, d, base, cur, next, 0, n)
 			res.Iterations = it + 1
 			if opts.Observe != nil {
@@ -159,6 +176,12 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 	diffs := make([]float64, workers)
 	var wg sync.WaitGroup
 	for it := 0; it < opts.MaxIters; it++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				break
+			}
+		}
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func(w int) {

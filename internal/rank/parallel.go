@@ -12,7 +12,9 @@ import (
 // where the per-iteration edge scan dominates; on small graphs the
 // goroutine fan-out costs more than it saves, so Run remains the
 // default. workers <= 0 uses all cores (AutoWorkers); workers == 1
-// degenerates to the serial, bitwise-deterministic path.
+// degenerates to the serial, bitwise-deterministic path. Like every
+// kernel entry it honors opts.Ctx: the coordinating goroutine polls
+// cancellation once per sweep (see Iterate).
 func RunParallel(g *graph.Graph, rates *graph.Rates, base []float64, opts Options, workers int) Result {
 	if workers <= 0 {
 		workers = AutoWorkers()

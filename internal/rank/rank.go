@@ -7,6 +7,7 @@
 package rank
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -62,6 +63,26 @@ type Options struct {
 	// concurrently, so a shared observer must be safe for concurrent
 	// use. Observers must not retain or mutate kernel state.
 	Observe IterObserver
+	// Ctx, if non-nil, makes the run cancellable: the kernel checks
+	// ctx.Err() exactly once per sweep, on the coordinating goroutine,
+	// BEFORE starting the next iteration. On cancellation the run stops
+	// with Result.Err set to the context's error and Result.Scores
+	// holding the last fully completed iteration's vector — a sweep is
+	// never published half-written, so a cancelled run's scores are
+	// always a consistent (just unconverged) fixpoint state. A nil Ctx
+	// means the run cannot be cancelled and costs one branch per
+	// iteration (the serving default before PR 4).
+	//
+	// Contract: whether Ctx is nil, context.Background(), or a live
+	// cancellable context, the happy path (no cancellation) adds 0
+	// allocations per run over the PR-3 kernel — ctx.Err() on the
+	// stdlib context types does not allocate. Enforced by
+	// TestIterateContextZeroAlloc. A context is deliberately carried in
+	// Options next to Init and Observe: all three are per-run state of
+	// one kernel execution, and threading a parameter through every
+	// ranking-mode wrapper would force a signature break for the same
+	// effect.
+	Ctx context.Context
 }
 
 // IterObserver receives one callback per completed power iteration:
@@ -97,7 +118,7 @@ func Defaults() Options {
 // field values: zero fields become the paper defaults, negative
 // (sentinel) fields become actual zeros. The result is idempotent under
 // further Normalized calls and is what every kernel entry point applies
-// to its options before running. Init and Observe pass through
+// to its options before running. Init, Observe and Ctx pass through
 // untouched.
 func (o Options) Normalized() Options {
 	switch {
@@ -131,6 +152,13 @@ type Result struct {
 	// Converged reports whether the L1 threshold was reached before
 	// MaxIters.
 	Converged bool
+	// Err is non-nil iff the run was stopped early by Options.Ctx
+	// (context.Canceled or context.DeadlineExceeded). Scores then hold
+	// the last fully completed iteration's vector (or the start vector
+	// when cancellation was observed before the first sweep) and
+	// Converged is false. Callers that own a buffer pool should still
+	// ReleaseTo the scores of a cancelled run.
+	Err error
 }
 
 // Run executes the damped authority-flow fixpoint
@@ -228,6 +256,18 @@ func ObjectRankMulti(g *graph.Graph, rates *graph.Rates, baseSets [][]graph.Node
 
 // normalizingExponent returns g(t) = 1/log(|S(t)|), clamped to 1 for
 // base sets too small for the logarithm to exceed 1.
+//
+// This deliberately DEVIATES from a literal reading of Equation 16 for
+// |S(t)| <= 2 (and is undefined there in the paper): ln(0) and ln(1)
+// make g infinite or divide by zero, and ln(2) ≈ 0.693 would give an
+// exponent g ≈ 1.44 > 1, i.e. a rare keyword would have its (already
+// < 1) scores shrunk MORE than a common one — the opposite of the
+// normalization's stated purpose of damping popular keywords. Clamping
+// to exponent 1 (use the raw score) keeps g monotonically
+// non-increasing in base-set size and exactly matches the paper from
+// |S(t)| = 3 (the first size with ln > 1) upward. Golden values for
+// sizes 0..3 are pinned by TestNormalizingExponentGolden; the rationale
+// is recorded in DESIGN.md §2.
 func normalizingExponent(baseSize int) float64 {
 	if baseSize <= 0 {
 		return 1

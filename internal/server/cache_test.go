@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"authorityflow/internal/core"
 	"authorityflow/internal/datagen"
@@ -244,4 +245,48 @@ func TestCachedServerConcurrency(t *testing.T) {
 	if st.Cache == nil || st.Cache.Result.Hits+st.Cache.Vector.Hits == 0 {
 		t.Errorf("no cache hits under concurrent load: %+v", st.Cache)
 	}
+}
+
+// TestServerCloseWhilePublishing is the cmd/afqserver graceful-shutdown
+// ordering regression at the Server level: Close (which stops the
+// cache's prewarmer) racing rate publications must neither deadlock nor
+// panic nor revive the prewarmer — the cache's publish hook becomes a
+// no-op the moment Close starts. This is exactly the cleanup step
+// serve() runs after http.Server.Shutdown drains in-flight requests
+// (one of which may have just published via TrySetRates). Run under
+// -race.
+func TestServerCloseWhilePublishing(t *testing.T) {
+	s, ts, _ := testCachedServer(t)
+	// Record a hot term so the prewarmer has work on each publication.
+	getJSON(t, ts.URL+"/query?q=olap&k=3", nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // a publisher standing in for in-flight reformulations
+		defer wg.Done()
+		eng := s.Engine()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := eng.SetRates(eng.Rates()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Server.Close blocked while publications were racing shutdown")
+	}
+	close(stop)
+	wg.Wait()
+	s.Close() // idempotent, as serve()'s cleanup path may double-fire in tests
 }

@@ -65,6 +65,15 @@ type serverObs struct {
 	solveSeconds     *obs.Histogram
 	iterTotal        *obs.Counter
 	ratesVersion     *obs.Gauge
+
+	// Admission-control families (PR-4 deadline-aware lifecycle):
+	// sheds, deadline expiries, client cancellations, queue wait, and
+	// the live count of admitted expensive requests.
+	shedTotal        *obs.Counter
+	timeoutTotal     *obs.Counter
+	cancelledTotal   *obs.Counter
+	queueWaitSeconds *obs.Histogram
+	inflight         *obs.Gauge
 }
 
 // uncachedOutcome is the cacheOutcome label of answers served without
@@ -106,6 +115,16 @@ func newServerObs(o ObsOptions) *serverObs {
 		"Total power iterations executed across all kernel runs (fed by the per-iteration observer).")
 	so.ratesVersion = reg.NewGauge("afq_rates_version",
 		"Version of the currently published rates snapshot.")
+	so.shedTotal = reg.NewCounter("afq_http_shed_total",
+		"Expensive requests shed with 503 because every admission slot stayed busy for the whole queue wait.")
+	so.timeoutTotal = reg.NewCounter("afq_http_timeout_total",
+		"Requests that hit the per-request deadline (server cap or X-Request-Timeout-Ms) and were answered 504.")
+	so.cancelledTotal = reg.NewCounter("afq_http_cancelled_total",
+		"Requests abandoned by the client before the answer was ready (status 499 in the access log).")
+	so.queueWaitSeconds = reg.NewHistogram("afq_http_queue_wait_seconds",
+		"Time admitted requests spent waiting for an admission slot.", obs.DefaultLatencyBuckets())
+	so.inflight = reg.NewGauge("afq_http_inflight",
+		"Expensive requests currently holding an admission slot.")
 	reg.NewGaugeFunc("afq_uptime_seconds",
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(so.start).Seconds() })

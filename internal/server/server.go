@@ -33,6 +33,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ type Server struct {
 	eng   *core.Engine
 	cache *cache.CachedEngine // nil when serving uncached
 	obs   *serverObs          // always non-nil; see ObsOptions
+	adm   *admission          // always non-nil; zero options = no limits
 }
 
 // Option configures optional Server behaviour.
@@ -65,6 +67,7 @@ type serverOptions struct {
 	cacheOpts    cache.Options
 	cacheEnabled bool
 	obs          ObsOptions
+	admission    AdmissionOptions
 }
 
 // WithCache enables the serving cache with the given total byte budget
@@ -105,7 +108,7 @@ func New(ds *datagen.Dataset, cfg core.Config, opts ...Option) (*Server, error) 
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ds: ds, eng: eng, obs: sobs}
+	s := &Server{ds: ds, eng: eng, obs: sobs, adm: newAdmission(so.admission)}
 	if so.cacheEnabled {
 		s.cache = cache.New(eng, so.cacheOpts)
 	}
@@ -145,9 +148,16 @@ func (s *Server) Handler() http.Handler {
 	route := func(path string, h http.HandlerFunc) {
 		mux.Handle(path, s.obs.mw.Wrap(path, h))
 	}
-	route("/query", s.handleQuery)
-	route("/explain", s.handleExplain)
-	route("/reformulate", s.handleReformulate)
+	// Expensive endpoints (each may run a kernel solve) go through the
+	// admission guard: bounded in-flight slots, queue-wait shedding,
+	// and the per-request deadline. Operator endpoints never do — an
+	// overloaded replica must stay inspectable.
+	guarded := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, s.obs.mw.Wrap(path, s.guard(h)))
+	}
+	guarded("/query", s.handleQuery)
+	guarded("/explain", s.handleExplain)
+	guarded("/reformulate", s.handleReformulate)
 	route("/rates", s.handleRates)
 	route("/healthz", s.handleHealth)
 	route("/stats", s.handleStats)
@@ -311,10 +321,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	tr := obs.TraceFrom(r.Context())
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s k=%d", q.String(), k)
 	if s.cache != nil {
-		ans := s.cache.Query(q, k)
+		ans, err := s.cache.QueryCtx(ctx, q, k)
+		if err != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
 		tr.Eventf("solve", "source=%s iters=%d base=%d version=%d",
 			ans.Source, ans.Iterations, ans.BaseSet, ans.Version)
 		s.obs.cacheOutcome.With(ans.Source).Inc()
@@ -330,7 +345,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	res := s.eng.Rank(q)
+	res, err := s.eng.RankCtx(ctx, q)
+	if err != nil {
+		s.writeCtxError(w, r, err)
+		return
+	}
 	tr.Eventf("baseSet", "size=%d dur=%s", len(res.Base), res.BaseSetDur)
 	tr.Eventf("solve", "iters=%d converged=%t dur=%s", res.Iterations, res.Converged, res.SolveDur)
 	s.obs.cacheOutcome.With(uncachedOutcome).Inc()
@@ -351,9 +370,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	target, err := strconv.Atoi(r.URL.Query().Get("target"))
-	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "bad or missing target")
+	target, ok := s.parseNodeID(w, r, r.URL.Query().Get("target"), "target")
+	if !ok {
 		return
 	}
 	// Pin one snapshot so the ranking and its explanation cannot see
@@ -361,20 +379,30 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// cache on, single-keyword rankings come straight from the shared
 	// term vectors (copied out, since Release returns scores to the
 	// pool).
+	ctx := r.Context()
 	pin := s.eng.Pin()
-	tr := obs.TraceFrom(r.Context())
+	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s target=%d", q.String(), target)
 	var res *core.RankResult
+	var err error
 	if s.cache != nil {
-		res = s.cache.RankPinned(pin, q)
+		res, err = s.cache.RankPinnedCtx(ctx, pin, q)
 	} else {
-		res = pin.Rank(q)
+		res, err = pin.RankCtx(ctx, q)
+	}
+	if err != nil {
+		s.writeCtxError(w, r, err)
+		return
 	}
 	tr.Eventf("solve", "iters=%d base=%d", res.Iterations, len(res.Base))
-	sg, err := pin.Explain(res, graph.NodeID(target), core.DefaultExplain())
+	sg, err := pin.ExplainCtx(ctx, res, target, core.DefaultExplain())
 	tr.Event("explain", "")
 	s.eng.Release(res)
 	if err != nil {
+		if ctx.Err() != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -408,21 +436,24 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "unknown mode "+mode)
 		return
 	}
-	var ids []int
+	var ids []graph.NodeID
 	for _, part := range strings.Split(r.URL.Query().Get("feedback"), ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		id, err := strconv.Atoi(part)
-		if err != nil {
-			writeError(w, r, http.StatusBadRequest, "bad feedback id "+part)
+		id, ok := s.parseNodeID(w, r, part, "feedback id")
+		if !ok {
 			return
 		}
 		ids = append(ids, id)
 	}
 	if len(ids) == 0 {
 		writeError(w, r, http.StatusBadRequest, "feedback ids required")
+		return
+	}
+	confidences, ok := parseConfidences(w, r, len(ids))
+	if !ok {
 		return
 	}
 
@@ -432,7 +463,8 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	// optimistic: TrySetRates succeeds only if the pinned version is
 	// still current, otherwise the client gets 409 plus the winning
 	// version and retries.
-	tr := obs.TraceFrom(r.Context())
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s feedback=%d", q.String(), len(ids))
 	pin := s.eng.Pin()
 	if vs := r.URL.Query().Get("version"); vs != "" {
@@ -450,25 +482,38 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var res *core.RankResult
+	var err error
 	if s.cache != nil {
-		res = s.cache.RankPinned(pin, q)
+		res, err = s.cache.RankPinnedCtx(ctx, pin, q)
 	} else {
-		res = pin.Rank(q)
+		res, err = pin.RankCtx(ctx, q)
+	}
+	if err != nil {
+		s.writeCtxError(w, r, err)
+		return
 	}
 	defer s.eng.Release(res)
 	tr.Eventf("solve", "iters=%d base=%d version=%d", res.Iterations, len(res.Base), pin.Version())
 	var subs []*core.Subgraph
 	for _, id := range ids {
-		sg, err := pin.Explain(res, graph.NodeID(id), core.DefaultExplain())
+		sg, err := pin.ExplainCtx(ctx, res, id, core.DefaultExplain())
 		if err != nil {
+			if ctx.Err() != nil {
+				s.writeCtxError(w, r, err)
+				return
+			}
 			writeError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		subs = append(subs, sg)
 	}
 	tr.Eventf("explain", "subgraphs=%d", len(subs))
-	ref, err := pin.Reformulate(q, subs, opts)
+	ref, err := pin.ReformulateWeightedCtx(ctx, q, subs, confidences, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -496,10 +541,18 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		// scores AND seed the result cache at the just-published
 		// version, so follow-up /query calls for the reformulated query
 		// hit immediately.
-		ans := s.cache.QueryFrom(ref.Query, k, res.Scores)
+		ans, err := s.cache.QueryFromCtx(ctx, ref.Query, k, res.Scores)
+		if err != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
 		resp.Results = s.renderItems(ref.Query, ans.Results)
 	} else {
-		res2 := s.eng.RankFrom(ref.Query, res.Scores)
+		res2, err := s.eng.RankFromCtx(ctx, ref.Query, res.Scores)
+		if err != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
 		resp.Results = s.results(res2, k)
 		s.eng.Release(res2)
 	}
@@ -542,7 +595,7 @@ func (s *Server) renderItems(q *ir.Query, items []cache.ResultItem) []Result {
 
 func parseQuery(w http.ResponseWriter, r *http.Request) (*ir.Query, int, bool) {
 	raw := r.URL.Query().Get("q")
-	if raw == "" {
+	if strings.TrimSpace(raw) == "" {
 		writeError(w, r, http.StatusBadRequest, "q parameter required")
 		return nil, 0, false
 	}
@@ -555,7 +608,71 @@ func parseQuery(w http.ResponseWriter, r *http.Request) (*ir.Query, int, bool) {
 		}
 		k = v
 	}
-	return ir.ParseQuery(raw), k, true
+	q := ir.ParseQuery(raw)
+	if len(q.Terms()) == 0 {
+		// Punctuation-/stopword-only input tokenizes to nothing; an
+		// empty query used to fall through to a meaningless all-zero
+		// base distribution. Reject it at the door.
+		writeError(w, r, http.StatusBadRequest, "q contains no indexable terms")
+		return nil, 0, false
+	}
+	return q, k, true
+}
+
+// parseNodeID validates one node-ID request parameter against the
+// served graph: it must be a decimal integer in [0, NumNodes). The
+// PRE-PR-4 handlers accepted any integer here and let negative or
+// out-of-range IDs travel all the way into the explain stage (or, for
+// feedback lists, into NodeID conversions that silently truncated on
+// 32-bit overflow); now every ID is bounds-checked at the door and the
+// 400 carries the request ID.
+func (s *Server) parseNodeID(w http.ResponseWriter, r *http.Request, raw, what string) (graph.NodeID, bool) {
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "bad or missing "+what+": "+strconv.Quote(raw))
+		return 0, false
+	}
+	if id < 0 || id >= int64(s.ds.Graph.NumNodes()) {
+		writeError(w, r, http.StatusBadRequest,
+			what+" "+raw+" out of range [0, "+strconv.Itoa(s.ds.Graph.NumNodes())+")")
+		return 0, false
+	}
+	return graph.NodeID(id), true
+}
+
+// parseConfidences parses the optional confidence parameter of
+// /reformulate: a comma-separated list of per-feedback-object weights
+// for the ReformulateWeighted click-through path. nil (the parameter
+// absent) means explicit marks — weight 1 everywhere. Each value must
+// be a finite, non-negative float and the count must match the
+// feedback count; NaN/Inf/negative values used to be representable in
+// float syntax and would previously have reached the rate-adjustment
+// arithmetic.
+func parseConfidences(w http.ResponseWriter, r *http.Request, feedbackCount int) ([]float64, bool) {
+	raw := r.URL.Query().Get("confidence")
+	if raw == "" {
+		return nil, true
+	}
+	var out []float64
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			writeError(w, r, http.StatusBadRequest,
+				"bad confidence "+strconv.Quote(part)+": must be a finite non-negative number")
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	if len(out) != feedbackCount {
+		writeError(w, r, http.StatusBadRequest,
+			strconv.Itoa(len(out))+" confidence values for "+strconv.Itoa(feedbackCount)+" feedback objects")
+		return nil, false
+	}
+	return out, true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
