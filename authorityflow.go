@@ -41,6 +41,7 @@ package authorityflow
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"authorityflow/internal/cache"
 	"authorityflow/internal/core"
@@ -342,6 +343,68 @@ type ServerOption = server.Option
 func WithServerCache(maxBytes int64, prewarmTerms int) ServerOption {
 	return server.WithCache(maxBytes, prewarmTerms)
 }
+
+// v1 HTTP API surface (internal/server/api.go; full contract in
+// API.md). The canonical routes live under /v1; the historical
+// unversioned routes stay mounted as deprecated aliases with
+// byte-identical success bodies. These are the wire DTOs on BOTH ends:
+// the server renders them and APIClient decodes them.
+type (
+	// APIResult is one JSON-rendered ranked node.
+	APIResult = server.Result
+	// QueryResponse is the /v1/query payload.
+	QueryResponse = server.QueryResponse
+	// BatchQueryItem is one query of a /v1/query/batch request.
+	BatchQueryItem = server.BatchQueryItem
+	// BatchQueryRequest is the POST /v1/query/batch body.
+	BatchQueryRequest = server.BatchQueryRequest
+	// BatchQueryResponse is the /v1/query/batch payload.
+	BatchQueryResponse = server.BatchQueryResponse
+	// ReformulateResponse is the /v1/reformulate payload.
+	ReformulateResponse = server.ReformulateResponse
+	// ExpansionTerm is one content-expansion term of a reformulation.
+	ExpansionTerm = server.ExpansionTerm
+	// HealthResponse is the /v1/healthz payload.
+	HealthResponse = server.HealthResponse
+	// RatesResponse is the /v1/rates payload.
+	RatesResponse = server.RatesResponse
+	// StatsResponse is the /v1/stats payload.
+	StatsResponse = server.StatsResponse
+	// APIErrorInfo is the body of the v1 error envelope.
+	APIErrorInfo = server.ErrorInfo
+	// APIErrorEnvelope is the uniform v1 error payload.
+	APIErrorEnvelope = server.ErrorEnvelope
+	// APIError is a non-2xx v1 response decoded by APIClient: HTTP
+	// status plus the envelope's stable code, message and request ID.
+	APIError = server.APIError
+	// APIClient is the typed Go client of the /v1 HTTP surface.
+	APIClient = server.Client
+)
+
+// Stable machine-readable error codes of the v1 error envelope.
+const (
+	CodeInvalidArgument = server.CodeInvalidArgument
+	CodeVersionConflict = server.CodeVersionConflict
+	CodeShed            = server.CodeShed
+	CodeDeadline        = server.CodeDeadline
+	CodeCancelled       = server.CodeCancelled
+	CodeInternal        = server.CodeInternal
+)
+
+// MaxBatchQueries caps the number of queries one /v1/query/batch may
+// carry.
+const MaxBatchQueries = server.MaxBatchQueries
+
+// NewAPIClient builds a typed client for a server at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
+func NewAPIClient(baseURL string, httpClient *http.Client) *APIClient {
+	return server.NewClient(baseURL, httpClient)
+}
+
+// DefaultBlockSize is the default panel width of the blocked
+// multi-vector kernel: how many base sets one CSR sweep advances
+// (Config.BlockSize overrides it per corpus).
+const DefaultBlockSize = core.DefaultBlockSize
 
 // ServerObsOptions configure the server's observability subsystem:
 // access/slow-query logs, the slow-query threshold, pprof, and an

@@ -2,16 +2,25 @@
 // reformulation over HTTP — the counterpart of the paper's web demo
 // (http://dbir.cis.fiu.edu/ObjectRankReformulation/).
 //
-// Endpoints (all JSON unless noted):
+// Endpoints (all JSON unless noted; see API.md for the full contract):
 //
-//	GET /query?q=olap&k=10
-//	GET /explain?q=olap&target=123
-//	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both
-//	GET /rates
-//	GET /healthz
-//	GET /stats
-//	GET /metrics        (Prometheus text exposition)
-//	GET /debug/pprof/   (only with -pprof)
+//	GET  /v1/query?q=olap&k=10
+//	POST /v1/query/batch           {"queries":[{"q":"olap","k":10}, ...]}
+//	GET  /v1/explain?q=olap&target=123
+//	GET  /v1/reformulate?q=olap&feedback=123,456&mode=structure|content|both
+//	GET  /v1/rates
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//	GET  /metrics        (Prometheus text exposition; unversioned)
+//	GET  /debug/pprof/   (only with -pprof)
+//
+// The historical unversioned routes (/query, /explain, /reformulate,
+// /rates, /healthz, /stats) remain mounted as deprecated aliases with
+// byte-identical success bodies plus Deprecation/Sunset headers; v1
+// routes answer errors with the uniform {"error":{code,message,
+// requestId}} envelope. /v1/query/batch answers up to 64 queries under
+// one rates snapshot with at most ⌈unique/BlockSize⌉ blocked kernel
+// executions.
 //
 // Reformulation state (the trained rates) is per-process: subsequent
 // queries use the latest rates, as in the deployed system.

@@ -408,6 +408,175 @@ func (c *CachedEngine) QueryPinnedCtx(ctx context.Context, pin *core.Pinned, q *
 	return c.queryAt(ctx, pin, q, k, nil)
 }
 
+// QueryBatchPinnedCtx answers a whole panel of queries under ONE pinned
+// snapshot — the /v1/query/batch serving path. ks carries the per-query
+// top-k (len(ks) must equal len(qs); entries <= 0 default to 10).
+//
+// Per query it consults the result cache, then (single-keyword queries)
+// the term-vector cache; every remaining miss becomes a column of a
+// single blocked kernel call (Pinned.RankManyFromCtx, panelled at the
+// corpus BlockSize), deduplicated within the batch — repeated terms and
+// repeated canonical multi-keyword queries share one column. Single-
+// term columns warm-start from the previous rates version's vector when
+// resident, exactly as the single-query miss path does, and fill the
+// term-vector cache; every miss fills the result cache. Each answer is
+// therefore the same answer the corresponding single QueryPinnedCtx
+// call would produce.
+//
+// Like the blocked prewarm, the batch path bypasses the singleflight
+// group: a concurrent identical user miss may duplicate one solve
+// (benign — same snapshot, last insert wins) but a batch can never be
+// serialized behind per-term flights.
+//
+// On cancellation the returned slice is partial: answers for queries
+// served from cache or from columns that converged before the cutoff
+// are filled, the rest are nil, and the ctx error is returned.
+func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned, qs []*ir.Query, ks []int) ([]*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(ks) != len(qs) {
+		panic("cache: QueryBatchPinnedCtx got " + strconv.Itoa(len(ks)) + " k values for " + strconv.Itoa(len(qs)) + " queries")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rk := c.ratesKeyFor(pin)
+	v := pin.Version()
+	answers := make([]*Answer, len(qs))
+	kk := make([]int, len(qs))
+	for i, k := range ks {
+		if k <= 0 {
+			k = 10
+		}
+		kk[i] = k
+	}
+
+	// column is one pending kernel column; pending maps each missed
+	// query onto its (possibly shared) column.
+	type column struct {
+		solveQ *ir.Query
+		term   string // non-empty for single-term columns
+		tkey   string
+		warm   bool
+	}
+	type pendingQ struct {
+		i   int    // index into qs
+		key string // result-cache key
+		col int    // index into cols
+	}
+	var cols []column
+	var inits [][]float64
+	var pend []pendingQ
+	colByID := make(map[string]int)
+
+	for i, q := range qs {
+		c.recordHot(q)
+		key := resultKey(rk, kk[i], q)
+		if e, ok := c.results.Get(key); ok {
+			c.stats.resultHits.Add(1)
+			answers[i] = c.answerFrom(e.(*cachedResult), q, SourceResult)
+			continue
+		}
+		c.stats.resultMisses.Add(1)
+		if term, ok := singleTerm(q); ok {
+			tkey := termKey(rk, term)
+			if e, ok := c.vectors.Get(tkey); ok {
+				c.stats.vectorHits.Add(1)
+				answers[i] = c.answerFrom(c.storeTopK(key, q, kk[i], v, e.(*termVector)), q, SourceTerm)
+				continue
+			}
+			c.stats.vectorMisses.Add(1)
+			id := "t\x00" + term
+			ci, ok := colByID[id]
+			if !ok {
+				var init []float64
+				warm := false
+				if prevKey, ok := c.previousTermKey(v, rk, term); ok {
+					if old, ok2 := c.vectors.Remove(prevKey); ok2 {
+						init = old.(*termVector).vec
+						warm = true
+					}
+				}
+				ci = len(cols)
+				colByID[id] = ci
+				cols = append(cols, column{solveQ: ir.NewQuery(term), term: term, tkey: tkey, warm: warm})
+				inits = append(inits, init)
+			} else {
+				c.stats.dedup.Add(1) // in-batch dedup, same accounting as a joined flight
+			}
+			pend = append(pend, pendingQ{i: i, key: key, col: ci})
+			continue
+		}
+		id := "q\x00" + CanonicalQuery(q)
+		ci, ok := colByID[id]
+		if !ok {
+			ci = len(cols)
+			colByID[id] = ci
+			cols = append(cols, column{solveQ: q})
+			inits = append(inits, nil)
+		} else {
+			c.stats.dedup.Add(1)
+		}
+		pend = append(pend, pendingQ{i: i, key: key, col: ci})
+	}
+
+	if len(cols) == 0 {
+		return answers, nil
+	}
+	queries := make([]*ir.Query, len(cols))
+	for ci := range cols {
+		queries[ci] = cols[ci].solveQ
+	}
+	results, err := pin.RankManyFromCtx(ctx, queries, inits)
+
+	// Harvest: single-term columns fill the term-vector cache first so
+	// the pending renders below can share the copied vector.
+	tvs := make([]*termVector, len(cols))
+	for ci, res := range results {
+		if res == nil {
+			continue // cancelled column
+		}
+		c.stats.computes.Add(1)
+		col := &cols[ci]
+		if col.term == "" {
+			continue
+		}
+		if col.warm {
+			c.stats.warmStarts.Add(1)
+		}
+		vec := make([]float64, len(res.Scores))
+		copy(vec, res.Scores)
+		tvs[ci] = &termVector{
+			vec:         vec,
+			iters:       res.Iterations,
+			baseN:       len(res.Base),
+			converged:   res.Converged,
+			warmStarted: col.warm,
+		}
+		c.vectors.Put(col.tkey, tvs[ci], termEntrySize(col.tkey, len(vec)))
+	}
+	for _, p := range pend {
+		res := results[p.col]
+		if res == nil {
+			continue // answers[p.i] stays nil; err reports the cutoff
+		}
+		if tv := tvs[p.col]; tv != nil {
+			answers[p.i] = c.answerFrom(c.storeTopK(p.key, qs[p.i], kk[p.i], v, tv), qs[p.i], SourceComputed)
+		} else {
+			cr := resultFrom(res, kk[p.i])
+			c.results.Put(p.key, cr, resultEntrySize(p.key, len(cr.items)))
+			answers[p.i] = c.answerFrom(cr, qs[p.i], SourceComputed)
+		}
+	}
+	for _, res := range results {
+		if res != nil {
+			c.eng.Release(res)
+		}
+	}
+	return answers, err
+}
+
 func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, init []float64) (*Answer, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -717,28 +886,88 @@ func (c *CachedEngine) prewarmOnce() {
 	if len(terms) == 0 {
 		return
 	}
-	pin := c.eng.Pin()
-	rk := c.ratesKeyFor(pin)
-	for _, t := range terms {
-		// prewarmCtx dies on Close: a prewarm solve in progress is
-		// abandoned within one kernel sweep and no further terms start.
-		if _, _, err := c.termVectorFor(c.prewarmCtx, pin, rk, t); err != nil {
-			return
-		}
-		c.stats.prewarmed.Add(1)
-	}
+	// prewarmCtx dies on Close: a blocked prewarm solve in progress is
+	// abandoned within one kernel sweep.
+	c.prewarmTerms(c.prewarmCtx, terms)
 }
 
 // Prewarm synchronously computes (or refreshes) the vectors of the
 // given terms under the current rates — a deployment warm-up hook for
-// process start.
+// process start. Terms are solved together through the blocked kernel.
 func (c *CachedEngine) Prewarm(terms []string) {
+	c.prewarmTerms(context.Background(), terms)
+}
+
+// prewarmTerms is the blocked implementation shared by the background
+// prewarmer and the synchronous Prewarm hook: every term still missing
+// under the current rates is solved in ONE RankManyFromCtx call (the
+// engine panels it at BlockSize columns per kernel execution), with the
+// previous rates version's vector — when still resident — donated as
+// that column's warm start, exactly as the single-term miss path does.
+//
+// The blocked path deliberately BYPASSES the singleflight group: a user
+// miss racing the prewarm on the same term may run one duplicate solve,
+// which is benign (both converge under the same snapshot; last insert
+// wins) and rare, while routing a whole panel through per-term flights
+// would serialize the panel away.
+func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 	pin := c.eng.Pin()
 	rk := c.ratesKeyFor(pin)
+	v := pin.Version()
+	type missCol struct {
+		term string
+		key  string
+		warm bool
+	}
+	var misses []missCol
+	var qs []*ir.Query
+	var inits [][]float64
 	for _, t := range terms {
-		if _, _, err := c.termVectorFor(context.Background(), pin, rk, t); err != nil {
-			return
+		key := termKey(rk, t)
+		if _, ok := c.vectors.Get(key); ok {
+			c.stats.vectorHits.Add(1)
+			c.stats.prewarmed.Add(1)
+			continue
 		}
+		c.stats.vectorMisses.Add(1)
+		var init []float64
+		warm := false
+		if prevKey, ok := c.previousTermKey(v, rk, t); ok {
+			if old, ok2 := c.vectors.Remove(prevKey); ok2 {
+				init = old.(*termVector).vec
+				warm = true
+			}
+		}
+		misses = append(misses, missCol{term: t, key: key, warm: warm})
+		qs = append(qs, ir.NewQuery(t))
+		inits = append(inits, init) // nil → global warm start
+	}
+	if len(qs) == 0 {
+		return
+	}
+	// On cancellation (Close mid-prewarm) results holds nil for the
+	// cancelled columns; completed columns still land in the cache.
+	results, _ := pin.RankManyFromCtx(ctx, qs, inits)
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		m := misses[i]
+		c.stats.computes.Add(1)
+		if m.warm {
+			c.stats.warmStarts.Add(1)
+		}
+		vec := make([]float64, len(res.Scores))
+		copy(vec, res.Scores)
+		tv := &termVector{
+			vec:         vec,
+			iters:       res.Iterations,
+			baseN:       len(res.Base),
+			converged:   res.Converged,
+			warmStarted: m.warm,
+		}
+		c.eng.Release(res)
+		c.vectors.Put(m.key, tv, termEntrySize(m.key, len(vec)))
 		c.stats.prewarmed.Add(1)
 	}
 }

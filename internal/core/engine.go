@@ -33,11 +33,18 @@ type Corpus struct {
 	// intact — the kernel normalizes per run); nopts caches the
 	// normalized view for components that need literal values, such as
 	// the explain stage's damping factor.
-	opts    rank.Options
-	nopts   rank.Options
-	workers int
-	pool    *rank.BufferPool
+	opts      rank.Options
+	nopts     rank.Options
+	workers   int
+	blockSize int
+	pool      *rank.BufferPool
 }
+
+// DefaultBlockSize is the panel width of the blocked multi-solve paths
+// (RankManyCtx, precompute panels, cache prewarm) when Config.BlockSize
+// is zero: eight float64 lanes fill one 64-byte cache line, so the
+// blocked sweep's inner loop reads exactly one line per source node.
+const DefaultBlockSize = 8
 
 // Config collects construction parameters for a Corpus (and hence an
 // Engine).
@@ -53,6 +60,13 @@ type Config struct {
 	// all cores, and any positive value pins the worker count. Parallel
 	// runs match serial ones up to floating-point summation order.
 	Workers int
+	// BlockSize is the panel width of the blocked multi-solve paths
+	// (Engine.RankManyCtx and everything built on it): up to BlockSize
+	// base sets advance through each CSR sweep together. Zero means
+	// DefaultBlockSize. Per-column results are bit-identical to the
+	// corresponding single solves at any width, so this is purely a
+	// throughput/memory knob (working set is 2·BlockSize score vectors).
+	BlockSize int
 }
 
 // NewCorpus indexes the text of every node of g and freezes the
@@ -66,15 +80,24 @@ func NewCorpus(g *graph.Graph, cfg Config) *Corpus {
 	if workers < 0 {
 		workers = rank.AutoWorkers()
 	}
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
 	return &Corpus{
-		g:       g,
-		ix:      ix,
-		opts:    cfg.Rank,
-		nopts:   cfg.Rank.Normalized(),
-		workers: workers,
-		pool:    rank.NewBufferPool(),
+		g:         g,
+		ix:        ix,
+		opts:      cfg.Rank,
+		nopts:     cfg.Rank.Normalized(),
+		workers:   workers,
+		blockSize: blockSize,
+		pool:      rank.NewBufferPool(),
 	}
 }
+
+// BlockSize returns the panel width of the corpus's blocked multi-solve
+// paths.
+func (c *Corpus) BlockSize() int { return c.blockSize }
 
 // Graph returns the corpus's data graph.
 func (c *Corpus) Graph() *graph.Graph { return c.g }
@@ -148,6 +171,12 @@ type SolveStats struct {
 	// base-set/IR-scoring stage and the kernel iteration stage.
 	BaseSetDur time.Duration
 	SolveDur   time.Duration
+	// Columns is the number of base sets the kernel execution advanced:
+	// 1 for single solves, up to the corpus BlockSize for one blocked
+	// panel of RankManyCtx. afq_kernel_solves_total counts EXECUTIONS
+	// (hook firings), so a 16-query batch at BlockSize 8 contributes 2
+	// solves / 16 columns.
+	Columns int
 }
 
 // SetSolveHook registers f to be called after every completed kernel
@@ -461,6 +490,7 @@ func (e *Engine) rankAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, i
 		BaseSet:     len(base),
 		BaseSetDur:  baseDur,
 		SolveDur:    solveDur,
+		Columns:     1,
 	})
 	return &RankResult{
 		Query:        q,
@@ -472,6 +502,155 @@ func (e *Engine) rankAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, i
 		BaseSetDur:   baseDur,
 		SolveDur:     solveDur,
 	}, nil
+}
+
+// RankManyCtx executes ObjectRank2 for a batch of queries through the
+// blocked kernel: queries are solved in panels of at most the corpus
+// BlockSize, each panel advancing all its base sets through one shared
+// CSR sweep per iteration (rank.IterateBlock). Every query is
+// warm-started from the cached global PageRank, exactly as Rank is, and
+// each returned result is bit-identical to the corresponding single
+// RankCtx call — blocking changes throughput, never answers.
+//
+// Results come back in query order. On cancellation the slice returned
+// alongside ctx's error is PARTIAL: entries for queries whose panel
+// completed before the cutoff are filled, the rest are nil (a cancelled
+// panel publishes nothing, like a cancelled single solve). The solve
+// hook fires once per completed PANEL with SolveStats.Columns set to
+// the panel width — afq_kernel_solves_total therefore counts ⌈N/B⌉ for
+// an N-query batch, the metric the /v1/query/batch acceptance check
+// reads.
+func (e *Engine) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult, error) {
+	return e.rankManyAt(ctx, e.snap.Load(), qs, nil)
+}
+
+// RankManyCtx is Engine.RankManyCtx under the pinned rates.
+func (p *Pinned) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult, error) {
+	return p.e.rankManyAt(ctx, p.snap, qs, nil)
+}
+
+// RankManyFromCtx is RankManyCtx with per-query warm starts: inits must
+// be nil (global warm start everywhere) or have one entry per query,
+// where a non-nil entry is handed to the kernel as that column's
+// Options.Init (the §6.2 warm start) and a nil entry falls back to the
+// global PageRank. The cache prewarmer uses this to refresh a panel of
+// hot terms, each starting from its previous rates version's vector.
+func (p *Pinned) RankManyFromCtx(ctx context.Context, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
+	return p.e.rankManyAt(ctx, p.snap, qs, inits)
+}
+
+// rankManyAt is the blocked counterpart of rankAt: the single execution
+// path of every multi-solve batch. Each panel of up to BlockSize
+// non-empty base sets runs through rank.IterateBlock; per-column
+// options replicate rankAt's exactly (corpus rank options + Init +
+// Ctx), so column results are bit-identical to single solves.
+func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if inits != nil && len(inits) != len(qs) {
+		panic(fmt.Sprintf("core: RankManyFromCtx got %d init vectors for %d queries", len(inits), len(qs)))
+	}
+	out := make([]*RankResult, len(qs))
+	if len(qs) == 0 {
+		return out, ctx.Err()
+	}
+	c := e.corpus
+	n := c.g.NumNodes()
+	global := e.globalScores()
+
+	for lo := 0; lo < len(qs); lo += c.blockSize {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		hi := lo + c.blockSize
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+
+		// Per-query base sets. Empty base sets short-circuit to the
+		// all-zero fixpoint without occupying a panel column, exactly
+		// as rankAt does.
+		type column struct {
+			q       int // index into qs
+			base    []ir.ScoredDoc
+			baseDur time.Duration
+		}
+		var cols []column
+		var jumps [][]float64
+		var opts []rank.Options
+		for i := lo; i < hi; i++ {
+			t0 := time.Now()
+			base := e.BaseSet(qs[i])
+			jump := c.pool.GetZeroed(n)
+			baseDur := time.Since(t0)
+			if len(base) == 0 {
+				out[i] = &RankResult{Query: qs[i], Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, BaseSetDur: baseDur}
+				continue
+			}
+			for _, sd := range base {
+				jump[sd.Doc] = sd.Score
+			}
+			o := c.opts
+			o.Init = global
+			if inits != nil && inits[i] != nil {
+				o.Init = inits[i]
+			}
+			o.Ctx = ctx
+			cols = append(cols, column{q: i, base: base, baseDur: baseDur})
+			jumps = append(jumps, jump)
+			opts = append(opts, o)
+		}
+		if len(cols) == 0 {
+			continue
+		}
+
+		t1 := time.Now()
+		results := rank.IterateBlock(c.g, snap.alpha, jumps, opts, c.workers, c.pool)
+		solveDur := time.Since(t1)
+		for _, j := range jumps {
+			c.pool.Put(j)
+		}
+
+		stats := SolveStats{Converged: true, SolveDur: solveDur, Columns: len(cols)}
+		var panelErr error
+		for ci, res := range results {
+			col := cols[ci]
+			if res.Err != nil {
+				// Cancelled mid-panel: recycle the partial vector and
+				// publish nothing for this query (rankAt's contract).
+				res.ReleaseTo(c.pool)
+				panelErr = res.Err
+				continue
+			}
+			if res.Iterations > stats.Iterations {
+				stats.Iterations = res.Iterations
+			}
+			stats.Converged = stats.Converged && res.Converged
+			stats.WarmStarted = stats.WarmStarted || opts[ci].Init != nil
+			stats.BaseSet += len(col.base)
+			stats.BaseSetDur += col.baseDur
+			out[col.q] = &RankResult{
+				Query:        qs[col.q],
+				Scores:       res.Scores,
+				Base:         col.base,
+				Iterations:   res.Iterations,
+				Converged:    res.Converged,
+				RatesVersion: snap.version,
+				BaseSetDur:   col.baseDur,
+				SolveDur:     solveDur,
+			}
+		}
+		if panelErr != nil {
+			// Columns that converged before the cancellation landed are
+			// kept in out (they are complete, consistent solves); the
+			// cancelled columns published nothing. The panel's solve
+			// hook is skipped — the execution did not complete.
+			return out, panelErr
+		}
+		e.notifySolve(stats)
+	}
+	return out, ctx.Err()
 }
 
 // GlobalRank returns the query-independent PageRank over the authority

@@ -1,0 +1,174 @@
+package precompute
+
+import (
+	"math"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// buildTestTerms is a vocabulary slice wide enough to exercise full
+// panels AND a ragged final panel at every BlockSize under test.
+var buildTestTerms = []string{
+	"olap", "xml", "mining", "query", "optimization", "index",
+	"search", "database", "web", "stream", "join",
+}
+
+// assertStoresByteEqual compares two stores term by term at the bit
+// level: identical term sets, identical Z mass, and per-term entry
+// lists equal node-for-node with math.Float64bits score equality. This
+// is the store-level face of the kernel's per-column bit-identity
+// contract — gob bytes are NOT compared because gob serializes maps in
+// nondeterministic order.
+func assertStoresByteEqual(t *testing.T, label string, want, got *Store) {
+	t.Helper()
+	if want.Terms() != got.Terms() {
+		t.Fatalf("%s: term counts differ: %d vs %d", label, want.Terms(), got.Terms())
+	}
+	for term, wtd := range want.terms {
+		gtd, ok := got.terms[term]
+		if !ok {
+			t.Fatalf("%s: term %q missing from blocked store", label, term)
+		}
+		if math.Float64bits(wtd.Z) != math.Float64bits(gtd.Z) {
+			t.Fatalf("%s: term %q Z differs: %v vs %v", label, term, wtd.Z, gtd.Z)
+		}
+		if len(wtd.Entries) != len(gtd.Entries) {
+			t.Fatalf("%s: term %q entry counts differ: %d vs %d",
+				label, term, len(wtd.Entries), len(gtd.Entries))
+		}
+		for i := range wtd.Entries {
+			w, g := wtd.Entries[i], gtd.Entries[i]
+			if w.Node != g.Node {
+				t.Fatalf("%s: term %q entry %d node differs: %d vs %d",
+					label, term, i, w.Node, g.Node)
+			}
+			if math.Float64bits(w.Score) != math.Float64bits(g.Score) {
+				t.Fatalf("%s: term %q entry %d (node %d) score bits differ: %v vs %v",
+					label, term, i, w.Node, w.Score, g.Score)
+			}
+		}
+	}
+}
+
+// TestBuildBlockedByteEqual is the acceptance check for the blocked
+// precompute path: the store built through blocked panels is byte-equal
+// — per term, bit-for-bit — to the serial one-term-per-solve build, for
+// full panels, ragged final panels, and the concurrent-panel build.
+func TestBuildBlockedByteEqual(t *testing.T) {
+	eng, _ := testEngine(t)
+	serial := Build(eng, buildTestTerms, BuildOptions{BlockSize: 1})
+
+	for _, tc := range []struct {
+		label string
+		opts  BuildOptions
+	}{
+		{"block2", BuildOptions{BlockSize: 2}},
+		{"block4-ragged", BuildOptions{BlockSize: 4}}, // 11 terms → 4+4+3
+		{"block8-default", BuildOptions{}},            // corpus default (8) → 8+3
+		{"block64-oversized", BuildOptions{BlockSize: 64}},
+		{"block4-workers3", BuildOptions{BlockSize: 4, Workers: 3}},
+	} {
+		assertStoresByteEqual(t, tc.label, serial, Build(eng, buildTestTerms, tc.opts))
+	}
+}
+
+// TestBuildBlockedTruncated: TopK truncation composes with blocking —
+// truncated blocked and truncated serial stores agree bit-for-bit.
+func TestBuildBlockedTruncated(t *testing.T) {
+	eng, _ := testEngine(t)
+	serial := Build(eng, buildTestTerms, BuildOptions{BlockSize: 1, TopK: 25})
+	blocked := Build(eng, buildTestTerms, BuildOptions{BlockSize: 4, TopK: 25})
+	assertStoresByteEqual(t, "topk25", serial, blocked)
+}
+
+// TestBuildBlockedSolveCount: an N-term build at BlockSize B fires the
+// solve hook once per panel holding at least one indexable term, each
+// firing carrying Columns = that panel's count of nonzero-base-mass
+// terms — the amortization the blocked kernel exists for. Expectations
+// are derived from the index itself because zero-mass terms (the
+// vocabulary deliberately contains some) never occupy a column.
+func TestBuildBlockedSolveCount(t *testing.T) {
+	eng, _ := testEngine(t)
+	const bs = 4
+	// The forced GlobalRank warm start does not route through the solve
+	// hook, so only panels count.
+	wantSolves, wantColumns := 0, 0
+	for lo := 0; lo < len(buildTestTerms); lo += bs {
+		hi := lo + bs
+		if hi > len(buildTestTerms) {
+			hi = len(buildTestTerms)
+		}
+		nonzero := 0
+		for _, tm := range buildTestTerms[lo:hi] {
+			if len(eng.Index().BaseSet(ir.NewQuery(tm))) > 0 {
+				nonzero++
+			}
+		}
+		if nonzero > 0 {
+			wantSolves++
+			wantColumns += nonzero
+		}
+	}
+	var solves, columns int
+	eng.SetSolveHook(func(st core.SolveStats) {
+		solves++
+		columns += st.Columns
+	})
+	Build(eng, buildTestTerms, BuildOptions{BlockSize: bs})
+	if solves != wantSolves || columns != wantColumns {
+		t.Fatalf("solves = %d (want %d), columns = %d (want %d)",
+			solves, wantSolves, columns, wantColumns)
+	}
+}
+
+// BenchmarkPrecomputeBlocked measures the blocked build against the
+// serial one-term-per-solve build on the same vocabulary, reporting
+// ns/term and kernel solves (sweep amortization: the blocked build
+// performs ⌈N/B⌉ kernel executions where serial performs N).
+func BenchmarkPrecomputeBlocked(b *testing.B) {
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 11
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{
+		Rank: rank.Options{Threshold: 1e-10, MaxIters: 2000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.GlobalRank() // exclude the one-time warm-start solve
+	wantTerms := Build(eng, buildTestTerms, BuildOptions{}).Terms()
+	for _, bm := range []struct {
+		name string
+		opts BuildOptions
+	}{
+		{"serial", BuildOptions{BlockSize: 1}},
+		{"blocked8", BuildOptions{BlockSize: 8}},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			var solves, iters int
+			eng.SetSolveHook(func(st core.SolveStats) {
+				solves++
+				iters += st.Iterations
+			})
+			defer eng.SetSolveHook(nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := Build(eng, buildTestTerms, bm.opts)
+				if st.Terms() != wantTerms {
+					b.Fatalf("built %d terms, want %d", st.Terms(), wantTerms)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(buildTestTerms)), "ns/term")
+			b.ReportMetric(float64(solves)/float64(b.N), "solves/build")
+			b.ReportMetric(float64(iters)/float64(solves), "sweeps/solve")
+		})
+	}
+}

@@ -46,11 +46,13 @@ func TestBuildCtxLiveMatchesBuild(t *testing.T) {
 }
 
 // TestBuildCtxMidBuildCancel cancels after the first completed
-// per-term solve (the forced GlobalRank warm-start does not route
-// through the solve hook) and asserts the serial build stops early with
-// a partial — but internally consistent — store: exactly the terms
-// completed before the cutoff are stored, fully converged, and the
-// error is the context error.
+// solve (the forced GlobalRank warm-start does not route through the
+// solve hook) and asserts the serial build stops early with a partial —
+// but internally consistent — store: exactly the terms completed before
+// the cutoff are stored, fully converged, and the error is the context
+// error. BlockSize 1 pins the cancellation granularity to one term per
+// solve (the blocked build's granularity is otherwise the PANEL — see
+// TestBuildCtxMidBuildCancelPanelGranularity).
 func TestBuildCtxMidBuildCancel(t *testing.T) {
 	eng, _ := testEngine(t)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -61,12 +63,40 @@ func TestBuildCtxMidBuildCancel(t *testing.T) {
 			cancel()
 		}
 	})
-	st, err := BuildCtx(ctx, eng, []string{"olap", "xml", "query", "database"}, BuildOptions{})
+	st, err := BuildCtx(ctx, eng, []string{"olap", "xml", "query", "database"}, BuildOptions{BlockSize: 1})
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if st.Terms() != 1 || !st.Has("olap") {
 		t.Fatalf("partial store holds %d terms (olap=%t), want exactly the pre-cutoff term",
 			st.Terms(), st.Has("olap"))
+	}
+}
+
+// TestBuildCtxMidBuildCancelPanelGranularity: under the default
+// BlockSize the unit of completion is the PANEL — cancelling after the
+// first solve-hook firing (one blocked panel) leaves every term of that
+// panel stored, because they all converged in the same kernel
+// execution.
+func TestBuildCtxMidBuildCancelPanelGranularity(t *testing.T) {
+	eng, _ := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	solves := 0
+	eng.SetSolveHook(func(st core.SolveStats) {
+		solves++
+		if st.Columns != 2 {
+			t.Errorf("solve %d: Columns = %d, want 2", solves, st.Columns)
+		}
+		if solves == 1 { // first panel
+			cancel()
+		}
+	})
+	terms := []string{"olap", "xml", "query", "database"}
+	st, err := BuildCtx(ctx, eng, terms, BuildOptions{BlockSize: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Terms() != 2 || !st.Has("olap") || !st.Has("xml") {
+		t.Fatalf("partial store holds %d terms, want exactly the first panel {olap, xml}", st.Terms())
 	}
 }

@@ -62,29 +62,42 @@ type BuildOptions struct {
 	// nodes (0 = keep everything). [BHP04] stores truncated lists; the
 	// combination then ranks within the union of the per-term lists.
 	TopK int
-	// Workers parallelizes the per-term fixpoints (0 = serial).
+	// Workers parallelizes PANEL solves (0/1 = one panel at a time).
+	// Each worker owns whole panels, so up to Workers×BlockSize per-term
+	// fixpoints are in flight at once.
 	Workers int
+	// BlockSize is the panel width handed to the blocked kernel: up to
+	// BlockSize per-term fixpoints advance through one shared CSR sweep
+	// per iteration (core.Engine.RankManyCtx → rank.IterateBlock), so B
+	// terms cost ~1 memory sweep per iteration instead of B. 0 uses the
+	// engine corpus's configured BlockSize; 1 recovers the one-term-per-
+	// solve build. Per-term vectors are bit-identical at ANY width (the
+	// kernel's per-column equivalence contract), so BlockSize is purely
+	// a throughput knob — TestBuildBlockedByteEqual enforces this.
+	BlockSize int
 }
 
-// Build runs one single-term ObjectRank2 fixpoint per given term and
-// stores the results. The whole build is pinned to ONE rates snapshot
-// taken at entry, so every per-term vector — and the recorded rate
-// vector the store validates against — reflects a single consistent
-// rate assignment even if SetRates lands mid-build. Terms with empty
-// base sets are skipped. Build is BuildCtx under a background context;
-// use BuildCtx to make a long build abortable.
+// Build runs one single-term ObjectRank2 fixpoint per given term —
+// solved in blocked panels of BlockSize terms each — and stores the
+// results. The whole build is pinned to ONE rates snapshot taken at
+// entry, so every per-term vector — and the recorded rate vector the
+// store validates against — reflects a single consistent rate
+// assignment even if SetRates lands mid-build. Terms with empty base
+// sets are skipped. Build is BuildCtx under a background context; use
+// BuildCtx to make a long build abortable.
 func Build(eng *core.Engine, terms []string, opts BuildOptions) *Store {
 	st, _ := BuildCtx(context.Background(), eng, terms, opts)
 	return st
 }
 
-// BuildCtx is Build under a cancellable context: each per-term fixpoint
-// runs with ctx attached (so a cancellation lands within one kernel
-// sweep), no new terms are started after ctx dies, and the ctx error is
-// returned alongside the PARTIAL store covering the terms that finished
-// before the cutoff. A partial store is internally consistent — every
-// stored vector is fully converged under the pinned rates — but covers
-// fewer terms; callers that require completeness must discard it when
+// BuildCtx is Build under a cancellable context: each panel's fixpoints
+// run with ctx attached (so a cancellation lands within one kernel
+// sweep), no new panels are started after ctx dies, and the ctx error
+// is returned alongside the PARTIAL store covering the terms whose
+// columns converged before the cutoff (a cancelled column publishes
+// nothing). A partial store is internally consistent — every stored
+// vector is fully converged under the pinned rates — but covers fewer
+// terms; callers that require completeness must discard it when
 // err != nil.
 func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildOptions) (*Store, error) {
 	if ctx == nil {
@@ -103,16 +116,27 @@ func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildO
 	// Force the shared warm-start cache before fanning out.
 	eng.GlobalRank()
 
+	bs := opts.BlockSize
+	if bs <= 0 {
+		bs = eng.Corpus().BlockSize()
+	}
+	var panels [][]string
+	for lo := 0; lo < len(terms); lo += bs {
+		hi := lo + bs
+		if hi > len(terms) {
+			hi = len(terms)
+		}
+		panels = append(panels, terms[lo:hi])
+	}
+
 	workers := opts.Workers
 	if workers <= 1 {
-		for _, t := range terms {
+		for _, panel := range panels {
 			if err := ctx.Err(); err != nil {
 				return st, err
 			}
-			if td, ok, err := buildTerm(ctx, pin, t, opts.TopK); err != nil {
+			if err := buildPanel(ctx, pin, panel, opts.TopK, st, nil); err != nil {
 				return st, err
-			} else if ok {
-				st.terms[t] = td
 			}
 		}
 		return st, nil
@@ -120,28 +144,22 @@ func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildO
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	ch := make(chan string)
+	ch := make(chan []string)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range ch {
-				td, ok, err := buildTerm(ctx, pin, t, opts.TopK)
-				if err != nil {
-					continue // ctx died mid-solve; drain remaining terms
-				}
-				if ok {
-					mu.Lock()
-					st.terms[t] = td
-					mu.Unlock()
-				}
+			for panel := range ch {
+				// Error = ctx died mid-panel; completed columns were
+				// already stored, keep draining remaining panels.
+				_ = buildPanel(ctx, pin, panel, opts.TopK, st, &mu)
 			}
 		}()
 	}
 feed:
-	for _, t := range terms {
+	for _, panel := range panels {
 		select {
-		case ch <- t:
+		case ch <- panel:
 		case <-ctx.Done():
 			break feed
 		}
@@ -151,22 +169,53 @@ feed:
 	return st, ctx.Err()
 }
 
-func buildTerm(ctx context.Context, pin *core.Pinned, term string, topK int) (termData, bool, error) {
+// buildPanel solves one panel of terms through the blocked kernel and
+// stores every column that completed. Terms with zero base mass are
+// skipped without occupying a panel column. mu, when non-nil, guards
+// the store map (concurrent-panel builds).
+func buildPanel(ctx context.Context, pin *core.Pinned, terms []string, topK int, st *Store, mu *sync.Mutex) error {
 	eng := pin.Engine()
-	q := ir.NewQuery(term)
-	// Base mass BEFORE normalization: recomputed from the index so the
-	// combination coefficients are exact.
-	z := 0.0
-	for _, sd := range eng.Index().BaseSet(q) {
-		z += sd.Score
+	names := make([]string, 0, len(terms))
+	zs := make([]float64, 0, len(terms))
+	qs := make([]*ir.Query, 0, len(terms))
+	for _, t := range terms {
+		q := ir.NewQuery(t)
+		// Base mass BEFORE normalization: recomputed from the index so
+		// the combination coefficients are exact.
+		z := 0.0
+		for _, sd := range eng.Index().BaseSet(q) {
+			z += sd.Score
+		}
+		if z == 0 {
+			continue
+		}
+		names = append(names, t)
+		zs = append(zs, z)
+		qs = append(qs, q)
 	}
-	if z == 0 {
-		return termData{}, false, nil
+	if len(qs) == 0 {
+		return ctx.Err()
 	}
-	res, err := pin.RankCtx(ctx, q)
-	if err != nil {
-		return termData{}, false, err
+	results, err := pin.RankManyCtx(ctx, qs)
+	for i, res := range results {
+		if res == nil {
+			continue // column cancelled before convergence
+		}
+		td := termData{Entries: collectEntries(eng, res, topK), Z: zs[i]}
+		if mu != nil {
+			mu.Lock()
+		}
+		st.terms[names[i]] = td
+		if mu != nil {
+			mu.Unlock()
+		}
 	}
+	return err
+}
+
+// collectEntries converts a converged RankResult into the store's
+// sorted, truncated entry list and recycles the score vector.
+func collectEntries(eng *core.Engine, res *core.RankResult, topK int) []Entry {
 	entries := make([]Entry, 0, len(res.Scores))
 	for v, s := range res.Scores {
 		if s > 0 {
@@ -183,7 +232,7 @@ func buildTerm(ctx context.Context, pin *core.Pinned, term string, topK int) (te
 	if topK > 0 && len(entries) > topK {
 		entries = entries[:topK]
 	}
-	return termData{Entries: entries, Z: z}, true, nil
+	return entries
 }
 
 // Terms returns the number of stored terms.

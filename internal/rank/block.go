@@ -1,0 +1,268 @@
+package rank
+
+import (
+	"fmt"
+	"sync"
+
+	"authorityflow/internal/graph"
+)
+
+// IterateBlock is the blocked multi-RHS form of Iterate: it advances B
+// base sets ("columns") simultaneously through each CSR sweep, so one
+// pass over the arc arrays feeds B fixpoints instead of one. This is
+// the serving trick behind every multi-solve workload in the system —
+// precompute builds one vector per vocabulary term, the cache prewarmer
+// refreshes the hottest terms after each rate publish, and /v1/query/batch
+// answers whole query panels — where B independent Iterate calls would
+// cost B full memory sweeps over the same graph. (AURORA-style blocked
+// PageRank solves lean on the same amortization.)
+//
+// Panel layout: the working state is a single flat panel indexed
+// [node*B + column], so the inner arc loop reads B consecutive floats
+// per source node — one cache line feeds up to eight columns — instead
+// of striding through B separate vectors.
+//
+// Per-column semantics are EXACTLY those of Iterate:
+//
+//   - opts carries either one Options applied to every column or one
+//     Options per column (len(opts) must be 1 or len(bases)); Damping,
+//     Threshold, MaxIters, Init, Observe and Ctx are all honored per
+//     column.
+//   - Convergence is decided per column on that column's own L1
+//     residual. A converged column is FROZEN: its lane is copied out
+//     into its Result and no further sweep touches it, so its scores
+//     are the same iteration-k vector a standalone Iterate would have
+//     returned. Live columns keep sweeping until each converges,
+//     exhausts its MaxIters, or its Ctx dies.
+//   - Observe fires once per completed sweep per live column with that
+//     column's residual, on the coordinating goroutine.
+//   - Ctx is polled once per sweep per live column before the sweep
+//     starts; a cancelled column freezes with Result.Err set and its
+//     scores at the last fully completed iteration.
+//
+// Bit-identity contract: column j's Result — scores, Iterations,
+// Converged, the convergence decision itself — is bit-identical to
+// Iterate(g, alpha, bases[j], opts_j, workers, pool) for ANY B, not
+// just B = 1. The blocked sweep performs, per column, the same
+// floating-point operations in the same order as the single-vector
+// sweep ((1−d)·base[v] first, then d·alpha[t]·InvDeg·cur[u] terms in
+// (source, type) order, L1 accumulation in ascending node order), and
+// lanes never interact; freezing removes a converged column from later
+// sweeps exactly as Iterate's loop break does. The equivalence is
+// enforced across damping/threshold/warm-start/cancel matrices by
+// TestIterateBlockGoldenEquivalence.
+//
+// workers has Iterate's meaning: <= 1 selects the serial bitwise-
+// deterministic path, larger values fan node ranges out over that many
+// goroutines (per-column results then match parallel Iterate at the
+// same worker count bit for bit, since the per-worker partial residuals
+// are combined in the same order).
+//
+// The returned slice has one Result per base set, in order; each
+// Result.Scores comes from pool (when non-nil) and should be recycled
+// with Result.ReleaseTo as usual. IterateBlock panics on malformed
+// inputs under the same rules as Iterate, plus a len(opts) that is
+// neither 1 nor len(bases).
+func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Options, workers int, pool *BufferPool) []Result {
+	B := len(bases)
+	if B == 0 {
+		return nil
+	}
+	n := g.NumNodes()
+	if len(alpha) < g.Schema().NumTransferTypes() {
+		panic(fmt.Sprintf("rank: alpha vector has %d entries, schema has %d transfer types", len(alpha), g.Schema().NumTransferTypes()))
+	}
+	if len(opts) != 1 && len(opts) != B {
+		panic(fmt.Sprintf("rank: IterateBlock got %d option sets for %d base sets (want 1 or %d)", len(opts), B, B))
+	}
+	col := make([]Options, B) // normalized per-column options
+	for j := 0; j < B; j++ {
+		o := opts[0]
+		if len(opts) == B {
+			o = opts[j]
+		}
+		if len(bases[j]) != n {
+			panic(fmt.Sprintf("rank: base distribution %d has %d entries for a %d-node graph", j, len(bases[j]), n))
+		}
+		if o.Init != nil && len(o.Init) != n {
+			panic(fmt.Sprintf("rank: Init vector for column %d has %d entries for a %d-node graph (stale warm start from a rebuilt graph?)", j, len(o.Init), n))
+		}
+		col[j] = o.Normalized()
+	}
+
+	// Working panels, [node*B + column].
+	cur := pool.Get(n * B)
+	next := pool.Get(n * B)
+	for v := 0; v < n; v++ {
+		row := v * B
+		for j := 0; j < B; j++ {
+			if col[j].Init != nil {
+				cur[row+j] = col[j].Init[v]
+			} else {
+				cur[row+j] = bases[j][v]
+			}
+		}
+	}
+
+	d := make([]float64, B)
+	omd := make([]float64, B)
+	for j := 0; j < B; j++ {
+		d[j] = col[j].Damping
+		omd[j] = 1 - col[j].Damping
+	}
+
+	results := make([]Result, B)
+	// active holds the indices of columns still iterating, in ascending
+	// order (preserved by the in-place compaction below, so Observe
+	// callbacks per sweep fire in column order).
+	active := make([]int, 0, B)
+	for j := 0; j < B; j++ {
+		active = append(active, j)
+	}
+	diffs := make([]float64, B)
+
+	start, arcs := g.ReverseCSR()
+	if workers > n {
+		workers = n
+	}
+	parallel := workers > 1
+	var bounds []int
+	var wdiffs [][]float64
+	if parallel {
+		bounds = make([]int, workers+1)
+		for w := 0; w <= workers; w++ {
+			bounds[w] = w * n / workers
+		}
+		wdiffs = make([][]float64, workers)
+		for w := range wdiffs {
+			wdiffs[w] = make([]float64, B)
+		}
+	}
+
+	// freeze copies column j's lane out of panel into its own pooled
+	// vector and removes j from the active set.
+	freeze := func(j int, panel []float64) {
+		out := pool.Get(n)
+		for v := 0; v < n; v++ {
+			out[v] = panel[v*B+j]
+		}
+		results[j].Scores = out
+		for i, a := range active {
+			if a == j {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for it := 0; len(active) > 0; it++ {
+		// Pre-sweep gate, mirroring Iterate's loop head: a column whose
+		// ctx died freezes with the error and the last completed
+		// iteration's scores; a column out of iteration budget freezes
+		// as unconverged. Iterate over a snapshot because freeze mutates
+		// active.
+		snapshot := append([]int(nil), active...)
+		for _, j := range snapshot {
+			if ctx := col[j].Ctx; ctx != nil {
+				if err := ctx.Err(); err != nil {
+					results[j].Err = err
+					freeze(j, cur)
+					continue
+				}
+			}
+			if it >= col[j].MaxIters {
+				freeze(j, cur)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+
+		// One blocked sweep over every live column.
+		if parallel {
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					sweepBlock(start, arcs, alpha, d, omd, bases, cur, next, B, active, wdiffs[w], bounds[w], bounds[w+1])
+				}(w)
+			}
+			wg.Wait()
+			// Combine per-worker partials in worker order — the same
+			// summation order parallel Iterate uses for its scalar
+			// residual, so the per-column convergence decision matches
+			// a standalone parallel run bit for bit.
+			for _, j := range active {
+				total := 0.0
+				for w := 0; w < workers; w++ {
+					total += wdiffs[w][j]
+				}
+				diffs[j] = total
+			}
+		} else {
+			sweepBlock(start, arcs, alpha, d, omd, bases, cur, next, B, active, diffs, 0, n)
+		}
+
+		snapshot = append(snapshot[:0], active...)
+		for _, j := range snapshot {
+			results[j].Iterations = it + 1
+			if col[j].Observe != nil {
+				col[j].Observe(it+1, diffs[j])
+			}
+			if diffs[j] < col[j].Threshold {
+				results[j].Converged = true
+				freeze(j, next) // the just-completed iteration's values
+			}
+		}
+		cur, next = next, cur
+	}
+
+	pool.Put(cur)
+	pool.Put(next)
+	return results
+}
+
+// sweepBlock is the blocked power-iteration inner loop: one damped
+// gather pass over the node range [lo, hi) advancing every ACTIVE
+// column of the [node*B+column] panel, accumulating each live column's
+// partial L1 residual into diffs (indexed by column; entries of frozen
+// columns are left untouched — callers only read active entries, which
+// sweepBlock fully overwrites via the reset below).
+//
+// Per-column bitwise determinism: for column j the accumulation per
+// node is omd[j]*base_j[v] first, then d[j]*alpha[t]*InvDeg*cur[u·B+j]
+// terms in (source, type) order (zero-rate terms skipped), then the
+// ascending-v L1 fold — operation for operation the single-vector
+// sweep's schedule, so next[v·B+j] and diffs[j] carry the exact bits
+// sweep(..., bases[j], ...) would produce.
+func sweepBlock(start []int32, arcs []graph.Arc, alpha []float64, d, omd []float64, bases [][]float64, cur, next []float64, B int, active []int, diffs []float64, lo, hi int) {
+	for _, j := range active {
+		diffs[j] = 0
+	}
+	for v := lo; v < hi; v++ {
+		row := v * B
+		for _, j := range active {
+			next[row+j] = omd[j] * bases[j][v]
+		}
+		for k := start[v]; k < start[v+1]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			inv := float64(a.InvDeg)
+			urow := int(a.To) * B
+			for _, j := range active {
+				next[row+j] += d[j] * w * inv * cur[urow+j]
+			}
+		}
+		for _, j := range active {
+			delta := next[row+j] - cur[row+j]
+			if delta < 0 {
+				delta = -delta
+			}
+			diffs[j] += delta
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package rank
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"authorityflow/internal/graph"
+)
+
+// blockBases builds B distinct base distributions over g: base j puts
+// mass on nodes j, j+3, j+7 (mod n) with varying weights, normalized.
+func blockBases(g *graph.Graph, B int) [][]float64 {
+	n := g.NumNodes()
+	bases := make([][]float64, B)
+	for j := 0; j < B; j++ {
+		b := make([]float64, n)
+		b[j%n] = 0.5
+		b[(j+3)%n] += 0.3
+		b[(j+7)%n] += 0.2
+		NormalizeDist(b)
+		bases[j] = b
+	}
+	return bases
+}
+
+// assertColumnBitIdentical fails unless got matches the standalone
+// Iterate result bit for bit — scores, iteration count, convergence
+// decision, error identity.
+func assertColumnBitIdentical(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Errorf("%s: Iterations = %d, want %d", label, got.Iterations, want.Iterations)
+	}
+	if got.Converged != want.Converged {
+		t.Errorf("%s: Converged = %v, want %v", label, got.Converged, want.Converged)
+	}
+	if (got.Err == nil) != (want.Err == nil) || (got.Err != nil && got.Err != want.Err) {
+		t.Errorf("%s: Err = %v, want %v", label, got.Err, want.Err)
+	}
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("%s: %d scores, want %d", label, len(got.Scores), len(want.Scores))
+	}
+	for v := range want.Scores {
+		if math.Float64bits(got.Scores[v]) != math.Float64bits(want.Scores[v]) {
+			t.Errorf("%s: score[%d] bits = %#016x (%v), want %#016x (%v)",
+				label, v, math.Float64bits(got.Scores[v]), got.Scores[v],
+				math.Float64bits(want.Scores[v]), want.Scores[v])
+			return // one mismatch report per column is enough
+		}
+	}
+}
+
+// TestIterateBlockGoldenEquivalence is the tentpole contract: for every
+// block width (including 1 and a ragged 7), every damping/threshold/
+// max-iters combination, serial and parallel execution, with and
+// without warm starts, each IterateBlock column is bit-identical to the
+// standalone Iterate run of the same base set.
+func TestIterateBlockGoldenEquivalence(t *testing.T) {
+	g, r, _ := dblpFixture(t)
+	alpha := r.Vector()
+	n := g.NumNodes()
+
+	warm := make([]float64, n) // a deliberately lumpy warm-start vector
+	for i := range warm {
+		warm[i] = 1 / float64(3+i%11)
+	}
+	NormalizeDist(warm)
+
+	optsMatrix := []Options{
+		{}, // paper defaults
+		{Damping: 0.85, Threshold: 1e-9, MaxIters: 1000},             // tight convergence
+		{Damping: 0.5, Threshold: 1e-6},                              // different damping
+		{Damping: ZeroDamping, Threshold: 1e-12},                     // fixpoint = base
+		{Threshold: ZeroThreshold, MaxIters: 13},                     // never converges, fixed sweeps
+		{MaxIters: ZeroIters},                                        // zero iterations
+		{Damping: 0.85, Threshold: 1e-9, MaxIters: 1000, Init: warm}, // warm start
+	}
+	for _, B := range []int{1, 2, 7, 64} {
+		bases := blockBases(g, B)
+		for oi, o := range optsMatrix {
+			for _, workers := range []int{1, 4} {
+				label := fmt.Sprintf("B=%d opts=%d workers=%d", B, oi, workers)
+				block := IterateBlock(g, alpha, bases, []Options{o}, workers, nil)
+				if len(block) != B {
+					t.Fatalf("%s: %d results for %d bases", label, len(block), B)
+				}
+				for j := 0; j < B; j++ {
+					single := Iterate(g, alpha, bases[j], o, workers, nil)
+					assertColumnBitIdentical(t, fmt.Sprintf("%s col=%d", label, j), block[j], single)
+				}
+			}
+		}
+	}
+}
+
+// TestIterateBlockPerColumnOptions drives one panel whose columns carry
+// DIFFERENT options — mixed damping, thresholds, iteration budgets and
+// warm starts — and checks each column still matches its standalone
+// solve bit for bit (the freeze rule isolates columns completely).
+func TestIterateBlockPerColumnOptions(t *testing.T) {
+	g, r := fig1Fixture(t)
+	alpha := r.Vector()
+	base := fig1Base(g)
+	warm := Run(g, r, base, Options{Damping: 0.85, Threshold: 1e-6, MaxIters: 500})
+
+	bases := blockBases(g, 5)
+	perCol := []Options{
+		{Damping: 0.85, Threshold: 1e-10, MaxIters: 500},
+		{Damping: 0.5, Threshold: 1e-4},
+		{Threshold: ZeroThreshold, MaxIters: 3},
+		{MaxIters: ZeroIters},
+		{Damping: 0.85, Threshold: 1e-10, MaxIters: 500, Init: warm.Scores},
+	}
+	pool := NewBufferPool()
+	block := IterateBlock(g, alpha, bases, perCol, 1, pool)
+	for j := range bases {
+		single := Iterate(g, alpha, bases[j], perCol[j], 1, nil)
+		assertColumnBitIdentical(t, fmt.Sprintf("col=%d", j), block[j], single)
+		block[j].ReleaseTo(pool)
+	}
+}
+
+// TestIterateBlockObservePerColumn checks the per-column Observe
+// contract: every live column gets one callback per completed sweep
+// with its OWN residual, the residual sequence matches the standalone
+// solve's exactly, and frozen columns stop observing.
+func TestIterateBlockObservePerColumn(t *testing.T) {
+	g, r := fig1Fixture(t)
+	alpha := r.Vector()
+	bases := blockBases(g, 3)
+	perCol := make([]Options, 3)
+	got := make([][]float64, 3)
+	thresholds := []float64{1e-4, 1e-8, 1e-12}
+	for j := range perCol {
+		j := j
+		perCol[j] = Options{Damping: 0.85, Threshold: thresholds[j], MaxIters: 500,
+			Observe: func(iter int, res float64) {
+				if iter != len(got[j])+1 {
+					t.Errorf("col %d: observer iter %d out of order", j, iter)
+				}
+				got[j] = append(got[j], res)
+			}}
+	}
+	block := IterateBlock(g, alpha, bases, perCol, 1, nil)
+	for j := range bases {
+		var want []float64
+		o := perCol[j]
+		o.Observe = func(iter int, res float64) { want = append(want, res) }
+		single := Iterate(g, alpha, bases[j], o, 1, nil)
+		if len(got[j]) != single.Iterations || len(got[j]) != len(want) {
+			t.Fatalf("col %d: %d observations for %d iterations", j, len(got[j]), single.Iterations)
+		}
+		for i := range want {
+			if math.Float64bits(got[j][i]) != math.Float64bits(want[i]) {
+				t.Errorf("col %d iter %d: residual %v, want %v", j, i+1, got[j][i], want[i])
+			}
+		}
+		if block[j].Iterations != single.Iterations {
+			t.Errorf("col %d: %d iterations, want %d", j, block[j].Iterations, single.Iterations)
+		}
+	}
+}
+
+// TestIterateBlockPerColumnCancel cancels ONE column's context
+// mid-solve and checks: that column freezes with the context error and
+// a complete (unconverged) iteration state, while its panel-mates run
+// to convergence bit-identical to standalone solves.
+func TestIterateBlockPerColumnCancel(t *testing.T) {
+	g, r, _ := dblpFixture(t)
+	alpha := r.Vector()
+	bases := blockBases(g, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAfter = 5
+	perCol := make([]Options, 4)
+	for j := range perCol {
+		perCol[j] = Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 1000}
+	}
+	perCol[2].Ctx = ctx
+	perCol[2].Observe = func(iter int, res float64) {
+		if iter == cancelAfter {
+			cancel()
+		}
+	}
+	block := IterateBlock(g, alpha, bases, perCol, 1, nil)
+
+	// The cancelled column stopped within one sweep with a complete
+	// iteration state: its scores equal a ZeroThreshold run of exactly
+	// the sweeps it completed.
+	if block[2].Err != context.Canceled {
+		t.Fatalf("cancelled column Err = %v", block[2].Err)
+	}
+	if block[2].Converged {
+		t.Error("cancelled column reported converged")
+	}
+	if block[2].Iterations != cancelAfter {
+		t.Errorf("cancelled column ran %d iterations, want %d", block[2].Iterations, cancelAfter)
+	}
+	truncated := Iterate(g, alpha, bases[2], Options{Damping: 0.85, Threshold: ZeroThreshold, MaxIters: cancelAfter}, 1, nil)
+	for v := range truncated.Scores {
+		if math.Float64bits(block[2].Scores[v]) != math.Float64bits(truncated.Scores[v]) {
+			t.Fatalf("cancelled column score[%d] differs from %d-sweep state", v, cancelAfter)
+		}
+	}
+	// The other columns are untouched by their neighbor's cancellation.
+	for _, j := range []int{0, 1, 3} {
+		single := Iterate(g, alpha, bases[j], perCol[j], 1, nil)
+		assertColumnBitIdentical(t, fmt.Sprintf("survivor col=%d", j), block[j], single)
+	}
+}
+
+// TestIterateBlockCancelledBeforeStart: a ctx dead at entry freezes
+// every ctx-carrying column at its start vector with zero iterations,
+// matching Iterate.
+func TestIterateBlockCancelledBeforeStart(t *testing.T) {
+	g, r := fig1Fixture(t)
+	alpha := r.Vector()
+	bases := blockBases(g, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	block := IterateBlock(g, alpha, bases, []Options{{Ctx: ctx}}, 1, nil)
+	for j := range bases {
+		if block[j].Err != context.Canceled || block[j].Iterations != 0 {
+			t.Fatalf("col %d: err=%v iters=%d, want Canceled/0", j, block[j].Err, block[j].Iterations)
+		}
+		for v := range bases[j] {
+			if block[j].Scores[v] != bases[j][v] {
+				t.Fatalf("col %d: scores are not the start vector", j)
+			}
+		}
+	}
+}
+
+// TestIterateBlockGoldenFig1 pins the blocked kernel directly against
+// the seed implementation's golden bits: a panel containing the Figure 1
+// base set must reproduce fig1GoldenBits in its lane regardless of what
+// shares the panel.
+func TestIterateBlockGoldenFig1(t *testing.T) {
+	g, r := fig1Fixture(t)
+	alpha := r.Vector()
+	bases := append([][]float64{fig1Base(g)}, blockBases(g, 3)...)
+	o := Options{Damping: 0.85, Threshold: 1e-10, MaxIters: 500}
+	block := IterateBlock(g, alpha, bases, []Options{o}, 1, nil)
+	if !block[0].Converged || block[0].Iterations != fig1GoldenIters {
+		t.Fatalf("converged=%v iterations=%d, want true/%d", block[0].Converged, block[0].Iterations, fig1GoldenIters)
+	}
+	for i, want := range fig1GoldenBits {
+		if got := math.Float64bits(block[0].Scores[i]); got != want {
+			t.Errorf("score[v%d] bits = %#016x, want %#016x", i+1, got, want)
+		}
+	}
+}
+
+// TestIterateBlockPanics checks the malformed-input contract.
+func TestIterateBlockPanics(t *testing.T) {
+	g, r := fig1Fixture(t)
+	alpha := r.Vector()
+	ok := blockBases(g, 2)
+	cases := []struct {
+		name  string
+		bases [][]float64
+		opts  []Options
+	}{
+		{"short base", [][]float64{ok[0], make([]float64, g.NumNodes()-1)}, []Options{{}}},
+		{"stale init", ok, []Options{{Init: make([]float64, g.NumNodes()+1)}}},
+		{"opts arity", ok, []Options{{}, {}, {}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", c.name)
+				}
+			}()
+			IterateBlock(g, alpha, c.bases, c.opts, 1, nil)
+		})
+	}
+}
+
+// TestIterateBlockEmpty: zero base sets is a no-op, not a panic.
+func TestIterateBlockEmpty(t *testing.T) {
+	g, r := fig1Fixture(t)
+	if res := IterateBlock(g, r.Vector(), nil, []Options{{}}, 1, nil); res != nil {
+		t.Fatalf("IterateBlock(nil bases) = %v, want nil", res)
+	}
+}
+
+// BenchmarkIterateBlock measures the amortization: solving 8 base sets
+// through one blocked panel vs 8 standalone solves.
+func BenchmarkIterateBlock(b *testing.B) {
+	g, r, _ := dblpFixture(b)
+	alpha := r.Vector()
+	bases := blockBases(g, 8)
+	o := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 1000}
+	pool := NewBufferPool()
+	b.Run("blocked8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := IterateBlock(g, alpha, bases, []Options{o}, 1, pool)
+			for j := range res {
+				res[j].ReleaseTo(pool)
+			}
+		}
+	})
+	b.Run("serial8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range bases {
+				res := Iterate(g, alpha, bases[j], o, 1, pool)
+				res.ReleaseTo(pool)
+			}
+		}
+	})
+}

@@ -1,0 +1,471 @@
+// api.go is the single definition point of the server's public HTTP
+// surface: every request/response DTO, the stable machine-readable
+// error codes, the v1 error envelope, and the /v1 route wrappers.
+//
+// # Versioning
+//
+// The canonical surface is versioned under /v1:
+//
+//	GET  /v1/query?q=olap&k=10
+//	POST /v1/query/batch          {"queries":[{"q":"olap","k":10}, ...]}
+//	GET  /v1/explain?q=olap&target=123
+//	GET  /v1/reformulate?q=olap&feedback=123,456&mode=...&version=N
+//	GET  /v1/rates | /v1/healthz | /v1/stats
+//
+// The pre-v1 unversioned routes remain mounted as thin ALIASES of the
+// same handlers: success bodies are byte-identical, but every response
+// carries Deprecation, Sunset and Link (rel="successor-version")
+// headers pointing at the /v1 route. /metrics stays unversioned by
+// Prometheus convention.
+//
+// # Errors
+//
+// v1 routes answer every error with one envelope:
+//
+//	{"error": {"code": "invalid_argument", "message": "...", "requestId": "..."}}
+//
+// where code is one of the Code* constants below — stable,
+// machine-readable strings clients may switch on (messages may change;
+// codes may not). The 409 of /v1/reformulate adds the winning rates
+// version next to the envelope. Legacy routes keep their historical
+// flat error shape ({"error": "...", "requestId": "..."} and the
+// ConflictResponse 409) so pre-v1 clients never break; which shape a
+// request gets is decided by the route that admitted it, so shared
+// handlers and middleware need no per-endpoint error logic.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"authorityflow/internal/cache"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/obs"
+)
+
+// Stable machine-readable error codes of the v1 error envelope. These
+// strings are API surface: clients switch on them, so they may never be
+// renamed (adding new ones is fine).
+const (
+	// CodeInvalidArgument: the request itself is malformed — missing or
+	// unindexable q, k out of range, bad node IDs, bad confidence list,
+	// bad version token, malformed batch body or timeout header. HTTP
+	// 400 (or 405 for a wrong method).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeVersionConflict: the optimistic version token lost its race —
+	// rates were republished since the version the client saw. HTTP 409.
+	CodeVersionConflict = "version_conflict"
+	// CodeShed: the admission queue was saturated; retry after the
+	// Retry-After header. HTTP 503.
+	CodeShed = "shed"
+	// CodeDeadline: the per-request deadline elapsed and the solve was
+	// abandoned mid-iteration. HTTP 504.
+	CodeDeadline = "deadline"
+	// CodeCancelled: the client closed the request before the answer was
+	// ready. HTTP 499 (never actually observed by the — departed —
+	// client, but kept stable for proxies and logs).
+	CodeCancelled = "cancelled"
+	// CodeInternal: anything else. HTTP 500.
+	CodeInternal = "internal"
+)
+
+// ErrorInfo is the body of the v1 error envelope.
+type ErrorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// ErrorEnvelope is the uniform v1 error payload.
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ConflictEnvelope is the v1 409 payload of /v1/reformulate: the error
+// envelope plus the currently published rates version, so the client
+// can re-read and retry against it.
+type ConflictEnvelope struct {
+	Error   ErrorInfo `json:"error"`
+	Version uint64    `json:"version"`
+}
+
+// ---- request/response DTOs (shared by v1 and the legacy aliases) ----
+
+// Result is one JSON-rendered ranked node.
+type Result struct {
+	Node    int64   `json:"node"`
+	Score   float64 `json:"score"`
+	Display string  `json:"display"`
+	Snippet string  `json:"snippet,omitempty"`
+	InBase  bool    `json:"inBase"`
+}
+
+// QueryResponse is the /v1/query (and legacy /query) payload. Version
+// is the rates-snapshot version the ranking ran under; clients that
+// later reformulate based on these results should pass it as the
+// version parameter to detect concurrent rate changes.
+type QueryResponse struct {
+	Query      string `json:"query"`
+	BaseSet    int    `json:"baseSet"`
+	Iterations int    `json:"iterations"`
+	Version    uint64 `json:"version"`
+	// Cache reports how a cache-enabled server produced the answer
+	// ("result", "term", or "computed"); omitted when serving uncached.
+	Cache   string   `json:"cache,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// BatchQueryItem is one query of a /v1/query/batch request.
+type BatchQueryItem struct {
+	// Q is the query string, parsed exactly as /v1/query's q parameter.
+	Q string `json:"q"`
+	// K is the per-query top-k (0 = the default 10; max 1000).
+	K int `json:"k,omitempty"`
+}
+
+// BatchQueryRequest is the POST /v1/query/batch body.
+type BatchQueryRequest struct {
+	Queries []BatchQueryItem `json:"queries"`
+}
+
+// MaxBatchQueries caps the number of queries one batch may carry.
+const MaxBatchQueries = 64
+
+// BatchQueryResponse is the /v1/query/batch payload: one QueryResponse
+// per request item, in order, each identical to what the corresponding
+// single /v1/query call would have returned. Version is the single
+// rates-snapshot version the WHOLE batch was answered under (every
+// answer's own version equals it).
+type BatchQueryResponse struct {
+	Version uint64          `json:"version"`
+	Answers []QueryResponse `json:"answers"`
+}
+
+// ReformulateResponse is the /v1/reformulate payload. Version is the
+// rates-snapshot version AFTER the structure-based update was
+// published (equal to the pre-reformulation version when the mode
+// carries no rate change or publication was skipped).
+type ReformulateResponse struct {
+	Query     string          `json:"query"`
+	Rates     string          `json:"rates"`
+	Version   uint64          `json:"version"`
+	Expansion []ExpansionTerm `json:"expansion,omitempty"`
+	Results   []Result        `json:"results"`
+}
+
+// ConflictResponse is the LEGACY 409 payload of /reformulate: another
+// reformulation published first. Version is the currently published
+// rates version; re-query and retry against it. v1 routes answer the
+// same condition with ConflictEnvelope.
+type ConflictResponse struct {
+	Error   string `json:"error"`
+	Version uint64 `json:"version"`
+}
+
+// ExpansionTerm is one content-expansion term in a reformulation
+// response.
+type ExpansionTerm struct {
+	Term   string  `json:"term"`
+	Weight float64 `json:"weight"`
+}
+
+// HealthResponse is the /v1/healthz payload: enough for an operator to
+// see WHAT a replica is serving — dataset identity and size, the
+// currently published rates version, and whether the serving cache is
+// on.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Name          string  `json:"name"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	RatesVersion  uint64  `json:"ratesVersion"`
+	CacheEnabled  bool    `json:"cacheEnabled"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// RatesResponse is the /v1/rates payload.
+type RatesResponse struct {
+	Rates   string    `json:"rates"`
+	Vector  []float64 `json:"vector"`
+	Version uint64    `json:"version"`
+}
+
+// StatsResponse is the /v1/stats payload. The pre-v1 shape
+// (cacheEnabled, ratesVersion, cache) is preserved; the counters are
+// re-backed by the observability subsystem — the cache block reads the
+// SAME atomic counters the /metrics afq_cache_* families read, and the
+// http / kernel blocks read the registry's own metric objects — so
+// /stats and /metrics can never drift.
+type StatsResponse struct {
+	CacheEnabled  bool                 `json:"cacheEnabled"`
+	RatesVersion  uint64               `json:"ratesVersion"`
+	UptimeSeconds float64              `json:"uptimeSeconds"`
+	HTTP          HTTPStats            `json:"http"`
+	Kernel        KernelStats          `json:"kernel"`
+	Cache         *cache.StatsSnapshot `json:"cache,omitempty"`
+}
+
+// HTTPStats summarizes the middleware's request counters, keyed
+// "handler code" (e.g. "/query 200") exactly as /metrics labels them.
+type HTTPStats struct {
+	RequestsTotal int64            `json:"requestsTotal"`
+	ByHandler     map[string]int64 `json:"byHandler,omitempty"`
+	SlowRequests  int64            `json:"slowRequests"`
+}
+
+// KernelStats summarizes the kernel-side families.
+type KernelStats struct {
+	Solves          int64 `json:"solves"`
+	WarmSolves      int64 `json:"warmSolves"`
+	IterationsTotal int64 `json:"iterationsTotal"`
+}
+
+// ---- API-version plumbing ----
+
+// apiVersionKey marks a request as admitted through a /v1 route; error
+// writers consult it to pick the envelope shape, so handlers shared
+// between v1 and the legacy aliases carry no per-endpoint error logic.
+type apiVersionKey struct{}
+
+// v1Routed wraps a handler mounted under /v1, marking its requests.
+func v1Routed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(w, r.WithContext(context.WithValue(r.Context(), apiVersionKey{}, 1)))
+	}
+}
+
+// isV1 reports whether the request came through a /v1 route.
+func isV1(r *http.Request) bool {
+	return r.Context().Value(apiVersionKey{}) != nil
+}
+
+// Deprecation metadata of the legacy unversioned routes. The values are
+// fixed strings (not computed per request) so responses are cheap and
+// byte-stable: Deprecation is the RFC 9745 structured date the routes
+// were deprecated (the v1 release), Sunset the earliest retirement
+// date per RFC 8594.
+const (
+	deprecationDate = "@1785974400"                   // 2026-08-06, the v1 release
+	sunsetDate      = "Fri, 06 Aug 2027 00:00:00 GMT" // one year of dual serving
+)
+
+// deprecatedAlias wraps a legacy unversioned route: the handler runs
+// unchanged (success bodies stay byte-identical with the /v1 twin) but
+// every response advertises the deprecation and its successor route.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	link := "<" + successor + ">; rel=\"successor-version\""
+	return func(w http.ResponseWriter, r *http.Request) {
+		hdr := w.Header()
+		hdr.Set("Deprecation", deprecationDate)
+		hdr.Set("Sunset", sunsetDate)
+		hdr.Set("Link", link)
+		h(w, r)
+	}
+}
+
+// ---- shared JSON writers ----
+
+// writeJSON is the single JSON response writer: every JSON-producing
+// handler goes through it, so Content-Type is always set BEFORE the
+// status line is written (headers after WriteHeader are silently
+// dropped — the bug class the PR-5 Content-Type audit closed out).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// codeForStatus maps an HTTP status onto the default machine-readable
+// error code; call sites with a more specific code use writeAPIError
+// directly.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest, http.StatusMethodNotAllowed, http.StatusNotFound:
+		return CodeInvalidArgument
+	case http.StatusConflict:
+		return CodeVersionConflict
+	case http.StatusServiceUnavailable:
+		return CodeShed
+	case http.StatusGatewayTimeout:
+		return CodeDeadline
+	case statusClientClosedRequest:
+		return CodeCancelled
+	default:
+		return CodeInternal
+	}
+}
+
+// writeError renders an error in the shape the request's route
+// dictates: the v1 envelope (code + message + requestId) for /v1
+// routes, the historical flat object for legacy aliases. The code is
+// derived from the status; use writeAPIError to pin it explicitly.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeAPIError(w, r, status, codeForStatus(status), msg)
+}
+
+// writeAPIError is writeError with an explicit error code.
+func writeAPIError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	id := obs.RequestIDFrom(r.Context())
+	if isV1(r) {
+		writeJSON(w, status, ErrorEnvelope{Error: ErrorInfo{Code: code, Message: msg, RequestID: id}})
+		return
+	}
+	body := map[string]string{"error": msg}
+	if id != "" {
+		body["requestId"] = id
+	}
+	writeJSON(w, status, body)
+}
+
+// writeConflict renders the optimistic-concurrency 409 in the route's
+// shape: ConflictEnvelope for v1, the legacy ConflictResponse for
+// aliases (whose Error-as-string shape pre-v1 clients decode).
+func writeConflict(w http.ResponseWriter, r *http.Request, msg string, version uint64) {
+	if isV1(r) {
+		writeJSON(w, http.StatusConflict, ConflictEnvelope{
+			Error: ErrorInfo{
+				Code:      CodeVersionConflict,
+				Message:   msg,
+				RequestID: obs.RequestIDFrom(r.Context()),
+			},
+			Version: version,
+		})
+		return
+	}
+	writeJSON(w, http.StatusConflict, ConflictResponse{Error: msg, Version: version})
+}
+
+// ---- /v1/query/batch ----
+
+// maxBatchBody bounds the request body (1 MiB is ~3 orders of magnitude
+// above any legitimate 64-item batch).
+const maxBatchBody = 1 << 20
+
+// handleQueryBatch answers N queries with at most ⌈unique/BlockSize⌉
+// kernel executions: the whole batch pins ONE rates snapshot, cached
+// servers route through cache.QueryBatchPinnedCtx (result cache →
+// term-vector cache → one blocked solve of the remaining misses),
+// uncached servers through Pinned.RankManyCtx directly. Each answer is
+// identical to what the corresponding single /v1/query would return.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchQueryRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody+1))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxBatchBody {
+		writeError(w, r, http.StatusBadRequest, "body exceeds "+strconv.Itoa(maxBatchBody)+" bytes")
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, r, http.StatusBadRequest, "queries required")
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeError(w, r, http.StatusBadRequest,
+			strconv.Itoa(len(req.Queries))+" queries exceeds the batch limit of "+strconv.Itoa(MaxBatchQueries))
+		return
+	}
+
+	// Validate EVERY item before any kernel work: a batch either runs
+	// whole or is rejected whole, and the 400 names the offending index.
+	qs, ks, ok := parseBatch(w, r, req.Queries)
+	if !ok {
+		return
+	}
+
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
+	pin := s.eng.Pin()
+	tr.Eventf("parse", "batch=%d version=%d", len(qs), pin.Version())
+
+	resp := BatchQueryResponse{
+		Version: pin.Version(),
+		Answers: make([]QueryResponse, len(qs)),
+	}
+	if s.cache != nil {
+		answers, err := s.cache.QueryBatchPinnedCtx(ctx, pin, qs, ks)
+		if err != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
+		for i, ans := range answers {
+			s.obs.cacheOutcome.With(ans.Source).Inc()
+			resp.Answers[i] = QueryResponse{
+				Query:      qs[i].String(),
+				BaseSet:    ans.BaseSet,
+				Iterations: ans.Iterations,
+				Version:    ans.Version,
+				Cache:      ans.Source,
+				Results:    s.renderItems(qs[i], ans.Results),
+			}
+		}
+	} else {
+		results, err := pin.RankManyCtx(ctx, qs)
+		if err != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
+		for i, res := range results {
+			s.obs.cacheOutcome.With(uncachedOutcome).Inc()
+			resp.Answers[i] = QueryResponse{
+				Query:      qs[i].String(),
+				BaseSet:    len(res.Base),
+				Iterations: res.Iterations,
+				Version:    res.RatesVersion,
+				Results:    s.results(res, ks[i]),
+			}
+			s.eng.Release(res)
+		}
+	}
+	tr.Eventf("render", "answers=%d", len(resp.Answers))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseBatch validates every batch item under EXACTLY /v1/query's
+// parameter rules (non-blank q, indexable terms, k in 1..1000 with 0
+// defaulting to 10); a violation rejects the whole batch with a 400
+// naming the offending index.
+func parseBatch(w http.ResponseWriter, r *http.Request, items []BatchQueryItem) ([]*ir.Query, []int, bool) {
+	qs := make([]*ir.Query, len(items))
+	ks := make([]int, len(items))
+	for i, it := range items {
+		at := "queries[" + strconv.Itoa(i) + "]: "
+		if strings.TrimSpace(it.Q) == "" {
+			writeError(w, r, http.StatusBadRequest, at+"q required")
+			return nil, nil, false
+		}
+		k := it.K
+		if k == 0 {
+			k = 10
+		}
+		if k < 0 || k > 1000 {
+			writeError(w, r, http.StatusBadRequest, at+"k must be in 1..1000")
+			return nil, nil, false
+		}
+		q := ir.ParseQuery(it.Q)
+		if len(q.Terms()) == 0 {
+			writeError(w, r, http.StatusBadRequest, at+"q contains no indexable terms")
+			return nil, nil, false
+		}
+		qs[i] = q
+		ks[i] = k
+	}
+	return qs, ks, true
+}

@@ -1,0 +1,211 @@
+// client.go is the typed Go client of the v1 HTTP surface defined in
+// api.go: one method per endpoint, the shared DTOs on both ends, and
+// every non-2xx response decoded into an *APIError carrying the stable
+// machine-readable code from the v1 error envelope. The client speaks
+// ONLY the /v1 routes — the legacy aliases exist for pre-v1 clients,
+// not for this one.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// APIError is a non-2xx v1 response decoded into Go. It carries the
+// HTTP status plus the envelope's stable code, human message and
+// request ID; Version is non-zero only for version_conflict errors,
+// where it names the winning rates version to retry against.
+type APIError struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the stable machine-readable error code (one of the Code*
+	// constants; clients switch on this, never on Message).
+	Code string
+	// Message is the human-readable detail. May change between releases.
+	Message string
+	// RequestID is the server-assigned request ID for log correlation.
+	RequestID string
+	// Version is the winning rates version on a version_conflict.
+	Version uint64
+}
+
+// Error renders "code: message (http STATUS)".
+func (e *APIError) Error() string {
+	var b strings.Builder
+	if e.Code != "" {
+		b.WriteString(e.Code)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Message)
+	b.WriteString(" (http ")
+	b.WriteString(strconv.Itoa(e.Status))
+	b.WriteString(")")
+	return b.String()
+}
+
+// IsConflict reports whether the error is the optimistic-concurrency
+// 409 of /v1/reformulate; when true, Version carries the winning rates
+// version to re-read and retry against.
+func (e *APIError) IsConflict() bool { return e.Code == CodeVersionConflict }
+
+// Client is a typed client of the /v1 API. The zero value is not
+// usable; construct with NewClient. Methods are safe for concurrent
+// use (they share only the underlying http.Client).
+type Client struct {
+	base string       // normalized base URL, no trailing slash
+	http *http.Client // never nil
+}
+
+// NewClient builds a client for a server at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses
+// http.DefaultClient; pass a custom one for timeouts or transports.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Query runs GET /v1/query. k <= 0 uses the server default of 10.
+func (c *Client) Query(ctx context.Context, q string, k int) (*QueryResponse, error) {
+	v := url.Values{"q": {q}}
+	if k > 0 {
+		v.Set("k", strconv.Itoa(k))
+	}
+	var out QueryResponse
+	if err := c.get(ctx, "/v1/query", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBatch runs POST /v1/query/batch: up to MaxBatchQueries queries
+// answered under ONE rates snapshot with at most ⌈unique/BlockSize⌉
+// kernel executions server-side. Answers come back in request order,
+// each identical to its single Query twin.
+func (c *Client) QueryBatch(ctx context.Context, req BatchQueryRequest) (*BatchQueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/query/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var out BatchQueryResponse
+	if err := c.do(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reformulate runs GET /v1/reformulate. feedback lists the marked
+// relevant node IDs; mode is "structure", "content", "both" or ""
+// (structure). version, when non-zero, is the optimistic concurrency
+// token — a lost race returns an *APIError with IsConflict() true and
+// Version set to the winning rates version.
+func (c *Client) Reformulate(ctx context.Context, q string, feedback []int64, mode string, version uint64) (*ReformulateResponse, error) {
+	ids := make([]string, len(feedback))
+	for i, id := range feedback {
+		ids[i] = strconv.FormatInt(id, 10)
+	}
+	v := url.Values{"q": {q}, "feedback": {strings.Join(ids, ",")}}
+	if mode != "" {
+		v.Set("mode", mode)
+	}
+	if version != 0 {
+		v.Set("version", strconv.FormatUint(version, 10))
+	}
+	var out ReformulateResponse
+	if err := c.get(ctx, "/v1/reformulate", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Rates runs GET /v1/rates.
+func (c *Client) Rates(ctx context.Context) (*RatesResponse, error) {
+	var out RatesResponse
+	if err := c.get(ctx, "/v1/rates", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health runs GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.get(ctx, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats runs GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.get(ctx, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// get issues a GET with query parameters and decodes into out.
+func (c *Client) get(ctx context.Context, path string, v url.Values, out any) error {
+	u := c.base + path
+	if len(v) > 0 {
+		u += "?" + v.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// maxErrorBody bounds how much of an error response the client reads.
+const maxErrorBody = 64 << 10
+
+// do executes the request, decoding 2xx into out and everything else
+// into an *APIError via the v1 envelope (falling back to the raw body
+// as Message when the server — or an intermediary — answered with
+// something that is not the envelope).
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError.
+func decodeAPIError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	apiErr := &APIError{Status: resp.StatusCode}
+	var env ConflictEnvelope // superset of ErrorEnvelope (adds Version)
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+		apiErr.RequestID = env.Error.RequestID
+		apiErr.Version = env.Version
+		return apiErr
+	}
+	apiErr.Code = codeForStatus(resp.StatusCode)
+	apiErr.Message = strings.TrimSpace(string(body))
+	if apiErr.Message == "" {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	return apiErr
+}

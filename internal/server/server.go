@@ -4,14 +4,17 @@
 // explanation, and feedback-driven reformulation with per-process
 // trained rates.
 //
-// Endpoints:
+// Endpoints (canonical, versioned — see api.go for the full surface,
+// DTOs, error envelope and the deprecation policy of the unversioned
+// aliases):
 //
-//	GET /query?q=olap&k=10
-//	GET /explain?q=olap&target=123
-//	GET /reformulate?q=olap&feedback=123,456&mode=structure|content|both[&version=N]
-//	GET /rates
-//	GET /healthz
-//	GET /stats
+//	GET  /v1/query?q=olap&k=10
+//	POST /v1/query/batch
+//	GET  /v1/explain?q=olap&target=123
+//	GET  /v1/reformulate?q=olap&feedback=123,456&mode=structure|content|both[&version=N]
+//	GET  /v1/rates
+//	GET  /v1/healthz
+//	GET  /v1/stats
 //
 // Concurrency: the server holds no locks. Every handler loads the
 // engine's current rates snapshot once (explicitly via core.Pin for the
@@ -31,7 +34,6 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"math"
 	"net/http"
@@ -143,24 +145,47 @@ func (s *Server) Close() {
 // per-handler request/latency metrics, access and slow-query logs);
 // /metrics serves the Prometheus exposition, and /debug/pprof/ is
 // mounted when ObsOptions.Pprof is set.
+//
+// Routing is two-surfaced (see api.go): the canonical /v1 routes run
+// with the v1 error envelope, and the historical unversioned paths are
+// mounted as deprecated aliases of the SAME handlers — byte-identical
+// success bodies, legacy error shape, plus Deprecation/Sunset/Link
+// headers. Expensive endpoints (each may run a kernel solve) go
+// through the admission guard on both surfaces: bounded in-flight
+// slots, queue-wait shedding, and the per-request deadline. Operator
+// endpoints never do — an overloaded replica must stay inspectable.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	route := func(path string, h http.HandlerFunc) {
-		mux.Handle(path, s.obs.mw.Wrap(path, h))
+	v1 := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, s.obs.mw.Wrap(path, v1Routed(h)))
 	}
-	// Expensive endpoints (each may run a kernel solve) go through the
-	// admission guard: bounded in-flight slots, queue-wait shedding,
-	// and the per-request deadline. Operator endpoints never do — an
-	// overloaded replica must stay inspectable.
-	guarded := func(path string, h http.HandlerFunc) {
-		mux.Handle(path, s.obs.mw.Wrap(path, s.guard(h)))
+	// The v1 marker wraps OUTSIDE the guard, so shed/deadline/
+	// bad-header errors raised by the guard itself carry the envelope.
+	v1Guarded := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, s.obs.mw.Wrap(path, v1Routed(s.guard(h))))
 	}
-	guarded("/query", s.handleQuery)
-	guarded("/explain", s.handleExplain)
-	guarded("/reformulate", s.handleReformulate)
-	route("/rates", s.handleRates)
-	route("/healthz", s.handleHealth)
-	route("/stats", s.handleStats)
+	v1Guarded("/v1/query", s.handleQuery)
+	v1Guarded("/v1/query/batch", s.handleQueryBatch)
+	v1Guarded("/v1/explain", s.handleExplain)
+	v1Guarded("/v1/reformulate", s.handleReformulate)
+	v1("/v1/rates", s.handleRates)
+	v1("/v1/healthz", s.handleHealth)
+	v1("/v1/stats", s.handleStats)
+
+	alias := func(path, successor string, h http.HandlerFunc) {
+		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, h)))
+	}
+	aliasGuarded := func(path, successor string, h http.HandlerFunc) {
+		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, s.guard(h))))
+	}
+	aliasGuarded("/query", "/v1/query", s.handleQuery)
+	aliasGuarded("/explain", "/v1/explain", s.handleExplain)
+	aliasGuarded("/reformulate", "/v1/reformulate", s.handleReformulate)
+	alias("/rates", "/v1/rates", s.handleRates)
+	alias("/healthz", "/v1/healthz", s.handleHealth)
+	alias("/stats", "/v1/stats", s.handleStats)
+
+	// /metrics stays unversioned by Prometheus convention.
 	mux.Handle("/metrics", s.obs.mw.Wrap("/metrics", s.obs.reg.Handler()))
 	if s.obs.pprof {
 		mountPprof(mux)
@@ -172,70 +197,8 @@ func (s *Server) Handler() http.Handler {
 // that co-host exposition or assert on metrics in tests).
 func (s *Server) Metrics() *obs.Registry { return s.obs.reg }
 
-// Result is one JSON-rendered ranked node.
-type Result struct {
-	Node    int64   `json:"node"`
-	Score   float64 `json:"score"`
-	Display string  `json:"display"`
-	Snippet string  `json:"snippet,omitempty"`
-	InBase  bool    `json:"inBase"`
-}
-
-// QueryResponse is the /query payload. Version is the rates-snapshot
-// version the ranking ran under; clients that later reformulate based
-// on these results should pass it as the version parameter to detect
-// concurrent rate changes.
-type QueryResponse struct {
-	Query      string `json:"query"`
-	BaseSet    int    `json:"baseSet"`
-	Iterations int    `json:"iterations"`
-	Version    uint64 `json:"version"`
-	// Cache reports how a cache-enabled server produced the answer
-	// ("result", "term", or "computed"); omitted when serving uncached.
-	Cache   string   `json:"cache,omitempty"`
-	Results []Result `json:"results"`
-}
-
-// ReformulateResponse is the /reformulate payload. Version is the
-// rates-snapshot version AFTER the structure-based update was
-// published (equal to the pre-reformulation version when the mode
-// carries no rate change or publication was skipped).
-type ReformulateResponse struct {
-	Query     string          `json:"query"`
-	Rates     string          `json:"rates"`
-	Version   uint64          `json:"version"`
-	Expansion []ExpansionTerm `json:"expansion,omitempty"`
-	Results   []Result        `json:"results"`
-}
-
-// ConflictResponse is the 409 payload of /reformulate: another
-// reformulation published first. Version is the currently published
-// rates version; re-query and retry against it.
-type ConflictResponse struct {
-	Error   string `json:"error"`
-	Version uint64 `json:"version"`
-}
-
-// ExpansionTerm is one content-expansion term in a reformulation
-// response.
-type ExpansionTerm struct {
-	Term   string  `json:"term"`
-	Weight float64 `json:"weight"`
-}
-
-// HealthResponse is the /healthz payload: enough for an operator to
-// see WHAT a replica is serving — dataset identity and size, the
-// currently published rates version, and whether the serving cache is
-// on.
-type HealthResponse struct {
-	Status        string  `json:"status"`
-	Name          string  `json:"name"`
-	Nodes         int     `json:"nodes"`
-	Edges         int     `json:"edges"`
-	RatesVersion  uint64  `json:"ratesVersion"`
-	CacheEnabled  bool    `json:"cacheEnabled"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-}
+// The request/response DTOs of every endpoint live in api.go, the
+// single definition point of the public surface.
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
@@ -247,36 +210,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		CacheEnabled:  s.cache != nil,
 		UptimeSeconds: s.obs.uptimeSeconds(),
 	})
-}
-
-// StatsResponse is the /stats payload. The legacy shape (cacheEnabled,
-// ratesVersion, cache) is preserved; the counters are re-backed by the
-// observability subsystem — the cache block reads the SAME atomic
-// counters the /metrics afq_cache_* families read, and the new http /
-// kernel blocks read the registry's own metric objects — so /stats and
-// /metrics can never drift.
-type StatsResponse struct {
-	CacheEnabled  bool                 `json:"cacheEnabled"`
-	RatesVersion  uint64               `json:"ratesVersion"`
-	UptimeSeconds float64              `json:"uptimeSeconds"`
-	HTTP          HTTPStats            `json:"http"`
-	Kernel        KernelStats          `json:"kernel"`
-	Cache         *cache.StatsSnapshot `json:"cache,omitempty"`
-}
-
-// HTTPStats summarizes the middleware's request counters, keyed
-// "handler code" (e.g. "/query 200") exactly as /metrics labels them.
-type HTTPStats struct {
-	RequestsTotal int64            `json:"requestsTotal"`
-	ByHandler     map[string]int64 `json:"byHandler,omitempty"`
-	SlowRequests  int64            `json:"slowRequests"`
-}
-
-// KernelStats summarizes the kernel-side families.
-type KernelStats struct {
-	Solves          int64 `json:"solves"`
-	WarmSolves      int64 `json:"warmSolves"`
-	IterationsTotal int64 `json:"iterationsTotal"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -309,10 +242,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
 	pin := s.eng.Pin()
 	rates := pin.Rates()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"rates":   rates.String(),
-		"vector":  rates.Vector(),
-		"version": pin.Version(),
+	// RatesResponse's field order matches the alphabetical key order the
+	// pre-v1 map[string]any rendering produced, so the alias body stayed
+	// byte-identical across the DTO consolidation.
+	writeJSON(w, http.StatusOK, RatesResponse{
+		Rates:   rates.String(),
+		Vector:  rates.Vector(),
+		Version: pin.Version(),
 	})
 }
 
@@ -474,10 +410,7 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if v != pin.Version() {
-			writeJSON(w, http.StatusConflict, ConflictResponse{
-				Error:   "rates were changed since version " + vs,
-				Version: pin.Version(),
-			})
+			writeConflict(w, r, "rates were changed since version "+vs, pin.Version())
 			return
 		}
 	}
@@ -520,10 +453,7 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	tr.Eventf("reformulate", "rates=%s expansion=%d", ref.Rates.String(), len(ref.Expansion))
 	newVersion, err := s.eng.TrySetRates(ref.Rates, pin.Version())
 	if errors.Is(err, core.ErrRatesConflict) {
-		writeJSON(w, http.StatusConflict, ConflictResponse{
-			Error:   "rates were changed concurrently; re-query and retry",
-			Version: newVersion,
-		})
+		writeConflict(w, r, "rates were changed concurrently; re-query and retry", newVersion)
 		return
 	}
 	if err != nil {
@@ -673,26 +603,6 @@ func parseConfidences(w http.ResponseWriter, r *http.Request, feedbackCount int)
 		return nil, false
 	}
 	return out, true
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// writeError renders a JSON error payload including the request ID
-// (when the request ran inside the tracing middleware), so a user
-// report quoting the error can be joined against the access and
-// slow-query logs.
-func writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
-	body := map[string]string{"error": msg}
-	if id := obs.RequestIDFrom(r.Context()); id != "" {
-		body["requestId"] = id
-	}
-	writeJSON(w, code, body)
 }
 
 // Engine exposes the underlying engine for tests and embedding.
