@@ -180,9 +180,21 @@ func NewCorpus(g *Graph, cfg Config) *Corpus { return core.NewCorpus(g, cfg) }
 // corpus with the given initial rates.
 func NewEngineWith(c *Corpus, rates *Rates) (*Engine, error) { return core.NewEngineWith(c, rates) }
 
+// NewCorpusWithIndex freezes a corpus around an ALREADY-BUILT inverted
+// index — the binary-snapshot cold-start path, which skips the
+// BuildIndex pass entirely. ix must cover exactly g's nodes.
+func NewCorpusWithIndex(g *Graph, ix *Index, cfg Config) (*Corpus, error) {
+	return core.NewCorpusWithIndex(g, ix, cfg)
+}
+
 // ErrRatesConflict is returned by Engine.TrySetRates when the rates
 // were replaced concurrently (optimistic-concurrency conflict).
 var ErrRatesConflict = core.ErrRatesConflict
+
+// ErrGenerationConflict is returned by Engine.SwapCorpus when the
+// served corpus generation changed concurrently (the generational twin
+// of ErrRatesConflict).
+var ErrGenerationConflict = core.ErrGenerationConflict
 
 // DefaultRankOptions returns the paper's defaults: damping 0.85,
 // threshold 0.002, 200 iterations.
@@ -286,6 +298,27 @@ func SaveDatasetFile(path string, ds *Dataset) error { return storage.SaveFile(p
 
 // LoadDatasetFile reads a dataset snapshot from path.
 func LoadDatasetFile(path string) (*Dataset, error) { return storage.LoadFile(path) }
+
+// SaveCorpusSnapshotFile writes the versioned BINARY corpus snapshot:
+// the dataset's frozen graph, rates, and already-built inverted index
+// as offset-indexed, CRC-checksummed flat sections (see DESIGN.md §10).
+// Unlike the gob dataset snapshot it persists the final CSR arrays and
+// postings verbatim, so a reloaded corpus answers queries bit-for-bit
+// identically without rebuilding anything. The write is atomic
+// (temp file + rename).
+func SaveCorpusSnapshotFile(path string, ds *Dataset, ix *Index) error {
+	return storage.WriteSnapshotFile(path, ds, ix)
+}
+
+// LoadCorpusSnapshotFile validates and loads a binary corpus snapshot:
+// header, section table and per-section checksums are verified before
+// any decoding, and every structural invariant is re-checked, so a
+// truncated or corrupted file yields an error, never a panic. Pair the
+// results with NewCorpusWithIndex + NewEngineWith for a cold start
+// that skips graph building and indexing entirely.
+func LoadCorpusSnapshotFile(path string) (*Dataset, *Index, error) {
+	return storage.ReadSnapshotFile(path)
+}
 
 // ExportSubgraphJSON renders an explaining subgraph as JSON.
 func ExportSubgraphJSON(w io.Writer, g *Graph, sg *Subgraph) error {

@@ -10,6 +10,8 @@
 //	afq ... compare "olap" 1234 5678
 //	afq ... [-mindf 2] [-topk 1000] precompute out.store
 //	afq ... -store out.store query olap
+//	afq ... snapshot out.snap
+//	afq -snap out.snap query olap
 //
 // (Flags precede the subcommand, per Go flag-package convention.)
 //
@@ -18,6 +20,13 @@
 // top authority-flow paths. The third treats the listed nodes as
 // relevant feedback and prints the reformulated query vector and
 // authority transfer rates.
+//
+// The snapshot subcommand writes the versioned BINARY corpus snapshot
+// (frozen CSR graph + inverted index, checksummed sections) that
+// afqserver -snapshot cold-starts from without rebuilding anything;
+// combined with -data it converts a legacy gob dataset snapshot.
+// -snap loads such a snapshot for any subcommand, skipping the index
+// build.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 func main() {
 	var (
 		data      = flag.String("data", "", "dataset snapshot to load")
+		snapF     = flag.String("snap", "", "binary corpus snapshot to load (skips graph building and indexing)")
 		schema    = flag.String("schema", "", "schema JSON for TSV import (with -nodes and -edges)")
 		nodesF    = flag.String("nodes", "", "nodes TSV for import")
 		edgesF    = flag.String("edges", "", "edges TSV for import")
@@ -58,10 +68,14 @@ func main() {
 	}
 
 	var ds *authorityflow.Dataset
+	var ix *authorityflow.Index
 	var err error
-	if *schema != "" {
+	switch {
+	case *snapF != "":
+		ds, ix, err = authorityflow.LoadCorpusSnapshotFile(*snapF)
+	case *schema != "":
 		ds, err = authorityflow.ImportTSVFiles(*schema, *nodesF, *edgesF, "")
-	} else {
+	default:
 		ds, err = loadOrGen(*data, *gen, *scale)
 	}
 	if err != nil {
@@ -74,7 +88,16 @@ func main() {
 		}
 		ds.Rates = r
 	}
-	eng, err := authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{})
+	var eng *authorityflow.Engine
+	if ix != nil {
+		corpus, cerr := authorityflow.NewCorpusWithIndex(ds.Graph, ix, authorityflow.Config{})
+		if cerr != nil {
+			fail(cerr)
+		}
+		eng, err = authorityflow.NewEngineWith(corpus, ds.Rates)
+	} else {
+		eng, err = authorityflow.NewEngine(ds.Graph, ds.Rates, authorityflow.Config{})
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -102,6 +125,18 @@ func main() {
 		for i, r := range res.TopK(*k) {
 			fmt.Printf("%2d. %.6f  %s\n", i+1, r.Score, ds.Graph.Display(r.Node))
 		}
+
+	case "snapshot":
+		out := args[1]
+		if err := authorityflow.SaveCorpusSnapshotFile(out, ds, eng.Index()); err != nil {
+			fail(err)
+		}
+		fi, err := os.Stat(out)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote binary corpus snapshot %s (%d nodes, %d edges, %.1f MiB)\n",
+			out, ds.Graph.NumNodes(), ds.Graph.NumEdges(), float64(fi.Size())/(1<<20))
 
 	case "precompute":
 		out := args[1]

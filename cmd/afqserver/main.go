@@ -69,6 +69,7 @@ import (
 
 	"authorityflow/internal/core"
 	"authorityflow/internal/datagen"
+	"authorityflow/internal/ir"
 	"authorityflow/internal/server"
 	"authorityflow/internal/storage"
 )
@@ -77,6 +78,8 @@ func main() {
 	var (
 		addr    = flag.String("addr", "localhost:8080", "listen address")
 		data    = flag.String("data", "", "dataset snapshot to load")
+		snap    = flag.String("snapshot", "", "binary corpus snapshot for a zero-build cold start (overrides -data/-gen)")
+		swapDir = flag.String("swap-dir", "", "directory whose binary snapshots POST /v1/corpus/swap may load (empty disables swapping)")
 		gen     = flag.String("gen", "dblptop", "dataset preset to generate when -data is empty")
 		scale   = flag.Float64("scale", 0.1, "scale factor when generating")
 		workers = flag.Int("workers", 0, "power-iteration workers (0 serial, -1 all cores)")
@@ -93,7 +96,21 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, err := load(*data, *gen, *scale)
+	var ds *datagen.Dataset
+	var ix *ir.Index
+	var err error
+	if *snap != "" {
+		// Cold start: validate-then-slice the checksummed snapshot and
+		// serve its frozen CSR arrays and inverted index directly — no
+		// graph building, no index building.
+		t0 := time.Now()
+		ds, ix, err = storage.ReadSnapshotFile(*snap)
+		if err == nil {
+			log.Printf("afqserver: loaded snapshot %s in %s", *snap, time.Since(t0))
+		}
+	} else {
+		ds, err = load(*data, *gen, *scale)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)
@@ -119,7 +136,15 @@ func main() {
 	if *cacheMB > 0 {
 		opts = append(opts, server.WithCache(int64(*cacheMB)<<20, *prewarm))
 	}
-	s, err := server.New(ds, core.Config{Workers: *workers}, opts...)
+	if *swapDir != "" {
+		opts = append(opts, server.WithSwapDir(*swapDir))
+	}
+	var s *server.Server
+	if ix != nil {
+		s, err = server.NewWithIndex(ds, ix, core.Config{Workers: *workers}, opts...)
+	} else {
+		s, err = server.New(ds, core.Config{Workers: *workers}, opts...)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)

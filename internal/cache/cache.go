@@ -2,21 +2,23 @@
 // the layer that makes repeated and concurrent querying cheap, the
 // online counterpart of the offline [BHP04]-style precompute.Store.
 //
-// It holds two sharded, byte-budgeted LRU caches keyed by the identity
-// of the rates snapshot a computation ran under (the
-// graph.RateVectorKey fingerprint PR 1's versioned snapshots made
-// safely derivable):
+// It holds two sharded, byte-budgeted LRU caches keyed by the full
+// identity of the engine state a computation ran under: the corpus
+// generation AND the rates identity (the graph.RateVectorKey
+// fingerprint PR 1's versioned snapshots made safely derivable):
 //
 //   - a term-vector cache: converged per-term ObjectRank2 score vectors
-//     under (ratesKey, term), populated on demand through a singleflight
-//     group so N concurrent misses on one term run exactly one power
-//     iteration;
+//     under (generation, ratesKey, term), populated on demand through a
+//     singleflight group so N concurrent misses on one term run exactly
+//     one power iteration;
 //   - a result cache: full top-k answers under
-//     (ratesKey, k, canonical query), so a repeated query is a hash
-//     lookup instead of a solve.
+//     (generation, ratesKey, k, canonical query), so a repeated query
+//     is a hash lookup instead of a solve.
 //
 // Invalidation is implicit: publishing new rates changes the rates key,
-// making every old entry unreachable. Old same-term vectors are not
+// and swapping in a new corpus generation changes the generation
+// component, making every old entry unreachable — a cached answer can
+// never cross generations. Old same-term vectors are not
 // wasted, though — the first solve of a term under the new rates pulls
 // the previous version's converged vector OUT of the cache and hands it
 // to rank.Options.Init (warm-start reuse, the paper's Section 6.2
@@ -63,8 +65,9 @@ const DefaultMaxBytes int64 = 64 << 20
 
 // CachedEngine wraps a core.Engine with the serving cache. All methods
 // are safe for unbounded concurrent use; the underlying engine may be
-// used directly at the same time (cache entries are keyed by rates
-// identity, so they can never serve stale answers after a SetRates).
+// used directly at the same time (cache entries are keyed by corpus
+// generation and rates identity, so they can never serve stale answers
+// after a SetRates or a SwapCorpus).
 type CachedEngine struct {
 	eng     *core.Engine
 	vectors *shardedLRU
@@ -74,11 +77,12 @@ type CachedEngine struct {
 
 	// mu guards versionKeys and hot.
 	mu sync.Mutex
-	// versionKeys memoizes snapshot version -> rate-vector fingerprint,
-	// both so the fingerprint is computed once per published version
-	// and so a version bump can locate the PREVIOUS version's entries
-	// for warm-start hand-over.
-	versionKeys map[uint64]uint64
+	// versionKeys memoizes snapshot version -> (corpus generation,
+	// rate-vector fingerprint), both so the fingerprint is computed once
+	// per published version and so a version bump can locate the
+	// PREVIOUS version's entries for same-generation warm-start
+	// hand-over.
+	versionKeys map[uint64]stateKey
 	// hot counts term popularity for the prewarmer.
 	hot map[string]int64
 
@@ -121,7 +125,7 @@ func New(eng *core.Engine, opts Options) *CachedEngine {
 	}
 	c := &CachedEngine{
 		eng:         eng,
-		versionKeys: make(map[uint64]uint64),
+		versionKeys: make(map[uint64]stateKey),
 		hot:         make(map[string]int64),
 		prewarmN:    opts.PrewarmTerms,
 	}
@@ -209,6 +213,10 @@ type Answer struct {
 	BaseSet int
 	// Version is the rates-snapshot version the answer is valid for.
 	Version uint64
+	// Generation is the corpus generation the answer was computed
+	// under; node IDs in Results are only meaningful against that
+	// generation's graph.
+	Generation uint64
 	// Source reports how the answer was produced: SourceResult,
 	// SourceTerm, or SourceComputed (see the Source constants).
 	Source string
@@ -220,6 +228,7 @@ type cachedResult struct {
 	iters   int
 	baseN   int
 	version uint64
+	gen     uint64
 }
 
 // termVector is the term-vector cache's stored value: one converged
@@ -241,13 +250,24 @@ func (tv *termVector) Iterations() int { return tv.iters }
 
 // ---- key derivation ----
 
-// ratesKeyFor returns the rate-vector fingerprint of the pinned
-// snapshot, memoized per version. Keying by value fingerprint rather
-// than by version means value-identical republished rates keep cache
-// entries valid; the fingerprint and the precompute store's validity
-// check share one definition of "same rates"
-// (graph.RateVectorKey / graph.SameRateVector).
-func (c *CachedEngine) ratesKeyFor(pin *core.Pinned) uint64 {
+// stateKey is the cache-key identity of one pinned engine state: the
+// corpus generation plus the rate-vector fingerprint. Keying by value
+// fingerprint rather than by version means value-identical republished
+// rates keep cache entries valid WITHIN a generation; the generation
+// component guarantees no entry survives a corpus swap (even one that
+// republishes an identical rate vector over a new graph).
+type stateKey struct {
+	gen uint64
+	rk  uint64
+}
+
+// stateKeyFor returns the (generation, rate-vector fingerprint)
+// identity of the pinned state, memoized per rates version — versions
+// advance monotonically across swaps, so one version maps to exactly
+// one (generation, fingerprint) pair. The fingerprint and the
+// precompute store's validity check share one definition of "same
+// rates" (graph.RateVectorKey / graph.SameRateVector).
+func (c *CachedEngine) stateKeyFor(pin *core.Pinned) stateKey {
 	v := pin.Version()
 	c.mu.Lock()
 	k, ok := c.versionKeys[v]
@@ -255,10 +275,10 @@ func (c *CachedEngine) ratesKeyFor(pin *core.Pinned) uint64 {
 	if ok {
 		return k
 	}
-	k = graph.RateVectorKey(pin.Rates().Vector())
+	k = stateKey{gen: pin.Generation(), rk: graph.RateVectorKey(pin.Rates().Vector())}
 	c.mu.Lock()
 	if len(c.versionKeys) > 4096 { // bound growth across very long rate-training runs
-		trimmed := make(map[uint64]uint64, 2)
+		trimmed := make(map[uint64]stateKey, 2)
 		if prev, ok := c.versionKeys[v-1]; ok {
 			trimmed[v-1] = prev
 		}
@@ -270,26 +290,30 @@ func (c *CachedEngine) ratesKeyFor(pin *core.Pinned) uint64 {
 }
 
 // previousTermKey returns the cache key of the same term under the
-// snapshot version preceding v, if that version's rates identity is
-// known and actually differs from rk.
-func (c *CachedEngine) previousTermKey(v uint64, rk uint64, term string) (string, bool) {
+// snapshot version preceding v, if that version's identity is known,
+// belongs to the SAME corpus generation, and actually differs in rates.
+// The generation guard is what keeps warm-start hand-over from donating
+// a vector sized for a different graph after a swap.
+func (c *CachedEngine) previousTermKey(v uint64, sk stateKey, term string) (string, bool) {
 	c.mu.Lock()
 	prev, ok := c.versionKeys[v-1]
 	c.mu.Unlock()
-	if !ok || prev == rk {
+	if !ok || prev.gen != sk.gen || prev.rk == sk.rk {
 		return "", false
 	}
 	return termKey(prev, term), true
 }
 
-func termKey(rk uint64, term string) string {
-	return "t\x00" + strconv.FormatUint(rk, 16) + "\x00" + term
+func termKey(sk stateKey, term string) string {
+	return "t\x00" + strconv.FormatUint(sk.gen, 16) + "\x00" + strconv.FormatUint(sk.rk, 16) + "\x00" + term
 }
 
-func resultKey(rk uint64, k int, q *ir.Query) string {
+func resultKey(sk stateKey, k int, q *ir.Query) string {
 	var b strings.Builder
 	b.WriteString("r\x00")
-	b.WriteString(strconv.FormatUint(rk, 16))
+	b.WriteString(strconv.FormatUint(sk.gen, 16))
+	b.WriteString("\x00")
+	b.WriteString(strconv.FormatUint(sk.rk, 16))
 	b.WriteString("\x00")
 	b.WriteString(strconv.Itoa(k))
 	b.WriteString("\x00")
@@ -397,6 +421,13 @@ func (c *CachedEngine) QueryFromCtx(ctx context.Context, q *ir.Query, k int, ini
 	return c.queryAt(ctx, c.eng.Pin(), q, k, init)
 }
 
+// QueryFromPinnedCtx is QueryFromCtx under a caller-held pin: the
+// reformulation flow uses it to seed the reformulated query's answer
+// at the exact engine state it just published.
+func (c *CachedEngine) QueryFromPinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, init []float64) (*Answer, error) {
+	return c.queryAt(ctx, pin, q, k, init)
+}
+
 // QueryPinned is Query under an explicitly pinned snapshot.
 func (c *CachedEngine) QueryPinned(pin *core.Pinned, q *ir.Query, k int) *Answer {
 	a, _ := c.queryAt(context.Background(), pin, q, k, nil)
@@ -441,7 +472,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rk := c.ratesKeyFor(pin)
+	sk := c.stateKeyFor(pin)
 	v := pin.Version()
 	answers := make([]*Answer, len(qs))
 	kk := make([]int, len(qs))
@@ -472,7 +503,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 
 	for i, q := range qs {
 		c.recordHot(q)
-		key := resultKey(rk, kk[i], q)
+		key := resultKey(sk, kk[i], q)
 		if e, ok := c.results.Get(key); ok {
 			c.stats.resultHits.Add(1)
 			answers[i] = c.answerFrom(e.(*cachedResult), q, SourceResult)
@@ -480,10 +511,10 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 		}
 		c.stats.resultMisses.Add(1)
 		if term, ok := singleTerm(q); ok {
-			tkey := termKey(rk, term)
+			tkey := termKey(sk, term)
 			if e, ok := c.vectors.Get(tkey); ok {
 				c.stats.vectorHits.Add(1)
-				answers[i] = c.answerFrom(c.storeTopK(key, q, kk[i], v, e.(*termVector)), q, SourceTerm)
+				answers[i] = c.answerFrom(c.storeTopK(pin, key, q, kk[i], e.(*termVector)), q, SourceTerm)
 				continue
 			}
 			c.stats.vectorMisses.Add(1)
@@ -492,7 +523,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 			if !ok {
 				var init []float64
 				warm := false
-				if prevKey, ok := c.previousTermKey(v, rk, term); ok {
+				if prevKey, ok := c.previousTermKey(v, sk, term); ok {
 					if old, ok2 := c.vectors.Remove(prevKey); ok2 {
 						init = old.(*termVector).vec
 						warm = true
@@ -562,7 +593,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 			continue // answers[p.i] stays nil; err reports the cutoff
 		}
 		if tv := tvs[p.col]; tv != nil {
-			answers[p.i] = c.answerFrom(c.storeTopK(p.key, qs[p.i], kk[p.i], v, tv), qs[p.i], SourceComputed)
+			answers[p.i] = c.answerFrom(c.storeTopK(pin, p.key, qs[p.i], kk[p.i], tv), qs[p.i], SourceComputed)
 		} else {
 			cr := resultFrom(res, kk[p.i])
 			c.results.Put(p.key, cr, resultEntrySize(p.key, len(cr.items)))
@@ -588,9 +619,8 @@ func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Quer
 		k = 10
 	}
 	c.recordHot(q)
-	rk := c.ratesKeyFor(pin)
-	v := pin.Version()
-	key := resultKey(rk, k, q)
+	sk := c.stateKeyFor(pin)
+	key := resultKey(sk, k, q)
 	if e, ok := c.results.Get(key); ok {
 		c.stats.resultHits.Add(1)
 		return c.answerFrom(e.(*cachedResult), q, SourceResult), nil
@@ -598,11 +628,11 @@ func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Quer
 	c.stats.resultMisses.Add(1)
 
 	if term, ok := singleTerm(q); ok {
-		tv, hit, err := c.termVectorFor(ctx, pin, rk, term)
+		tv, hit, err := c.termVectorFor(ctx, pin, sk, term)
 		if err != nil {
 			return nil, err
 		}
-		cr := c.storeTopK(key, q, k, v, tv)
+		cr := c.storeTopK(pin, key, q, k, tv)
 		src := SourceComputed
 		if hit {
 			src = SourceTerm
@@ -660,17 +690,17 @@ func resultFrom(res *core.RankResult, k int) *cachedResult {
 	for i, r := range ranked {
 		items[i] = ResultItem{Node: r.Node, Score: r.Score, InBase: res.InBase(r.Node)}
 	}
-	return &cachedResult{items: items, iters: res.Iterations, baseN: len(res.Base), version: res.RatesVersion}
+	return &cachedResult{items: items, iters: res.Iterations, baseN: len(res.Base), version: res.RatesVersion, gen: res.Generation}
 }
 
 // storeTopK ranks a cached term vector's top k and stores the answer in
 // the result cache so the next identical request skips even the top-k
 // scan.
-func (c *CachedEngine) storeTopK(key string, q *ir.Query, k int, v uint64, tv *termVector) *cachedResult {
+func (c *CachedEngine) storeTopK(pin *core.Pinned, key string, q *ir.Query, k int, tv *termVector) *cachedResult {
 	term, _ := singleTerm(q)
 	ranked := rank.TopK(tv.vec, k)
 	items := make([]ResultItem, len(ranked))
-	ix := c.eng.Index()
+	ix := pin.Corpus().Index() // the generation the vector was solved on
 	for i, r := range ranked {
 		items[i] = ResultItem{
 			Node:   r.Node,
@@ -678,7 +708,7 @@ func (c *CachedEngine) storeTopK(key string, q *ir.Query, k int, v uint64, tv *t
 			InBase: ix.TF(int32(r.Node), term) > 0,
 		}
 	}
-	cr := &cachedResult{items: items, iters: tv.iters, baseN: tv.baseN, version: v}
+	cr := &cachedResult{items: items, iters: tv.iters, baseN: tv.baseN, version: pin.Version(), gen: pin.Generation()}
 	c.results.Put(key, cr, resultEntrySize(key, len(items)))
 	return cr
 }
@@ -690,6 +720,7 @@ func (c *CachedEngine) answerFrom(cr *cachedResult, q *ir.Query, source string) 
 		Iterations: cr.iters,
 		BaseSet:    cr.baseN,
 		Version:    cr.version,
+		Generation: cr.gen,
 		Source:     source,
 	}
 }
@@ -699,8 +730,8 @@ func (c *CachedEngine) answerFrom(cr *cachedResult, q *ir.Query, source string) 
 // callers) on a miss. hit reports whether the vector came straight from
 // the cache. The solve runs under the flight group's detached context:
 // ctx governs only this caller's wait (see QueryCtx).
-func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, rk uint64, term string) (tv *termVector, hit bool, err error) {
-	key := termKey(rk, term)
+func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, sk stateKey, term string) (tv *termVector, hit bool, err error) {
+	key := termKey(sk, term)
 	if e, ok := c.vectors.Get(key); ok {
 		c.stats.vectorHits.Add(1)
 		return e.(*termVector), true, nil
@@ -711,7 +742,7 @@ func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, rk u
 			if e, ok := c.vectors.Get(key); ok { // lost a miss/flight race
 				return e.(*termVector), nil
 			}
-			return c.computeTerm(dctx, pin, rk, key, term)
+			return c.computeTerm(dctx, pin, sk, key, term)
 		})
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -732,10 +763,10 @@ func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, rk u
 // removed from the cache and donated as the warm start, so the new
 // solve refines an already-close vector instead of starting from the
 // global PageRank.
-func (c *CachedEngine) computeTerm(ctx context.Context, pin *core.Pinned, rk uint64, key, term string) (*termVector, error) {
+func (c *CachedEngine) computeTerm(ctx context.Context, pin *core.Pinned, sk stateKey, key, term string) (*termVector, error) {
 	var init []float64
 	warm := false
-	if prevKey, ok := c.previousTermKey(pin.Version(), rk, term); ok {
+	if prevKey, ok := c.previousTermKey(pin.Version(), sk, term); ok {
 		if old, ok2 := c.vectors.Remove(prevKey); ok2 {
 			init = old.(*termVector).vec
 			warm = true
@@ -789,8 +820,8 @@ func (c *CachedEngine) RankPinned(pin *core.Pinned, q *ir.Query) *core.RankResul
 func (c *CachedEngine) RankPinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query) (*core.RankResult, error) {
 	if term, ok := singleTerm(q); ok {
 		c.recordHot(q)
-		rk := c.ratesKeyFor(pin)
-		tv, _, err := c.termVectorFor(ctx, pin, rk, term)
+		sk := c.stateKeyFor(pin)
+		tv, _, err := c.termVectorFor(ctx, pin, sk, term)
 		if err != nil {
 			return nil, err
 		}
@@ -799,10 +830,11 @@ func (c *CachedEngine) RankPinnedCtx(ctx context.Context, pin *core.Pinned, q *i
 		return &core.RankResult{
 			Query:        q,
 			Scores:       scores,
-			Base:         c.eng.BaseSet(q),
+			Base:         pin.BaseSet(q),
 			Iterations:   tv.iters,
 			Converged:    tv.converged,
 			RatesVersion: pin.Version(),
+			Generation:   pin.Generation(),
 		}, nil
 	}
 	return pin.RankCtx(ctx, q)
@@ -912,7 +944,7 @@ func (c *CachedEngine) Prewarm(terms []string) {
 // would serialize the panel away.
 func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 	pin := c.eng.Pin()
-	rk := c.ratesKeyFor(pin)
+	sk := c.stateKeyFor(pin)
 	v := pin.Version()
 	type missCol struct {
 		term string
@@ -923,7 +955,7 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 	var qs []*ir.Query
 	var inits [][]float64
 	for _, t := range terms {
-		key := termKey(rk, t)
+		key := termKey(sk, t)
 		if _, ok := c.vectors.Get(key); ok {
 			c.stats.vectorHits.Add(1)
 			c.stats.prewarmed.Add(1)
@@ -932,7 +964,7 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 		c.stats.vectorMisses.Add(1)
 		var init []float64
 		warm := false
-		if prevKey, ok := c.previousTermKey(v, rk, t); ok {
+		if prevKey, ok := c.previousTermKey(v, sk, t); ok {
 			if old, ok2 := c.vectors.Remove(prevKey); ok2 {
 				init = old.(*termVector).vec
 				warm = true

@@ -62,7 +62,7 @@ func TestSingleflightDedup(t *testing.T) {
 
 	const n = 64
 	pin := eng.Pin()
-	rk := c.ratesKeyFor(pin)
+	rk := c.stateKeyFor(pin)
 	var (
 		start sync.WaitGroup
 		done  sync.WaitGroup
@@ -120,7 +120,7 @@ func TestInvalidationAndWarmStart(t *testing.T) {
 	if ans1.Source != "computed" || ans1.Version != 1 {
 		t.Fatalf("first answer = %+v", ans1)
 	}
-	oldRK := c.ratesKeyFor(eng.Pin())
+	oldRK := c.stateKeyFor(eng.Pin())
 	if _, ok := c.vectors.Get(termKey(oldRK, "olap")); !ok {
 		t.Fatal("term vector not cached after first query")
 	}
@@ -146,7 +146,7 @@ func TestInvalidationAndWarmStart(t *testing.T) {
 		t.Error("previous-version vector still resident after warm-start hand-over")
 	}
 
-	newRK := c.ratesKeyFor(eng.Pin())
+	newRK := c.stateKeyFor(eng.Pin())
 	if newRK == oldRK {
 		t.Fatal("rates key did not change after rates bump")
 	}
@@ -356,7 +356,7 @@ func TestPrewarm(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	newRK := c.ratesKeyFor(eng.Pin())
+	newRK := c.stateKeyFor(eng.Pin())
 	for {
 		if _, ok := c.vectors.Get(termKey(newRK, "olap")); ok {
 			break

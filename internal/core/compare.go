@@ -63,7 +63,7 @@ func (e *Engine) Compare(res *RankResult, a, b graph.NodeID, opts ExplainOptions
 		SubA:   sgA,
 		SubB:   sgB,
 	}
-	d := e.corpus.nopts.Damping
+	d := e.Corpus().nopts.Damping
 	for _, sd := range res.Base {
 		if graph.NodeID(sd.Doc) == a {
 			cmp.BaseA = (1 - d) * sd.Score
@@ -78,7 +78,7 @@ func (e *Engine) Compare(res *RankResult, a, b graph.NodeID, opts ExplainOptions
 		if f, ok := flows[t]; ok {
 			return f
 		}
-		f := &TypeFlow{Type: t, Name: e.corpus.g.Schema().TransferTypeName(t)}
+		f := &TypeFlow{Type: t, Name: e.Corpus().g.Schema().TransferTypeName(t)}
 		flows[t] = f
 		return f
 	}
@@ -143,7 +143,8 @@ type TermShare struct {
 // (warm-started) and reports each term's share at the node, largest
 // first. An empty result means no term reaches the node.
 func (e *Engine) DecomposeByTerm(q *ir.Query, v graph.NodeID) ([]TermShare, error) {
-	if int(v) < 0 || int(v) >= e.corpus.g.NumNodes() {
+	c := e.Corpus()
+	if int(v) < 0 || int(v) >= c.g.NumNodes() {
 		return nil, fmt.Errorf("core: decompose target %d out of range", v)
 	}
 	terms := q.Terms()
@@ -162,7 +163,7 @@ func (e *Engine) DecomposeByTerm(q *ir.Query, v graph.NodeID) ([]TermShare, erro
 		}
 		single := ir.NewQuery(t)
 		mass := 0.0
-		for _, sd := range e.corpus.ix.BaseSet(single) {
+		for _, sd := range c.ix.BaseSet(single) {
 			mass += sd.Score
 		}
 		if mass == 0 {

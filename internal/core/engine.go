@@ -95,6 +95,34 @@ func NewCorpus(g *graph.Graph, cfg Config) *Corpus {
 	}
 }
 
+// NewCorpusWithIndex is NewCorpus with a prebuilt inverted index —
+// e.g. one loaded from a binary snapshot — so the tokenization pass,
+// the dominant cost of corpus construction, is skipped entirely. The
+// index must cover exactly g's nodes. cfg.BM25 is ignored: the index
+// carries its own parameters.
+func NewCorpusWithIndex(g *graph.Graph, ix *ir.Index, cfg Config) (*Corpus, error) {
+	if ix.NumDocs() != g.NumNodes() {
+		return nil, fmt.Errorf("core: index covers %d documents, graph has %d nodes", ix.NumDocs(), g.NumNodes())
+	}
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = rank.AutoWorkers()
+	}
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Corpus{
+		g:         g,
+		ix:        ix,
+		opts:      cfg.Rank,
+		nopts:     cfg.Rank.Normalized(),
+		workers:   workers,
+		blockSize: blockSize,
+		pool:      rank.NewBufferPool(),
+	}, nil
+}
+
 // BlockSize returns the panel width of the corpus's blocked multi-solve
 // paths.
 func (c *Corpus) BlockSize() int { return c.blockSize }
@@ -121,19 +149,64 @@ type ratesSnapshot struct {
 	version uint64
 }
 
-// Engine ties an immutable Corpus to an atomically swapped rates
-// snapshot, forming an ObjectRank2 query processor.
+// generation is one immutable corpus identity inside an Engine: the
+// corpus itself, its monotonically increasing generation number, and
+// the per-generation cache of the global PageRank warm-start vector.
+// A generation is shared by every rates snapshot published while it is
+// current — SetRates keeps the generation, SwapCorpus replaces it.
+type generation struct {
+	corpus *Corpus
+	num    uint64
+
+	// global caches the PageRank vector used to warm-start initial
+	// queries (Section 6.2), computed on first use under the rates in
+	// force at that moment and kept for the generation's lifetime.
+	globalOnce sync.Once
+	global     []float64
+}
+
+// globalScores returns the generation's warm-start vector, computing
+// it on first use under snap's rates.
+func (gn *generation) globalScores(snap *ratesSnapshot) []float64 {
+	gn.globalOnce.Do(func() {
+		gn.global = rank.PageRank(gn.corpus.g, snap.rates, gn.corpus.opts).Scores
+	})
+	return gn.global
+}
+
+// engineState is the one atomically published word of engine identity:
+// a (generation, rates snapshot) pair. Every read path loads it once
+// at entry; SetRates/TrySetRates publish a new state with the same
+// generation, SwapCorpus publishes one with a fresh generation. Pin
+// captures a whole state, so a pinned view is consistent across BOTH
+// axes — rates version and corpus generation.
+type engineState struct {
+	gen  *generation
+	snap *ratesSnapshot
+}
+
+// globalScores is the state-consistent warm-start vector: sized for
+// THIS state's graph, never a concurrently swapped-in one.
+func (st *engineState) globalScores() []float64 {
+	return st.gen.globalScores(st.snap)
+}
+
+// Engine ties an atomically swapped (corpus generation, rates
+// snapshot) pair into an ObjectRank2 query processor.
 //
 // Concurrency model: Rank, Explain, Reformulate and every other read
-// path load the current snapshot once at entry and never look again,
-// so they are safe under full concurrency with SetRates/TrySetRates,
-// which publish a new snapshot via compare-and-swap. There are no
-// locks anywhere on the serving path. Use Pin to hold one snapshot
-// across a multi-step operation (rank → explain → reformulate) so all
-// steps see the same rates.
+// path load the current engineState once at entry and never look
+// again, so they are safe under full concurrency with both
+// SetRates/TrySetRates (which publish a new rates snapshot under the
+// same generation) and SwapCorpus (which publishes a whole new corpus
+// generation). All publications go through compare-and-swap on one
+// pointer; there are no locks anywhere on the serving path. In-flight
+// operations — including detached cache flights — finish on the
+// generation they pinned. Use Pin to hold one state across a
+// multi-step operation (rank → explain → reformulate) so all steps see
+// the same rates AND the same graph.
 type Engine struct {
-	corpus *Corpus
-	snap   atomic.Pointer[ratesSnapshot]
+	state atomic.Pointer[engineState]
 
 	// publishHook, when set, is invoked after every successful rates
 	// publication with the replaced and new snapshot versions. The
@@ -141,17 +214,16 @@ type Engine struct {
 	// SetPublishHook.
 	publishHook atomic.Pointer[func(oldVersion, newVersion uint64)]
 
+	// swapHook, when set, is invoked after every successful corpus swap
+	// with the replaced and new generation numbers; see SetSwapHook.
+	swapHook atomic.Pointer[func(oldGeneration, newGeneration uint64)]
+
 	// solveHook, when set, is invoked after every completed kernel
 	// execution on the ObjectRank2 path with that solve's SolveStats.
 	// The observability layer subscribes here to drive its kernel-solve
 	// counters and iterations-to-convergence histogram; see
 	// SetSolveHook.
 	solveHook atomic.Pointer[func(SolveStats)]
-
-	// global caches the PageRank vector used to warm-start initial
-	// queries (Section 6.2), computed on first use.
-	globalOnce sync.Once
-	global     []float64
 }
 
 // SolveStats describes one completed power-iteration execution on the
@@ -224,10 +296,36 @@ func (e *Engine) notifyPublish(oldVersion, newVersion uint64) {
 	}
 }
 
+// SetSwapHook registers f to be called after every successful
+// SwapCorpus with the replaced and new generation numbers. At most one
+// hook is held; a nil f removes it. The hook runs synchronously on the
+// swapping goroutine AFTER the compare-and-swap (so it observes the
+// new generation through the engine's normal read paths) and BEFORE
+// the publish hook fires for the swap's rates publication.
+func (e *Engine) SetSwapHook(f func(oldGeneration, newGeneration uint64)) {
+	if f == nil {
+		e.swapHook.Store(nil)
+		return
+	}
+	e.swapHook.Store(&f)
+}
+
+func (e *Engine) notifySwap(oldGeneration, newGeneration uint64) {
+	if h := e.swapHook.Load(); h != nil {
+		(*h)(oldGeneration, newGeneration)
+	}
+}
+
 // ErrRatesConflict is returned by TrySetRates when the engine's rates
 // were replaced concurrently: the caller's version token no longer
 // names the current snapshot. HTTP layers map it to 409 Conflict.
 var ErrRatesConflict = errors.New("core: rates were changed concurrently (version conflict)")
+
+// ErrGenerationConflict is returned by SwapCorpus when the engine's
+// corpus was swapped concurrently: the caller's generation token no
+// longer names the current generation. HTTP layers map it to 409
+// Conflict, exactly like ErrRatesConflict.
+var ErrGenerationConflict = errors.New("core: corpus was swapped concurrently (generation conflict)")
 
 // NewEngine indexes the text of every node of g and returns an engine
 // using the given authority transfer rates. The rates are cloned; later
@@ -238,13 +336,17 @@ func NewEngine(g *graph.Graph, rates *graph.Rates, cfg Config) (*Engine, error) 
 
 // NewEngineWith returns an engine over an existing (possibly shared)
 // corpus with the given initial authority transfer rates (cloned).
+// The engine starts at generation 1, rates version 1.
 func NewEngineWith(c *Corpus, rates *graph.Rates) (*Engine, error) {
 	if err := validateRates(c.g, rates); err != nil {
 		return nil, err
 	}
-	e := &Engine{corpus: c}
+	e := &Engine{}
 	clone := rates.Clone()
-	e.snap.Store(&ratesSnapshot{rates: clone, alpha: clone.Vector(), version: 1})
+	e.state.Store(&engineState{
+		gen:  &generation{corpus: c, num: 1},
+		snap: &ratesSnapshot{rates: clone, alpha: clone.Vector(), version: 1},
+	})
 	return e, nil
 }
 
@@ -258,39 +360,54 @@ func validateRates(g *graph.Graph, r *graph.Rates) error {
 	return nil
 }
 
-// Corpus returns the engine's immutable substrate.
-func (e *Engine) Corpus() *Corpus { return e.corpus }
+// Corpus returns the engine's current immutable substrate. In a
+// multi-step flow, prefer Pin: two Corpus calls may straddle a swap.
+func (e *Engine) Corpus() *Corpus { return e.state.Load().gen.corpus }
 
-// Graph returns the engine's data graph.
-func (e *Engine) Graph() *graph.Graph { return e.corpus.g }
+// Graph returns the engine's current data graph.
+func (e *Engine) Graph() *graph.Graph { return e.Corpus().g }
 
-// Index returns the engine's inverted index.
-func (e *Engine) Index() *ir.Index { return e.corpus.ix }
+// Index returns the engine's current inverted index.
+func (e *Engine) Index() *ir.Index { return e.Corpus().ix }
 
 // Rates returns a copy of the current authority transfer rates.
-func (e *Engine) Rates() *graph.Rates { return e.snap.Load().rates.Clone() }
+func (e *Engine) Rates() *graph.Rates { return e.state.Load().snap.rates.Clone() }
 
 // RatesVersion returns the version of the currently published rates
 // snapshot. Versions start at 1 and increase by one per successful
-// SetRates/TrySetRates; they are the optimistic-concurrency token of
-// the reformulation API.
-func (e *Engine) RatesVersion() uint64 { return e.snap.Load().version }
+// SetRates/TrySetRates/SwapCorpus — monotonically across corpus swaps,
+// never resetting, so a version token uniquely names one published
+// rates identity for the engine's whole lifetime. They are the
+// optimistic-concurrency token of the reformulation API.
+func (e *Engine) RatesVersion() uint64 { return e.state.Load().snap.version }
+
+// Generation returns the current corpus generation number. Generations
+// start at 1 and increase by one per successful SwapCorpus; they are
+// the optimistic-concurrency token of the corpus-swap API.
+func (e *Engine) Generation() uint64 { return e.state.Load().gen.num }
 
 // SetRates replaces the authority transfer rates (cloned) by publishing
 // a fresh snapshot, unconditionally (last writer wins). Used after a
 // structure-based reformulation. Safe under full concurrency with every
-// read path; in-flight operations keep the snapshot they started with.
+// read path; in-flight operations keep the state they started with.
+// The corpus generation is preserved — rates are validated against the
+// generation current at each CAS attempt, so a SetRates racing a
+// SwapCorpus fails cleanly if the new generation has a different
+// schema rather than publishing rates the new graph cannot interpret.
 func (e *Engine) SetRates(r *graph.Rates) error {
-	if err := validateRates(e.corpus.g, r); err != nil {
-		return err
-	}
 	clone := r.Clone()
 	alpha := clone.Vector()
 	for {
-		old := e.snap.Load()
-		next := &ratesSnapshot{rates: clone, alpha: alpha, version: old.version + 1}
-		if e.snap.CompareAndSwap(old, next) {
-			e.notifyPublish(old.version, next.version)
+		old := e.state.Load()
+		if err := validateRates(old.gen.corpus.g, clone); err != nil {
+			return err
+		}
+		next := &engineState{
+			gen:  old.gen,
+			snap: &ratesSnapshot{rates: clone, alpha: alpha, version: old.snap.version + 1},
+		}
+		if e.state.CompareAndSwap(old, next) {
+			e.notifyPublish(old.snap.version, next.snap.version)
 			return nil
 		}
 	}
@@ -302,33 +419,72 @@ func (e *Engine) SetRates(r *graph.Rates) error {
 // the new version; if another writer got there first it returns the
 // winning snapshot's version alongside ErrRatesConflict, and the caller
 // should re-run its reformulation against fresh state (or surface 409).
+// A corpus swap also advances the rates version, so a token pinned
+// before a swap conflicts here — by design: a reformulation computed
+// against the old graph must not be published onto the new one.
 func (e *Engine) TrySetRates(r *graph.Rates, ifVersion uint64) (uint64, error) {
-	if err := validateRates(e.corpus.g, r); err != nil {
-		return e.RatesVersion(), err
+	old := e.state.Load()
+	if err := validateRates(old.gen.corpus.g, r); err != nil {
+		return old.snap.version, err
+	}
+	if old.snap.version != ifVersion {
+		return old.snap.version, ErrRatesConflict
 	}
 	clone := r.Clone()
-	old := e.snap.Load()
-	if old.version != ifVersion {
-		return old.version, ErrRatesConflict
+	next := &engineState{
+		gen:  old.gen,
+		snap: &ratesSnapshot{rates: clone, alpha: clone.Vector(), version: old.snap.version + 1},
 	}
-	next := &ratesSnapshot{rates: clone, alpha: clone.Vector(), version: old.version + 1}
-	if !e.snap.CompareAndSwap(old, next) {
-		return e.snap.Load().version, ErrRatesConflict
+	if !e.state.CompareAndSwap(old, next) {
+		return e.state.Load().snap.version, ErrRatesConflict
 	}
-	e.notifyPublish(old.version, next.version)
-	return next.version, nil
+	e.notifyPublish(old.snap.version, next.snap.version)
+	return next.snap.version, nil
+}
+
+// SwapCorpus publishes a whole new corpus generation — graph, index
+// and initial rates (cloned) — only if the current generation still
+// carries the given number: the CAS mirror of TrySetRates on the
+// generation axis. On success it returns the new generation number;
+// if another swapper got there first it returns the winning generation
+// alongside ErrGenerationConflict. The rates version advances by one
+// (monotonically — version tokens never repeat across generations), so
+// version-keyed caches and in-flight reformulation tokens invalidate
+// implicitly. In-flight queries and detached cache flights finish on
+// the generation they pinned; nothing blocks. After the CAS the swap
+// hook fires, then the publish hook (the existing prewarm path), so a
+// serving cache refreshes its hot set against the new generation.
+func (e *Engine) SwapCorpus(c *Corpus, r *graph.Rates, ifGeneration uint64) (uint64, error) {
+	if err := validateRates(c.g, r); err != nil {
+		return e.Generation(), err
+	}
+	clone := r.Clone()
+	old := e.state.Load()
+	if old.gen.num != ifGeneration {
+		return old.gen.num, ErrGenerationConflict
+	}
+	next := &engineState{
+		gen:  &generation{corpus: c, num: old.gen.num + 1},
+		snap: &ratesSnapshot{rates: clone, alpha: clone.Vector(), version: old.snap.version + 1},
+	}
+	if !e.state.CompareAndSwap(old, next) {
+		return e.state.Load().gen.num, ErrGenerationConflict
+	}
+	e.notifySwap(old.gen.num, next.gen.num)
+	e.notifyPublish(old.snap.version, next.snap.version)
+	return next.gen.num, nil
 }
 
 // Options returns the rank options in effect (as configured).
-func (e *Engine) Options() rank.Options { return e.corpus.opts }
+func (e *Engine) Options() rank.Options { return e.Corpus().opts }
 
-// BaseSet computes the weighted query base set S(Q): every node
-// containing at least one query keyword, scored by IRScore(v, Q)
-// (Equation 2) and normalized to sum to 1 so the scores act as
-// random-jump probabilities. This is the defining difference between
-// ObjectRank2 and the original 0/1 ObjectRank.
-func (e *Engine) BaseSet(q *ir.Query) []ir.ScoredDoc {
-	base := e.corpus.ix.BaseSet(q)
+// baseSetOf computes the weighted query base set S(Q) over one corpus:
+// every node containing at least one query keyword, scored by
+// IRScore(v, Q) (Equation 2) and normalized to sum to 1 so the scores
+// act as random-jump probabilities. This is the defining difference
+// between ObjectRank2 and the original 0/1 ObjectRank.
+func baseSetOf(c *Corpus, q *ir.Query) []ir.ScoredDoc {
+	base := c.ix.BaseSet(q)
 	sum := 0.0
 	for _, sd := range base {
 		sum += sd.Score
@@ -339,6 +495,12 @@ func (e *Engine) BaseSet(q *ir.Query) []ir.ScoredDoc {
 		}
 	}
 	return base
+}
+
+// BaseSet computes the weighted query base set S(Q) over the current
+// corpus; see baseSetOf.
+func (e *Engine) BaseSet(q *ir.Query) []ir.ScoredDoc {
+	return baseSetOf(e.Corpus(), q)
 }
 
 // RankResult is the outcome of one ObjectRank2 execution.
@@ -360,6 +522,11 @@ type RankResult struct {
 	// ran under — the optimistic-concurrency token to present when
 	// publishing a reformulation derived from this result.
 	RatesVersion uint64
+	// Generation is the corpus generation the execution ran under.
+	// Scores is sized for THAT generation's graph; consumers rendering
+	// node IDs must use the same generation's graph, which is what a
+	// Pinned view guarantees.
+	Generation uint64
 	// BaseSetDur and SolveDur are the wall-clock stage timings of the
 	// execution (IR scoring vs kernel iteration) — the per-request
 	// trace's span durations. Zero for results that did not run the
@@ -395,14 +562,18 @@ func (e *Engine) Release(res *RankResult) {
 	if res == nil || res.Scores == nil {
 		return
 	}
-	e.corpus.pool.Put(res.Scores)
+	// Releasing into the CURRENT corpus's pool is safe even when the
+	// result came from an earlier generation: BufferPool.Get re-checks
+	// capacity and allocates fresh on a size mismatch.
+	e.Corpus().pool.Put(res.Scores)
 	res.Scores = nil
 }
 
 // Rank executes ObjectRank2 (Equation 4) for q, warm-started from the
 // cached global PageRank as the paper does for initial queries.
 func (e *Engine) Rank(q *ir.Query) *RankResult {
-	res, _ := e.rankAt(context.Background(), e.snap.Load(), q, e.globalScores())
+	st := e.state.Load()
+	res, _ := e.rankAt(context.Background(), st, q, st.globalScores())
 	return res
 }
 
@@ -414,7 +585,8 @@ func (e *Engine) Rank(q *ir.Query) *RankResult {
 // hook does not fire for cancelled runs (they are not completed kernel
 // executions).
 func (e *Engine) RankCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
-	return e.rankAt(ctx, e.snap.Load(), q, e.globalScores())
+	st := e.state.Load()
+	return e.rankAt(ctx, st, q, st.globalScores())
 }
 
 // RankFrom executes ObjectRank2 warm-started from a previous score
@@ -422,27 +594,27 @@ func (e *Engine) RankCtx(ctx context.Context, q *ir.Query) (*RankResult, error) 
 // scores are expected to be close to the previous iteration's. The init
 // vector is only read, never retained.
 func (e *Engine) RankFrom(q *ir.Query, init []float64) *RankResult {
-	res, _ := e.rankAt(context.Background(), e.snap.Load(), q, init)
+	res, _ := e.rankAt(context.Background(), e.state.Load(), q, init)
 	return res
 }
 
 // RankFromCtx is RankFrom under a request context (see RankCtx for the
 // cancellation contract).
 func (e *Engine) RankFromCtx(ctx context.Context, q *ir.Query, init []float64) (*RankResult, error) {
-	return e.rankAt(ctx, e.snap.Load(), q, init)
+	return e.rankAt(ctx, e.state.Load(), q, init)
 }
 
 // RankCold executes ObjectRank2 with no warm start (the ablation
 // baseline).
 func (e *Engine) RankCold(q *ir.Query) *RankResult {
-	res, _ := e.rankAt(context.Background(), e.snap.Load(), q, nil)
+	res, _ := e.rankAt(context.Background(), e.state.Load(), q, nil)
 	return res
 }
 
 // RankColdCtx is RankCold under a request context (see RankCtx for the
 // cancellation contract).
 func (e *Engine) RankColdCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
-	return e.rankAt(ctx, e.snap.Load(), q, nil)
+	return e.rankAt(ctx, e.state.Load(), q, nil)
 }
 
 // rankAt is the single ObjectRank2 execution path: every Rank* entry —
@@ -451,20 +623,26 @@ func (e *Engine) RankColdCtx(ctx context.Context, q *ir.Query) (*RankResult, err
 // an error). On cancellation the partial kernel vector is returned to
 // the buffer pool and (nil, ctx.Err()) comes back: scores are never
 // partially published.
-func (e *Engine) rankAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, init []float64) (*RankResult, error) {
+func (e *Engine) rankAt(ctx context.Context, st *engineState, q *ir.Query, init []float64) (*RankResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c := e.corpus
+	c, snap := st.gen.corpus, st.snap
+	if init != nil && len(init) != c.g.NumNodes() {
+		// A warm-start vector sized for another generation's graph
+		// (donated across a concurrent corpus swap) cannot seed this
+		// kernel; fall back to the cold path rather than panicking.
+		init = nil
+	}
 	t0 := time.Now()
-	base := e.BaseSet(q)
+	base := baseSetOf(c, q)
 	jump := c.pool.GetZeroed(c.g.NumNodes())
 	baseDur := time.Since(t0)
 	if len(base) == 0 {
 		// No node contains any query keyword: the fixpoint is
 		// identically zero, so skip the iteration (a warm start would
 		// otherwise only decay toward zero).
-		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, BaseSetDur: baseDur}, nil
+		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, Generation: st.gen.num, BaseSetDur: baseDur}, nil
 	}
 	for _, sd := range base {
 		jump[sd.Doc] = sd.Score
@@ -499,6 +677,7 @@ func (e *Engine) rankAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, i
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
 		RatesVersion: snap.version,
+		Generation:   st.gen.num,
 		BaseSetDur:   baseDur,
 		SolveDur:     solveDur,
 	}, nil
@@ -521,12 +700,12 @@ func (e *Engine) rankAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, i
 // an N-query batch, the metric the /v1/query/batch acceptance check
 // reads.
 func (e *Engine) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult, error) {
-	return e.rankManyAt(ctx, e.snap.Load(), qs, nil)
+	return e.rankManyAt(ctx, e.state.Load(), qs, nil)
 }
 
-// RankManyCtx is Engine.RankManyCtx under the pinned rates.
+// RankManyCtx is Engine.RankManyCtx under the pinned state.
 func (p *Pinned) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult, error) {
-	return p.e.rankManyAt(ctx, p.snap, qs, nil)
+	return p.e.rankManyAt(ctx, p.st, qs, nil)
 }
 
 // RankManyFromCtx is RankManyCtx with per-query warm starts: inits must
@@ -536,7 +715,7 @@ func (p *Pinned) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult
 // global PageRank. The cache prewarmer uses this to refresh a panel of
 // hot terms, each starting from its previous rates version's vector.
 func (p *Pinned) RankManyFromCtx(ctx context.Context, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
-	return p.e.rankManyAt(ctx, p.snap, qs, inits)
+	return p.e.rankManyAt(ctx, p.st, qs, inits)
 }
 
 // rankManyAt is the blocked counterpart of rankAt: the single execution
@@ -544,7 +723,7 @@ func (p *Pinned) RankManyFromCtx(ctx context.Context, qs []*ir.Query, inits [][]
 // non-empty base sets runs through rank.IterateBlock; per-column
 // options replicate rankAt's exactly (corpus rank options + Init +
 // Ctx), so column results are bit-identical to single solves.
-func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
+func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -555,9 +734,9 @@ func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Q
 	if len(qs) == 0 {
 		return out, ctx.Err()
 	}
-	c := e.corpus
+	c, snap := st.gen.corpus, st.snap
 	n := c.g.NumNodes()
-	global := e.globalScores()
+	global := st.globalScores()
 
 	for lo := 0; lo < len(qs); lo += c.blockSize {
 		if err := ctx.Err(); err != nil {
@@ -581,11 +760,11 @@ func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Q
 		var opts []rank.Options
 		for i := lo; i < hi; i++ {
 			t0 := time.Now()
-			base := e.BaseSet(qs[i])
+			base := baseSetOf(c, qs[i])
 			jump := c.pool.GetZeroed(n)
 			baseDur := time.Since(t0)
 			if len(base) == 0 {
-				out[i] = &RankResult{Query: qs[i], Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, BaseSetDur: baseDur}
+				out[i] = &RankResult{Query: qs[i], Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, Generation: st.gen.num, BaseSetDur: baseDur}
 				continue
 			}
 			for _, sd := range base {
@@ -593,7 +772,9 @@ func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Q
 			}
 			o := c.opts
 			o.Init = global
-			if inits != nil && inits[i] != nil {
+			if inits != nil && inits[i] != nil && len(inits[i]) == n {
+				// A donated warm start sized for another generation's
+				// graph is silently dropped (see rankAt).
 				o.Init = inits[i]
 			}
 			o.Ctx = ctx
@@ -637,6 +818,7 @@ func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Q
 				Iterations:   res.Iterations,
 				Converged:    res.Converged,
 				RatesVersion: snap.version,
+				Generation:   st.gen.num,
 				BaseSetDur:   col.baseDur,
 				SolveDur:     solveDur,
 			}
@@ -653,48 +835,45 @@ func (e *Engine) rankManyAt(ctx context.Context, snap *ratesSnapshot, qs []*ir.Q
 	return out, ctx.Err()
 }
 
-// GlobalRank returns the query-independent PageRank over the authority
-// transfer data graph, computed once (under the rates in force at first
-// use) and cached. It is only ever used as a warm-start vector — the
-// fixpoint a query converges to does not depend on it — so it is
-// deliberately NOT invalidated by rate changes, matching the paper's
-// protocol of global-initializing only the initial user query.
+// GlobalRank returns the query-independent PageRank over the current
+// generation's authority transfer data graph, computed once per
+// generation (under the rates in force at first use) and cached. It is
+// only ever used as a warm-start vector — the fixpoint a query
+// converges to does not depend on it — so it is deliberately NOT
+// invalidated by rate changes, matching the paper's protocol of
+// global-initializing only the initial user query. A corpus swap DOES
+// reset it: the new generation's graph has different nodes, so its
+// warm-start vector is recomputed on first use.
 func (e *Engine) GlobalRank() []float64 {
-	s := e.globalScores()
+	s := e.state.Load().globalScores()
 	out := make([]float64, len(s))
 	copy(out, s)
 	return out
-}
-
-func (e *Engine) globalScores() []float64 {
-	e.globalOnce.Do(func() {
-		snap := e.snap.Load()
-		e.global = rank.PageRank(e.corpus.g, snap.rates, e.corpus.opts).Scores
-	})
-	return e.global
 }
 
 // ObjectRankBaseline runs the modified original ObjectRank of
 // Equation 16 (0/1 per-keyword base sets combined with normalizing
 // exponents) for comparison surveys such as Table 2.
 func (e *Engine) ObjectRankBaseline(q *ir.Query) *RankResult {
-	snap := e.snap.Load()
+	st := e.state.Load()
+	c, snap := st.gen.corpus, st.snap
 	var baseSets [][]graph.NodeID
 	for _, t := range q.Terms() {
 		single := ir.NewQuery(t)
 		var bs []graph.NodeID
-		for _, sd := range e.corpus.ix.BaseSet(single) {
+		for _, sd := range c.ix.BaseSet(single) {
 			bs = append(bs, graph.NodeID(sd.Doc))
 		}
 		baseSets = append(baseSets, bs)
 	}
-	res := rank.ObjectRankMulti(e.corpus.g, snap.rates, baseSets, e.corpus.opts)
+	res := rank.ObjectRankMulti(c.g, snap.rates, baseSets, c.opts)
 	return &RankResult{
 		Query:        q,
 		Scores:       res.Scores,
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
 		RatesVersion: snap.version,
+		Generation:   st.gen.num,
 	}
 }
 
@@ -705,119 +884,143 @@ func (e *Engine) ObjectRankBaseline(q *ir.Query) *RankResult {
 // the focused subgraph score zero. Iterations reports the HITS
 // iteration count.
 func (e *Engine) HITSBaseline(q *ir.Query, radius int) *RankResult {
-	base := e.BaseSet(q)
+	st := e.state.Load()
+	c := st.gen.corpus
+	base := baseSetOf(c, q)
 	if len(base) == 0 {
 		// An empty base set focuses on nothing; HITS's nil-subset
 		// convention (whole graph) must not kick in.
-		return &RankResult{Query: q, Scores: make([]float64, e.corpus.g.NumNodes()), Base: base, Converged: true}
+		return &RankResult{Query: q, Scores: make([]float64, c.g.NumNodes()), Base: base, Converged: true, Generation: st.gen.num}
 	}
 	nodes := make([]graph.NodeID, len(base))
 	for i, sd := range base {
 		nodes[i] = graph.NodeID(sd.Doc)
 	}
-	focused := rank.FocusedSubgraph(e.corpus.g, nodes, radius)
-	res := rank.HITS(e.corpus.g, focused, e.corpus.nopts.Threshold, e.corpus.nopts.MaxIters)
+	focused := rank.FocusedSubgraph(c.g, nodes, radius)
+	res := rank.HITS(c.g, focused, c.nopts.Threshold, c.nopts.MaxIters)
 	return &RankResult{
 		Query:      q,
 		Scores:     res.Authorities,
 		Base:       base,
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
+		Generation: st.gen.num,
 	}
 }
 
-// Pinned is a consistent read-only view of the engine at one rates
-// snapshot. Every operation on a Pinned view — ranking, explaining,
-// reformulating — uses the rates captured at Pin time, regardless of
-// concurrent SetRates calls, so multi-step flows (rank → explain →
-// reformulate → publish) compose without locks: compute against the
-// pin, then publish with TrySetRates(rates, pin.Version()) and retry on
-// conflict.
+// Pinned is a consistent read-only view of the engine at one
+// (generation, ratesVersion) pair. Every operation on a Pinned view —
+// ranking, explaining, reformulating, rendering node IDs through
+// Corpus — uses the corpus AND rates captured at Pin time, regardless
+// of concurrent SetRates or SwapCorpus calls, so multi-step flows
+// (rank → explain → reformulate → publish) compose without locks:
+// compute against the pin, then publish with TrySetRates(rates,
+// pin.Version()) and retry on conflict. A pin taken before a corpus
+// swap keeps the old generation's graph and index alive until the pin
+// is dropped; nothing it returns can mix generations.
 type Pinned struct {
-	e    *Engine
-	snap *ratesSnapshot
+	e  *Engine
+	st *engineState
 }
 
-// Pin captures the current rates snapshot.
-func (e *Engine) Pin() *Pinned { return &Pinned{e: e, snap: e.snap.Load()} }
+// Pin captures the current (generation, rates snapshot) pair.
+func (e *Engine) Pin() *Pinned { return &Pinned{e: e, st: e.state.Load()} }
 
-// Version returns the pinned snapshot's version token.
-func (p *Pinned) Version() uint64 { return p.snap.version }
+// Version returns the pinned snapshot's rates version token.
+func (p *Pinned) Version() uint64 { return p.st.snap.version }
+
+// Generation returns the pinned corpus generation number.
+func (p *Pinned) Generation() uint64 { return p.st.gen.num }
+
+// Corpus returns the pinned generation's corpus: the graph and index
+// every result of this view is sized for.
+func (p *Pinned) Corpus() *Corpus { return p.st.gen.corpus }
 
 // Rates returns a copy of the pinned rates.
-func (p *Pinned) Rates() *graph.Rates { return p.snap.rates.Clone() }
+func (p *Pinned) Rates() *graph.Rates { return p.st.snap.rates.Clone() }
 
 // Engine returns the engine the view was pinned from.
 func (p *Pinned) Engine() *Engine { return p.e }
 
-// Rank executes ObjectRank2 under the pinned rates, warm-started from
-// the cached global PageRank.
+// BaseSet computes the weighted query base set S(Q) over the pinned
+// generation's index; see Engine.BaseSet.
+func (p *Pinned) BaseSet(q *ir.Query) []ir.ScoredDoc {
+	return baseSetOf(p.st.gen.corpus, q)
+}
+
+// GlobalRank returns the pinned generation's global PageRank
+// warm-start vector (shared, read-only — see Engine.GlobalRank for the
+// copying variant).
+func (p *Pinned) globalScores() []float64 { return p.st.globalScores() }
+
+// Rank executes ObjectRank2 under the pinned state, warm-started from
+// the pinned generation's global PageRank.
 func (p *Pinned) Rank(q *ir.Query) *RankResult {
-	res, _ := p.e.rankAt(context.Background(), p.snap, q, p.e.globalScores())
+	res, _ := p.e.rankAt(context.Background(), p.st, q, p.st.globalScores())
 	return res
 }
 
 // RankCtx is Rank under a request context (see Engine.RankCtx for the
 // cancellation contract).
 func (p *Pinned) RankCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
-	return p.e.rankAt(ctx, p.snap, q, p.e.globalScores())
+	return p.e.rankAt(ctx, p.st, q, p.st.globalScores())
 }
 
-// RankFrom executes ObjectRank2 under the pinned rates, warm-started
+// RankFrom executes ObjectRank2 under the pinned state, warm-started
 // from a previous score vector.
 func (p *Pinned) RankFrom(q *ir.Query, init []float64) *RankResult {
-	res, _ := p.e.rankAt(context.Background(), p.snap, q, init)
+	res, _ := p.e.rankAt(context.Background(), p.st, q, init)
 	return res
 }
 
 // RankFromCtx is RankFrom under a request context.
 func (p *Pinned) RankFromCtx(ctx context.Context, q *ir.Query, init []float64) (*RankResult, error) {
-	return p.e.rankAt(ctx, p.snap, q, init)
+	return p.e.rankAt(ctx, p.st, q, init)
 }
 
-// RankCold executes ObjectRank2 under the pinned rates with no warm
+// RankCold executes ObjectRank2 under the pinned state with no warm
 // start.
 func (p *Pinned) RankCold(q *ir.Query) *RankResult {
-	res, _ := p.e.rankAt(context.Background(), p.snap, q, nil)
+	res, _ := p.e.rankAt(context.Background(), p.st, q, nil)
 	return res
 }
 
 // RankColdCtx is RankCold under a request context.
 func (p *Pinned) RankColdCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
-	return p.e.rankAt(ctx, p.snap, q, nil)
+	return p.e.rankAt(ctx, p.st, q, nil)
 }
 
 // Explain builds the explaining subgraph for target under the pinned
-// rates.
+// state.
 func (p *Pinned) Explain(res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	return p.e.explainAt(context.Background(), p.snap, res, target, opts)
+	return p.e.explainAt(context.Background(), p.st, res, target, opts)
 }
 
 // ExplainCtx is Explain under a request context: the traversal stages
 // and the Equation 10 flow-adjustment fixpoint poll ctx (the fixpoint
 // once per iteration) and return ctx.Err() promptly on cancellation.
 func (p *Pinned) ExplainCtx(ctx context.Context, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	return p.e.explainAt(ctx, p.snap, res, target, opts)
+	return p.e.explainAt(ctx, p.st, res, target, opts)
 }
 
-// Reformulate produces a reformulated query under the pinned rates.
+// Reformulate produces a reformulated query under the pinned state.
 func (p *Pinned) Reformulate(q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return p.e.reformulateAt(context.Background(), p.snap, q, feedback, nil, opts)
+	return p.e.reformulateAt(context.Background(), p.st, q, feedback, nil, opts)
 }
 
 // ReformulateCtx is Reformulate under a request context.
 func (p *Pinned) ReformulateCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return p.e.reformulateAt(ctx, p.snap, q, feedback, nil, opts)
+	return p.e.reformulateAt(ctx, p.st, q, feedback, nil, opts)
 }
 
 // ReformulateWeighted is Reformulate with per-feedback-object
-// confidence weights, under the pinned rates.
+// confidence weights, under the pinned state.
 func (p *Pinned) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
-	return p.e.reformulateAt(context.Background(), p.snap, q, feedback, confidences, opts)
+	return p.e.reformulateAt(context.Background(), p.st, q, feedback, confidences, opts)
 }
 
 // ReformulateWeightedCtx is ReformulateWeighted under a request
 // context.
 func (p *Pinned) ReformulateWeightedCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
-	return p.e.reformulateAt(ctx, p.snap, q, feedback, confidences, opts)
+	return p.e.reformulateAt(ctx, p.st, q, feedback, confidences, opts)
 }

@@ -133,7 +133,7 @@ func (sg *Subgraph) NodeAuthority(v graph.NodeID) float64 {
 // by which its incoming flows are scaled to discount authority that
 // leaks out of the subgraph.
 func (e *Engine) Explain(res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	return e.explainAt(context.Background(), e.snap.Load(), res, target, opts)
+	return e.explainAt(context.Background(), e.state.Load(), res, target, opts)
 }
 
 // ExplainCtx is Explain under a cancellable context: the construction
@@ -143,21 +143,22 @@ func (e *Engine) Explain(res *RankResult, target graph.NodeID, opts ExplainOptio
 // within one phase/iteration and returns ctx.Err() instead of a
 // subgraph. A nil or background context behaves exactly like Explain.
 func (e *Engine) ExplainCtx(ctx context.Context, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
-	return e.explainAt(ctx, e.snap.Load(), res, target, opts)
+	return e.explainAt(ctx, e.state.Load(), res, target, opts)
 }
 
-// explainAt is Explain against one pinned rates snapshot, so a
-// Pinned view's explain stage cannot observe rates published after the
-// view was taken. The engine's own Explain simply pins the current
-// snapshot at entry.
-func (e *Engine) explainAt(ctx context.Context, snap *ratesSnapshot, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+// explainAt is Explain against one pinned engine state, so a Pinned
+// view's explain stage cannot observe rates published — or a corpus
+// swapped in — after the view was taken. The engine's own Explain
+// simply pins the current state at entry.
+func (e *Engine) explainAt(ctx context.Context, st *engineState, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	snap := st.snap
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g := e.corpus.g
+	g := st.gen.corpus.g
 	if int(target) < 0 || int(target) >= g.NumNodes() {
 		return nil, fmt.Errorf("core: explain target %d out of range", target)
 	}
@@ -236,7 +237,7 @@ func (e *Engine) explainAt(ctx context.Context, snap *ratesSnapshot, res *RankRe
 		Query:   res.Query,
 		H:       make(map[graph.NodeID]float64, len(inG)),
 		Dist:    make(map[graph.NodeID]int, len(inG)),
-		damping: e.corpus.nopts.Damping,
+		damping: st.gen.corpus.nopts.Damping,
 		inFlow:  make(map[graph.NodeID]float64, len(inG)),
 		outFlow: make(map[graph.NodeID]float64, len(inG)),
 	}

@@ -83,7 +83,7 @@ type Reformulation struct {
 // Multiple feedback objects combine by summation (5.3, Equations
 // 14–15).
 func (e *Engine) Reformulate(q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return e.reformulateAt(context.Background(), e.snap.Load(), q, feedback, nil, opts)
+	return e.reformulateAt(context.Background(), e.state.Load(), q, feedback, nil, opts)
 }
 
 // ReformulateCtx is Reformulate under a cancellable context. The
@@ -93,7 +93,7 @@ func (e *Engine) Reformulate(q *ir.Query, feedback []*Subgraph, opts Reformulate
 // request return immediately without starting the clone-and-adjust
 // work.
 func (e *Engine) ReformulateCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, opts ReformulateOptions) (*Reformulation, error) {
-	return e.reformulateAt(ctx, e.snap.Load(), q, feedback, nil, opts)
+	return e.reformulateAt(ctx, e.state.Load(), q, feedback, nil, opts)
 }
 
 // ReformulateWeighted is Reformulate with a per-feedback-object
@@ -105,13 +105,13 @@ func (e *Engine) ReformulateCtx(ctx context.Context, q *ir.Query, feedback []*Su
 // Section 5.3); the weight count must otherwise match the feedback
 // count and weights must be non-negative.
 func (e *Engine) ReformulateWeighted(q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
-	return e.reformulateAt(context.Background(), e.snap.Load(), q, feedback, confidences, opts)
+	return e.reformulateAt(context.Background(), e.state.Load(), q, feedback, confidences, opts)
 }
 
 // ReformulateWeightedCtx is ReformulateWeighted under a cancellable
 // context (see ReformulateCtx for the checking granularity).
 func (e *Engine) ReformulateWeightedCtx(ctx context.Context, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
-	return e.reformulateAt(ctx, e.snap.Load(), q, feedback, confidences, opts)
+	return e.reformulateAt(ctx, e.state.Load(), q, feedback, confidences, opts)
 }
 
 // reformulateAt is ReformulateWeighted against one pinned rates
@@ -122,7 +122,8 @@ func (e *Engine) ReformulateWeightedCtx(ctx context.Context, q *ir.Query, feedba
 // optimistic-concurrency loop: the adjustment is computed off a stable
 // basis and publication fails (rather than silently clobbering) when
 // another writer got there first.
-func (e *Engine) reformulateAt(ctx context.Context, snap *ratesSnapshot, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+func (e *Engine) reformulateAt(ctx context.Context, st *engineState, q *ir.Query, feedback []*Subgraph, confidences []float64, opts ReformulateOptions) (*Reformulation, error) {
+	snap := st.snap
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -147,7 +148,7 @@ func (e *Engine) reformulateAt(ctx context.Context, snap *ratesSnapshot, q *ir.Q
 		return confidences[i]
 	}
 	opts = opts.withDefaults()
-	g := e.corpus.g
+	g := st.gen.corpus.g
 	out := &Reformulation{Query: q.Clone(), Rates: snap.rates.Clone()}
 
 	if opts.Ce > 0 {

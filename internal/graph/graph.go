@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node (database object) in a data graph.
@@ -56,6 +57,11 @@ type Graph struct {
 	// InvDeg = the source's inverse out-degree for that arc type.
 	rarcStart []int32
 	rarcs     []Arc
+
+	// fp caches the Fingerprint digest (the graph is immutable, so the
+	// digest is computed at most once).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Schema returns the schema graph the data graph conforms to.

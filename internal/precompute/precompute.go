@@ -50,10 +50,11 @@ type termData struct {
 
 // Store holds precomputed per-term ObjectRank2 vectors.
 type Store struct {
-	topK  int
-	n     int // graph size, for validation
-	rates []float64
-	terms map[string]termData
+	topK    int
+	n       int // graph size, for validation
+	graphFP uint64
+	rates   []float64
+	terms   map[string]termData
 }
 
 // BuildOptions control Store construction.
@@ -104,11 +105,13 @@ func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildO
 		ctx = context.Background()
 	}
 	pin := eng.Pin()
+	c := pin.Corpus()
 	st := &Store{
-		topK:  opts.TopK,
-		n:     eng.Graph().NumNodes(),
-		rates: pin.Rates().Vector(),
-		terms: make(map[string]termData, len(terms)),
+		topK:    opts.TopK,
+		n:       c.Graph().NumNodes(),
+		graphFP: c.Graph().Fingerprint(),
+		rates:   pin.Rates().Vector(),
+		terms:   make(map[string]termData, len(terms)),
 	}
 	if err := ctx.Err(); err != nil {
 		return st, err
@@ -328,11 +331,15 @@ func qtfSat(w float64) float64 {
 	return (k3 + 1) * w / (k3 + w)
 }
 
-// storeSnapshot is the gob wire form.
+// storeSnapshot is the gob wire form. GraphFP was added after the
+// format shipped; gob leaves absent fields zero, so a pre-fingerprint
+// file loads with GraphFP == 0 and ValidFor falls back to the original
+// size-only graph check.
 type storeSnapshot struct {
 	Version int
 	TopK    int
 	N       int
+	GraphFP uint64
 	Rates   []float64
 	Terms   map[string]termData
 }
@@ -345,6 +352,7 @@ func (s *Store) Save(w io.Writer) error {
 		Version: storeVersion,
 		TopK:    s.topK,
 		N:       s.n,
+		GraphFP: s.graphFP,
 		Rates:   s.rates,
 		Terms:   s.terms,
 	})
@@ -359,7 +367,7 @@ func Load(r io.Reader) (*Store, error) {
 	if snap.Version != storeVersion {
 		return nil, fmt.Errorf("precompute: snapshot version %d, want %d", snap.Version, storeVersion)
 	}
-	return &Store{topK: snap.TopK, n: snap.N, rates: snap.Rates, terms: snap.Terms}, nil
+	return &Store{topK: snap.TopK, n: snap.N, graphFP: snap.GraphFP, rates: snap.Rates, terms: snap.Terms}, nil
 }
 
 // SaveFile writes the store to path.
@@ -390,18 +398,33 @@ func LoadFile(path string) (*Store, error) {
 	return Load(bufio.NewReader(f))
 }
 
-// ValidFor reports whether the store was built over a graph of the same
-// size and the same rate vector as the engine's current state. The
-// rates comparison is graph.SameRateVector — the same predicate the
-// serving cache's key derivation (graph.RateVectorKey) hashes — so
-// "store rates match live rates" and "cache entry matches live rates"
-// cannot drift apart.
+// ValidFor reports whether the store was built over the engine's
+// CURRENT corpus generation under its current rate vector. The graph
+// comparison uses graph.Fingerprint — a content digest, so a corpus
+// swap to a different graph invalidates the store even when node counts
+// coincide; stores saved before fingerprints existed (GraphFP 0 on
+// load) fall back to the original size-only check. The rates comparison
+// is graph.SameRateVector — the same predicate the serving cache's key
+// derivation (graph.RateVectorKey) hashes — so "store rates match live
+// rates" and "cache entry matches live rates" cannot drift apart.
+//
+// Callers revalidating around swaps should pin first and compare
+// against the pinned corpus; at engine level the check is simply
+// re-run per generation.
 func (s *Store) ValidFor(eng *core.Engine) bool {
-	if eng.Graph().NumNodes() != s.n {
+	g := eng.Graph()
+	if g.NumNodes() != s.n {
+		return false
+	}
+	if s.graphFP != 0 && g.Fingerprint() != s.graphFP {
 		return false
 	}
 	return graph.SameRateVector(eng.Rates().Vector(), s.rates)
 }
+
+// GraphFingerprint returns the content digest of the graph the store
+// was built over (0 for stores saved before fingerprints existed).
+func (s *Store) GraphFingerprint() uint64 { return s.graphFP }
 
 // RatesKey returns the graph.RateVectorKey fingerprint of the rates the
 // store was built under — directly comparable with the serving cache's

@@ -113,6 +113,9 @@ type QueryResponse struct {
 	BaseSet    int    `json:"baseSet"`
 	Iterations int    `json:"iterations"`
 	Version    uint64 `json:"version"`
+	// Generation is the corpus generation the ranking ran on; node IDs
+	// in Results are only meaningful against that generation.
+	Generation uint64 `json:"generation"`
 	// Cache reports how a cache-enabled server produced the answer
 	// ("result", "term", or "computed"); omitted when serving uncached.
 	Cache   string   `json:"cache,omitempty"`
@@ -141,8 +144,11 @@ const MaxBatchQueries = 64
 // rates-snapshot version the WHOLE batch was answered under (every
 // answer's own version equals it).
 type BatchQueryResponse struct {
-	Version uint64          `json:"version"`
-	Answers []QueryResponse `json:"answers"`
+	Version uint64 `json:"version"`
+	// Generation is the single corpus generation the WHOLE batch was
+	// answered on (every answer's own generation equals it).
+	Generation uint64          `json:"generation"`
+	Answers    []QueryResponse `json:"answers"`
 }
 
 // ReformulateResponse is the /v1/reformulate payload. Version is the
@@ -166,6 +172,34 @@ type ConflictResponse struct {
 	Version uint64 `json:"version"`
 }
 
+// CorpusSwapRequest is the POST /v1/corpus/swap body. Snapshot names
+// a binary snapshot FILE inside the server's swap directory (no
+// absolute paths, no traversal). IfGeneration, when non-zero, is the
+// optimistic concurrency token: the swap publishes only if the served
+// generation still equals it; zero means "swap whatever is current".
+type CorpusSwapRequest struct {
+	Snapshot     string `json:"snapshot"`
+	IfGeneration uint64 `json:"ifGeneration,omitempty"`
+}
+
+// CorpusSwapResponse is the 200 payload of /v1/corpus/swap.
+type CorpusSwapResponse struct {
+	Generation   uint64 `json:"generation"`
+	RatesVersion uint64 `json:"ratesVersion"`
+	Name         string `json:"name"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+}
+
+// SwapConflictEnvelope is the 409 payload of /v1/corpus/swap: the v1
+// error envelope plus the currently served generation, so the operator
+// can re-read and retry against it (the generational twin of
+// ConflictEnvelope).
+type SwapConflictEnvelope struct {
+	Error      ErrorInfo `json:"error"`
+	Generation uint64    `json:"generation"`
+}
+
 // ExpansionTerm is one content-expansion term in a reformulation
 // response.
 type ExpansionTerm struct {
@@ -183,6 +217,7 @@ type HealthResponse struct {
 	Nodes         int     `json:"nodes"`
 	Edges         int     `json:"edges"`
 	RatesVersion  uint64  `json:"ratesVersion"`
+	Generation    uint64  `json:"generation"`
 	CacheEnabled  bool    `json:"cacheEnabled"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
@@ -201,8 +236,12 @@ type RatesResponse struct {
 // http / kernel blocks read the registry's own metric objects — so
 // /stats and /metrics can never drift.
 type StatsResponse struct {
-	CacheEnabled  bool                 `json:"cacheEnabled"`
-	RatesVersion  uint64               `json:"ratesVersion"`
+	CacheEnabled bool   `json:"cacheEnabled"`
+	RatesVersion uint64 `json:"ratesVersion"`
+	// Generation is the currently served corpus generation; CorpusSwaps
+	// counts successful /v1/corpus/swap publications since start.
+	Generation    uint64               `json:"generation"`
+	CorpusSwaps   int64                `json:"corpusSwaps"`
 	UptimeSeconds float64              `json:"uptimeSeconds"`
 	HTTP          HTTPStats            `json:"http"`
 	Kernel        KernelStats          `json:"kernel"`
@@ -395,9 +434,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	pin := s.eng.Pin()
 	tr.Eventf("parse", "batch=%d version=%d", len(qs), pin.Version())
 
+	g := pin.Corpus().Graph()
 	resp := BatchQueryResponse{
-		Version: pin.Version(),
-		Answers: make([]QueryResponse, len(qs)),
+		Version:    pin.Version(),
+		Generation: pin.Generation(),
+		Answers:    make([]QueryResponse, len(qs)),
 	}
 	if s.cache != nil {
 		answers, err := s.cache.QueryBatchPinnedCtx(ctx, pin, qs, ks)
@@ -412,8 +453,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				BaseSet:    ans.BaseSet,
 				Iterations: ans.Iterations,
 				Version:    ans.Version,
+				Generation: ans.Generation,
 				Cache:      ans.Source,
-				Results:    s.renderItems(qs[i], ans.Results),
+				Results:    s.renderItems(g, qs[i], ans.Results),
 			}
 		}
 	} else {
@@ -429,7 +471,8 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				BaseSet:    len(res.Base),
 				Iterations: res.Iterations,
 				Version:    res.RatesVersion,
-				Results:    s.results(res, ks[i]),
+				Generation: res.Generation,
+				Results:    s.results(g, res, ks[i]),
 			}
 			s.eng.Release(res)
 		}

@@ -131,6 +131,29 @@ func (c *Client) Reformulate(ctx context.Context, q string, feedback []int64, mo
 	return &out, nil
 }
 
+// CorpusSwap runs POST /v1/corpus/swap: atomically replace the served
+// corpus with a snapshot from the server's swap directory. A lost
+// generation race returns an *APIError with IsConflict() true. The
+// endpoint is opt-in server-side (WithSwapDir); a server without it
+// answers 403.
+func (c *Client) CorpusSwap(ctx context.Context, req CorpusSwapRequest) (*CorpusSwapResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/corpus/swap", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var out CorpusSwapResponse
+	if err := c.do(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Rates runs GET /v1/rates.
 func (c *Client) Rates(ctx context.Context) (*RatesResponse, error) {
 	var out RatesResponse

@@ -65,6 +65,8 @@ type serverObs struct {
 	solveSeconds     *obs.Histogram
 	iterTotal        *obs.Counter
 	ratesVersion     *obs.Gauge
+	generation       *obs.Gauge
+	swapsTotal       *obs.Counter
 
 	// Admission-control families (PR-4 deadline-aware lifecycle):
 	// sheds, deadline expiries, client cancellations, queue wait, and
@@ -115,6 +117,10 @@ func newServerObs(o ObsOptions) *serverObs {
 		"Total power iterations executed across all kernel runs (fed by the per-iteration observer).")
 	so.ratesVersion = reg.NewGauge("afq_rates_version",
 		"Version of the currently published rates snapshot.")
+	so.generation = reg.NewGauge("afq_corpus_generation",
+		"Generation number of the currently served corpus (starts at 1; each successful swap increments it).")
+	so.swapsTotal = reg.NewCounter("afq_corpus_swaps_total",
+		"Successful /v1/corpus/swap publications since process start.")
 	so.shedTotal = reg.NewCounter("afq_http_shed_total",
 		"Expensive requests shed with 503 because every admission slot stayed busy for the whole queue wait.")
 	so.timeoutTotal = reg.NewCounter("afq_http_timeout_total",
@@ -156,6 +162,10 @@ func (so *serverObs) attach(s *Server) {
 	})
 	so.reg.OnGather(func() {
 		so.ratesVersion.Set(float64(s.eng.RatesVersion()))
+		so.generation.Set(float64(s.eng.Generation()))
+	})
+	s.eng.SetSwapHook(func(oldGen, newGen uint64) {
+		so.swapsTotal.Inc()
 	})
 	if s.cache == nil {
 		return

@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"authorityflow/internal/cache"
 	"authorityflow/internal/core"
@@ -55,11 +56,17 @@ import (
 // atomically versioned snapshots by the engine; handlers are lock-free
 // and safe under unbounded concurrency.
 type Server struct {
-	ds    *datagen.Dataset
-	eng   *core.Engine
-	cache *cache.CachedEngine // nil when serving uncached
-	obs   *serverObs          // always non-nil; see ObsOptions
-	adm   *admission          // always non-nil; zero options = no limits
+	// ds is the dataset of the CURRENTLY served corpus generation,
+	// republished atomically by /v1/corpus/swap. Handlers that render
+	// nodes never read it — they use the graph of the engine state they
+	// pinned — so a swap mid-request cannot mismatch IDs and text.
+	ds      atomic.Pointer[datagen.Dataset]
+	eng     *core.Engine
+	cfg     core.Config         // post-chaining config, reused to build swapped-in corpora
+	swapDir string              // "" = /v1/corpus/swap disabled
+	cache   *cache.CachedEngine // nil when serving uncached
+	obs     *serverObs          // always non-nil; see ObsOptions
+	adm     *admission          // always non-nil; zero options = no limits
 }
 
 // Option configures optional Server behaviour.
@@ -70,6 +77,7 @@ type serverOptions struct {
 	cacheEnabled bool
 	obs          ObsOptions
 	admission    AdmissionOptions
+	swapDir      string
 }
 
 // WithCache enables the serving cache with the given total byte budget
@@ -95,6 +103,21 @@ func WithCacheOptions(co cache.Options) Option {
 // uncached, exactly as before; pass WithCache to enable the serving
 // cache.
 func New(ds *datagen.Dataset, cfg core.Config, opts ...Option) (*Server, error) {
+	return newServer(ds, nil, cfg, opts)
+}
+
+// NewWithIndex builds a Server over a dataset whose inverted index was
+// loaded alongside it (the binary-snapshot cold-start path): the
+// BuildIndex pass is skipped entirely and the given index is served
+// as-is. ix must cover exactly ds.Graph's nodes.
+func NewWithIndex(ds *datagen.Dataset, ix *ir.Index, cfg core.Config, opts ...Option) (*Server, error) {
+	if ix == nil {
+		return nil, errors.New("server: NewWithIndex requires an index")
+	}
+	return newServer(ds, ix, cfg, opts)
+}
+
+func newServer(ds *datagen.Dataset, ix *ir.Index, cfg core.Config, opts []Option) (*Server, error) {
 	var so serverOptions
 	for _, o := range opts {
 		o(&so)
@@ -106,11 +129,22 @@ func New(ds *datagen.Dataset, cfg core.Config, opts ...Option) (*Server, error) 
 	// solve. The nil path inside the kernel stays allocation-free; this
 	// closure is one atomic add per iteration.
 	cfg.Rank.Observe = chainIterObserver(cfg.Rank.Observe, sobs.observeIteration)
-	eng, err := core.NewEngine(ds.Graph, ds.Rates, cfg)
+	var eng *core.Engine
+	var err error
+	if ix != nil {
+		var corpus *core.Corpus
+		corpus, err = core.NewCorpusWithIndex(ds.Graph, ix, cfg)
+		if err == nil {
+			eng, err = core.NewEngineWith(corpus, ds.Rates)
+		}
+	} else {
+		eng, err = core.NewEngine(ds.Graph, ds.Rates, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ds: ds, eng: eng, obs: sobs, adm: newAdmission(so.admission)}
+	s := &Server{eng: eng, cfg: cfg, swapDir: so.swapDir, obs: sobs, adm: newAdmission(so.admission)}
+	s.ds.Store(ds)
 	if so.cacheEnabled {
 		s.cache = cache.New(eng, so.cacheOpts)
 	}
@@ -171,6 +205,9 @@ func (s *Server) Handler() http.Handler {
 	v1("/v1/rates", s.handleRates)
 	v1("/v1/healthz", s.handleHealth)
 	v1("/v1/stats", s.handleStats)
+	// Operator endpoint, v1-only (no legacy alias) and outside the
+	// admission guard: swapping must work on an overloaded replica.
+	v1("/v1/corpus/swap", s.handleCorpusSwap)
 
 	alias := func(path, successor string, h http.HandlerFunc) {
 		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, h)))
@@ -201,12 +238,14 @@ func (s *Server) Metrics() *obs.Registry { return s.obs.reg }
 // single definition point of the public surface.
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ds := s.ds.Load()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
-		Name:          s.ds.Name,
-		Nodes:         s.ds.Graph.NumNodes(),
-		Edges:         s.ds.Graph.NumEdges(),
+		Name:          ds.Name,
+		Nodes:         ds.Graph.NumNodes(),
+		Edges:         ds.Graph.NumEdges(),
 		RatesVersion:  s.eng.RatesVersion(),
+		Generation:    s.eng.Generation(),
 		CacheEnabled:  s.cache != nil,
 		UptimeSeconds: s.obs.uptimeSeconds(),
 	})
@@ -220,6 +259,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		CacheEnabled:  s.cache != nil,
 		RatesVersion:  s.eng.RatesVersion(),
+		Generation:    s.eng.Generation(),
+		CorpusSwaps:   int64(s.obs.swapsTotal.Count()),
 		UptimeSeconds: s.obs.uptimeSeconds(),
 		HTTP: HTTPStats{
 			RequestsTotal: int64(s.obs.mw.Requests().Total()),
@@ -257,31 +298,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Pin ONE engine state for the whole request: the solve, the cache
+	// lookups and the node rendering below all see the same corpus
+	// generation even if a swap lands mid-request.
 	ctx := r.Context()
+	pin := s.eng.Pin()
+	g := pin.Corpus().Graph()
 	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s k=%d", q.String(), k)
 	if s.cache != nil {
-		ans, err := s.cache.QueryCtx(ctx, q, k)
+		ans, err := s.cache.QueryPinnedCtx(ctx, pin, q, k)
 		if err != nil {
 			s.writeCtxError(w, r, err)
 			return
 		}
-		tr.Eventf("solve", "source=%s iters=%d base=%d version=%d",
-			ans.Source, ans.Iterations, ans.BaseSet, ans.Version)
+		tr.Eventf("solve", "source=%s iters=%d base=%d version=%d generation=%d",
+			ans.Source, ans.Iterations, ans.BaseSet, ans.Version, ans.Generation)
 		s.obs.cacheOutcome.With(ans.Source).Inc()
 		resp := QueryResponse{
 			Query:      q.String(),
 			BaseSet:    ans.BaseSet,
 			Iterations: ans.Iterations,
 			Version:    ans.Version,
+			Generation: ans.Generation,
 			Cache:      ans.Source,
-			Results:    s.renderItems(q, ans.Results),
+			Results:    s.renderItems(g, q, ans.Results),
 		}
 		tr.Eventf("render", "results=%d", len(resp.Results))
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	res, err := s.eng.RankCtx(ctx, q)
+	res, err := pin.RankCtx(ctx, q)
 	if err != nil {
 		s.writeCtxError(w, r, err)
 		return
@@ -294,7 +341,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BaseSet:    len(res.Base),
 		Iterations: res.Iterations,
 		Version:    res.RatesVersion,
-		Results:    s.results(res, k),
+		Generation: res.Generation,
+		Results:    s.results(g, res, k),
 	}
 	s.eng.Release(res)
 	tr.Eventf("render", "results=%d", len(resp.Results))
@@ -306,17 +354,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	target, ok := s.parseNodeID(w, r, r.URL.Query().Get("target"), "target")
+	// Pin one snapshot so the ranking and its explanation cannot see
+	// different rates even if a reformulation lands in between, and so
+	// the target ID is validated against the SAME generation's graph
+	// the solve will run on. With the cache on, single-keyword rankings
+	// come straight from the shared term vectors (copied out, since
+	// Release returns scores to the pool).
+	ctx := r.Context()
+	pin := s.eng.Pin()
+	g := pin.Corpus().Graph()
+	target, ok := s.parseNodeID(w, r, g, r.URL.Query().Get("target"), "target")
 	if !ok {
 		return
 	}
-	// Pin one snapshot so the ranking and its explanation cannot see
-	// different rates even if a reformulation lands in between. With the
-	// cache on, single-keyword rankings come straight from the shared
-	// term vectors (copied out, since Release returns scores to the
-	// pool).
-	ctx := r.Context()
-	pin := s.eng.Pin()
 	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s target=%d", q.String(), target)
 	var res *core.RankResult
@@ -345,13 +395,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Query().Get("format") {
 	case "html":
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		_ = storage.ExportHTML(w, s.ds.Graph, sg)
+		_ = storage.ExportHTML(w, g, sg)
 	case "dot":
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
-		_ = storage.ExportDOT(w, s.ds.Graph, sg)
+		_ = storage.ExportDOT(w, g, sg)
 	default:
 		w.Header().Set("Content-Type", "application/json")
-		_ = storage.ExportJSON(w, s.ds.Graph, sg)
+		_ = storage.ExportJSON(w, g, sg)
 	}
 }
 
@@ -372,13 +422,24 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "unknown mode "+mode)
 		return
 	}
+	// The whole flow — rank, explain each feedback object, reformulate,
+	// publish — runs against ONE pinned snapshot; no lock is held, so
+	// concurrent queries proceed at full speed. Feedback IDs are
+	// validated against the pinned generation's graph. Publication is
+	// optimistic: TrySetRates succeeds only if the pinned version is
+	// still current, otherwise the client gets 409 plus the winning
+	// version and retries (a corpus swap also bumps the rates version,
+	// so feedback gathered on a swapped-out generation conflicts too).
+	ctx := r.Context()
+	pin := s.eng.Pin()
+	g := pin.Corpus().Graph()
 	var ids []graph.NodeID
 	for _, part := range strings.Split(r.URL.Query().Get("feedback"), ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		id, ok := s.parseNodeID(w, r, part, "feedback id")
+		id, ok := s.parseNodeID(w, r, g, part, "feedback id")
 		if !ok {
 			return
 		}
@@ -393,16 +454,8 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The whole flow — rank, explain each feedback object, reformulate,
-	// publish — runs against ONE pinned snapshot; no lock is held, so
-	// concurrent queries proceed at full speed. Publication is
-	// optimistic: TrySetRates succeeds only if the pinned version is
-	// still current, otherwise the client gets 409 plus the winning
-	// version and retries.
-	ctx := r.Context()
 	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s feedback=%d", q.String(), len(ids))
-	pin := s.eng.Pin()
 	if vs := r.URL.Query().Get("version"); vs != "" {
 		v, err := strconv.ParseUint(vs, 10, 64)
 		if err != nil {
@@ -466,24 +519,29 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		Rates:   ref.Rates.String(),
 		Version: newVersion,
 	}
+	// Re-pin for the post-publish solve so its answer and rendering
+	// agree on one engine state (normally the state just published;
+	// rendering always uses the graph the solve actually ran on).
+	pin2 := s.eng.Pin()
+	g2 := pin2.Corpus().Graph()
 	if s.cache != nil {
 		// Warm-start the reformulated solve from the feedback ranking's
 		// scores AND seed the result cache at the just-published
 		// version, so follow-up /query calls for the reformulated query
 		// hit immediately.
-		ans, err := s.cache.QueryFromCtx(ctx, ref.Query, k, res.Scores)
+		ans, err := s.cache.QueryFromPinnedCtx(ctx, pin2, ref.Query, k, res.Scores)
 		if err != nil {
 			s.writeCtxError(w, r, err)
 			return
 		}
-		resp.Results = s.renderItems(ref.Query, ans.Results)
+		resp.Results = s.renderItems(g2, ref.Query, ans.Results)
 	} else {
-		res2, err := s.eng.RankFromCtx(ctx, ref.Query, res.Scores)
+		res2, err := pin2.RankFromCtx(ctx, ref.Query, res.Scores)
 		if err != nil {
 			s.writeCtxError(w, r, err)
 			return
 		}
-		resp.Results = s.results(res2, k)
+		resp.Results = s.results(g2, res2, k)
 		s.eng.Release(res2)
 	}
 	for _, wt := range ref.Expansion {
@@ -492,14 +550,17 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) results(res *core.RankResult, k int) []Result {
+// results renders a RankResult against g, which must be the graph of
+// the generation the result was computed on (the handlers pass the
+// pinned corpus's graph, never the engine's current one).
+func (s *Server) results(g *graph.Graph, res *core.RankResult, k int) []Result {
 	out := make([]Result, 0, k)
 	for _, r := range res.TopK(k) {
 		out = append(out, Result{
 			Node:    int64(r.Node),
 			Score:   r.Score,
-			Display: s.ds.Graph.Display(r.Node),
-			Snippet: ir.Snippet(s.ds.Graph.Text(r.Node), res.Query, 160),
+			Display: g.Display(r.Node),
+			Snippet: ir.Snippet(g.Text(r.Node), res.Query, 160),
 			InBase:  res.InBase(r.Node),
 		})
 	}
@@ -507,16 +568,16 @@ func (s *Server) results(res *core.RankResult, k int) []Result {
 }
 
 // renderItems converts cached result items to the JSON form, attaching
-// display text and snippets (which are graph-derived and therefore
-// never stale).
-func (s *Server) renderItems(q *ir.Query, items []cache.ResultItem) []Result {
+// display text and snippets read from g — the pinned generation's
+// graph, so a concurrent swap cannot mismatch IDs and text.
+func (s *Server) renderItems(g *graph.Graph, q *ir.Query, items []cache.ResultItem) []Result {
 	out := make([]Result, 0, len(items))
 	for _, it := range items {
 		out = append(out, Result{
 			Node:    int64(it.Node),
 			Score:   it.Score,
-			Display: s.ds.Graph.Display(it.Node),
-			Snippet: ir.Snippet(s.ds.Graph.Text(it.Node), q, 160),
+			Display: g.Display(it.Node),
+			Snippet: ir.Snippet(g.Text(it.Node), q, 160),
 			InBase:  it.InBase,
 		})
 	}
@@ -556,15 +617,17 @@ func parseQuery(w http.ResponseWriter, r *http.Request) (*ir.Query, int, bool) {
 // feedback lists, into NodeID conversions that silently truncated on
 // 32-bit overflow); now every ID is bounds-checked at the door and the
 // 400 carries the request ID.
-func (s *Server) parseNodeID(w http.ResponseWriter, r *http.Request, raw, what string) (graph.NodeID, bool) {
+// The graph is passed explicitly (the caller's PINNED generation), so
+// validation and use can never disagree across a concurrent swap.
+func (s *Server) parseNodeID(w http.ResponseWriter, r *http.Request, g *graph.Graph, raw, what string) (graph.NodeID, bool) {
 	id, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "bad or missing "+what+": "+strconv.Quote(raw))
 		return 0, false
 	}
-	if id < 0 || id >= int64(s.ds.Graph.NumNodes()) {
+	if id < 0 || id >= int64(g.NumNodes()) {
 		writeError(w, r, http.StatusBadRequest,
-			what+" "+raw+" out of range [0, "+strconv.Itoa(s.ds.Graph.NumNodes())+")")
+			what+" "+raw+" out of range [0, "+strconv.Itoa(g.NumNodes())+")")
 		return 0, false
 	}
 	return graph.NodeID(id), true
@@ -611,8 +674,9 @@ func (s *Server) Engine() *core.Engine { return s.eng }
 // Cache exposes the serving cache (nil when disabled).
 func (s *Server) Cache() *cache.CachedEngine { return s.cache }
 
-// Dataset exposes the served dataset.
-func (s *Server) Dataset() *datagen.Dataset { return s.ds }
+// Dataset exposes the currently served dataset (republished by corpus
+// swaps).
+func (s *Server) Dataset() *datagen.Dataset { return s.ds.Load() }
 
 // RankWith runs a query outside HTTP (used by embedding callers). Like
 // the handlers it is lock-free; the result's scores belong to the

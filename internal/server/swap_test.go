@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/rank"
+	"authorityflow/internal/storage"
+)
+
+// writeTestSnapshot generates a dataset at the given scale/seed and
+// writes its binary snapshot (graph + rates + index) into dir.
+func writeTestSnapshot(t *testing.T, dir, name string, scale float64, seed int64) *datagen.Dataset {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(scale)
+	cfg.Seed = seed
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteSnapshotFile(filepath.Join(dir, name), ds, eng.Index()); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// swapServer builds a server with swapping enabled against a temp
+// directory holding one swappable snapshot, "next.snap".
+func swapServer(t *testing.T) (*Server, *httptest.Server, *datagen.Dataset) {
+	t.Helper()
+	dir := t.TempDir()
+	next := writeTestSnapshot(t, dir, "next.snap", 0.015, 9)
+
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}},
+		WithSwapDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, next
+}
+
+func postSwap(t *testing.T, url string, req CorpusSwapRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/corpus/swap", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode swap response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestCorpusSwapEndpoint(t *testing.T) {
+	s, ts, next := swapServer(t)
+
+	var h HealthResponse
+	getJSON(t, ts.URL+"/v1/healthz", &h)
+	if h.Generation != 1 {
+		t.Fatalf("initial generation = %d, want 1", h.Generation)
+	}
+	oldNodes := s.Dataset().Graph.NumNodes()
+
+	var ok CorpusSwapResponse
+	if code := postSwap(t, ts.URL, CorpusSwapRequest{Snapshot: "next.snap"}, &ok); code != 200 {
+		t.Fatalf("swap status = %d", code)
+	}
+	if ok.Generation != 2 {
+		t.Errorf("swap generation = %d, want 2", ok.Generation)
+	}
+	if ok.Nodes != next.Graph.NumNodes() || ok.Edges != next.Graph.NumEdges() {
+		t.Errorf("swap reported (%d,%d), snapshot has (%d,%d)",
+			ok.Nodes, ok.Edges, next.Graph.NumNodes(), next.Graph.NumEdges())
+	}
+	if ok.Nodes == oldNodes {
+		t.Fatal("test datasets have equal node counts; pick different scales")
+	}
+
+	// The swapped-in corpus serves immediately, without restart.
+	var q QueryResponse
+	if code := getJSON(t, ts.URL+"/v1/query?q=mining&k=5", &q); code != 200 {
+		t.Fatalf("post-swap query status = %d", code)
+	}
+	if q.Generation != 2 {
+		t.Errorf("query generation = %d, want 2", q.Generation)
+	}
+	for _, it := range q.Results {
+		if int(it.Node) >= next.Graph.NumNodes() {
+			t.Errorf("result node %d out of range for the swapped-in graph", it.Node)
+		}
+	}
+
+	// Health, stats and the Dataset accessor all track the new corpus.
+	getJSON(t, ts.URL+"/v1/healthz", &h)
+	if h.Generation != 2 || h.Nodes != next.Graph.NumNodes() {
+		t.Errorf("health after swap = %+v", h)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Generation != 2 || st.CorpusSwaps != 1 {
+		t.Errorf("stats after swap: generation=%d swaps=%d", st.Generation, st.CorpusSwaps)
+	}
+	if s.Dataset().Graph.NumNodes() != next.Graph.NumNodes() {
+		t.Errorf("Dataset() still returns the old corpus")
+	}
+}
+
+func TestCorpusSwapConflict(t *testing.T) {
+	_, ts, _ := swapServer(t)
+
+	var env SwapConflictEnvelope
+	code := postSwap(t, ts.URL, CorpusSwapRequest{Snapshot: "next.snap", IfGeneration: 42}, &env)
+	if code != http.StatusConflict {
+		t.Fatalf("stale-token swap status = %d, want 409", code)
+	}
+	if env.Error.Code != CodeVersionConflict {
+		t.Errorf("error code = %q, want %q", env.Error.Code, CodeVersionConflict)
+	}
+	if env.Generation != 1 {
+		t.Errorf("conflict reports generation %d, want the winner 1", env.Generation)
+	}
+
+	// Explicit matching token succeeds.
+	if code := postSwap(t, ts.URL, CorpusSwapRequest{Snapshot: "next.snap", IfGeneration: env.Generation}, nil); code != 200 {
+		t.Fatalf("matching-token swap status = %d", code)
+	}
+}
+
+func TestCorpusSwapRejections(t *testing.T) {
+	dir := t.TempDir()
+	writeTestSnapshot(t, dir, "next.snap", 0.015, 9)
+	// A valid snapshot with a flipped section-table byte: structurally a
+	// file, but the table checksum no longer matches.
+	good, err := os.ReadFile(filepath.Join(dir, "next.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(good)
+	bad[40] ^= 0xff // inside the section table (header is 32 bytes)
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.snap"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}},
+		WithSwapDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	cases := []struct {
+		name string
+		req  CorpusSwapRequest
+		want int
+	}{
+		{"empty name", CorpusSwapRequest{}, 400},
+		{"path traversal", CorpusSwapRequest{Snapshot: "../next.snap"}, 400},
+		{"absolute path", CorpusSwapRequest{Snapshot: "/etc/passwd"}, 400},
+		{"missing file", CorpusSwapRequest{Snapshot: "nope.snap"}, 400},
+		{"corrupt snapshot", CorpusSwapRequest{Snapshot: "corrupt.snap"}, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var env struct {
+				Error ErrorInfo `json:"error"`
+			}
+			if code := postSwap(t, ts.URL, tc.req, &env); code != tc.want {
+				t.Fatalf("status = %d, want %d", code, tc.want)
+			}
+			if env.Error.Message == "" {
+				t.Error("error envelope missing message")
+			}
+		})
+	}
+
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/corpus/swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	// After all the rejections, the untouched generation still serves.
+	var h HealthResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &h); code != 200 || h.Generation != 1 {
+		t.Errorf("health after rejections: code=%d generation=%d", code, h.Generation)
+	}
+}
+
+func TestCorpusSwapDisabled(t *testing.T) {
+	_, ts := testServer(t) // no WithSwapDir
+	if code := postSwap(t, ts.URL, CorpusSwapRequest{Snapshot: "next.snap"}, nil); code != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403", code)
+	}
+}
+
+// TestCorpusSwapUnderLoad is the serving-layer -race hammer: concurrent
+// queries while the corpus is swapped back and forth. Every response
+// must be internally consistent — the generation it reports must bound
+// every node ID it renders.
+func TestCorpusSwapUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	gen1 := writeTestSnapshot(t, dir, "a.snap", 0.02, 4)
+	gen2 := writeTestSnapshot(t, dir, "b.snap", 0.015, 9)
+
+	s, err := New(gen1, core.Config{Rank: rank.Options{Threshold: 1e-5, MaxIters: 120}},
+		WithSwapDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Node count per generation: odd generations serve a.snap's shape,
+	// even generations b.snap's (the swapper strictly alternates).
+	nodesFor := func(gen uint64) int {
+		if gen%2 == 1 {
+			return gen1.Graph.NumNodes()
+		}
+		return gen2.Graph.NumNodes()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var q QueryResponse
+				code := getJSON(t, ts.URL+"/v1/query?q=mining&k=5", &q)
+				if code != 200 {
+					t.Errorf("query status = %d", code)
+					return
+				}
+				if q.Generation == 0 {
+					t.Error("query response missing generation")
+					return
+				}
+				n := nodesFor(q.Generation)
+				for _, it := range q.Results {
+					if int(it.Node) >= n {
+						t.Errorf("generation %d response holds node %d, graph has %d nodes",
+							q.Generation, it.Node, n)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		names := []string{"b.snap", "a.snap"}
+		for i := 0; i < 40; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			code := postSwap(t, ts.URL, CorpusSwapRequest{Snapshot: names[i%2]}, nil)
+			if code != 200 && code != http.StatusConflict {
+				t.Errorf("swap %d status = %d", i, code)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.CorpusSwaps == 0 {
+		t.Error("no swap ever succeeded under load")
+	}
+	if st.Generation != uint64(st.CorpusSwaps)+1 {
+		t.Errorf("generation %d inconsistent with %d swaps", st.Generation, st.CorpusSwaps)
+	}
+}

@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+)
+
+// benchConfig is the default afqserver corpus (-gen dblptop -scale 0.1)
+// so the cold-start comparison reflects what an operator actually
+// boots.
+func benchConfig() datagen.DBLPConfig {
+	return datagen.DBLPTopConfig().Scale(0.1)
+}
+
+// BenchmarkColdStartBuild is the in-process path an un-snapshotted
+// server pays on every boot: generate/load the dataset, freeze the
+// graph, tokenize and index every node.
+func BenchmarkColdStartBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := datagen.GenerateDBLP(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng.Index().NumDocs() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkColdStartSnapshot is the snapshot path: read the file,
+// checksum-validate, slice the frozen arrays in place, and stand up
+// the engine — no graph building, no tokenizing, no indexing.
+func BenchmarkColdStartSnapshot(b *testing.B) {
+	ds, err := datagen.GenerateDBLP(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "corpus.snap")
+	if err := WriteSnapshotFile(path, ds, eng.Index()); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds2, ix2, err := ReadSnapshotFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus, err := core.NewCorpusWithIndex(ds2.Graph, ix2, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng2, err := core.NewEngineWith(corpus, ds2.Rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng2.Index().NumDocs() != eng.Index().NumDocs() {
+			b.Fatal("index mismatch")
+		}
+	}
+}
