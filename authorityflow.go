@@ -42,6 +42,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"authorityflow/internal/cache"
 	"authorityflow/internal/core"
@@ -52,6 +53,7 @@ import (
 	"authorityflow/internal/obs"
 	"authorityflow/internal/precompute"
 	"authorityflow/internal/rank"
+	"authorityflow/internal/router"
 	"authorityflow/internal/server"
 	"authorityflow/internal/sim"
 	"authorityflow/internal/storage"
@@ -401,6 +403,10 @@ type (
 	HealthResponse = server.HealthResponse
 	// RatesResponse is the /v1/rates payload.
 	RatesResponse = server.RatesResponse
+	// RatesPublishRequest is the POST /v1/rates body: publish an
+	// already-trained rate vector through the optimistic CAS — the
+	// fleet-propagation primitive of the scale-out tier.
+	RatesPublishRequest = server.RatesPublishRequest
 	// StatsResponse is the /v1/stats payload.
 	StatsResponse = server.StatsResponse
 	// APIErrorInfo is the body of the v1 error envelope.
@@ -430,8 +436,52 @@ const MaxBatchQueries = server.MaxBatchQueries
 
 // NewAPIClient builds a typed client for a server at baseURL (e.g.
 // "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
-func NewAPIClient(baseURL string, httpClient *http.Client) *APIClient {
-	return server.NewClient(baseURL, httpClient)
+// Options add a per-attempt request timeout and connection-error
+// retries (see WithClientRequestTimeout, WithClientRetries).
+func NewAPIClient(baseURL string, httpClient *http.Client, opts ...APIClientOption) *APIClient {
+	return server.NewClient(baseURL, httpClient, opts...)
+}
+
+// APIClientOption configures optional APIClient behaviour.
+type APIClientOption = server.ClientOption
+
+// WithClientRequestTimeout bounds every request attempt with its own
+// deadline, layered under (never extending) the caller's context.
+func WithClientRequestTimeout(d time.Duration) APIClientOption {
+	return server.WithRequestTimeout(d)
+}
+
+// WithClientRetries retries a request up to n extra times after a
+// connection-level failure (no HTTP response arrived); HTTP error
+// statuses are never retried.
+func WithClientRetries(n int) APIClientOption {
+	return server.WithRetries(n)
+}
+
+// Scale-out serving tier (internal/router): the afqrouter coordinator
+// fronts N replica servers behind the same /v1 surface — rendezvous
+// routing for singles, deterministic batch fan-out, and fleet-wide
+// propagation of rates publications and corpus swaps. See DESIGN.md
+// §11.
+type (
+	// Router is the scale-out coordinator; construct with NewRouter.
+	Router = router.Router
+	// RouterOptions configure a Router (timeouts, retries, health
+	// sweeping, observability).
+	RouterOptions = router.Options
+	// RouterObsOptions configure the router's observability.
+	RouterObsOptions = router.ObsOptions
+	// RouterHealthResponse is the /v1/router/healthz fleet view.
+	RouterHealthResponse = router.RouterHealthResponse
+	// RouterReplicaStatus is one replica's row in the fleet view.
+	RouterReplicaStatus = router.ReplicaStatus
+)
+
+// NewRouter builds a coordinator over the given replica base URLs. Run
+// exactly one router per fleet — it is the serialization point that
+// keeps replica version counters comparable.
+func NewRouter(replicaURLs []string, o RouterOptions) (*Router, error) {
+	return router.New(replicaURLs, o)
 }
 
 // DefaultBlockSize is the default panel width of the blocked

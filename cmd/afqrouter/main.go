@@ -1,0 +1,170 @@
+// Command afqrouter is the scale-out coordinator: it fronts N replica
+// afqserver processes and exposes the SAME /v1 surface, so clients
+// point at the router and cannot tell a fleet from one node.
+//
+//	afqrouter -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// Single /v1/query and /v1/explain requests route by rendezvous
+// hashing of the canonical query terms (each replica's term-vector
+// cache stays hot on its slice of the vocabulary, with automatic
+// failover down the rendezvous order); /v1/query/batch panels split
+// deterministically across the fleet and merge back in request order.
+// /v1/reformulate applies feedback on the owning replica and then
+// replays the learned rate vector onto every other replica with CAS
+// version tokens; /v1/corpus/swap fans out to all replicas — the whole
+// fleet advances through the same (generation, ratesVersion) sequence.
+// A background health loop marks replicas up/down; /v1/router/healthz
+// reports the fleet view and /metrics exposes the afq_router_*
+// families. See DESIGN.md §11 and API.md for the full contract.
+//
+// Run exactly ONE router per fleet: it is the serialization point for
+// writes, which is what keeps replica version counters comparable.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"authorityflow/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8090", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		health   = flag.Duration("health-interval", router.DefaultHealthInterval, "replica health-sweep period")
+		timeout  = flag.Duration("timeout", router.DefaultTimeout, "per-attempt timeout for proxied replica requests")
+		retries  = flag.Int("retries", 1, "extra attempts per replica after a connection-level failure, before failing over")
+
+		accessLog = flag.String("access-log", "", `access log destination: "" off, "-" stderr, else a file path`)
+		slowMS    = flag.Int("slow-request-ms", 0, "log routed requests slower than this many milliseconds with their span events (0 disables)")
+	)
+	flag.Parse()
+
+	urls := splitURLs(*replicas)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "afqrouter: -replicas requires at least one replica URL")
+		os.Exit(1)
+	}
+
+	obsOpts, logCloser, err := obsOptions(*accessLog, *slowMS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afqrouter: %v\n", err)
+		os.Exit(1)
+	}
+	if logCloser != nil {
+		defer logCloser.Close()
+	}
+
+	rt, err := router.New(urls, router.Options{
+		Timeout:        *timeout,
+		Retries:        *retries,
+		HealthInterval: *health,
+		Obs:            obsOpts,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afqrouter: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afqrouter: %v\n", err)
+		os.Exit(1)
+	}
+	log.Println(listenBanner(ln.Addr()))
+	log.Printf("afqrouter: fronting %d replicas: %s", len(urls), strings.Join(urls, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	if err := serve(ctx, srv, ln, rt.Close); err != nil {
+		log.Fatalf("afqrouter: %v", err)
+	}
+	log.Printf("afqrouter: shut down cleanly")
+}
+
+// splitURLs parses the -replicas flag: comma-separated, blanks ignored.
+func splitURLs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// listenBanner is the machine-greppable startup line announcing the
+// EFFECTIVE listen address (with -addr :0 the kernel picks the port;
+// spawning harnesses parse this line from stderr to learn it).
+func listenBanner(addr net.Addr) string {
+	return "afqrouter: listening on " + addr.String()
+}
+
+// serve runs srv on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to 10 s to finish, and cleanup (stopping the health loop) runs
+// after the last request completes. Returns nil on a clean shutdown.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, cleanup func()) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if cleanup != nil {
+			cleanup()
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	return err
+}
+
+// obsOptions translates the observability flags into router options.
+// The returned closer is non-nil when the access log went to a file.
+func obsOptions(accessLog string, slowMS int) (router.ObsOptions, io.Closer, error) {
+	o := router.ObsOptions{SlowThreshold: time.Duration(slowMS) * time.Millisecond}
+	var closer io.Closer
+	switch accessLog {
+	case "":
+	case "-":
+		o.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return o, nil, fmt.Errorf("access log: %w", err)
+		}
+		o.AccessLog = f
+		closer = f
+	}
+	if slowMS > 0 && o.AccessLog == nil {
+		o.SlowLog = os.Stderr
+	}
+	return o, closer, nil
+}

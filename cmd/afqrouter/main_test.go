@@ -1,0 +1,40 @@
+package main
+
+import (
+	"net"
+	"reflect"
+	"testing"
+)
+
+func TestSplitURLs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1,http://b:2", []string{"http://a:1", "http://b:2"}},
+		{" http://a:1 , http://b:2 ,", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, tc := range cases {
+		if got := splitURLs(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitURLs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestListenBanner pins the startup line spawning harnesses grep for
+// (with -addr :0 it carries the kernel-assigned port).
+func TestListenBanner(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	got := listenBanner(ln.Addr())
+	want := "afqrouter: listening on " + ln.Addr().String()
+	if got != want {
+		t.Errorf("banner = %q, want %q", got, want)
+	}
+}

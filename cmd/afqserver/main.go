@@ -155,6 +155,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afqserver: %v\n", err)
 		os.Exit(1)
 	}
+	log.Println(listenBanner(ln.Addr()))
 	log.Printf("afqserver: %s (%d nodes, %d edges) on %s (cache %d MiB, prewarm %d)",
 		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), ln.Addr(), *cacheMB, *prewarm)
 
@@ -165,6 +166,15 @@ func main() {
 		log.Fatalf("afqserver: %v", err)
 	}
 	log.Printf("afqserver: shut down cleanly")
+}
+
+// listenBanner is the machine-greppable startup line announcing the
+// EFFECTIVE listen address. With -addr :0 the kernel picks a free
+// port, so a spawning harness (test, CI script, the router's smoke
+// setup) cannot know the address up front — it parses this line from
+// stderr to learn where the server actually listens.
+func listenBanner(addr net.Addr) string {
+	return "afqserver: listening on " + addr.String()
 }
 
 // newHTTPServer builds the production http.Server configuration:

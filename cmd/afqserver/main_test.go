@@ -158,3 +158,22 @@ func TestObsOptionsFlags(t *testing.T) {
 	}
 	closer.Close()
 }
+
+// TestListenBanner pins the machine-greppable startup line: spawning
+// harnesses pass -addr :0 and parse this exact prefix from stderr to
+// learn the kernel-assigned port.
+func TestListenBanner(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	got := listenBanner(ln.Addr())
+	want := "afqserver: listening on " + ln.Addr().String()
+	if got != want {
+		t.Errorf("banner = %q, want %q", got, want)
+	}
+	if ln.Addr().(*net.TCPAddr).Port == 0 {
+		t.Error("ephemeral listen did not resolve to a concrete port")
+	}
+}

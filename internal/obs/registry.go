@@ -120,6 +120,13 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 	return v
 }
 
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{vec: newVec(name, labels)}
+	r.register(&vecFamily{fqname: name, helpText: help, kindText: "gauge", vec: &v.vec, samples: v.writeSamples})
+	return v
+}
+
 // NewHistogram registers a fixed-bucket histogram. buckets are the
 // inclusive upper bounds of the non-infinity buckets, strictly
 // ascending; the +Inf bucket is implicit.
@@ -371,6 +378,42 @@ func (cv *CounterVec) writeSamples(b *strings.Builder) {
 		b.WriteString(cv.vec.labelString(k, "", ""))
 		b.WriteByte(' ')
 		b.WriteString(formatFloat(c.Value()))
+		b.WriteByte('\n')
+	}
+}
+
+// GaugeVec is a gauge family partitioned by label values (one child
+// gauge per label combination — e.g. per-replica health in the router).
+type GaugeVec struct {
+	vec vec
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use. The number of values must match the label names.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	return gv.vec.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Each calls fn for every child with its label values and value, in
+// sorted label order.
+func (gv *GaugeVec) Each(fn func(labelValues []string, value float64)) {
+	for _, k := range gv.vec.sortedKeys() {
+		gv.vec.mu.RLock()
+		g := gv.vec.kids[k].(*Gauge)
+		gv.vec.mu.RUnlock()
+		fn(strings.Split(k, labelSep), g.Value())
+	}
+}
+
+func (gv *GaugeVec) writeSamples(b *strings.Builder) {
+	for _, k := range gv.vec.sortedKeys() {
+		gv.vec.mu.RLock()
+		g := gv.vec.kids[k].(*Gauge)
+		gv.vec.mu.RUnlock()
+		b.WriteString(gv.vec.fqname)
+		b.WriteString(gv.vec.labelString(k, "", ""))
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(g.Value()))
 		b.WriteByte('\n')
 	}
 }

@@ -1,0 +1,866 @@
+// handlers.go is the router's HTTP surface: the SAME /v1 routes a
+// single replica serves (so clients cannot tell a fleet from one
+// node), plus /v1/router/healthz for the fleet view and /metrics for
+// the afq_router_* families.
+//
+// Read traffic is forwarded RAW — the replica's bytes (status, JSON
+// body, error envelopes) pass through untouched, so a routed answer is
+// byte-identical to asking that replica directly. /v1/query/batch is
+// the one route the router reassembles: sub-batches decode into the
+// shared DTOs and re-encode with the same encoder configuration the
+// replicas use, which round-trips float64 scores exactly — the merged
+// body is byte-identical to a single replica's answer at the same
+// (generation, ratesVersion).
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"authorityflow/internal/ir"
+	"authorityflow/internal/obs"
+	"authorityflow/internal/server"
+)
+
+// Version-assertion request headers: a client that has observed fleet
+// state (a query answer's generation/version, a reformulation's new
+// version) can assert it here, and the router will only use replicas
+// at or above it — read-your-writes across the fleet.
+const (
+	HeaderMinGeneration   = "X-Afq-Min-Generation"
+	HeaderMinRatesVersion = "X-Afq-Min-Rates-Version"
+)
+
+// HeaderServedBy is the response header naming the replica that
+// produced a proxied answer. Power-iteration solves warm-start from
+// each replica's own solve history, so same-version answers from
+// DIFFERENT replicas can differ in the last float bits (well inside
+// the convergence threshold); this header makes the byte-identity
+// guarantee checkable — the routed body is exactly what the named
+// replica serves directly.
+const HeaderServedBy = "X-Afq-Router-Replica"
+
+// maxProxyBody bounds any request body the router buffers for
+// forwarding (matches the replicas' own 1 MiB batch/body cap).
+const maxProxyBody = 1 << 20
+
+// ReplicaStatus is one replica's row in the /v1/router/healthz fleet
+// view.
+type ReplicaStatus struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	Generation   uint64 `json:"generation"`
+	RatesVersion uint64 `json:"ratesVersion"`
+	LastError    string `json:"lastError,omitempty"`
+	LastCheckUTC string `json:"lastCheckUtc,omitempty"`
+}
+
+// RouterHealthResponse is the /v1/router/healthz payload: the fleet
+// view. Status is "ok" while at least one replica is healthy.
+type RouterHealthResponse struct {
+	Status            string          `json:"status"`
+	ReplicasHealthy   int             `json:"replicasHealthy"`
+	ReplicasTotal     int             `json:"replicasTotal"`
+	FloorGeneration   uint64          `json:"floorGeneration"`
+	FloorRatesVersion uint64          `json:"floorRatesVersion"`
+	Replicas          []ReplicaStatus `json:"replicas"`
+}
+
+// Handler returns the router's HTTP handler. Every route runs under
+// the afq_router_* observability middleware (request IDs, traces,
+// latency families).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, rt.robs.mw.Wrap(route, h))
+	}
+	handle("/v1/query", rt.handleSingle)
+	handle("/v1/explain", rt.handleSingle)
+	handle("/v1/query/batch", rt.handleBatch)
+	handle("/v1/reformulate", rt.handleReformulate)
+	handle("/v1/corpus/swap", rt.handleSwap)
+	handle("/v1/rates", rt.handleRatesRoute)
+	handle("/v1/healthz", rt.handleReadProxy)
+	handle("/v1/stats", rt.handleReadProxy)
+	handle("/v1/router/healthz", rt.handleRouterHealth)
+	mux.Handle("/metrics", rt.robs.reg.Handler())
+	return mux
+}
+
+// ---- rendering (always the v1 envelope shape) ----
+
+// writeJSON matches the replicas' encoder configuration exactly —
+// byte-identity of reassembled bodies depends on it.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders a router-originated error in the v1 envelope.
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, server.ErrorEnvelope{Error: server.ErrorInfo{
+		Code:      code,
+		Message:   msg,
+		RequestID: obs.RequestIDFrom(r.Context()),
+	}})
+}
+
+// forwardAPIError re-renders a replica's decoded *APIError for the
+// client, preserving status, code, message, the replica's request ID
+// (so the failure is traceable in the replica's logs) and — on a
+// version conflict — the winning version.
+func forwardAPIError(w http.ResponseWriter, e *server.APIError) {
+	info := server.ErrorInfo{Code: e.Code, Message: e.Message, RequestID: e.RequestID}
+	if e.IsConflict() && e.Version > 0 {
+		writeJSON(w, e.Status, server.ConflictEnvelope{Error: info, Version: e.Version})
+		return
+	}
+	writeJSON(w, e.Status, server.ErrorEnvelope{Error: info})
+}
+
+// hopByHop are the RFC 9110 connection-scoped headers a proxy must not
+// forward in either direction.
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade", "Content-Length", "Host",
+}
+
+// forwardHeaders copies h minus the hop-by-hop set.
+func forwardHeaders(h http.Header) http.Header {
+	out := make(http.Header, len(h))
+	for k, vs := range h {
+		out[k] = append([]string(nil), vs...)
+	}
+	for _, k := range hopByHop {
+		out.Del(k)
+	}
+	return out
+}
+
+// copyResponse forwards a replica's raw answer verbatim.
+func copyResponse(w http.ResponseWriter, resp *server.RawResponse) {
+	hdr := w.Header()
+	for k, vs := range forwardHeaders(resp.Header) {
+		hdr[k] = vs
+	}
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+// readBody buffers a request body up to maxProxyBody so it can be
+// replayed across failover attempts. ok=false means the 400 was
+// already written.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	if r.Body == nil {
+		return nil, true
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "reading body: "+err.Error())
+		return nil, false
+	}
+	if len(body) > maxProxyBody {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "body exceeds "+strconv.Itoa(maxProxyBody)+" bytes")
+		return nil, false
+	}
+	if len(body) == 0 {
+		return nil, true
+	}
+	return body, true
+}
+
+// effectiveFloor combines the router's coordinated floor with the
+// client's asserted minimums from the version headers. Client
+// assertions raise only THIS request's floor, never the fleet's — an
+// arbitrary header must not be able to mark the whole fleet stale.
+func (rt *Router) effectiveFloor(w http.ResponseWriter, r *http.Request) (gen, rv uint64, ok bool) {
+	gen, rv = rt.Floor()
+	for _, h := range []struct {
+		name string
+		dst  *uint64
+	}{{HeaderMinGeneration, &gen}, {HeaderMinRatesVersion, &rv}} {
+		raw := r.Header.Get(h.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument,
+				h.name+" must be an unsigned integer")
+			return 0, 0, false
+		}
+		if v > *h.dst {
+			*h.dst = v
+		}
+	}
+	return gen, rv, true
+}
+
+// writeNoReplica renders the two terminal routing failures: every live
+// replica below the floor is the fleet-level version conflict (the
+// state the client demands exists but has not propagated — retryable,
+// like any lost CAS race); no live replica at all is a shed.
+func (rt *Router) writeNoReplica(w http.ResponseWriter, r *http.Request, sawStale bool) {
+	if sawStale {
+		rt.writeError(w, r, http.StatusConflict, server.CodeVersionConflict,
+			"no healthy replica has reached the requested (generation, ratesVersion) floor; retry")
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	rt.writeError(w, r, http.StatusServiceUnavailable, server.CodeShed, "no healthy replica")
+}
+
+// propagationContext builds the context for fleet-internal write
+// propagation. It is detached from the inbound request: once a write
+// has landed anywhere, a departing client must not be able to abort
+// the propagation halfway and split the fleet.
+func (rt *Router) propagationContext() (context.Context, context.CancelFunc) {
+	budget := 2 * time.Minute
+	if rt.timeout > 0 {
+		budget = 4 * rt.timeout
+	}
+	return context.WithTimeout(context.Background(), budget)
+}
+
+// ---- /v1/query and /v1/explain ----
+
+// handleSingle proxies one request to the rendezvous owner of its
+// canonical term set, failing over down the rendezvous order on
+// transport errors and 5xx answers. The replica's response is
+// forwarded byte-identically; the router adds nothing on success.
+func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	key := routeKey(r.URL.Query().Get("q"))
+	hdr := forwardHeaders(r.Header)
+
+	var last *server.RawResponse
+	sawStale, attempts := false, 0
+	for _, rp := range rt.rendezvousRank(key) {
+		if !rp.up.Load() {
+			continue
+		}
+		if !eligible(rp, floorGen, floorRV) {
+			rt.robs.staleSkips.Inc()
+			sawStale = true
+			continue
+		}
+		if attempts > 0 {
+			rt.robs.failovers.Inc()
+		}
+		attempts++
+		tr.Eventf("route", "replica=%s key=%q", rp.url, key)
+		resp, err := rp.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), hdr, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nothing to answer
+			}
+			rp.setDown(err)
+			tr.Eventf("failover", "replica=%s err=%v", rp.url, err)
+			continue
+		}
+		if resp.Status >= 500 {
+			// A straggling or overloaded replica (shed, deadline, crash
+			// handler) — another replica may well answer; keep this
+			// response to forward only if every alternative also fails.
+			last = resp
+			tr.Eventf("failover", "replica=%s status=%d", rp.url, resp.Status)
+			continue
+		}
+		rt.observeAnswer(rp, r.URL.Path, resp)
+		rt.robs.routed.With(rp.url).Inc()
+		w.Header().Set(HeaderServedBy, rp.url)
+		copyResponse(w, resp)
+		return
+	}
+	if last != nil {
+		copyResponse(w, last)
+		return
+	}
+	rt.writeNoReplica(w, r, sawStale)
+}
+
+// observeAnswer harvests fleet knowledge from a successful /v1/query
+// answer: the replica proved it serves (generation, version), which
+// also raises the router's floor if a write happened behind its back.
+func (rt *Router) observeAnswer(rp *replica, path string, resp *server.RawResponse) {
+	if resp.Status != http.StatusOK || path != "/v1/query" {
+		return
+	}
+	var probe struct {
+		Version    uint64 `json:"version"`
+		Generation uint64 `json:"generation"`
+	}
+	if json.Unmarshal(resp.Body, &probe) == nil && probe.Generation > 0 {
+		rp.observe(probe.Generation, probe.Version)
+		rt.raiseFloor(probe.Generation, probe.Version)
+	}
+}
+
+// ---- /v1/query/batch ----
+
+// batchGroup is one replica's share of a batch: the original item
+// indices it owns, in request order.
+type batchGroup struct {
+	rp   *replica
+	idxs []int
+	resp *server.BatchQueryResponse
+	err  error
+}
+
+// handleBatch validates the panel under exactly the replicas' rules,
+// splits it across rendezvous owners, fans the sub-batches out
+// concurrently and merges the answers back into request order. When a
+// concurrent write lands mid-fan-out and the groups answer at
+// different versions, the router raises its floor, resyncs and retries
+// the whole panel — every answer in the merged response comes from ONE
+// (generation, ratesVersion).
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		rt.writeError(w, r, http.StatusMethodNotAllowed, server.CodeInvalidArgument, "POST required")
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.BatchQueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "queries required")
+		return
+	}
+	if len(req.Queries) > server.MaxBatchQueries {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument,
+			strconv.Itoa(len(req.Queries))+" queries exceeds the batch limit of "+strconv.Itoa(server.MaxBatchQueries))
+		return
+	}
+	// Validate every item BEFORE splitting, under the replicas' exact
+	// rules and messages — a replica-side 400 would name sub-batch
+	// indices, not the client's.
+	keys := make([]string, len(req.Queries))
+	for i, it := range req.Queries {
+		at := "queries[" + strconv.Itoa(i) + "]: "
+		if strings.TrimSpace(it.Q) == "" {
+			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, at+"q required")
+			return
+		}
+		if it.K < 0 || it.K > 1000 {
+			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, at+"k must be in 1..1000")
+			return
+		}
+		q := ir.ParseQuery(it.Q)
+		if len(q.Terms()) == 0 {
+			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, at+"q contains no indexable terms")
+			return
+		}
+		keys[i] = routeKey(it.Q)
+	}
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+
+	tr := obs.TraceFrom(r.Context())
+	sawStale := false
+	for attempt := 0; attempt < 3; attempt++ {
+		groups, stale, planned := rt.planBatch(req.Queries, keys, floorGen, floorRV)
+		sawStale = sawStale || stale
+		if !planned {
+			break
+		}
+		tr.Eventf("fanout", "attempt=%d groups=%d", attempt, len(groups))
+
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g *batchGroup) {
+				defer wg.Done()
+				sub := server.BatchQueryRequest{Queries: make([]server.BatchQueryItem, len(g.idxs))}
+				for j, idx := range g.idxs {
+					sub.Queries[j] = req.Queries[idx]
+				}
+				g.resp, g.err = g.rp.client.QueryBatch(r.Context(), sub)
+			}(g)
+		}
+		wg.Wait()
+
+		retry := false
+		for _, g := range groups {
+			if g.err == nil {
+				continue
+			}
+			if apiErr, isAPI := g.err.(*server.APIError); isAPI {
+				// A real replica answer (conflict, shed, deadline):
+				// forward it rather than guessing.
+				forwardAPIError(w, apiErr)
+				return
+			}
+			if r.Context().Err() != nil {
+				return
+			}
+			g.rp.setDown(g.err)
+			rt.robs.failovers.Inc()
+			tr.Eventf("failover", "replica=%s err=%v", g.rp.url, g.err)
+			retry = true
+		}
+		if retry {
+			continue // re-plan around the downed replicas
+		}
+
+		// Version coherence: a write that landed mid-fan-out leaves
+		// groups at different versions. Raise the floor to the highest
+		// state any group answered at, resync the laggards, and retry the
+		// whole panel against the new floor.
+		maxGen, maxRV := groups[0].resp.Generation, groups[0].resp.Version
+		coherent := true
+		for _, g := range groups {
+			g.rp.observe(g.resp.Generation, g.resp.Version)
+			if g.resp.Generation != maxGen || g.resp.Version != maxRV {
+				coherent = false
+			}
+			if g.resp.Generation > maxGen {
+				maxGen = g.resp.Generation
+			}
+			if g.resp.Version > maxRV {
+				maxRV = g.resp.Version
+			}
+		}
+		rt.raiseFloor(maxGen, maxRV)
+		if !coherent {
+			rt.robs.staleSkips.Inc()
+			tr.Eventf("incoherent", "attempt=%d gen=%d rv=%d", attempt, maxGen, maxRV)
+			if floorGen < maxGen {
+				floorGen = maxGen
+			}
+			if floorRV < maxRV {
+				floorRV = maxRV
+			}
+			rt.resync(r.Context())
+			sawStale = true
+			continue
+		}
+
+		resp := server.BatchQueryResponse{
+			Version:    maxRV,
+			Generation: maxGen,
+			Answers:    make([]server.QueryResponse, len(req.Queries)),
+		}
+		for _, g := range groups {
+			for j, idx := range g.idxs {
+				resp.Answers[idx] = g.resp.Answers[j]
+			}
+			rt.robs.routed.With(g.rp.url).Inc()
+		}
+		rt.robs.batchGroups.Observe(float64(len(groups)))
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if sawStale {
+		rt.writeError(w, r, http.StatusConflict, server.CodeVersionConflict,
+			"fleet versions diverged across the batch fan-out; retry")
+		return
+	}
+	rt.writeNoReplica(w, r, false)
+}
+
+// planBatch assigns every item to the first eligible replica in its
+// key's rendezvous order. planned=false means at least one item has no
+// eligible replica (stale reports whether a live-but-behind replica
+// was the reason).
+func (rt *Router) planBatch(items []server.BatchQueryItem, keys []string, floorGen, floorRV uint64) (groups []*batchGroup, stale, planned bool) {
+	byReplica := make(map[*replica]*batchGroup)
+	for i := range items {
+		var owner *replica
+		for _, rp := range rt.rendezvousRank(keys[i]) {
+			if !rp.up.Load() {
+				continue
+			}
+			if !eligible(rp, floorGen, floorRV) {
+				stale = true
+				continue
+			}
+			owner = rp
+			break
+		}
+		if owner == nil {
+			return nil, stale, false
+		}
+		g := byReplica[owner]
+		if g == nil {
+			g = &batchGroup{rp: owner}
+			byReplica[owner] = g
+			groups = append(groups, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	return groups, stale, true
+}
+
+// ---- /v1/reformulate ----
+
+// handleReformulate applies the reformulation on the query's rendezvous
+// owner, then — before answering — replays the resulting rate vector
+// onto every other live replica with CAS tokens, so the fleet advances
+// through the same version sequence in lockstep. The owner's response
+// is forwarded byte-identically. There is NO failover after dispatch:
+// reformulation is not idempotent, and a transport failure leaves the
+// owner's state unknown.
+func (rt *Router) handleReformulate(w http.ResponseWriter, r *http.Request) {
+	rt.writeMu.Lock()
+	defer rt.writeMu.Unlock()
+
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	key := routeKey(r.URL.Query().Get("q"))
+
+	var owner *replica
+	sawStale := false
+	for _, rp := range rt.rendezvousRank(key) {
+		if !rp.up.Load() {
+			continue
+		}
+		if !eligible(rp, floorGen, floorRV) {
+			rt.robs.staleSkips.Inc()
+			sawStale = true
+			continue
+		}
+		owner = rp
+		break
+	}
+	if owner == nil {
+		rt.writeNoReplica(w, r, sawStale)
+		return
+	}
+	tr.Eventf("route", "replica=%s key=%q", owner.url, key)
+	resp, err := owner.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		owner.setDown(err)
+		rt.writeError(w, r, http.StatusBadGateway, server.CodeInternal,
+			"replica failed mid-reformulation; its state is unknown — check /v1/router/healthz and retry")
+		return
+	}
+
+	switch resp.Status {
+	case http.StatusOK:
+		var rr server.ReformulateResponse
+		if json.Unmarshal(resp.Body, &rr) == nil && rr.Version > 0 {
+			owner.observe(owner.gen.Load(), rr.Version)
+			rt.propagateRates(owner, tr)
+		}
+	case http.StatusConflict:
+		// Someone published past the owner (a direct write behind the
+		// router's back): harvest the winning version so the floor and
+		// the next resync converge on it.
+		var env server.ConflictEnvelope
+		if json.Unmarshal(resp.Body, &env) == nil && env.Version > 0 {
+			owner.observe(owner.gen.Load(), env.Version)
+			rt.raiseFloor(owner.gen.Load(), env.Version)
+		}
+	}
+	rt.robs.routed.With(owner.url).Inc()
+	w.Header().Set(HeaderServedBy, owner.url)
+	copyResponse(w, resp)
+}
+
+// propagateRates reads the owner's just-published rates and replays
+// them onto every other live replica (catch-up publishing until each
+// reaches the owner's version). Callers hold writeMu.
+func (rt *Router) propagateRates(owner *replica, tr *obs.Trace) {
+	ctx, cancel := rt.propagationContext()
+	defer cancel()
+	rates, err := owner.client.Rates(ctx)
+	if err != nil {
+		// Propagation is best-effort here: the health loop's resync
+		// finishes the job once the owner answers again.
+		tr.Eventf("propagate", "rates read failed: %v", err)
+		return
+	}
+	gen := owner.gen.Load()
+	owner.observe(gen, rates.Version)
+	rt.raiseFloor(gen, rates.Version)
+	for _, rp := range rt.replicas {
+		if rp == owner || !rp.up.Load() {
+			continue
+		}
+		rt.catchUpLocked(ctx, rp, rates.Vector, gen, rates.Version)
+	}
+	tr.Eventf("propagate", "gen=%d version=%d", gen, rates.Version)
+}
+
+// ---- /v1/corpus/swap ----
+
+// handleSwap fans the snapshot swap out to every live replica. All
+// replicas swapping is the happy path; a partial result still answers
+// 200 (the floor rises to the new generation, so the failed replicas
+// are excluded from serving until realigned) and the divergence is
+// visible in /v1/router/healthz.
+func (rt *Router) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		rt.writeError(w, r, http.StatusMethodNotAllowed, server.CodeInvalidArgument, "POST required")
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.CorpusSwapRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "bad JSON body: "+err.Error())
+		return
+	}
+
+	rt.writeMu.Lock()
+	defer rt.writeMu.Unlock()
+	ctx, cancel := rt.propagationContext()
+	defer cancel()
+	tr := obs.TraceFrom(r.Context())
+
+	type swapResult struct {
+		rp   *replica
+		resp *server.CorpusSwapResponse
+		err  error
+	}
+	var live []*replica
+	for _, rp := range rt.replicas {
+		if rp.up.Load() {
+			live = append(live, rp)
+		}
+	}
+	if len(live) == 0 {
+		rt.writeNoReplica(w, r, false)
+		return
+	}
+	results := make([]swapResult, len(live))
+	var wg sync.WaitGroup
+	for i, rp := range live {
+		wg.Add(1)
+		go func(i int, rp *replica) {
+			defer wg.Done()
+			resp, err := rp.client.CorpusSwap(ctx, req)
+			results[i] = swapResult{rp: rp, resp: resp, err: err}
+		}(i, rp)
+	}
+	wg.Wait()
+
+	var first *server.CorpusSwapResponse
+	var firstErr *server.APIError
+	for _, res := range results {
+		if res.err == nil {
+			rt.robs.swaps.Inc()
+			res.rp.observe(res.resp.Generation, res.resp.RatesVersion)
+			tr.Eventf("swap", "replica=%s gen=%d", res.rp.url, res.resp.Generation)
+			if first == nil {
+				first = res.resp
+			}
+			continue
+		}
+		if apiErr, isAPI := res.err.(*server.APIError); isAPI {
+			res.rp.noteErr("swap rejected: " + apiErr.Error())
+			// A conflict means the replica is on a different generation
+			// than assumed — refresh its view so the floor gating is
+			// accurate.
+			if h, herr := res.rp.client.Health(ctx); herr == nil {
+				res.rp.observe(h.Generation, h.RatesVersion)
+			}
+			if firstErr == nil {
+				firstErr = apiErr
+			}
+			continue
+		}
+		res.rp.setDown(res.err)
+		tr.Eventf("swap", "replica=%s err=%v", res.rp.url, res.err)
+	}
+	if first == nil {
+		if firstErr != nil {
+			forwardAPIError(w, firstErr)
+			return
+		}
+		rt.writeError(w, r, http.StatusBadGateway, server.CodeInternal,
+			"no replica completed the swap; check /v1/router/healthz")
+		return
+	}
+	// The new generation is the fleet's floor now: replicas that missed
+	// the swap are ineligible until an operator realigns them.
+	rt.raiseFloor(first.Generation, first.RatesVersion)
+	writeJSON(w, http.StatusOK, *first)
+}
+
+// ---- /v1/rates ----
+
+// handleRatesRoute dispatches /v1/rates by method, like the replicas
+// do: GET reads (proxied to one replica), POST publishes fleet-wide.
+func (rt *Router) handleRatesRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		rt.handleRatesPublish(w, r)
+		return
+	}
+	rt.handleReadProxy(w, r)
+}
+
+// handleRatesPublish applies a client-supplied rate vector to the
+// whole fleet: CAS-publish on one replica first (so a version conflict
+// is detected before anything propagates), then catch-up publish to
+// the rest — the same propagation path /v1/reformulate uses.
+func (rt *Router) handleRatesPublish(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req server.RatesPublishRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Vector) == 0 {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "vector required")
+		return
+	}
+
+	rt.writeMu.Lock()
+	defer rt.writeMu.Unlock()
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+	var owner *replica
+	sawStale := false
+	for _, rp := range rt.replicas {
+		if !rp.up.Load() {
+			continue
+		}
+		if !eligible(rp, floorGen, floorRV) {
+			sawStale = true
+			continue
+		}
+		owner = rp
+		break
+	}
+	if owner == nil {
+		rt.writeNoReplica(w, r, sawStale)
+		return
+	}
+	resp, err := owner.client.RatesPublish(r.Context(), req)
+	if err != nil {
+		if apiErr, isAPI := err.(*server.APIError); isAPI {
+			if apiErr.IsConflict() {
+				rt.robs.ratesConflicts.Inc()
+				if apiErr.Version > 0 {
+					owner.observe(owner.gen.Load(), apiErr.Version)
+					rt.raiseFloor(owner.gen.Load(), apiErr.Version)
+				}
+			}
+			forwardAPIError(w, apiErr)
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+		owner.setDown(err)
+		rt.writeError(w, r, http.StatusBadGateway, server.CodeInternal,
+			"replica failed mid-publish; its state is unknown — check /v1/router/healthz and retry")
+		return
+	}
+	rt.robs.ratesPublishes.Inc()
+	rt.propagateRates(owner, obs.TraceFrom(r.Context()))
+	writeJSON(w, http.StatusOK, *resp)
+}
+
+// ---- reads proxied to one replica (/v1/healthz, /v1/stats, GET /v1/rates) ----
+
+// handleReadProxy forwards a cheap read to the first eligible replica
+// (falling back to any live one — a behind replica's healthz is still
+// a real healthz).
+func (rt *Router) handleReadProxy(w http.ResponseWriter, r *http.Request) {
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+	var target *replica
+	for _, rp := range rt.replicas {
+		if !rp.up.Load() {
+			continue
+		}
+		if target == nil {
+			target = rp
+		}
+		if eligible(rp, floorGen, floorRV) {
+			target = rp
+			break
+		}
+	}
+	if target == nil {
+		rt.writeNoReplica(w, r, false)
+		return
+	}
+	resp, err := target.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), nil)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		target.setDown(err)
+		rt.writeError(w, r, http.StatusBadGateway, server.CodeInternal, "replica unreachable: "+err.Error())
+		return
+	}
+	rt.robs.routed.With(target.url).Inc()
+	w.Header().Set(HeaderServedBy, target.url)
+	copyResponse(w, resp)
+}
+
+// ---- /v1/router/healthz ----
+
+// handleRouterHealth reports the fleet view: per-replica health and
+// versions plus the coordinated floor. 200 while at least one replica
+// can serve, 503 otherwise — a load balancer fronting several routers
+// can health-check this.
+func (rt *Router) handleRouterHealth(w http.ResponseWriter, r *http.Request) {
+	resp := RouterHealthResponse{
+		ReplicasTotal: len(rt.replicas),
+		Replicas:      make([]ReplicaStatus, len(rt.replicas)),
+	}
+	for i, rp := range rt.replicas {
+		resp.Replicas[i] = rp.status()
+		if resp.Replicas[i].Healthy {
+			resp.ReplicasHealthy++
+		}
+	}
+	resp.FloorGeneration, resp.FloorRatesVersion = rt.Floor()
+	status := http.StatusOK
+	resp.Status = "ok"
+	if resp.ReplicasHealthy == 0 {
+		status = http.StatusServiceUnavailable
+		resp.Status = "down"
+	}
+	writeJSON(w, status, resp)
+}

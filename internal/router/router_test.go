@@ -1,0 +1,584 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/rank"
+	"authorityflow/internal/server"
+	"authorityflow/internal/storage"
+)
+
+// fleet is a test topology: n identically-seeded replicas behind one
+// router. Identically-seeded replicas serve bit-identical corpora, so
+// any replica's answer at a given (generation, ratesVersion) is THE
+// fleet answer — which is exactly the property the router must
+// preserve.
+type fleet struct {
+	rt       *Router
+	front    *httptest.Server // the router's own HTTP face
+	servers  []*server.Server
+	backends []*httptest.Server
+	urls     []string
+	swapDir  string
+}
+
+// newFleet boots n replicas (scale 0.02, seed 4, swap-enabled with a
+// shared "next.snap") and a router over them with the background
+// health loop disabled — tests drive CheckNow explicitly so sweeps
+// happen at deterministic points. Replicas run UNCACHED: byte-identity
+// assertions need answers free of the cache-provenance field, which
+// legitimately differs between a first ask ("computed") and a repeat
+// ("result"). The scaling benchmark builds its own cached fleet.
+func newFleet(t testing.TB, n int) *fleet {
+	return newFleetCached(t, n, false)
+}
+
+func newFleetCached(t testing.TB, n int, cached bool) *fleet {
+	t.Helper()
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "next.snap", 0.015, 9)
+
+	f := &fleet{swapDir: dir}
+	for i := 0; i < n; i++ {
+		cfg := datagen.DBLPTopConfig().Scale(0.02)
+		cfg.Seed = 4
+		ds, err := datagen.GenerateDBLP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []server.Option{server.WithSwapDir(dir)}
+		if cached {
+			opts = append(opts, server.WithCache(8<<20, 0))
+		}
+		s, err := server.New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		f.servers = append(f.servers, s)
+		f.backends = append(f.backends, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	rt, err := New(f.urls, Options{
+		Timeout:        10 * time.Second,
+		HealthInterval: -1, // tests call CheckNow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	f.rt = rt
+	f.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(f.front.Close)
+	return f
+}
+
+func writeSnapshot(t testing.TB, dir, name string, scale float64, seed int64) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(scale)
+	cfg.Seed = seed
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteSnapshotFile(filepath.Join(dir, name), ds, eng.Index()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// get fetches a URL and returns status + body.
+func get(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func postJSON(t testing.TB, url string, v any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestRendezvousProperties pins the routing function: deterministic,
+// order/duplication-insensitive via the canonical key, and actually
+// spreading keys across the fleet.
+func TestRendezvousProperties(t *testing.T) {
+	f := newFleet(t, 4)
+	rt := f.rt
+
+	if routeKey("OLAP  mining olap") != routeKey("mining OLAP") {
+		t.Error("route key must canonicalize case, order and duplicates")
+	}
+
+	terms := []string{"olap", "xml", "mining", "query", "index", "search", "web", "join",
+		"graph", "rank", "cache", "stream", "tree", "hash", "sort", "scan"}
+	owners := map[string]int{}
+	for _, tm := range terms {
+		r1 := rt.rendezvousRank(routeKey(tm))
+		r2 := rt.rendezvousRank(routeKey(tm))
+		for i := range r1 {
+			if r1[i].url != r2[i].url {
+				t.Fatalf("rendezvous order for %q not deterministic", tm)
+			}
+		}
+		owners[r1[0].url]++
+	}
+	if len(owners) < 2 {
+		t.Errorf("16 keys all landed on one replica: %v", owners)
+	}
+}
+
+// TestSingleQueryByteIdentical is the core proxy guarantee: the
+// router's /v1/query answer is byte-for-byte what the owning replica
+// says directly.
+func TestSingleQueryByteIdentical(t *testing.T) {
+	f := newFleet(t, 2)
+
+	for _, q := range []string{"olap", "xml", "mining", "olap+xml"} {
+		path := "/v1/query?q=" + q + "&k=10"
+		viaRouter, routed := get(t, f.front.URL+path)
+		if viaRouter != 200 {
+			t.Fatalf("router query %q = %d: %s", q, viaRouter, routed)
+		}
+		owner := f.rt.rendezvousRank(routeKey(q))[0]
+		direct, want := get(t, owner.url+path)
+		if direct != 200 {
+			t.Fatalf("direct query %q = %d", q, direct)
+		}
+		if !bytes.Equal(routed, want) {
+			t.Errorf("query %q: routed body differs from owner's direct answer\nrouted: %s\ndirect: %s", q, routed, want)
+		}
+	}
+
+	// /v1/explain proxies the same way.
+	var qr server.QueryResponse
+	_, body := get(t, f.front.URL+"/v1/query?q=olap&k=3")
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	path := fmt.Sprintf("/v1/explain?q=olap&target=%d", qr.Results[0].Node)
+	code, routed := get(t, f.front.URL+path)
+	if code != 200 {
+		t.Fatalf("router explain = %d: %s", code, routed)
+	}
+	owner := f.rt.rendezvousRank(routeKey("olap"))[0]
+	_, want := get(t, owner.url+path)
+	if !bytes.Equal(routed, want) {
+		t.Error("routed explain body differs from owner's direct answer")
+	}
+}
+
+// TestBatchSplitMerge: a panel through the router splits across
+// replicas, merges in request order, and every answer is byte-identical
+// (after the shared encoding) to one replica's direct batch answer for
+// the same panel at the same version.
+func TestBatchSplitMerge(t *testing.T) {
+	f := newFleet(t, 2)
+
+	var req server.BatchQueryRequest
+	terms := []string{"olap", "xml", "mining", "query", "index", "search", "web", "join"}
+	for _, tm := range terms {
+		req.Queries = append(req.Queries, server.BatchQueryItem{Q: tm, K: 10})
+	}
+	code, routed := postJSON(t, f.front.URL+"/v1/query/batch", req)
+	if code != 200 {
+		t.Fatalf("router batch = %d: %s", code, routed)
+	}
+	var got server.BatchQueryResponse
+	if err := json.Unmarshal(routed, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != len(terms) {
+		t.Fatalf("answers = %d, want %d", len(got.Answers), len(terms))
+	}
+
+	// Replicas are identical twins, so replica 0's direct batch answer is
+	// the reference for the whole panel.
+	codeD, direct := postJSON(t, f.urls[0]+"/v1/query/batch", req)
+	if codeD != 200 {
+		t.Fatalf("direct batch = %d", codeD)
+	}
+	if !bytes.Equal(routed, direct) {
+		t.Errorf("merged batch body differs from a single replica's direct answer\nrouted: %.200s\ndirect: %.200s", routed, direct)
+	}
+
+	// The fan-out actually used more than one replica.
+	if groups := metricValue(t, f.rt, "afq_router_batch_groups_count"); groups < 1 {
+		t.Error("batch fan-out not recorded")
+	}
+}
+
+// TestBatchValidation: the router rejects malformed panels itself,
+// with the replicas' exact messages and indices referring to the
+// CLIENT's item positions.
+func TestBatchValidation(t *testing.T) {
+	f := newFleet(t, 2)
+	cases := []struct {
+		req  server.BatchQueryRequest
+		want string
+	}{
+		{server.BatchQueryRequest{}, "queries required"},
+		{server.BatchQueryRequest{Queries: []server.BatchQueryItem{{Q: "olap"}, {Q: " "}}}, "queries[1]: q required"},
+		{server.BatchQueryRequest{Queries: []server.BatchQueryItem{{Q: "olap", K: 2000}}}, "queries[0]: k must be in 1..1000"},
+		{server.BatchQueryRequest{Queries: []server.BatchQueryItem{{Q: "!!"}}}, "queries[0]: q contains no indexable terms"},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, f.front.URL+"/v1/query/batch", tc.req)
+		if code != 400 {
+			t.Fatalf("batch %v = %d, want 400", tc.req, code)
+		}
+		var env server.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Message != tc.want {
+			t.Errorf("message = %q, want %q", env.Error.Message, tc.want)
+		}
+		if env.Error.Code != server.CodeInvalidArgument {
+			t.Errorf("code = %q, want %q", env.Error.Code, server.CodeInvalidArgument)
+		}
+	}
+}
+
+// TestFailover: killing a replica moves its keys to the survivor; with
+// every replica dead the router sheds 503.
+func TestFailover(t *testing.T) {
+	f := newFleet(t, 2)
+
+	// Find a term owned by replica 0 and one owned by replica 1, so the
+	// kill provably moves traffic.
+	terms := []string{"olap", "xml", "mining", "query", "index", "search", "web", "join"}
+	victim := f.rt.replicas[0]
+	var victimTerm string
+	for _, tm := range terms {
+		if f.rt.rendezvousRank(routeKey(tm))[0] == victim {
+			victimTerm = tm
+			break
+		}
+	}
+	if victimTerm == "" {
+		t.Fatal("no term owned by replica 0 among the probes")
+	}
+
+	var ts *httptest.Server
+	for i, u := range f.urls {
+		if u == victim.url {
+			ts = f.backends[i]
+		}
+	}
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f.rt.CheckNow(ctx)
+
+	code, body := get(t, f.front.URL+"/v1/query?q="+victimTerm+"&k=5")
+	if code != 200 {
+		t.Fatalf("query after replica kill = %d: %s", code, body)
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) == 0 {
+		t.Error("failover answer has no results")
+	}
+
+	// Kill the survivor too: shed.
+	for i, u := range f.urls {
+		if u != victim.url {
+			f.backends[i].Close()
+		}
+	}
+	f.rt.CheckNow(ctx)
+	code, body = get(t, f.front.URL+"/v1/query?q=olap")
+	if code != 503 {
+		t.Fatalf("query with no replicas = %d: %s", code, body)
+	}
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != server.CodeShed {
+		t.Errorf("code = %q, want %q", env.Error.Code, server.CodeShed)
+	}
+}
+
+// TestReformulatePropagation is the coordinated-write guarantee: a
+// reformulation through the router leaves EVERY replica at the same
+// rates version with the same vector.
+func TestReformulatePropagation(t *testing.T) {
+	f := newFleet(t, 3)
+
+	_, body := get(t, f.front.URL+"/v1/query?q=olap&k=3")
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("%s/v1/reformulate?q=olap&feedback=%d,%d&mode=structure&version=%d",
+		f.front.URL, qr.Results[0].Node, qr.Results[1].Node, qr.Version)
+	code, body := get(t, url)
+	if code != 200 {
+		t.Fatalf("reformulate = %d: %s", code, body)
+	}
+	var rr server.ReformulateResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Version <= qr.Version {
+		t.Fatalf("reformulate did not advance the version: %d -> %d", qr.Version, rr.Version)
+	}
+
+	var ref *server.RatesResponse
+	for i, u := range f.urls {
+		_, raw := get(t, u+"/v1/rates")
+		var rts server.RatesResponse
+		if err := json.Unmarshal(raw, &rts); err != nil {
+			t.Fatal(err)
+		}
+		if rts.Version != rr.Version {
+			t.Errorf("replica %d at version %d, want %d", i, rts.Version, rr.Version)
+		}
+		if ref == nil {
+			ref = &rts
+			continue
+		}
+		if len(rts.Vector) != len(ref.Vector) {
+			t.Fatalf("replica %d vector length %d != %d", i, len(rts.Vector), len(ref.Vector))
+		}
+		for j := range rts.Vector {
+			if rts.Vector[j] != ref.Vector[j] {
+				t.Errorf("replica %d vector[%d] = %v, want %v", i, j, rts.Vector[j], ref.Vector[j])
+			}
+		}
+	}
+
+	// Post-propagation byte-identity holds against the SERVING replica
+	// (named in the response header): cross-replica answers can differ
+	// in the last float bits because each replica warm-starts solves
+	// from its own history, but the router adds and loses nothing.
+	path := "/v1/query?q=olap&k=5"
+	resp, err := http.Get(f.front.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRouter, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	servedBy := resp.Header.Get(HeaderServedBy)
+	if servedBy == "" {
+		t.Fatal("routed answer missing the " + HeaderServedBy + " header")
+	}
+	_, direct := get(t, servedBy+path)
+	if !bytes.Equal(viaRouter, direct) {
+		t.Error("routed post-reformulate answer diverges from the serving replica's direct answer")
+	}
+}
+
+// TestSwapFanout: a corpus swap through the router moves every replica
+// to the new generation.
+func TestSwapFanout(t *testing.T) {
+	f := newFleet(t, 2)
+
+	code, body := postJSON(t, f.front.URL+"/v1/corpus/swap", server.CorpusSwapRequest{Snapshot: "next.snap"})
+	if code != 200 {
+		t.Fatalf("swap = %d: %s", code, body)
+	}
+	var sr server.CorpusSwapResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", sr.Generation)
+	}
+	for i, u := range f.urls {
+		_, raw := get(t, u+"/v1/healthz")
+		var h server.HealthResponse
+		if err := json.Unmarshal(raw, &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Generation != 2 {
+			t.Errorf("replica %d generation = %d, want 2", i, h.Generation)
+		}
+	}
+
+	// Queries keep working on the new generation, through the router.
+	code, body = get(t, f.front.URL+"/v1/query?q=olap&k=5")
+	if code != 200 {
+		t.Fatalf("post-swap query = %d: %s", code, body)
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Generation != 2 {
+		t.Errorf("post-swap answer generation = %d, want 2", qr.Generation)
+	}
+}
+
+// TestMinVersionHeaders: asserting a future version the fleet cannot
+// satisfy answers the fleet-level 409, and a malformed header is a
+// 400 — while an assertion the fleet DOES satisfy passes through.
+func TestMinVersionHeaders(t *testing.T) {
+	f := newFleet(t, 2)
+
+	do := func(header, value string) (int, []byte) {
+		req, err := http.NewRequest(http.MethodGet, f.front.URL+"/v1/query?q=olap", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if header != "" {
+			req.Header.Set(header, value)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	if code, _ := do(HeaderMinRatesVersion, "1"); code != 200 {
+		t.Fatalf("satisfiable version assertion = %d, want 200", code)
+	}
+	code, body := do(HeaderMinRatesVersion, "999999")
+	if code != 409 {
+		t.Fatalf("unsatisfiable version assertion = %d, want 409: %s", code, body)
+	}
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != server.CodeVersionConflict {
+		t.Errorf("code = %q, want %q", env.Error.Code, server.CodeVersionConflict)
+	}
+	if code, _ = do(HeaderMinGeneration, "not-a-number"); code != 400 {
+		t.Errorf("malformed header = %d, want 400", code)
+	}
+}
+
+// TestRouterHealthz: the fleet view reports per-replica state and
+// flips to 503/down when the last replica dies.
+func TestRouterHealthz(t *testing.T) {
+	f := newFleet(t, 2)
+
+	code, body := get(t, f.front.URL+"/v1/router/healthz")
+	if code != 200 {
+		t.Fatalf("router healthz = %d: %s", code, body)
+	}
+	var rh RouterHealthResponse
+	if err := json.Unmarshal(body, &rh); err != nil {
+		t.Fatal(err)
+	}
+	if rh.Status != "ok" || rh.ReplicasHealthy != 2 || rh.ReplicasTotal != 2 {
+		t.Errorf("fleet view = %+v, want 2/2 ok", rh)
+	}
+	if rh.FloorGeneration != 1 || rh.FloorRatesVersion < 1 {
+		t.Errorf("floor = (%d, %d), want generation 1 and version >= 1", rh.FloorGeneration, rh.FloorRatesVersion)
+	}
+
+	for _, ts := range f.backends {
+		ts.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f.rt.CheckNow(ctx)
+	code, body = get(t, f.front.URL+"/v1/router/healthz")
+	if code != 503 {
+		t.Fatalf("router healthz with dead fleet = %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &rh); err != nil {
+		t.Fatal(err)
+	}
+	if rh.Status != "down" || rh.ReplicasHealthy != 0 {
+		t.Errorf("fleet view = %+v, want 0 healthy/down", rh)
+	}
+	for _, rs := range rh.Replicas {
+		if rs.Healthy || rs.LastError == "" {
+			t.Errorf("dead replica row = %+v, want unhealthy with an error", rs)
+		}
+	}
+}
+
+// TestReadProxiesAndMetrics: /v1/healthz, /v1/stats and GET /v1/rates
+// proxy to a replica; /metrics serves the afq_router_* families.
+func TestReadProxiesAndMetrics(t *testing.T) {
+	f := newFleet(t, 2)
+
+	for _, path := range []string{"/v1/healthz", "/v1/stats", "/v1/rates"} {
+		code, body := get(t, f.front.URL+path)
+		if code != 200 {
+			t.Errorf("%s = %d: %s", path, code, body)
+		}
+	}
+	get(t, f.front.URL+"/v1/query?q=olap") // make routed_total non-zero
+
+	code, body := get(t, f.front.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, family := range []string{
+		"afq_router_replica_up", "afq_router_floor_rates_version",
+		"afq_router_routed_total", "afq_router_health_checks_total",
+		"afq_router_http_requests_total",
+	} {
+		if !bytes.Contains(body, []byte(family)) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// metricValue scrapes one single-sample family from the router's
+// registry.
+func metricValue(t testing.TB, rt *Router, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rt.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte(name+" ")) {
+			var v float64
+			if _, err := fmt.Sscanf(string(line[len(name)+1:]), "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}

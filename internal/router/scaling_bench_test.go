@@ -1,0 +1,76 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// benchTerms is a 16-key vocabulary spread across the fleet by
+// rendezvous hashing — with 4 replicas every replica owns a share, so
+// aggregate throughput can actually scale.
+var benchTerms = []string{
+	"olap", "xml", "mining", "query", "index", "search", "web", "join",
+	"olap cube", "xml mining", "query optimization", "web search",
+	"stream join", "database index", "olap mining", "xml query",
+}
+
+// BenchmarkRouterScaling measures aggregate query throughput through
+// the router as the fleet grows (1, 2, 4 replicas). Replicas run with
+// the serving cache on — the production configuration — so after the
+// warm-up pass each query is a cache hit and the benchmark exposes the
+// ROUTING tier's scaling behaviour (rendezvous dispatch, proxying,
+// connection handling) rather than kernel arithmetic. RunParallel
+// supplies the concurrent client load; the qps metric is the number to
+// compare across replica counts (recorded in BENCH_router.json).
+func BenchmarkRouterScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			f := newFleetCached(b, n, true)
+
+			// Warm every replica's caches and term vectors through the
+			// router, so the measured region is steady-state serving.
+			urls := make([]string, len(benchTerms))
+			for i, q := range benchTerms {
+				urls[i] = f.front.URL + "/v1/query?k=10&q=" + url.QueryEscape(q)
+			}
+			for i, u := range urls {
+				code, body := get(b, u)
+				if code != 200 {
+					b.Fatalf("warmup %q = %d: %s", benchTerms[i], code, body)
+				}
+			}
+
+			client := &http.Client{Timeout: 30 * time.Second}
+			var i int64
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				j := int(i) // coarse per-goroutine offset; exact spread is irrelevant
+				i++
+				for pb.Next() {
+					u := urls[j%len(urls)]
+					j++
+					resp, err := client.Get(u)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						b.Errorf("%s = %d", u, resp.StatusCode)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "qps")
+			}
+		})
+	}
+}

@@ -222,11 +222,29 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
 
-// RatesResponse is the /v1/rates payload.
+// RatesResponse is the GET /v1/rates payload (and the 200 payload of
+// POST /v1/rates, reporting the just-published state).
 type RatesResponse struct {
 	Rates   string    `json:"rates"`
 	Vector  []float64 `json:"vector"`
 	Version uint64    `json:"version"`
+}
+
+// RatesPublishRequest is the POST /v1/rates body: publish an
+// already-trained rate vector (indexed by TransferTypeID, exactly as
+// GET /v1/rates reports it) through the engine's optimistic CAS. This
+// is the fleet-propagation primitive of the scale-out tier: after one
+// replica reformulates, the router replays the resulting vector onto
+// every other replica so the whole fleet advances through the same
+// version sequence. IfVersion, when non-zero, asserts the replica's
+// current rates version (the CAS token; zero means "whatever is
+// current"); IfGeneration, when non-zero, additionally asserts the
+// corpus generation, so a vector trained on one generation is never
+// published onto another.
+type RatesPublishRequest struct {
+	Vector       []float64 `json:"vector"`
+	IfVersion    uint64    `json:"ifVersion,omitempty"`
+	IfGeneration uint64    `json:"ifGeneration,omitempty"`
 }
 
 // StatsResponse is the /v1/stats payload. The pre-v1 shape

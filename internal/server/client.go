@@ -15,6 +15,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // APIError is a non-2xx v1 response decoded into Go. It carries the
@@ -58,19 +59,54 @@ func (e *APIError) IsConflict() bool { return e.Code == CodeVersionConflict }
 // usable; construct with NewClient. Methods are safe for concurrent
 // use (they share only the underlying http.Client).
 type Client struct {
-	base string       // normalized base URL, no trailing slash
-	http *http.Client // never nil
+	base    string        // normalized base URL, no trailing slash
+	http    *http.Client  // never nil
+	timeout time.Duration // per-attempt deadline; 0 = none beyond the caller's ctx
+	retries int           // extra attempts after a transport-level failure
+}
+
+// ClientOption configures optional Client behaviour.
+type ClientOption func(*Client)
+
+// WithRequestTimeout bounds every request attempt with its own
+// deadline, layered under (never extending) the caller's context. The
+// zero-value http.Client never times out on its own, so a hung replica
+// would otherwise pin the caller forever — the router sets this on
+// every replica client.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries retries a request up to n extra times after a
+// transport-level failure (connection refused/reset, per-attempt
+// timeout) — errors where no HTTP response arrived at all. HTTP error
+// statuses are never retried here; they are real answers. Requests with
+// bodies are replayed from their buffered bytes, so retrying is safe
+// for every method this client issues.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.retries = n
+		}
+	}
 }
 
 // NewClient builds a client for a server at baseURL (e.g.
 // "http://localhost:8080"). A nil httpClient uses
 // http.DefaultClient; pass a custom one for timeouts or transports.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
+
+// BaseURL returns the normalized base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 // Query runs GET /v1/query. k <= 0 uses the server default of 10.
 func (c *Client) Query(ctx context.Context, q string, k int) (*QueryResponse, error) {
@@ -90,18 +126,8 @@ func (c *Client) Query(ctx context.Context, q string, k int) (*QueryResponse, er
 // kernel executions server-side. Answers come back in request order,
 // each identical to its single Query twin.
 func (c *Client) QueryBatch(ctx context.Context, req BatchQueryRequest) (*BatchQueryResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/v1/query/batch", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
 	var out BatchQueryResponse
-	if err := c.do(hreq, &out); err != nil {
+	if err := c.post(ctx, "/v1/query/batch", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -137,18 +163,22 @@ func (c *Client) Reformulate(ctx context.Context, q string, feedback []int64, mo
 // endpoint is opt-in server-side (WithSwapDir); a server without it
 // answers 403.
 func (c *Client) CorpusSwap(ctx context.Context, req CorpusSwapRequest) (*CorpusSwapResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/v1/corpus/swap", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
 	var out CorpusSwapResponse
-	if err := c.do(hreq, &out); err != nil {
+	if err := c.post(ctx, "/v1/corpus/swap", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RatesPublish runs POST /v1/rates: publish an already-trained rate
+// vector through the replica's optimistic CAS. This is the fleet
+// propagation primitive — after one replica reformulates, the router
+// replays the resulting vector onto every other replica. A lost race
+// returns an *APIError with IsConflict() true and Version set to the
+// winning rates version.
+func (c *Client) RatesPublish(ctx context.Context, req RatesPublishRequest) (*RatesResponse, error) {
+	var out RatesResponse
+	if err := c.post(ctx, "/v1/rates", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -181,17 +211,49 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	return &out, nil
 }
 
+// RawResponse is a fully-read HTTP response: status line, headers and
+// body bytes. DoRaw returns it so a proxying caller (the router) can
+// forward a replica's answer byte-identically, whatever its status.
+type RawResponse struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// DoRaw executes method against pathAndQuery (e.g. "/v1/query?q=olap")
+// with the given extra headers and optional body, applying the
+// client's per-attempt timeout and connection-error retries, and
+// returns the response verbatim — no status interpretation, no
+// envelope decoding. This is the router's proxy primitive: single-query
+// and explain traffic is forwarded through it so success bodies (and
+// replica-rendered error envelopes) stay byte-identical end to end.
+func (c *Client) DoRaw(ctx context.Context, method, pathAndQuery string, header http.Header, body []byte) (*RawResponse, error) {
+	resp, err := c.roundTrip(ctx, method, c.base+pathAndQuery, header, body)
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := io.ReadAll(resp.Body) // roundTrip already buffered it
+	resp.Body.Close()
+	return &RawResponse{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil
+}
+
 // get issues a GET with query parameters and decodes into out.
 func (c *Client) get(ctx context.Context, path string, v url.Values, out any) error {
 	u := c.base + path
 	if len(v) > 0 {
 		u += "?" + v.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	return c.do(ctx, http.MethodGet, u, nil, nil, out)
+}
+
+// post issues a POST with a JSON body and decodes into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	return c.do(ctx, http.MethodPost, c.base+path, hdr, body, out)
 }
 
 // maxErrorBody bounds how much of an error response the client reads.
@@ -201,8 +263,8 @@ const maxErrorBody = 64 << 10
 // into an *APIError via the v1 envelope (falling back to the raw body
 // as Message when the server — or an intermediary — answered with
 // something that is not the envelope).
-func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.http.Do(req)
+func (c *Client) do(ctx context.Context, method, url string, header http.Header, body []byte, out any) error {
+	resp, err := c.roundTrip(ctx, method, url, header, body)
 	if err != nil {
 		return err
 	}
@@ -211,6 +273,59 @@ func (c *Client) do(req *http.Request, out any) error {
 		return decodeAPIError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// roundTrip is the single request executor: it rebuilds the request
+// per attempt (body replayed from its bytes), layers the per-attempt
+// timeout under the caller's context, reads the whole response body
+// before the attempt's deadline is released, and retries
+// transport-level failures — errors where no HTTP response arrived —
+// up to the configured retry budget. It never retries once a response
+// (of any status) was received, and never retries past a cancelled
+// caller context.
+func (c *Client) roundTrip(ctx context.Context, method, url string, header http.Header, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(ctx, method, url, header, body)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= c.retries || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+}
+
+// attempt runs one HTTP exchange under its own timeout (when
+// configured), buffering the body so the deferred cancel cannot abort
+// a caller's later read.
+func (c *Client) attempt(ctx context.Context, method, url string, header http.Header, body []byte) (*http.Response, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = append([]string(nil), vs...)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(buf))
+	return resp, nil
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError.

@@ -202,7 +202,7 @@ func (s *Server) Handler() http.Handler {
 	v1Guarded("/v1/query/batch", s.handleQueryBatch)
 	v1Guarded("/v1/explain", s.handleExplain)
 	v1Guarded("/v1/reformulate", s.handleReformulate)
-	v1("/v1/rates", s.handleRates)
+	v1("/v1/rates", s.handleRatesDispatch)
 	v1("/v1/healthz", s.handleHealth)
 	v1("/v1/stats", s.handleStats)
 	// Operator endpoint, v1-only (no legacy alias) and outside the
