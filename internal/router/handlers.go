@@ -251,6 +251,7 @@ func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
 	hdr := forwardHeaders(r.Header)
 
 	var last *server.RawResponse
+	var lastFrom *replica
 	sawStale, attempts := false, 0
 	for _, rp := range rt.rendezvousRank(key) {
 		if !rp.up.Load() {
@@ -279,7 +280,7 @@ func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
 			// A straggling or overloaded replica (shed, deadline, crash
 			// handler) — another replica may well answer; keep this
 			// response to forward only if every alternative also fails.
-			last = resp
+			last, lastFrom = resp, rp
 			tr.Eventf("failover", "replica=%s status=%d", rp.url, resp.Status)
 			continue
 		}
@@ -290,6 +291,8 @@ func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if last != nil {
+		rt.robs.routed.With(lastFrom.url).Inc()
+		w.Header().Set(HeaderServedBy, lastFrom.url)
 		copyResponse(w, last)
 		return
 	}
@@ -382,11 +385,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tr := obs.TraceFrom(r.Context())
-	sawStale := false
+	sawStale, exhausted := false, true
 	for attempt := 0; attempt < 3; attempt++ {
 		groups, stale, planned := rt.planBatch(req.Queries, keys, floorGen, floorRV)
 		sawStale = sawStale || stale
 		if !planned {
+			exhausted = false
 			break
 		}
 		tr.Eventf("fanout", "attempt=%d groups=%d", attempt, len(groups))
@@ -412,8 +416,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			if apiErr, isAPI := g.err.(*server.APIError); isAPI {
 				// A real replica answer (conflict, shed, deadline):
-				// forward it rather than guessing.
-				forwardAPIError(w, apiErr)
+				// forward it rather than guessing — but a replica names
+				// SUB-batch item indices, so remap them onto the client's
+				// original panel first.
+				e := *apiErr
+				e.Message = remapBatchIndices(e.Message, g.idxs)
+				forwardAPIError(w, &e)
 				return
 			}
 			if r.Context().Err() != nil {
@@ -481,7 +489,43 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"fleet versions diverged across the batch fan-out; retry")
 		return
 	}
+	if exhausted {
+		// All 3 attempts burned on mid-flight transport failures — healthy
+		// replicas may well remain, so don't claim "no healthy replica".
+		rt.writeError(w, r, http.StatusBadGateway, server.CodeInternal,
+			"batch fan-out failed after 3 attempts; replicas kept failing mid-flight — check /v1/router/healthz and retry")
+		return
+	}
 	rt.writeNoReplica(w, r, false)
+}
+
+// remapBatchIndices rewrites "queries[N]" item references in a replica
+// sub-batch error message from sub-batch positions to the client's
+// original panel indices (idxs maps sub position → original index).
+// Unparseable or out-of-range references pass through untouched.
+func remapBatchIndices(msg string, idxs []int) string {
+	const marker = "queries["
+	var b strings.Builder
+	for {
+		i := strings.Index(msg, marker)
+		if i < 0 {
+			b.WriteString(msg)
+			return b.String()
+		}
+		b.WriteString(msg[:i+len(marker)])
+		msg = msg[i+len(marker):]
+		j := strings.IndexByte(msg, ']')
+		if j < 0 {
+			b.WriteString(msg)
+			return b.String()
+		}
+		if n, err := strconv.Atoi(msg[:j]); err == nil && n >= 0 && n < len(idxs) {
+			b.WriteString(strconv.Itoa(idxs[n]))
+		} else {
+			b.WriteString(msg[:j])
+		}
+		msg = msg[j:]
+	}
 }
 
 // planBatch assigns every item to the first eligible replica in its
@@ -523,9 +567,10 @@ func (rt *Router) planBatch(items []server.BatchQueryItem, keys []string, floorG
 // owner, then — before answering — replays the resulting rate vector
 // onto every other live replica with CAS tokens, so the fleet advances
 // through the same version sequence in lockstep. The owner's response
-// is forwarded byte-identically. There is NO failover after dispatch:
+// is forwarded byte-identically. There is NO failover after dispatch
+// AND no transport-level retry (DoRawOnce, not the retrying DoRaw):
 // reformulation is not idempotent, and a transport failure leaves the
-// owner's state unknown.
+// owner's state unknown — re-sending could apply the feedback twice.
 func (rt *Router) handleReformulate(w http.ResponseWriter, r *http.Request) {
 	rt.writeMu.Lock()
 	defer rt.writeMu.Unlock()
@@ -560,7 +605,7 @@ func (rt *Router) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.Eventf("route", "replica=%s key=%q", owner.url, key)
-	resp, err := owner.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), body)
+	resp, err := owner.client.DoRawOnce(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), body)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -799,29 +844,36 @@ func (rt *Router) handleRatesPublish(w http.ResponseWriter, r *http.Request) {
 
 // ---- reads proxied to one replica (/v1/healthz, /v1/stats, GET /v1/rates) ----
 
-// handleReadProxy forwards a cheap read to the first eligible replica
-// (falling back to any live one — a behind replica's healthz is still
-// a real healthz).
+// handleReadProxy forwards a cheap read to the first eligible replica.
+// /v1/healthz and /v1/stats fall back to any live replica when none is
+// floor-eligible — a behind replica's healthz is still a real healthz —
+// but GET /v1/rates does NOT: a client asserting a minimum version must
+// get the 409 read-your-writes conflict, never a stale vector.
 func (rt *Router) handleReadProxy(w http.ResponseWriter, r *http.Request) {
 	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
 	if !ok {
 		return
 	}
-	var target *replica
+	var target, anyLive *replica
+	sawStale := false
 	for _, rp := range rt.replicas {
 		if !rp.up.Load() {
 			continue
 		}
-		if target == nil {
-			target = rp
+		if anyLive == nil {
+			anyLive = rp
 		}
 		if eligible(rp, floorGen, floorRV) {
 			target = rp
 			break
 		}
+		sawStale = true
+	}
+	if target == nil && r.URL.Path != "/v1/rates" {
+		target = anyLive
 	}
 	if target == nil {
-		rt.writeNoReplica(w, r, false)
+		rt.writeNoReplica(w, r, sawStale)
 		return
 	}
 	resp, err := target.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), nil)

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -581,4 +583,153 @@ func metricValue(t testing.TB, rt *Router, name string) float64 {
 		}
 	}
 	return 0
+}
+
+// reformulateFailTransport injects a connection-level failure (no HTTP
+// response) for every /v1/reformulate dispatch, counting them; all
+// other traffic passes through.
+type reformulateFailTransport struct {
+	dispatches atomic.Int64
+}
+
+func (ft *reformulateFailTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Path == "/v1/reformulate" {
+		ft.dispatches.Add(1)
+		return nil, errors.New("connection reset (injected)")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestReformulateDispatchNeverRetried: reformulation is not idempotent,
+// so a transport failure mid-dispatch must answer the 502 "state
+// unknown" — NEVER be silently re-sent by the replica client's retry
+// budget, which could apply the feedback twice.
+func TestReformulateDispatchNeverRetried(t *testing.T) {
+	f := newFleet(t, 2)
+
+	ft := &reformulateFailTransport{}
+	rt, err := New(f.urls, Options{
+		Timeout:        10 * time.Second,
+		HealthInterval: -1,
+		Retries:        2, // must not apply to the reformulate dispatch
+		HTTPClient:     &http.Client{Transport: ft},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	code, body := get(t, front.URL+"/v1/reformulate?q=olap&feedback=1")
+	if code != 502 {
+		t.Fatalf("reformulate with failing transport = %d, want 502: %s", code, body)
+	}
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != server.CodeInternal {
+		t.Errorf("code = %q, want %q", env.Error.Code, server.CodeInternal)
+	}
+	if got := ft.dispatches.Load(); got != 1 {
+		t.Errorf("reformulate dispatched %d times, want exactly 1 — a retry could double-apply feedback", got)
+	}
+}
+
+// TestRatesReadRespectsVersionAssertion: GET /v1/rates must honour the
+// read-your-writes contract — an unsatisfiable version assertion is a
+// 409, never a silently stale vector from the any-live fallback. The
+// fallback stays in place for /v1/healthz, where a behind replica's
+// answer is still a real answer.
+func TestRatesReadRespectsVersionAssertion(t *testing.T) {
+	f := newFleet(t, 2)
+
+	do := func(path string) (int, []byte) {
+		req, err := http.NewRequest(http.MethodGet, f.front.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(HeaderMinRatesVersion, "999999")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := do("/v1/rates")
+	if code != 409 {
+		t.Fatalf("GET /v1/rates with unsatisfiable assertion = %d, want 409: %s", code, body)
+	}
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != server.CodeVersionConflict {
+		t.Errorf("code = %q, want %q", env.Error.Code, server.CodeVersionConflict)
+	}
+	if code, body = do("/v1/healthz"); code != 200 {
+		t.Errorf("GET /v1/healthz with unsatisfiable assertion = %d, want 200 via fallback: %s", code, body)
+	}
+}
+
+// TestAnswerOfLastResortNamesReplica: when every attempt 5xxed and the
+// router forwards the kept answer-of-last-resort, the response still
+// names the replica that produced it.
+func TestAnswerOfLastResortNamesReplica(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/v1/healthz" {
+			io.WriteString(w, `{"status":"ok","generation":1,"ratesVersion":1}`)
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":{"code":"internal","message":"boom"}}`)
+	}))
+	defer ts.Close()
+
+	rt, err := New([]string{ts.URL}, Options{Timeout: 5 * time.Second, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/query?q=olap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != 500 {
+		t.Fatalf("last-resort forward = %d, want the replica's 500", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != ts.URL {
+		t.Errorf("%s = %q, want %q", HeaderServedBy, got, ts.URL)
+	}
+}
+
+// TestRemapBatchIndices: replica sub-batch error messages name
+// sub-batch item positions; the router must translate them back to the
+// client's original panel indices.
+func TestRemapBatchIndices(t *testing.T) {
+	idxs := []int{5, 7, 11}
+	cases := []struct{ in, want string }{
+		{"queries[0]: q required", "queries[5]: q required"},
+		{"queries[2]: k must be in 1..1000", "queries[11]: k must be in 1..1000"},
+		{"queries[1] and queries[2] clash", "queries[7] and queries[11] clash"},
+		{"queries[9]: out of range passes through", "queries[9]: out of range passes through"},
+		{"queries[abc] unparseable", "queries[abc] unparseable"},
+		{"queries[ unterminated", "queries[ unterminated"},
+		{"no index here", "no index here"},
+	}
+	for _, tc := range cases {
+		if got := remapBatchIndices(tc.in, idxs); got != tc.want {
+			t.Errorf("remapBatchIndices(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
 }

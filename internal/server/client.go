@@ -81,8 +81,11 @@ func WithRequestTimeout(d time.Duration) ClientOption {
 // transport-level failure (connection refused/reset, per-attempt
 // timeout) — errors where no HTTP response arrived at all. HTTP error
 // statuses are never retried here; they are real answers. Requests with
-// bodies are replayed from their buffered bytes, so retrying is safe
-// for every method this client issues.
+// bodies are replayed from their buffered bytes. A transport failure
+// can also mean the reply was lost AFTER the server acted, so the
+// budget is only safe for idempotent calls — non-idempotent dispatches
+// (the router's /v1/reformulate) go through DoRawOnce, which bypasses
+// it.
 func WithRetries(n int) ClientOption {
 	return func(c *Client) {
 		if n > 0 {
@@ -233,6 +236,22 @@ func (c *Client) DoRaw(ctx context.Context, method, pathAndQuery string, header 
 		return nil, err
 	}
 	raw, _ := io.ReadAll(resp.Body) // roundTrip already buffered it
+	resp.Body.Close()
+	return &RawResponse{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil
+}
+
+// DoRawOnce is DoRaw with the retry budget bypassed: exactly one
+// attempt, whatever WithRetries configured. A transport failure can
+// mean the server acted and only the reply was lost; a non-idempotent
+// dispatch (reformulation applies feedback) must surface that failure
+// instead of silently re-sending — a double-applied reformulation
+// would corrupt the learned rates and the version sequence.
+func (c *Client) DoRawOnce(ctx context.Context, method, pathAndQuery string, header http.Header, body []byte) (*RawResponse, error) {
+	resp, err := c.attempt(ctx, method, c.base+pathAndQuery, header, body)
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := io.ReadAll(resp.Body) // attempt already buffered it
 	resp.Body.Close()
 	return &RawResponse{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil
 }

@@ -79,6 +79,35 @@ func TestClientRetriesExhausted(t *testing.T) {
 	}
 }
 
+// TestClientDoRawOnceNeverRetries: DoRawOnce bypasses the WithRetries
+// budget — exactly one attempt, so a non-idempotent dispatch (the
+// router's /v1/reformulate) can never be silently re-sent after a
+// transport failure that may have landed server-side.
+func TestClientDoRawOnceNeverRetries(t *testing.T) {
+	_, ts := testServer(t)
+	ft := &flakyTransport{}
+	ft.failures.Store(1)
+	c := NewClient(ts.URL, &http.Client{Transport: ft}, WithRetries(3))
+
+	if _, err := c.DoRawOnce(context.Background(), http.MethodGet, "/v1/healthz", nil, nil); err == nil {
+		t.Fatal("want the injected transport error surfaced, not retried away")
+	}
+	if got := ft.attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want exactly 1", got)
+	}
+
+	// Same budget, same failure: DoRaw retries it away.
+	ft.failures.Store(1)
+	ft.attempts.Store(0)
+	resp, err := c.DoRaw(context.Background(), http.MethodGet, "/v1/healthz", nil, nil)
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("DoRaw after one injected failure: resp=%+v err=%v", resp, err)
+	}
+	if got := ft.attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
 // TestClientNeverRetriesHTTPErrors: an HTTP error status is a real
 // answer — the client must not replay the request.
 func TestClientNeverRetriesHTTPErrors(t *testing.T) {
