@@ -90,6 +90,10 @@ func main() {
 		queueWait    = flag.Duration("queue-wait", 0, "how long a request may wait for an admission slot before shedding with 503 (needs -max-inflight; 0 = shed immediately when saturated)")
 		queryTimeout = flag.Duration("query-timeout", 0, "server-side per-request deadline, answered 504 when exceeded; clients may shorten it via X-Request-Timeout-Ms, never extend it (0 = none)")
 
+		profileDir  = flag.String("profile-dir", "", "directory for per-user personalization profiles (empty disables the /v1/profile tier)")
+		basisSize   = flag.Int("basis-size", 0, "topic terms in the personalization basis (0 = default; needs -profile-dir)")
+		legacyGrace = flag.Bool("legacy-grace", false, "keep serving the retired unversioned routes (sunset 2026-08-06) instead of answering 410 Gone")
+
 		accessLog = flag.String("access-log", "", `access log destination: "" off, "-" stderr, else a file path`)
 		slowMS    = flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds with their span events (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -138,6 +142,12 @@ func main() {
 	}
 	if *swapDir != "" {
 		opts = append(opts, server.WithSwapDir(*swapDir))
+	}
+	if *profileDir != "" {
+		opts = append(opts, server.WithProfiles(*profileDir, *basisSize))
+	}
+	if *legacyGrace {
+		opts = append(opts, server.WithLegacyGrace())
 	}
 	var s *server.Server
 	if ix != nil {

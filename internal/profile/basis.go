@@ -1,0 +1,275 @@
+// Package profile implements the per-user personalization tier: a
+// precomputed basis of per-term authority-flow fixpoints, durable user
+// profiles stored as a sparse mixture over that basis plus a compact
+// rates-delta, and the serving/learning paths that combine and train
+// them.
+//
+// The mathematical substrate is fixpoint linearity, the same property
+// internal/precompute exploits for multi-keyword combination: the
+// ObjectRank2 fixpoint r = d·A·r + (1−d)·s is linear in the jump
+// distribution s, so a personalized jump
+//
+//	s_p = (1−β)·ŝ(Q) + β·Σ_t m̂_t·ŝ_t
+//
+// (the query's own base distribution blended with the profile's
+// normalized topic mixture m̂ over basis terms t) has the fixpoint
+//
+//	r_p = (1−β)·r(Q) + β·Σ_t m̂_t·r_t
+//
+// — a dense linear combination of the query's fixpoint and precomputed
+// per-term basis fixpoints, costing O(|mixture|·|V|) per query instead
+// of a per-user power iteration. The combination is EXACT with respect
+// to the personalized jump up to convergence tolerance (each combined
+// vector is itself a converged solve); Pinned.RankJumpCtx solves the
+// same jump directly so tests pin the agreement to ≤1e-9.
+package profile
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+)
+
+// DefaultBasisSize is the number of topic terms a basis covers when the
+// caller does not choose one: enough to span the head of a corpus
+// vocabulary without making rebuild-after-swap expensive.
+const DefaultBasisSize = 64
+
+// Basis is a panel of per-term converged fixpoint vectors over one
+// pinned (generation, rates) identity. It is immutable after
+// construction and shared read-only by every combine; invalidation is
+// by replacement (the manager compares the stamp against each request's
+// pin and rebuilds on mismatch), never by mutation.
+type Basis struct {
+	generation   uint64
+	ratesVersion uint64
+	ratesKey     uint64 // graph.RateVectorKey of the build rates
+	n            int    // graph size every vector is sized for
+
+	terms []string
+	index map[string]int
+	vecs  [][]float64 // converged r_t per term, dense
+	mass  []float64   // unnormalized base mass Z_t per term
+	bytes int64
+}
+
+// Generation returns the corpus generation the basis was built against.
+func (b *Basis) Generation() uint64 { return b.generation }
+
+// RatesVersion returns the rates version the basis was built against.
+func (b *Basis) RatesVersion() uint64 { return b.ratesVersion }
+
+// RatesKey returns the graph.RateVectorKey fingerprint of the build
+// rates — directly comparable with the serving cache's key component.
+func (b *Basis) RatesKey() uint64 { return b.ratesKey }
+
+// Terms returns the basis topic terms (sorted).
+func (b *Basis) Terms() []string { return append([]string(nil), b.terms...) }
+
+// Size returns the number of basis terms.
+func (b *Basis) Size() int { return len(b.terms) }
+
+// Bytes returns the approximate resident size of the basis vectors.
+func (b *Basis) Bytes() int64 { return b.bytes }
+
+// Has reports whether term has a basis vector.
+func (b *Basis) Has(term string) bool {
+	_, ok := b.index[term]
+	return ok
+}
+
+// ValidFor reports whether the basis matches a pin's (generation,
+// rates) identity — the per-request staleness check of the combine
+// path. The rates comparison is by RateVectorKey, the same fingerprint
+// the serving cache keys on, so "basis matches pin" and "cache entry
+// matches pin" cannot drift apart.
+func (b *Basis) ValidFor(pin *core.Pinned) bool {
+	return b.generation == pin.Generation() &&
+		b.ratesKey == graph.RateVectorKey(pin.Rates().Vector())
+}
+
+// BasisTerms selects the topic-term panel for a basis over the pinned
+// corpus: the `size` highest-document-frequency vocabulary terms (ties
+// broken alphabetically), the head of the vocabulary where both query
+// traffic and feedback expansion terms concentrate. size <= 0 means
+// DefaultBasisSize; a size beyond the vocabulary is clamped.
+func BasisTerms(pin *core.Pinned, size int) []string {
+	if size <= 0 {
+		size = DefaultBasisSize
+	}
+	ix := pin.Corpus().Index()
+	terms := ix.TermsWithDF(1)
+	sort.Slice(terms, func(i, j int) bool {
+		di, dj := ix.DF(terms[i]), ix.DF(terms[j])
+		if di != dj {
+			return di > dj
+		}
+		return terms[i] < terms[j]
+	})
+	if len(terms) > size {
+		terms = terms[:size]
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// BuildBasis precomputes one converged fixpoint per topic term against
+// the pinned (generation, rates) state, solved in panels through the
+// blocked kernel (Pinned.RankManyCtx → rank.IterateBlock), exactly the
+// precompute.BuildCtx discipline: every vector reflects one consistent
+// corpus and rate assignment even if publishes land mid-build. Terms
+// with empty base sets are skipped. On cancellation the partial build
+// is discarded and ctx's error returned — a basis is only ever complete.
+func BuildBasis(ctx context.Context, pin *core.Pinned, terms []string) (*Basis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := pin.Corpus()
+	ratesVec := pin.Rates().Vector()
+	b := &Basis{
+		generation:   pin.Generation(),
+		ratesVersion: pin.Version(),
+		ratesKey:     graph.RateVectorKey(ratesVec),
+		n:            c.Graph().NumNodes(),
+		index:        make(map[string]int, len(terms)),
+	}
+	// Force the generation's shared warm-start vector before fanning out.
+	pin.Engine().GlobalRank()
+
+	bs := c.BlockSize()
+	for lo := 0; lo < len(terms); lo += bs {
+		hi := lo + bs
+		if hi > len(terms) {
+			hi = len(terms)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, hi-lo)
+		zs := make([]float64, 0, hi-lo)
+		qs := make([]*ir.Query, 0, hi-lo)
+		for _, t := range terms[lo:hi] {
+			q := ir.NewQuery(t)
+			// Base mass BEFORE normalization, recomputed from the index
+			// so combination coefficients stay exact (precompute's rule).
+			z := 0.0
+			for _, sd := range c.Index().BaseSet(q) {
+				z += sd.Score
+			}
+			if z == 0 {
+				continue
+			}
+			names = append(names, t)
+			zs = append(zs, z)
+			qs = append(qs, q)
+		}
+		if len(qs) == 0 {
+			continue
+		}
+		results, err := pin.RankManyCtx(ctx, qs)
+		if err != nil {
+			for _, res := range results {
+				if res != nil {
+					pin.Engine().Release(res)
+				}
+			}
+			return nil, err
+		}
+		for i, res := range results {
+			// The basis RETAINS the solve's vector (never released to
+			// the pool): basis vectors live for the generation's
+			// lifetime and are read lock-free by every combine.
+			b.index[names[i]] = len(b.terms)
+			b.terms = append(b.terms, names[i])
+			b.vecs = append(b.vecs, res.Scores)
+			b.mass = append(b.mass, zs[i])
+			b.bytes += int64(len(res.Scores)) * 8
+		}
+	}
+	if len(b.terms) == 0 {
+		return nil, fmt.Errorf("profile: no basis term has a non-empty base set")
+	}
+	return b, nil
+}
+
+// MixtureJump materializes the personalized jump distribution
+// s_p = (1−β)·base + β·Σ_t m̂_t·ŝ_t for a normalized mixture over basis
+// terms, where ŝ_t is term t's normalized single-term base
+// distribution. This is the reference-path input handed to
+// Pinned.RankJumpCtx by the agreement tests; the serving path never
+// materializes it (it combines converged vectors instead).
+func (b *Basis) MixtureJump(pin *core.Pinned, base []ir.ScoredDoc, mixture map[string]float64, beta float64) []float64 {
+	jump := make([]float64, b.n)
+	for _, sd := range base {
+		jump[sd.Doc] = (1 - beta) * sd.Score
+	}
+	norm := normalizedMixture(b, mixture)
+	ix := pin.Corpus().Index()
+	for t, m := range norm {
+		ti := b.index[t]
+		single := ix.BaseSet(ir.NewQuery(b.terms[ti]))
+		z := 0.0
+		for _, sd := range single {
+			z += sd.Score
+		}
+		if z == 0 {
+			continue
+		}
+		for _, sd := range single {
+			jump[sd.Doc] += beta * m * sd.Score / z
+		}
+	}
+	return jump
+}
+
+// Combine computes the personalized score vector
+// r_p = (1−β)·qscores + β·Σ_t m̂_t·r_t into a fresh dense vector.
+// Mixture terms without a basis vector are dropped from the
+// normalization (the remaining terms absorb their share); an empty or
+// fully-unknown mixture returns a plain copy of qscores (β degenerates
+// to 0 — an untrained profile IS the global ranking).
+func (b *Basis) Combine(qscores []float64, mixture map[string]float64, beta float64) []float64 {
+	out := make([]float64, len(qscores))
+	norm := normalizedMixture(b, mixture)
+	if len(norm) == 0 || beta <= 0 {
+		copy(out, qscores)
+		return out
+	}
+	omb := 1 - beta
+	for i, s := range qscores {
+		out[i] = omb * s
+	}
+	for t, m := range norm {
+		vec := b.vecs[b.index[t]]
+		bm := beta * m
+		for i, s := range vec {
+			out[i] += bm * s
+		}
+	}
+	return out
+}
+
+// normalizedMixture drops mixture terms without a basis vector and
+// normalizes the survivors to sum to 1.
+func normalizedMixture(b *Basis, mixture map[string]float64) map[string]float64 {
+	sum := 0.0
+	for t, w := range mixture {
+		if w > 0 && b.Has(t) {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(mixture))
+	for t, w := range mixture {
+		if w > 0 && b.Has(t) {
+			out[t] = w / sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"context"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// BenchmarkProfileQuery compares the four ways a personalized answer
+// can be produced, on the same corpus, profile and query:
+//
+//	hit      — answer-LRU hit (the steady state of a repeat ask)
+//	combine  — basis combination over a cached base rank (the cold
+//	           personalized path a cache-enabled server runs)
+//	direct   — full per-user power iteration over the personalized
+//	           jump distribution (what serving would cost WITHOUT the
+//	           basis; the acceptance bound is combine ≥10× faster)
+//	global   — the unpersonalized kernel solve, for scale
+//
+// BaseRank is pinned to a precomputed base result (copied per call,
+// like the serving cache does) so combine measures the personalization
+// overhead, not a redundant kernel solve.
+func BenchmarkProfileQuery(b *testing.B) {
+	opts := rank.Options{Threshold: 1e-6, MaxIters: 300}
+	_, eng := testEngine(b, opts)
+	pin := eng.Pin()
+	ctx := context.Background()
+
+	// One shared base solve, served as a fresh copy per call — the
+	// manager releases each result it consumes, so the template's
+	// scores must never be handed out directly.
+	q := ir.NewQuery("olap")
+	template, err := pin.RankCtx(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRank := func(ctx context.Context, p *core.Pinned, q *ir.Query) (*core.RankResult, error) {
+		cp := *template
+		cp.Scores = append([]float64(nil), template.Scores...)
+		return &cp, nil
+	}
+
+	m, err := NewManager(eng, Options{Dir: b.TempDir(), BasisSize: 64, BaseRank: baseRank})
+	if err != nil {
+		b.Fatal(err)
+	}
+	basis, err := m.BasisFor(ctx, pin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	terms := basis.Terms()
+	if len(terms) < 3 {
+		b.Fatalf("basis too small: %d terms", len(terms))
+	}
+	mixture := map[string]float64{terms[0]: 0.5, terms[1]: 0.3, terms[2]: 0.2}
+	if _, err := m.Put(&Profile{ID: "bench", Mixture: mixture}); err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+
+	b.Run("hit", func(b *testing.B) {
+		if _, _, err := m.QueryCtx(ctx, pin, "bench", q, k); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, src, err := m.QueryCtx(ctx, pin, "bench", q, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if src != SourceHit {
+				b.Fatalf("source = %v, want hit", src)
+			}
+		}
+	})
+
+	b.Run("combine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Re-putting the current record bumps its revision, which
+			// invalidates the answer key — every timed iteration runs the
+			// real combination.
+			b.StopTimer()
+			cur, err := m.Get("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Put(cur); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			_, src, err := m.QueryCtx(ctx, pin, "bench", q, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if src != SourceCombined {
+				b.Fatalf("source = %v, want combined", src)
+			}
+		}
+	})
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qres, err := baseRank(ctx, pin, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jump := basis.MixtureJump(pin, qres.Base, mixture, DefaultBeta)
+			direct, err := pin.RankJumpCtx(ctx, jump, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rank.TopK(direct.Scores, k)
+			eng.Release(direct)
+			eng.Release(qres)
+		}
+	})
+
+	b.Run("global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := pin.RankCtx(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rank.TopK(res.Scores, k)
+			eng.Release(res)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package profile
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lruEntry is one resident entry on a shard's intrusive LRU list.
+type lruEntry struct {
+	key        string
+	value      any
+	size       int64
+	prev, next *lruEntry
+}
+
+// lruShard is one lock-striped slice of a sharded LRU: a map for O(1)
+// lookup plus an intrusive doubly linked list in recency order —
+// the same discipline as internal/cache's serving LRU, reused here for
+// decoded profile records and combined answers. head.next is the most
+// recently used entry, tail.prev the eviction candidate.
+type lruShard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	items    map[string]*lruEntry
+	head     lruEntry // sentinel
+	tail     lruEntry // sentinel
+}
+
+func (s *lruShard) init(maxBytes int64) {
+	s.maxBytes = maxBytes
+	s.items = make(map[string]*lruEntry)
+	s.head.next = &s.tail
+	s.tail.prev = &s.head
+}
+
+func (s *lruShard) unlink(e *lruEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruShard) pushFront(e *lruEntry) {
+	e.next = s.head.next
+	e.prev = &s.head
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// shardedLRU is a byte-budgeted, sharded LRU. Values are immutable once
+// inserted (the cache hands out the stored value itself, never a copy),
+// which is what makes lock-free readers outside the shard mutex safe:
+// eviction merely drops the cache's reference, it never mutates or
+// recycles the value. Profile mutation therefore goes through
+// clone-replace, never in-place edits.
+type shardedLRU struct {
+	shards    []lruShard
+	mask      uint64
+	entries   atomic.Int64
+	bytesUsed atomic.Int64
+	evictions *atomic.Int64 // stats sink, shared with the owner
+}
+
+func newShardedLRU(totalBytes int64, shards int, evictions *atomic.Int64) *shardedLRU {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := totalBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	l := &shardedLRU{shards: make([]lruShard, n), mask: uint64(n - 1), evictions: evictions}
+	for i := range l.shards {
+		l.shards[i].init(per)
+	}
+	return l
+}
+
+func fnv1a(key string) uint64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (l *shardedLRU) shard(key string) *lruShard {
+	return &l.shards[fnv1a(key)&l.mask]
+}
+
+// Get returns the value stored under key and marks it most recently
+// used.
+func (l *shardedLRU) Get(key string) (any, bool) {
+	s := l.shard(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	v := e.value
+	s.mu.Unlock()
+	return v, true
+}
+
+// Put inserts (or replaces) key with the given value and accounted
+// size, evicting least-recently-used entries until the shard fits its
+// budget. An entry larger than a whole shard's budget is rejected
+// (counted as an eviction) rather than wiping the shard.
+func (l *shardedLRU) Put(key string, value any, size int64) {
+	s := l.shard(key)
+	if size > s.maxBytes {
+		if l.evictions != nil {
+			l.evictions.Add(1)
+		}
+		return
+	}
+	s.mu.Lock()
+	if old, ok := s.items[key]; ok {
+		s.bytes -= old.size
+		l.bytesUsed.Add(-old.size)
+		l.entries.Add(-1)
+		s.unlink(old)
+		delete(s.items, key)
+	}
+	for s.bytes+size > s.maxBytes {
+		victim := s.tail.prev
+		if victim == &s.head {
+			break
+		}
+		s.unlink(victim)
+		delete(s.items, victim.key)
+		s.bytes -= victim.size
+		l.bytesUsed.Add(-victim.size)
+		l.entries.Add(-1)
+		if l.evictions != nil {
+			l.evictions.Add(1)
+		}
+	}
+	e := &lruEntry{key: key, value: value, size: size}
+	s.items[key] = e
+	s.pushFront(e)
+	s.bytes += size
+	l.bytesUsed.Add(size)
+	l.entries.Add(1)
+	s.mu.Unlock()
+}
+
+// Remove deletes key, if present.
+func (l *shardedLRU) Remove(key string) {
+	s := l.shard(key)
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok {
+		s.unlink(e)
+		delete(s.items, key)
+		s.bytes -= e.size
+		l.bytesUsed.Add(-e.size)
+		l.entries.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// Bytes returns the total accounted bytes currently resident.
+func (l *shardedLRU) Bytes() int64 { return l.bytesUsed.Load() }
+
+// Len returns the number of resident entries.
+func (l *shardedLRU) Len() int { return int(l.entries.Load()) }

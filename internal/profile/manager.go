@@ -1,0 +1,585 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// DefaultBeta is the personalized-jump blend factor when neither the
+// profile nor the manager options choose one: enough mixture weight to
+// reorder ties and near-ties, not enough to drown the query.
+const DefaultBeta = 0.3
+
+// DefaultLearningRate is the EWMA factor of mixture training: after a
+// feedback round, mixture = (1−η)·old + η·new, so recent feedback
+// dominates without wiping history.
+const DefaultLearningRate = 0.5
+
+// Options configure a Manager.
+type Options struct {
+	// Dir is the durable store directory; empty means memory-only (no
+	// persistence — profiles die with the process).
+	Dir string
+	// BasisSize is the number of topic terms in the basis (0 =
+	// DefaultBasisSize).
+	BasisSize int
+	// Beta is the default blend factor for profiles that do not carry
+	// their own (0 = DefaultBeta).
+	Beta float64
+	// CacheBytes is the total byte budget of the in-memory tier,
+	// split evenly between decoded profiles and combined answers
+	// (0 = 32 MiB).
+	CacheBytes int64
+	// MaxMixture caps the number of topic terms a profile's mixture
+	// retains after training (0 = 16).
+	MaxMixture int
+	// LearningRate is the EWMA factor of mixture training
+	// (0 = DefaultLearningRate).
+	LearningRate float64
+	// Train is the reformulation setting used by TrainCtx when the
+	// caller passes nil options; the zero value means the paper's
+	// combined content+structure setting.
+	Train core.ReformulateOptions
+	// BaseRank, if non-nil, overrides how the query's own fixpoint is
+	// solved on the combine path — the server points this at its
+	// serving cache so personalized queries share the global tier's
+	// cached full vectors. The result must follow the Pinned.RankCtx
+	// contract (caller releases).
+	BaseRank func(ctx context.Context, pin *core.Pinned, q *ir.Query) (*core.RankResult, error)
+}
+
+// Source labels which path produced a personalized answer.
+type Source string
+
+const (
+	// SourceHit: served from the combined-answer LRU.
+	SourceHit Source = "hit"
+	// SourceCombined: basis combination ran (the personalized fast path).
+	SourceCombined Source = "combined"
+	// SourceGlobal: the profile has no usable mixture, the answer IS the
+	// global ranking.
+	SourceGlobal Source = "global"
+)
+
+// Answer is one personalized top-k result. Answers are immutable (they
+// are shared via the LRU).
+type Answer struct {
+	ID           string
+	Generation   uint64
+	RatesVersion uint64
+	RatesKey     uint64
+	Rev          uint64
+	Personalized bool
+	// BaseSet and Iterations describe the query's own solve (the
+	// (1−β)·r(Q) component); combining adds no iterations.
+	BaseSet    int
+	Iterations int
+	Results    []rank.Ranked
+	// InBase marks which of Results' nodes belong to the query's base
+	// set (membership is recorded for the returned nodes only).
+	InBase map[graph.NodeID]bool
+}
+
+// Stats is a point-in-time snapshot of the manager's counters, the
+// substrate of the afq_profile_* metric families.
+type Stats struct {
+	StoreHits   uint64 `json:"storeHits"`   // profile LRU hits
+	StoreMisses uint64 `json:"storeMisses"` // profile LRU misses (disk consulted)
+	DiskLoads   uint64 `json:"diskLoads"`   // records actually decoded from disk
+	StoreBytes  int64  `json:"storeBytes"`  // resident decoded-profile bytes
+	Resident    int    `json:"resident"`    // resident decoded profiles
+
+	AnswerHits   uint64 `json:"answerHits"`
+	AnswerMisses uint64 `json:"answerMisses"`
+	AnswerBytes  int64  `json:"answerBytes"`
+
+	BasisBuilds       uint64 `json:"basisBuilds"`
+	BasisTerms        int    `json:"basisTerms"`
+	BasisBytes        int64  `json:"basisBytes"`
+	BasisGeneration   uint64 `json:"basisGeneration"`
+	BasisRatesVersion uint64 `json:"basisRatesVersion"`
+
+	Trains    uint64 `json:"trains"`
+	Combines  uint64 `json:"combines"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Manager ties the basis, the durable store and the in-memory LRU tier
+// into the personalization serving surface. All methods are safe for
+// concurrent use; the serving path is lock-free except for LRU shard
+// mutexes, and basis rebuilds serialize on one mutex with double-check.
+type Manager struct {
+	eng  *core.Engine
+	opts Options
+	disk *DiskStore // nil when memory-only
+
+	basisMu sync.Mutex
+	basis   atomic.Pointer[Basis]
+
+	profiles *shardedLRU
+	answers  *shardedLRU
+
+	// trainMu stripes per-profile training so two concurrent feedback
+	// rounds for one id do not lose updates to each other.
+	trainMu [16]sync.Mutex
+
+	storeHits    atomic.Uint64
+	storeMisses  atomic.Uint64
+	diskLoads    atomic.Uint64
+	answerHits   atomic.Uint64
+	answerMisses atomic.Uint64
+	basisBuilds  atomic.Uint64
+	trains       atomic.Uint64
+	combines     atomic.Uint64
+	evictions    atomic.Int64
+}
+
+// NewManager builds a personalization manager over an engine. A
+// non-empty Dir opens (creating if needed) the durable store.
+func NewManager(eng *core.Engine, opts Options) (*Manager, error) {
+	if opts.BasisSize <= 0 {
+		opts.BasisSize = DefaultBasisSize
+	}
+	if opts.Beta <= 0 || opts.Beta >= 1 || math.IsNaN(opts.Beta) {
+		opts.Beta = DefaultBeta
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 32 << 20
+	}
+	if opts.MaxMixture <= 0 {
+		opts.MaxMixture = 16
+	}
+	if opts.LearningRate <= 0 || opts.LearningRate > 1 {
+		opts.LearningRate = DefaultLearningRate
+	}
+	if opts.Train == (core.ReformulateOptions{}) {
+		opts.Train = core.ContentAndStructure()
+	}
+	m := &Manager{eng: eng, opts: opts}
+	if opts.Dir != "" {
+		disk, err := NewDiskStore(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		m.disk = disk
+	}
+	half := opts.CacheBytes / 2
+	m.profiles = newShardedLRU(half, 16, &m.evictions)
+	m.answers = newShardedLRU(opts.CacheBytes-half, 16, &m.evictions)
+	return m, nil
+}
+
+// Engine returns the engine the manager serves.
+func (m *Manager) Engine() *core.Engine { return m.eng }
+
+// BasisSize returns the configured basis panel size.
+func (m *Manager) BasisSize() int { return m.opts.BasisSize }
+
+// DefaultTrainOptions returns the reformulation setting TrainCtx uses
+// when the caller passes nil.
+func (m *Manager) DefaultTrainOptions() core.ReformulateOptions { return m.opts.Train }
+
+// BasisFor returns a basis valid for the pin's (generation, ratesKey)
+// identity, rebuilding under a mutex (with double-check) on mismatch.
+// This lazy per-request revalidation is the invalidation lifecycle of
+// the tier: a corpus swap or rates publish changes the pin's identity,
+// the stale basis fails the stamp comparison, and the next personalized
+// query pays one rebuild — a combine can never mix a basis from one
+// generation into an answer for another.
+func (m *Manager) BasisFor(ctx context.Context, pin *core.Pinned) (*Basis, error) {
+	rk := graph.RateVectorKey(pin.Rates().Vector())
+	if b := m.basis.Load(); b != nil && b.generation == pin.Generation() && b.ratesKey == rk {
+		return b, nil
+	}
+	m.basisMu.Lock()
+	defer m.basisMu.Unlock()
+	if b := m.basis.Load(); b != nil && b.generation == pin.Generation() && b.ratesKey == rk {
+		return b, nil
+	}
+	b, err := BuildBasis(ctx, pin, BasisTerms(pin, m.opts.BasisSize))
+	if err != nil {
+		return nil, err
+	}
+	m.basis.Store(b)
+	m.basisBuilds.Add(1)
+	return b, nil
+}
+
+// Prewarm builds the basis against the engine's current state so the
+// first personalized query does not pay the build; servers call it at
+// startup (and again after swaps, if they wish — BasisFor self-heals
+// either way).
+func (m *Manager) Prewarm(ctx context.Context) error {
+	_, err := m.BasisFor(ctx, m.eng.Pin())
+	return err
+}
+
+// Get returns the profile under id, consulting the LRU then the durable
+// store. The returned profile is shared and must not be mutated.
+func (m *Manager) Get(id string) (*Profile, error) {
+	if !ValidID(id) {
+		return nil, ErrNotFound
+	}
+	if v, ok := m.profiles.Get(id); ok {
+		m.storeHits.Add(1)
+		return v.(*Profile), nil
+	}
+	m.storeMisses.Add(1)
+	if m.disk == nil {
+		return nil, ErrNotFound
+	}
+	p, err := m.disk.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	m.diskLoads.Add(1)
+	m.profiles.Put(id, p, p.footprint())
+	return p, nil
+}
+
+// Put validates, persists and caches a profile, bumping its revision.
+// The stored value is a sanitized clone; the caller's copy is not
+// retained.
+func (m *Manager) Put(p *Profile) (*Profile, error) {
+	if !ValidID(p.ID) {
+		return nil, fmt.Errorf("profile: invalid id %q", p.ID)
+	}
+	cp := p.Clone()
+	for t, w := range cp.Mixture {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			delete(cp.Mixture, t)
+		}
+	}
+	capMixture(cp.Mixture, m.opts.MaxMixture)
+	normalizeMixture(cp.Mixture)
+	if cp.Beta < 0 || cp.Beta >= 1 || math.IsNaN(cp.Beta) {
+		cp.Beta = 0 // 0 = use the manager default
+	}
+	cp.Rev++
+	if m.disk != nil {
+		if err := m.disk.Save(cp); err != nil {
+			return nil, err
+		}
+	}
+	m.profiles.Put(cp.ID, cp, cp.footprint())
+	return cp, nil
+}
+
+// Delete removes a profile from the cache and the durable store.
+func (m *Manager) Delete(id string) error {
+	m.profiles.Remove(id)
+	if m.disk != nil {
+		return m.disk.Delete(id)
+	}
+	return nil
+}
+
+// beta resolves a profile's effective blend factor.
+func (m *Manager) beta(p *Profile) float64 {
+	if p.Beta > 0 && p.Beta < 1 {
+		return p.Beta
+	}
+	return m.opts.Beta
+}
+
+// EffectiveRates materializes a profile's private rate assignment:
+// published global rates plus the profile's delta, clamped non-negative
+// and renormalized to a valid assignment. Used by the direct solve path
+// and as the base rates of the next training round.
+func (m *Manager) EffectiveRates(pin *core.Pinned, p *Profile) (*graph.Rates, error) {
+	base := pin.Rates()
+	if len(p.Delta) == 0 {
+		return base, nil
+	}
+	vec := base.Vector()
+	if len(p.Delta) != len(vec) {
+		// A delta trained against another schema (corpus family swap)
+		// is unusable; serve the global rates rather than failing.
+		return base, nil
+	}
+	for i := range vec {
+		vec[i] += p.Delta[i]
+		if vec[i] < 0 || math.IsNaN(vec[i]) {
+			vec[i] = 0
+		}
+	}
+	eff := graph.NewRates(base.Schema())
+	if err := eff.SetVector(vec); err != nil {
+		return nil, err
+	}
+	eff.NormalizeOutgoing()
+	return eff, nil
+}
+
+// canonicalQuery renders a query as a deterministic cache-key
+// component: sorted term:weight-bits pairs.
+func canonicalQuery(q *ir.Query) string {
+	terms := q.Terms()
+	weights := q.Weights()
+	type tw struct {
+		t string
+		w float64
+	}
+	pairs := make([]tw, len(terms))
+	for i := range terms {
+		pairs[i] = tw{terms[i], weights[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].t < pairs[j].t })
+	var b strings.Builder
+	for _, p := range pairs {
+		b.WriteString(p.t)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(math.Float64bits(p.w), 16))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func answerKey(id string, rev, gen, rk uint64, k int, cq string) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%x\x00%d\x00%s", id, rev, gen, rk, k, cq)
+}
+
+// QueryCtx serves a personalized top-k answer for the profile under id:
+// answer-LRU hit, else basis combination r_p = (1−β)·r(Q) + β·Σ m̂_t·r_t
+// against a basis validated for the pin. The answer always carries the
+// PIN's generation — by construction, since both the query solve and
+// the basis are checked against the same pinned identity.
+func (m *Manager) QueryCtx(ctx context.Context, pin *core.Pinned, id string, q *ir.Query, k int) (*Answer, Source, error) {
+	prof, err := m.Get(id)
+	if err != nil {
+		return nil, "", err
+	}
+	rk := graph.RateVectorKey(pin.Rates().Vector())
+	key := answerKey(id, prof.Rev, pin.Generation(), rk, k, canonicalQuery(q))
+	if v, ok := m.answers.Get(key); ok {
+		a := v.(*Answer)
+		// The key embeds (generation, ratesKey), so a hit is valid for
+		// this pin by construction.
+		m.answerHits.Add(1)
+		return a, SourceHit, nil
+	}
+	m.answerMisses.Add(1)
+
+	basis, err := m.BasisFor(ctx, pin)
+	if err != nil {
+		return nil, "", err
+	}
+	qres, err := m.baseRank(ctx, pin, q)
+	if err != nil {
+		return nil, "", err
+	}
+	beta := m.beta(prof)
+	personalized := beta > 0 && len(normalizedMixture(basis, prof.Mixture)) > 0
+	combined := basis.Combine(qres.Scores, prof.Mixture, beta)
+	results := rank.TopK(combined, k)
+	inBase := make(map[graph.NodeID]bool, len(results))
+	baseNodes := make(map[graph.NodeID]struct{}, len(qres.Base))
+	for _, d := range qres.Base {
+		baseNodes[graph.NodeID(d.Doc)] = struct{}{}
+	}
+	for _, it := range results {
+		if _, ok := baseNodes[it.Node]; ok {
+			inBase[it.Node] = true
+		}
+	}
+	a := &Answer{
+		ID:           id,
+		Generation:   pin.Generation(),
+		RatesVersion: pin.Version(),
+		RatesKey:     rk,
+		Rev:          prof.Rev,
+		Personalized: personalized,
+		BaseSet:      len(qres.Base),
+		Iterations:   qres.Iterations,
+		Results:      results,
+		InBase:       inBase,
+	}
+	m.eng.Release(qres)
+	m.combines.Add(1)
+	m.answers.Put(key, a, int64(len(a.Results))*24+int64(len(key))+64)
+	src := SourceCombined
+	if !personalized {
+		src = SourceGlobal
+	}
+	return a, src, nil
+}
+
+func (m *Manager) baseRank(ctx context.Context, pin *core.Pinned, q *ir.Query) (*core.RankResult, error) {
+	if m.opts.BaseRank != nil {
+		return m.opts.BaseRank(ctx, pin, q)
+	}
+	return pin.RankCtx(ctx, q)
+}
+
+// TrainCtx runs one relevance-feedback round against the caller's
+// profile instead of the global engine vector: the Eq. 10/11–15
+// content/structure split of ReformulateCtx is evaluated under the
+// profile's EFFECTIVE rates (global + delta), the resulting expansion
+// terms update the profile's mixture (EWMA over basis members), and the
+// adjusted rates minus the published global vector become the new
+// delta. Nothing is published to the engine — training a profile can
+// never race a global reformulation. The returned profile is the
+// persisted post-training record.
+func (m *Manager) TrainCtx(ctx context.Context, pin *core.Pinned, id string, q *ir.Query, feedback []*core.Subgraph, confidences []float64, opts *core.ReformulateOptions) (*core.Reformulation, *Profile, error) {
+	mu := &m.trainMu[fnv1a(id)&15]
+	mu.Lock()
+	defer mu.Unlock()
+
+	prof, err := m.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	basis, err := m.BasisFor(ctx, pin)
+	if err != nil {
+		return nil, nil, err
+	}
+	eff, err := m.EffectiveRates(pin, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	dp, err := pin.WithRates(eff)
+	if err != nil {
+		return nil, nil, err
+	}
+	topts := m.opts.Train
+	if opts != nil {
+		topts = *opts
+	}
+	ref, err := dp.ReformulateWeightedCtx(ctx, q, feedback, confidences, topts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	next := prof.Clone()
+	// Structure: the adjusted effective rates, re-expressed as a delta
+	// against the published global vector.
+	global := pin.Rates().Vector()
+	adjusted := ref.Rates.Vector()
+	delta := make([]float64, len(global))
+	nonzero := false
+	for i := range delta {
+		delta[i] = adjusted[i] - global[i]
+		if delta[i] != 0 {
+			nonzero = true
+		}
+	}
+	if nonzero {
+		next.Delta = delta
+	}
+
+	// Content: feedback expansion terms (and the confirmed query terms)
+	// that have basis vectors move the mixture, EWMA-blended so recent
+	// feedback dominates without erasing history.
+	contrib := make(map[string]float64)
+	for _, wt := range ref.Expansion {
+		if wt.Weight > 0 && basis.Has(wt.Term) {
+			contrib[wt.Term] += wt.Weight
+		}
+	}
+	terms, weights := q.Terms(), q.Weights()
+	for i, t := range terms {
+		if weights[i] > 0 && basis.Has(t) {
+			contrib[t] += weights[i]
+		}
+	}
+	if len(contrib) > 0 {
+		normalizeMixture(contrib)
+		eta := m.opts.LearningRate
+		normalizeMixture(next.Mixture)
+		for t := range next.Mixture {
+			next.Mixture[t] *= 1 - eta
+		}
+		for t, w := range contrib {
+			next.Mixture[t] += eta * w
+		}
+		capMixture(next.Mixture, m.opts.MaxMixture)
+		normalizeMixture(next.Mixture)
+	}
+	next.Rev++
+	next.TrainedGeneration = pin.Generation()
+	next.TrainedRatesVersion = pin.Version()
+	if m.disk != nil {
+		if err := m.disk.Save(next); err != nil {
+			return nil, nil, err
+		}
+	}
+	m.profiles.Put(next.ID, next, next.footprint())
+	m.trains.Add(1)
+	return ref, next, nil
+}
+
+// capMixture keeps only the top-n mixture terms by weight (ties by
+// term, for determinism).
+func capMixture(mix map[string]float64, n int) {
+	if len(mix) <= n {
+		return
+	}
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(mix))
+	for t, w := range mix {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	for _, e := range all[n:] {
+		delete(mix, e.t)
+	}
+}
+
+// normalizeMixture rescales weights to sum to 1 (no-op for an empty
+// map).
+func normalizeMixture(mix map[string]float64) {
+	sum := 0.0
+	for _, w := range mix {
+		sum += w
+	}
+	if sum <= 0 {
+		return
+	}
+	for t := range mix {
+		mix[t] /= sum
+	}
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		StoreHits:    m.storeHits.Load(),
+		StoreMisses:  m.storeMisses.Load(),
+		DiskLoads:    m.diskLoads.Load(),
+		StoreBytes:   m.profiles.Bytes(),
+		Resident:     m.profiles.Len(),
+		AnswerHits:   m.answerHits.Load(),
+		AnswerMisses: m.answerMisses.Load(),
+		AnswerBytes:  m.answers.Bytes(),
+		BasisBuilds:  m.basisBuilds.Load(),
+		Trains:       m.trains.Load(),
+		Combines:     m.combines.Load(),
+		Evictions:    uint64(m.evictions.Load()),
+	}
+	if b := m.basis.Load(); b != nil {
+		s.BasisTerms = b.Size()
+		s.BasisBytes = b.Bytes()
+		s.BasisGeneration = b.Generation()
+		s.BasisRatesVersion = b.RatesVersion()
+	}
+	return s
+}

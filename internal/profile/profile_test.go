@@ -1,0 +1,362 @@
+package profile
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+func testEngine(t testing.TB, opts rank.Options) (*datagen.Dataset, *core.Engine) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Rates, core.Config{Rank: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, eng
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	p := &Profile{
+		ID:                  "user-42.test_A",
+		Mixture:             map[string]float64{"mining": 0.6, "database": 0.3, "xml": 0.1},
+		Beta:                0.25,
+		Delta:               []float64{0.01, -0.02, 0, 0.003},
+		Rev:                 7,
+		TrainedGeneration:   3,
+		TrainedRatesVersion: 11,
+	}
+	data := p.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != p.ID || got.Beta != p.Beta || got.Rev != p.Rev ||
+		got.TrainedGeneration != p.TrainedGeneration || got.TrainedRatesVersion != p.TrainedRatesVersion {
+		t.Fatalf("meta mismatch: %+v vs %+v", got, p)
+	}
+	if len(got.Mixture) != len(p.Mixture) {
+		t.Fatalf("mixture size %d, want %d", len(got.Mixture), len(p.Mixture))
+	}
+	for term, w := range p.Mixture {
+		if got.Mixture[term] != w {
+			t.Fatalf("mixture[%s] = %v, want %v", term, got.Mixture[term], w)
+		}
+	}
+	if len(got.Delta) != len(p.Delta) {
+		t.Fatalf("delta length %d, want %d", len(got.Delta), len(p.Delta))
+	}
+	for i := range p.Delta {
+		if got.Delta[i] != p.Delta[i] {
+			t.Fatalf("delta[%d] = %v, want %v", i, got.Delta[i], p.Delta[i])
+		}
+	}
+
+	// A profile without a delta omits the delta section entirely.
+	p2 := &Profile{ID: "plain", Mixture: map[string]float64{}}
+	got2, err := Decode(p2.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Delta != nil {
+		t.Fatalf("expected nil delta, got %v", got2.Delta)
+	}
+}
+
+func TestCodecRejectsDamage(t *testing.T) {
+	p := &Profile{ID: "victim", Mixture: map[string]float64{"mining": 1}}
+	data := p.Encode()
+
+	if _, err := Decode(data[:10]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	// Flip one payload byte: the section checksum must catch it.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := Decode(flipped); err == nil {
+		t.Fatal("checksum-damaged record decoded")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, ok := range []string{"a", "user-1", "A.B_c-9", string(bytes.Repeat([]byte{'x'}, 128))} {
+		if !ValidID(ok) {
+			t.Errorf("ValidID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "a b", "a\\b", "é", string(bytes.Repeat([]byte{'x'}, 129))} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestDiskStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("ghost"); err != ErrNotFound {
+		t.Fatalf("missing profile: err = %v, want ErrNotFound", err)
+	}
+	p := &Profile{ID: "alice", Mixture: map[string]float64{"mining": 1}, Rev: 3}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "alice" || got.Rev != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+	// Atomic write discipline: no temp files linger.
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*", "*.tmp")); len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+	if err := s.Delete("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("alice"); err != ErrNotFound {
+		t.Fatalf("deleted profile: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("alice"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestCombineAgreesWithDirectSolve is the acceptance-criteria agreement
+// check: the basis-combined personalized vector must match a direct
+// power iteration over the SAME personalized jump distribution to
+// ≤1e-9 elementwise. Both sides run at threshold 1e-12, far below the
+// agreement bound, so the residual convergence slack cannot mask a
+// combination error.
+func TestCombineAgreesWithDirectSolve(t *testing.T) {
+	opts := rank.Options{Threshold: 1e-12, MaxIters: 3000}
+	_, eng := testEngine(t, opts)
+	pin := eng.Pin()
+	basis, err := BuildBasis(context.Background(), pin, BasisTerms(pin, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := basis.Terms()
+	if len(terms) < 3 {
+		t.Fatalf("basis too small: %d terms", len(terms))
+	}
+	mixture := map[string]float64{terms[0]: 0.5, terms[1]: 0.3, terms[2]: 0.2}
+	const beta = 0.35
+
+	q := ir.NewQuery(terms[0], terms[1])
+	qres, err := pin.RankCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := basis.Combine(qres.Scores, mixture, beta)
+
+	jump := basis.MixtureJump(pin, qres.Base, mixture, beta)
+	direct, err := pin.RankJumpCtx(context.Background(), jump, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Converged {
+		t.Fatal("direct solve did not converge")
+	}
+	maxDiff := 0.0
+	for i := range combined {
+		if d := math.Abs(combined[i] - direct.Scores[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9 {
+		t.Fatalf("combined vs direct solve disagree: max elementwise diff %g > 1e-9", maxDiff)
+	}
+	t.Logf("max elementwise diff: %g", maxDiff)
+	eng.Release(qres)
+	eng.Release(direct)
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	opts := rank.Options{Threshold: 1e-8, MaxIters: 300}
+	_, eng := testEngine(t, opts)
+	m, err := NewManager(eng, Options{Dir: t.TempDir(), BasisSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("nobody"); err != ErrNotFound {
+		t.Fatalf("Get(nobody) = %v, want ErrNotFound", err)
+	}
+	if _, _, err := m.QueryCtx(context.Background(), eng.Pin(), "nobody", ir.NewQuery("mining"), 10); err != ErrNotFound {
+		t.Fatalf("QueryCtx(nobody) = %v, want ErrNotFound", err)
+	}
+
+	created, err := m.Put(&Profile{ID: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Rev != 1 {
+		t.Fatalf("fresh profile rev = %d, want 1", created.Rev)
+	}
+
+	pin := eng.Pin()
+	q := ir.NewQuery("mining")
+	a, src, err := m.QueryCtx(context.Background(), pin, "u1", q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceGlobal || a.Personalized {
+		t.Fatalf("untrained profile served %v/personalized=%v, want global", src, a.Personalized)
+	}
+	if a.Generation != pin.Generation() {
+		t.Fatalf("answer generation %d, want %d", a.Generation, pin.Generation())
+	}
+	baseline := append([]rank.Ranked(nil), a.Results...)
+
+	// Train on explain subgraphs of the top answers.
+	res, err := pin.RankCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feedback []*core.Subgraph
+	for _, r := range res.TopK(2) {
+		sg, err := pin.ExplainCtx(context.Background(), res, r.Node, core.DefaultExplain())
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedback = append(feedback, sg)
+	}
+	eng.Release(res)
+	ref, trained, err := m.TrainCtx(context.Background(), pin, "u1", q, feedback, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref == nil || trained.Rev != created.Rev+1 {
+		t.Fatalf("training did not bump rev: %+v", trained)
+	}
+	if len(trained.Mixture) == 0 {
+		t.Fatal("training produced an empty mixture")
+	}
+	if trained.TrainedGeneration != pin.Generation() || trained.TrainedRatesVersion != pin.Version() {
+		t.Fatalf("trained stamps %d/%d, want %d/%d",
+			trained.TrainedGeneration, trained.TrainedRatesVersion, pin.Generation(), pin.Version())
+	}
+
+	a2, src2, err := m.QueryCtx(context.Background(), pin, "u1", q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != SourceCombined || !a2.Personalized {
+		t.Fatalf("trained profile served %v/personalized=%v, want combined", src2, a2.Personalized)
+	}
+	same := len(a2.Results) == len(baseline)
+	if same {
+		for i := range baseline {
+			if a2.Results[i] != baseline[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("personalized answer identical to the global baseline after training")
+	}
+
+	// Second identical query: answer-LRU hit.
+	a3, src3, err := m.QueryCtx(context.Background(), pin, "u1", q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src3 != SourceHit || a3 != a2 {
+		t.Fatalf("repeat query served %v (shared=%v), want LRU hit", src3, a3 == a2)
+	}
+
+	// Durability: a fresh manager over the same dir sees the trained
+	// profile without sharing any memory.
+	m2, err := NewManager(eng, Options{Dir: m.disk.Dir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := m2.Get("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Rev != trained.Rev || len(reloaded.Mixture) != len(trained.Mixture) {
+		t.Fatalf("reloaded profile %+v, want %+v", reloaded, trained)
+	}
+
+	st := m.Stats()
+	if st.Trains != 1 || st.Combines < 2 || st.AnswerHits != 1 || st.BasisBuilds != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	if err := m.Delete("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("u1"); err != ErrNotFound {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+}
+
+// TestBasisInvalidationOnPublish: a rates publish changes the pin's
+// RateVectorKey, so the next personalized query must rebuild the basis
+// rather than combine against vectors solved under the old rates.
+func TestBasisInvalidationOnPublish(t *testing.T) {
+	opts := rank.Options{Threshold: 1e-8, MaxIters: 300}
+	_, eng := testEngine(t, opts)
+	m, err := NewManager(eng, Options{BasisSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := m.BasisFor(context.Background(), eng.Pin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Rates()
+	v := r.Vector()
+	for i, x := range v {
+		if x > 0 {
+			v[i] = x * 0.9
+			break
+		}
+	}
+	if err := r.SetVector(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetRates(r); err != nil {
+		t.Fatal(err)
+	}
+	pin := eng.Pin()
+	if b1.ValidFor(pin) {
+		t.Fatal("stale basis claims validity for the new rates")
+	}
+	b2, err := m.BasisFor(context.Background(), pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 == b1 {
+		t.Fatal("basis not rebuilt after rates publish")
+	}
+	if b2.RatesVersion() != pin.Version() || !b2.ValidFor(pin) {
+		t.Fatalf("rebuilt basis stamped %d, pin %d", b2.RatesVersion(), pin.Version())
+	}
+	if m.Stats().BasisBuilds != 2 {
+		t.Fatalf("basis builds = %d, want 2", m.Stats().BasisBuilds)
+	}
+}

@@ -84,6 +84,7 @@ func (rt *Router) Handler() http.Handler {
 	handle("/v1/explain", rt.handleSingle)
 	handle("/v1/query/batch", rt.handleBatch)
 	handle("/v1/reformulate", rt.handleReformulate)
+	handle("/v1/profile/", rt.handleProfile)
 	handle("/v1/corpus/swap", rt.handleSwap)
 	handle("/v1/rates", rt.handleRatesRoute)
 	handle("/v1/healthz", rt.handleReadProxy)
@@ -238,6 +239,12 @@ func (rt *Router) propagationContext() (context.Context, context.CancelFunc) {
 // transport errors and 5xx answers. The replica's response is
 // forwarded byte-identically; the router adds nothing on success.
 func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
+	if pid := r.URL.Query().Get("profile"); pid != "" {
+		// Personalized traffic routes by PROFILE ID to the one replica
+		// holding the record — owner-only, no failover (profile.go).
+		rt.handleProfileRead(w, r, pid)
+		return
+	}
 	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
 	if !ok {
 		return
@@ -572,6 +579,12 @@ func (rt *Router) planBatch(items []server.BatchQueryItem, keys []string, floorG
 // reformulation is not idempotent, and a transport failure leaves the
 // owner's state unknown — re-sending could apply the feedback twice.
 func (rt *Router) handleReformulate(w http.ResponseWriter, r *http.Request) {
+	if pid := r.URL.Query().Get("profile"); pid != "" {
+		// Profile-scoped training mutates only the owner's local record —
+		// no global version advance, so no writeMu and no propagation.
+		rt.handleProfileTrain(w, r, pid)
+		return
+	}
 	rt.writeMu.Lock()
 	defer rt.writeMu.Unlock()
 

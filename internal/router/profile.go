@@ -1,0 +1,165 @@
+// profile.go routes the personalization tier across the fleet. Profile
+// records are REPLICA-LOCAL state (one durable record on the owning
+// replica's disk, plus its decoded/answer LRUs), so profile traffic is
+// rendezvous-routed by PROFILE ID — not by query term set — and is
+// strictly owner-dispatched: a profile's reads, writes, personalized
+// queries and training rounds all land on the one replica that holds
+// the record. There is NO failover — a "failover" replica has no record
+// (spurious 404) or a stale one (lost training), both worse than an
+// honest 503 while the owner is down.
+package router
+
+import (
+	"net/http"
+
+	"authorityflow/internal/obs"
+	"authorityflow/internal/server"
+)
+
+// profileKey is the rendezvous key of a profile id. The "p\x00" prefix
+// keeps the profile key space disjoint from query term-set keys, so a
+// profile id that happens to spell a keyword does not co-locate with
+// that keyword's query traffic.
+func profileKey(id string) string { return "p\x00" + id }
+
+// profileOwner returns the profile's rendezvous owner — dead or alive.
+// Ownership does not move on failure (the record wouldn't move with
+// it), which is exactly why the caller must refuse to dispatch when the
+// owner is down.
+func (rt *Router) profileOwner(id string) *replica {
+	return rt.rendezvousRank(profileKey(id))[0]
+}
+
+// writeOwnerDown renders the owner-unavailable shed: unlike the generic
+// no-replica shed it names the one replica that can serve this profile.
+func (rt *Router) writeOwnerDown(w http.ResponseWriter, r *http.Request, owner *replica) {
+	w.Header().Set("Retry-After", "1")
+	rt.writeError(w, r, http.StatusServiceUnavailable, server.CodeShed,
+		"profile owner "+owner.url+" is down; profile state is replica-local, so there is no failover — retry when it recovers")
+}
+
+// handleProfile proxies /v1/profile/{id} CRUD to the id's owner. GET
+// rides the retrying DoRaw (idempotent); PUT/POST/DELETE go through
+// DoRawOnce — an update bumps the profile revision, so a lost reply
+// must surface rather than silently re-send.
+func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Path[len("/v1/profile/"):]
+	if id == "" {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "profile id required")
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	owner := rt.profileOwner(id)
+	if !owner.up.Load() {
+		rt.writeOwnerDown(w, r, owner)
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	tr.Eventf("route", "replica=%s profile=%s", owner.url, id)
+	hdr := forwardHeaders(r.Header)
+	var resp *server.RawResponse
+	var err error
+	if r.Method == http.MethodGet {
+		resp, err = owner.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), hdr, body)
+	} else {
+		resp, err = owner.client.DoRawOnce(r.Context(), r.Method, r.URL.RequestURI(), hdr, body)
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		owner.setDown(err)
+		rt.writeOwnerDown(w, r, owner)
+		return
+	}
+	rt.robs.routed.With(owner.url).Inc()
+	w.Header().Set(HeaderServedBy, owner.url)
+	copyResponse(w, resp)
+}
+
+// handleProfileRead owner-dispatches a personalized read
+// (/v1/query?profile= and, via handleProfileTrain's answer leg,
+// anything carrying a profile id). The floor still gates dispatch: a
+// personalized answer must reflect coordinated fleet state like any
+// other, so an owner below the floor gets the same 409 a stale replica
+// would — retryable once resync catches it up — never a silent
+// downgrade onto a replica without the profile.
+func (rt *Router) handleProfileRead(w http.ResponseWriter, r *http.Request, id string) {
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	owner := rt.profileOwner(id)
+	if !owner.up.Load() {
+		rt.writeOwnerDown(w, r, owner)
+		return
+	}
+	if !eligible(owner, floorGen, floorRV) {
+		rt.robs.staleSkips.Inc()
+		rt.writeNoReplica(w, r, true)
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	tr.Eventf("route", "replica=%s profile=%s", owner.url, id)
+	resp, err := owner.client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		owner.setDown(err)
+		rt.writeOwnerDown(w, r, owner)
+		return
+	}
+	rt.observeAnswer(owner, r.URL.Path, resp)
+	rt.robs.routed.With(owner.url).Inc()
+	w.Header().Set(HeaderServedBy, owner.url)
+	copyResponse(w, resp)
+}
+
+// handleProfileTrain owner-dispatches /v1/reformulate?profile={id}.
+// Profile training publishes NOTHING globally — no rates propagation,
+// no writeMu, no version advance — but it mutates the profile record,
+// so the dispatch is DoRawOnce with no failover, exactly like the
+// global reformulation's owner leg.
+func (rt *Router) handleProfileTrain(w http.ResponseWriter, r *http.Request, id string) {
+	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
+	if !ok {
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	owner := rt.profileOwner(id)
+	if !owner.up.Load() {
+		rt.writeOwnerDown(w, r, owner)
+		return
+	}
+	if !eligible(owner, floorGen, floorRV) {
+		rt.robs.staleSkips.Inc()
+		rt.writeNoReplica(w, r, true)
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	tr.Eventf("route", "replica=%s profile=%s", owner.url, id)
+	resp, err := owner.client.DoRawOnce(r.Context(), r.Method, r.URL.RequestURI(), forwardHeaders(r.Header), body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		owner.setDown(err)
+		rt.writeError(w, r, http.StatusBadGateway, server.CodeInternal,
+			"profile owner failed mid-training; its state is unknown — check /v1/router/healthz and retry")
+		return
+	}
+	rt.robs.routed.With(owner.url).Inc()
+	w.Header().Set(HeaderServedBy, owner.url)
+	copyResponse(w, resp)
+}

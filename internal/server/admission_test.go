@@ -26,7 +26,7 @@ func admissionServer(t *testing.T, adm AdmissionOptions, ropts rank.Options) (*S
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(ds, core.Config{Rank: ropts}, WithAdmission(adm))
+	s, err := New(ds, core.Config{Rank: ropts}, WithAdmission(adm), WithLegacyGrace())
 	if err != nil {
 		t.Fatal(err)
 	}

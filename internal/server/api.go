@@ -6,17 +6,20 @@
 //
 // The canonical surface is versioned under /v1:
 //
-//	GET  /v1/query?q=olap&k=10
+//	GET  /v1/query?q=olap&k=10[&profile=alice]
 //	POST /v1/query/batch          {"queries":[{"q":"olap","k":10}, ...]}
 //	GET  /v1/explain?q=olap&target=123
-//	GET  /v1/reformulate?q=olap&feedback=123,456&mode=...&version=N
+//	GET  /v1/reformulate?q=olap&feedback=123,456&mode=...&version=N[&profile=alice]
+//	GET|PUT|POST|DELETE /v1/profile/{id}
 //	GET  /v1/rates | /v1/healthz | /v1/stats
 //
-// The pre-v1 unversioned routes remain mounted as thin ALIASES of the
-// same handlers: success bodies are byte-identical, but every response
-// carries Deprecation, Sunset and Link (rel="successor-version")
-// headers pointing at the /v1 route. /metrics stays unversioned by
-// Prometheus convention.
+// The pre-v1 unversioned routes passed their RFC 8594 sunset on
+// 2026-08-06 and now answer 410 Gone with the v1 envelope naming the
+// successor route. The -legacy-grace flag (WithLegacyGrace) restores
+// the pre-sunset alias behaviour — same handlers, byte-identical
+// success bodies — for deployments still migrating; both modes carry
+// Deprecation, Sunset and Link (rel="successor-version") headers.
+// /metrics stays unversioned by Prometheus convention.
 //
 // # Errors
 //
@@ -45,6 +48,7 @@ import (
 	"authorityflow/internal/cache"
 	"authorityflow/internal/ir"
 	"authorityflow/internal/obs"
+	"authorityflow/internal/profile"
 )
 
 // Stable machine-readable error codes of the v1 error envelope. These
@@ -71,6 +75,14 @@ const (
 	CodeCancelled = "cancelled"
 	// CodeInternal: anything else. HTTP 500.
 	CodeInternal = "internal"
+	// CodeGone: the request hit a legacy unversioned route after its
+	// sunset date. The message and the Link header name the /v1
+	// successor. HTTP 410.
+	CodeGone = "gone"
+	// CodeProfileNotFound: no profile exists under the requested id.
+	// HTTP 404 (distinct from CodeInvalidArgument's 404 so clients can
+	// tell "create it first" from "bad request").
+	CodeProfileNotFound = "profile_not_found"
 )
 
 // ErrorInfo is the body of the v1 error envelope.
@@ -118,8 +130,18 @@ type QueryResponse struct {
 	Generation uint64 `json:"generation"`
 	// Cache reports how a cache-enabled server produced the answer
 	// ("result", "term", or "computed"); omitted when serving uncached.
-	Cache   string   `json:"cache,omitempty"`
-	Results []Result `json:"results"`
+	// Profile-scoped answers report the personalization tier's path
+	// instead ("hit", "combined", "global").
+	Cache string `json:"cache,omitempty"`
+	// Profile names the profile a personalized answer was combined for
+	// (the request's profile parameter); absent on global answers.
+	Profile string `json:"profile,omitempty"`
+	// Personalized reports whether the profile's mixture actually moved
+	// the ranking (false when the profile is untrained or its topics
+	// fell out of the current basis — the answer then equals the global
+	// ranking).
+	Personalized bool     `json:"personalized,omitempty"`
+	Results      []Result `json:"results"`
 }
 
 // BatchQueryItem is one query of a /v1/query/batch request.
@@ -156,11 +178,19 @@ type BatchQueryResponse struct {
 // published (equal to the pre-reformulation version when the mode
 // carries no rate change or publication was skipped).
 type ReformulateResponse struct {
-	Query     string          `json:"query"`
-	Rates     string          `json:"rates"`
-	Version   uint64          `json:"version"`
-	Expansion []ExpansionTerm `json:"expansion,omitempty"`
-	Results   []Result        `json:"results"`
+	Query   string `json:"query"`
+	Rates   string `json:"rates"`
+	Version uint64 `json:"version"`
+	// Profile and ProfileRev are set on profile-scoped reformulations
+	// (?profile=): the feedback trained the named profile's private
+	// mixture and rates-delta instead of publishing globally, Rates
+	// reports the profile's EFFECTIVE (not published) rates, Version is
+	// the unchanged published version the training ran under, and
+	// ProfileRev is the profile's post-training revision.
+	Profile    string          `json:"profile,omitempty"`
+	ProfileRev uint64          `json:"profileRev,omitempty"`
+	Expansion  []ExpansionTerm `json:"expansion,omitempty"`
+	Results    []Result        `json:"results"`
 }
 
 // ConflictResponse is the LEGACY 409 payload of /reformulate: another
@@ -205,6 +235,37 @@ type SwapConflictEnvelope struct {
 type ExpansionTerm struct {
 	Term   string  `json:"term"`
 	Weight float64 `json:"weight"`
+}
+
+// ProfileUpdateRequest is the PUT/POST /v1/profile/{id} body: replace
+// the profile's declared interests. Mixture weights are non-negative
+// topic weights over basis terms (unknown terms are kept in the record
+// and simply carry no weight until a basis contains them); Beta is the
+// personalization blend factor in [0,1) (0 = the server default). A
+// trained rates-delta, if any, survives updates — it is learned through
+// profile-scoped reformulation, not declared.
+type ProfileUpdateRequest struct {
+	Mixture map[string]float64 `json:"mixture"`
+	Beta    float64            `json:"beta,omitempty"`
+}
+
+// ProfileResponse is the GET /v1/profile/{id} payload (and the 200
+// payload of PUT/POST, reporting the just-stored state). Rev increments
+// on every mutation — API update or feedback training — and doubles as
+// the optimistic token that invalidates the profile's cached answers.
+type ProfileResponse struct {
+	ID      string             `json:"id"`
+	Mixture map[string]float64 `json:"mixture"`
+	Beta    float64            `json:"beta"`
+	Rev     uint64             `json:"rev"`
+	// HasDelta reports whether the profile carries a trained rates-delta
+	// (the delta itself is internal — it personalizes training and the
+	// direct solve path, not the combine fast path; see DESIGN.md §12).
+	HasDelta bool `json:"hasDelta"`
+	// TrainedGeneration/TrainedRatesVersion record the engine state the
+	// last training round ran against (diagnostics).
+	TrainedGeneration   uint64 `json:"trainedGeneration,omitempty"`
+	TrainedRatesVersion uint64 `json:"trainedRatesVersion,omitempty"`
 }
 
 // HealthResponse is the /v1/healthz payload: enough for an operator to
@@ -264,6 +325,10 @@ type StatsResponse struct {
 	HTTP          HTTPStats            `json:"http"`
 	Kernel        KernelStats          `json:"kernel"`
 	Cache         *cache.StatsSnapshot `json:"cache,omitempty"`
+	// Profile is the personalization tier's counters (present only when
+	// the server was built WithProfiles); it reads the SAME atomics the
+	// afq_profile_* metric families read.
+	Profile *profile.Stats `json:"profile,omitempty"`
 }
 
 // HTTPStats summarizes the middleware's request counters, keyed
@@ -303,24 +368,40 @@ func isV1(r *http.Request) bool {
 // Deprecation metadata of the legacy unversioned routes. The values are
 // fixed strings (not computed per request) so responses are cheap and
 // byte-stable: Deprecation is the RFC 9745 structured date the routes
-// were deprecated (the v1 release), Sunset the earliest retirement
-// date per RFC 8594.
+// were deprecated (the v1 release), Sunset the date they stopped
+// serving per RFC 8594. The sunset has PASSED: legacy routes now answer
+// 410 Gone by default, and only the -legacy-grace escape hatch
+// (WithLegacyGrace) restores the pre-sunset alias behaviour for
+// clients still mid-migration.
 const (
 	deprecationDate = "@1785974400"                   // 2026-08-06, the v1 release
-	sunsetDate      = "Fri, 06 Aug 2027 00:00:00 GMT" // one year of dual serving
+	sunsetDate      = "Thu, 06 Aug 2026 00:00:00 GMT" // retirement date (passed)
 )
 
-// deprecatedAlias wraps a legacy unversioned route: the handler runs
-// unchanged (success bodies stay byte-identical with the /v1 twin) but
-// every response advertises the deprecation and its successor route.
-func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+// deprecatedAlias wraps a legacy unversioned route. After the sunset
+// (the default), every request answers 410 Gone with the v1 error
+// envelope naming the successor route — the envelope, not the legacy
+// flat shape, because the 410 contract is new surface addressed at
+// clients being pushed to /v1. Under the grace flag the handler runs
+// unchanged (success bodies stay byte-identical with the /v1 twin).
+// Both modes advertise the deprecation metadata and the successor.
+func deprecatedAlias(successor string, grace bool, h http.HandlerFunc) http.HandlerFunc {
 	link := "<" + successor + ">; rel=\"successor-version\""
 	return func(w http.ResponseWriter, r *http.Request) {
 		hdr := w.Header()
 		hdr.Set("Deprecation", deprecationDate)
 		hdr.Set("Sunset", sunsetDate)
 		hdr.Set("Link", link)
-		h(w, r)
+		if grace {
+			h(w, r)
+			return
+		}
+		writeJSON(w, http.StatusGone, ErrorEnvelope{Error: ErrorInfo{
+			Code: CodeGone,
+			Message: "this route was retired on 2026-08-06; use " + successor +
+				" (operators can restart with -legacy-grace during migration)",
+			RequestID: obs.RequestIDFrom(r.Context()),
+		}})
 	}
 }
 
@@ -347,6 +428,8 @@ func codeForStatus(status int) string {
 		return CodeInvalidArgument
 	case http.StatusConflict:
 		return CodeVersionConflict
+	case http.StatusGone:
+		return CodeGone
 	case http.StatusServiceUnavailable:
 		return CodeShed
 	case http.StatusGatewayTimeout:

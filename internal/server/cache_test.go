@@ -24,12 +24,12 @@ func testCachedServer(t *testing.T) (*Server, *httptest.Server, *Server) {
 		t.Fatal(err)
 	}
 	core1 := core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}}
-	s, err := New(ds, core1, WithCache(8<<20, 2))
+	s, err := New(ds, core1, WithCache(8<<20, 2), WithLegacyGrace())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(s.Close)
-	plain, err := New(ds, core1)
+	plain, err := New(ds, core1, WithLegacyGrace())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -214,6 +214,53 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	return &out, nil
 }
 
+// ProfileGet runs GET /v1/profile/{id}. An unknown id returns an
+// *APIError with Code == CodeProfileNotFound.
+func (c *Client) ProfileGet(ctx context.Context, id string) (*ProfileResponse, error) {
+	var out ProfileResponse
+	if err := c.do(ctx, http.MethodGet, c.base+"/v1/profile/"+url.PathEscape(id), nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ProfileUpdate runs PUT /v1/profile/{id}: create the profile or
+// replace its declared interest mixture (learned state — the trained
+// rates-delta and revision history — is preserved server-side).
+func (c *Client) ProfileUpdate(ctx context.Context, id string, req ProfileUpdateRequest) (*ProfileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	var out ProfileResponse
+	if err := c.do(ctx, http.MethodPut, c.base+"/v1/profile/"+url.PathEscape(id), hdr, body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ProfileDelete runs DELETE /v1/profile/{id}. Deleting an id that does
+// not exist succeeds (the operation is idempotent server-side).
+func (c *Client) ProfileDelete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, c.base+"/v1/profile/"+url.PathEscape(id), nil, nil, nil)
+}
+
+// QueryProfile runs GET /v1/query?profile={id}: the personalized twin
+// of Query. The response reports Personalized and the answer source
+// in Cache ("hit", "combined" or "global").
+func (c *Client) QueryProfile(ctx context.Context, q string, k int, profileID string) (*QueryResponse, error) {
+	v := url.Values{"q": {q}, "profile": {profileID}}
+	if k > 0 {
+		v.Set("k", strconv.Itoa(k))
+	}
+	var out QueryResponse
+	if err := c.get(ctx, "/v1/query", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // RawResponse is a fully-read HTTP response: status line, headers and
 // body bytes. DoRaw returns it so a proxying caller (the router) can
 // forward a replica's answer byte-identically, whatever its status.
@@ -290,6 +337,9 @@ func (c *Client) do(ctx context.Context, method, url string, header http.Header,
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil // bodyless success (204)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -9,6 +9,7 @@ import (
 	"authorityflow/internal/cache"
 	"authorityflow/internal/core"
 	"authorityflow/internal/obs"
+	"authorityflow/internal/profile"
 )
 
 // ObsOptions configure the server's observability subsystem. The zero
@@ -57,6 +58,11 @@ type serverObs struct {
 	// cacheOutcome counts /query answers by provenance: the cache
 	// Source values plus "uncached".
 	cacheOutcome *obs.CounterVec
+	// profileOutcome counts personalized answers by the tier's path
+	// (hit / combined / global); profileUpdates counts /v1/profile
+	// record writes.
+	profileOutcome *obs.CounterVec
+	profileUpdates *obs.Counter
 	// Kernel-side families, fed by the engine's solve hook and the
 	// per-iteration observer.
 	solves           *obs.Counter
@@ -105,6 +111,14 @@ func newServerObs(o ObsOptions) *serverObs {
 	for _, s := range append(cache.Sources(), uncachedOutcome) {
 		so.cacheOutcome.With(s) // pre-create so every outcome is visible at 0
 	}
+	so.profileOutcome = reg.NewCounterVec("afq_profile_query_outcome_total",
+		"Personalized answers by path: hit (answer LRU), combined (basis combination ran), global (profile carried no usable mixture).",
+		"source")
+	for _, s := range []string{string(profile.SourceHit), string(profile.SourceCombined), string(profile.SourceGlobal)} {
+		so.profileOutcome.With(s)
+	}
+	so.profileUpdates = reg.NewCounter("afq_profile_updates_total",
+		"Profile records written through PUT/POST /v1/profile/{id}.")
 	so.solves = reg.NewCounter("afq_kernel_solves_total",
 		"Completed power-iteration kernel executions (all entry points, including cache-internal solves and prewarms).")
 	so.warmSolves = reg.NewCounter("afq_kernel_warm_solves_total",
@@ -167,6 +181,9 @@ func (so *serverObs) attach(s *Server) {
 	s.eng.SetSwapHook(func(oldGen, newGen uint64) {
 		so.swapsTotal.Inc()
 	})
+	if s.profiles != nil {
+		so.attachProfile(s.profiles)
+	}
 	if s.cache == nil {
 		return
 	}
@@ -198,6 +215,46 @@ func (so *serverObs) attach(s *Server) {
 		{"afq_cache_result_bytes", "Result cache resident bytes.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Bytes) }},
 		{"afq_cache_result_entries", "Result cache entries.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.Entries) }},
 		{"afq_cache_result_budget_bytes", "Result cache byte budget.", func(st cache.StatsSnapshot) float64 { return float64(st.Result.BudgetBytes) }},
+	}
+	for _, g := range gauges {
+		fn := g.fn
+		so.reg.NewGaugeFunc(g.name, g.help, func() float64 { return fn(snap()) })
+	}
+}
+
+// attachProfile registers counter/gauge views over the personalization
+// manager's atomic counters — the same Stats() snapshot /v1/stats
+// serves, so /metrics and /stats cannot drift (the cache pattern,
+// applied to the profile tier).
+func (so *serverObs) attachProfile(pm *profile.Manager) {
+	snap := func() profile.Stats { return pm.Stats() }
+	type pf struct {
+		name, help string
+		fn         func(st profile.Stats) float64
+	}
+	counters := []pf{
+		{"afq_profile_store_hits_total", "Profile reads served from the decoded-record LRU.", func(st profile.Stats) float64 { return float64(st.StoreHits) }},
+		{"afq_profile_store_misses_total", "Profile reads that missed the LRU (durable store consulted).", func(st profile.Stats) float64 { return float64(st.StoreMisses) }},
+		{"afq_profile_disk_loads_total", "Profile records decoded from the durable store.", func(st profile.Stats) float64 { return float64(st.DiskLoads) }},
+		{"afq_profile_answer_hits_total", "Personalized answers served from the combined-answer LRU.", func(st profile.Stats) float64 { return float64(st.AnswerHits) }},
+		{"afq_profile_answer_misses_total", "Personalized answers that required a basis combination.", func(st profile.Stats) float64 { return float64(st.AnswerMisses) }},
+		{"afq_profile_basis_builds_total", "Topic-basis rebuilds (one per observed (generation, rates) identity).", func(st profile.Stats) float64 { return float64(st.BasisBuilds) }},
+		{"afq_profile_trains_total", "Profile training rounds (profile-scoped reformulations).", func(st profile.Stats) float64 { return float64(st.Trains) }},
+		{"afq_profile_combines_total", "Basis combinations executed (the personalized fast path).", func(st profile.Stats) float64 { return float64(st.Combines) }},
+		{"afq_profile_evictions_total", "Entries evicted from the profile and answer LRUs.", func(st profile.Stats) float64 { return float64(st.Evictions) }},
+	}
+	for _, c := range counters {
+		fn := c.fn
+		so.reg.NewCounterFunc(c.name, c.help, func() float64 { return fn(snap()) })
+	}
+	gauges := []pf{
+		{"afq_profile_store_bytes", "Resident decoded-profile bytes in the LRU.", func(st profile.Stats) float64 { return float64(st.StoreBytes) }},
+		{"afq_profile_resident", "Decoded profiles resident in the LRU.", func(st profile.Stats) float64 { return float64(st.Resident) }},
+		{"afq_profile_answer_bytes", "Resident combined-answer bytes in the LRU.", func(st profile.Stats) float64 { return float64(st.AnswerBytes) }},
+		{"afq_profile_basis_terms", "Topic terms in the current basis.", func(st profile.Stats) float64 { return float64(st.BasisTerms) }},
+		{"afq_profile_basis_bytes", "Resident bytes of the current basis's fixpoint vectors.", func(st profile.Stats) float64 { return float64(st.BasisBytes) }},
+		{"afq_profile_basis_generation", "Corpus generation the current basis was built against.", func(st profile.Stats) float64 { return float64(st.BasisGeneration) }},
+		{"afq_profile_basis_rates_version", "Rates version the current basis was built against.", func(st profile.Stats) float64 { return float64(st.BasisRatesVersion) }},
 	}
 	for _, g := range gauges {
 		fn := g.fn

@@ -28,7 +28,7 @@ func obsTestServer(t *testing.T, extra ...Option) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}}, extra...)
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}}, append([]Option{WithLegacyGrace()}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,394 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/rank"
+)
+
+// profileTestServer builds a personalization-enabled server (cache on,
+// so basis builds and base ranks share the serving cache's term
+// vectors) with profiles persisted under a test-scoped directory.
+func profileTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}},
+		WithCache(8<<20, 2), WithProfiles(t.TempDir(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func putProfile(t *testing.T, base, id string, req ProfileUpdateRequest) ProfileResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	code, _, raw := fetch(t, http.MethodPut, base+"/v1/profile/"+id, strings.NewReader(string(body)))
+	if code != 200 {
+		t.Fatalf("PUT /v1/profile/%s = %d: %s", id, code, raw)
+	}
+	var resp ProfileResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode profile response: %v", err)
+	}
+	return resp
+}
+
+func TestProfileCRUD(t *testing.T) {
+	_, ts := profileTestServer(t)
+
+	// Create.
+	created := putProfile(t, ts.URL, "alice", ProfileUpdateRequest{
+		Mixture: map[string]float64{"xml": 0.7, "mining": 0.3},
+	})
+	if created.ID != "alice" || len(created.Mixture) != 2 || created.HasDelta {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Read back.
+	var got ProfileResponse
+	if code := getJSON(t, ts.URL+"/v1/profile/alice", &got); code != 200 {
+		t.Fatalf("GET = %d", code)
+	}
+	if got.Mixture["xml"] != 0.7 || got.Mixture["mining"] != 0.3 {
+		t.Fatalf("round-trip mixture = %v", got.Mixture)
+	}
+
+	// Update replaces the mixture but keeps identity.
+	updated := putProfile(t, ts.URL, "alice", ProfileUpdateRequest{
+		Mixture: map[string]float64{"database": 1},
+	})
+	if len(updated.Mixture) != 1 || updated.Mixture["database"] != 1 {
+		t.Fatalf("updated mixture = %v", updated.Mixture)
+	}
+
+	// Delete, then the id is gone with the typed error code.
+	code, _, _ := fetch(t, http.MethodDelete, ts.URL+"/v1/profile/alice", nil)
+	if code != 204 {
+		t.Fatalf("DELETE = %d", code)
+	}
+	code, _, raw := fetch(t, http.MethodGet, ts.URL+"/v1/profile/alice", nil)
+	if code != 404 {
+		t.Fatalf("GET after delete = %d", code)
+	}
+	env := decodeEnvelope(t, raw)
+	if env.Error.Code != CodeProfileNotFound {
+		t.Fatalf("error code = %q, want %q", env.Error.Code, CodeProfileNotFound)
+	}
+	if !strings.Contains(env.Error.Message, "alice") {
+		t.Fatalf("message does not name the id: %q", env.Error.Message)
+	}
+}
+
+func TestProfileBadID(t *testing.T) {
+	_, ts := profileTestServer(t)
+	for _, id := range []string{"a b", "a/../b", strings.Repeat("x", 129)} {
+		code, _, _ := fetch(t, http.MethodGet, ts.URL+"/v1/profile/"+id, nil)
+		if code != 400 && code != 404 {
+			// Path-traversal ids are rejected at validation (400); the Go
+			// mux may canonicalize some shapes first (301→404 under the
+			// test client). Either way, no profile handler runs them.
+			t.Fatalf("GET bad id %q = %d", id, code)
+		}
+	}
+	code, _, raw := fetch(t, http.MethodGet, ts.URL+"/v1/query?q=olap&profile=a+b", nil)
+	if code != 400 {
+		t.Fatalf("query with bad profile id = %d: %s", code, raw)
+	}
+}
+
+func TestProfileQueryNotFound(t *testing.T) {
+	_, ts := profileTestServer(t)
+	code, _, raw := fetch(t, http.MethodGet, ts.URL+"/v1/query?q=olap&k=5&profile=ghost", nil)
+	if code != 404 {
+		t.Fatalf("status = %d: %s", code, raw)
+	}
+	if env := decodeEnvelope(t, raw); env.Error.Code != CodeProfileNotFound {
+		t.Fatalf("code = %q", env.Error.Code)
+	}
+}
+
+func TestProfileDisabled(t *testing.T) {
+	_, ts := testServer(t) // no WithProfiles
+	for _, url := range []string{
+		ts.URL + "/v1/profile/alice",
+		ts.URL + "/v1/query?q=olap&profile=alice",
+	} {
+		code, _, raw := fetch(t, http.MethodGet, url, nil)
+		if code != 403 {
+			t.Fatalf("%s = %d: %s", url, code, raw)
+		}
+		if env := decodeEnvelope(t, raw); !strings.Contains(env.Error.Message, "-profile-dir") {
+			t.Fatalf("message should point at the flag: %q", env.Error.Message)
+		}
+	}
+}
+
+// TestProfilePersonalizedQuery is the serving-path acceptance check:
+// a trained mixture actually changes the ranking, the answer is
+// labelled with its source, and the second request rides the answer
+// LRU.
+func TestProfilePersonalizedQuery(t *testing.T) {
+	_, ts := profileTestServer(t)
+	// "streaming" is a basis member at this corpus scale (top-64 DF);
+	// a mixture term outside the basis would degrade to the global path.
+	putProfile(t, ts.URL, "xmlhead", ProfileUpdateRequest{
+		Mixture: map[string]float64{"streaming": 1},
+	})
+
+	var global QueryResponse
+	if code := getJSON(t, ts.URL+"/v1/query?q=olap&k=10", &global); code != 200 {
+		t.Fatalf("global query = %d", code)
+	}
+
+	var personal QueryResponse
+	if code := getJSON(t, ts.URL+"/v1/query?q=olap&k=10&profile=xmlhead", &personal); code != 200 {
+		t.Fatalf("personalized query = %d", code)
+	}
+	if !personal.Personalized || personal.Profile != "xmlhead" {
+		t.Fatalf("answer not labelled personalized: %+v", personal)
+	}
+	if personal.Cache != "combined" {
+		t.Fatalf("first personalized answer source = %q, want combined", personal.Cache)
+	}
+	if personal.Generation != global.Generation {
+		t.Fatalf("generation mismatch: %d vs %d", personal.Generation, global.Generation)
+	}
+	differ := len(personal.Results) != len(global.Results)
+	for i := 0; !differ && i < len(personal.Results); i++ {
+		if personal.Results[i].Node != global.Results[i].Node ||
+			personal.Results[i].Score != global.Results[i].Score {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("personalized ranking is identical to the global ranking")
+	}
+
+	// Second request: answer LRU hit, identical body fields.
+	var again QueryResponse
+	if code := getJSON(t, ts.URL+"/v1/query?q=olap&k=10&profile=xmlhead", &again); code != 200 {
+		t.Fatalf("second personalized query = %d", code)
+	}
+	if again.Cache != "hit" {
+		t.Fatalf("second answer source = %q, want hit", again.Cache)
+	}
+	if len(again.Results) != len(personal.Results) || again.Results[0] != personal.Results[0] {
+		t.Fatalf("cached answer differs from computed answer")
+	}
+
+	// An empty profile carries no usable mixture: the answer falls back
+	// to the global path and says so.
+	putProfile(t, ts.URL, "blank", ProfileUpdateRequest{})
+	var blank QueryResponse
+	if code := getJSON(t, ts.URL+"/v1/query?q=olap&k=10&profile=blank", &blank); code != 200 {
+		t.Fatalf("blank-profile query = %d", code)
+	}
+	if blank.Personalized || blank.Cache != "global" {
+		t.Fatalf("blank profile answer = source %q personalized %t", blank.Cache, blank.Personalized)
+	}
+
+	// Metrics carry the new families.
+	code, _, raw := fetch(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, family := range []string{
+		"afq_profile_query_outcome_total",
+		"afq_profile_combines_total",
+		"afq_profile_basis_builds_total",
+		"afq_profile_updates_total",
+		"afq_profile_store_bytes",
+	} {
+		if !strings.Contains(string(raw), family) {
+			t.Errorf("metrics exposition missing %s", family)
+		}
+	}
+}
+
+// TestProfileReformulate: feedback with profile= trains the caller's
+// private state and publishes NOTHING globally.
+func TestProfileReformulate(t *testing.T) {
+	_, ts := profileTestServer(t)
+	putProfile(t, ts.URL, "bob", ProfileUpdateRequest{
+		Mixture: map[string]float64{"mining": 1},
+	})
+
+	var before RatesResponse
+	if code := getJSON(t, ts.URL+"/v1/rates", &before); code != 200 {
+		t.Fatalf("rates = %d", code)
+	}
+
+	var q QueryResponse
+	if code := getJSON(t, ts.URL+"/v1/query?q=olap&k=5", &q); code != 200 || len(q.Results) == 0 {
+		t.Fatalf("seed query = %d (%d results)", code, len(q.Results))
+	}
+	fb := strconv.FormatInt(q.Results[0].Node, 10)
+
+	var ref ReformulateResponse
+	url := ts.URL + "/v1/reformulate?q=olap&k=5&feedback=" + fb + "&mode=both&profile=bob"
+	if code := getJSON(t, url, &ref); code != 200 {
+		t.Fatalf("profile reformulate = %d", code)
+	}
+	if ref.Profile != "bob" || ref.ProfileRev == 0 {
+		t.Fatalf("response not profile-stamped: %+v", ref)
+	}
+	if ref.Version != before.Version {
+		t.Fatalf("training bumped the published rates version: %d → %d", before.Version, ref.Version)
+	}
+	if len(ref.Results) == 0 {
+		t.Fatal("profile reformulate returned no personalized results")
+	}
+
+	var after RatesResponse
+	if code := getJSON(t, ts.URL+"/v1/rates", &after); code != 200 {
+		t.Fatalf("rates = %d", code)
+	}
+	if after.Version != before.Version || after.Rates != before.Rates {
+		t.Fatalf("profile training leaked into global rates: %+v → %+v", before, after)
+	}
+
+	var p ProfileResponse
+	if code := getJSON(t, ts.URL+"/v1/profile/bob", &p); code != 200 {
+		t.Fatalf("profile get = %d", code)
+	}
+	if p.Rev == 0 || !p.HasDelta {
+		t.Fatalf("profile did not record training: %+v", p)
+	}
+}
+
+// TestClientProfileMethods covers the typed client surface: CRUD
+// round-trip, the personalized query twin, and profile_not_found
+// decoding into *APIError.
+func TestClientProfileMethods(t *testing.T) {
+	_, ts := profileTestServer(t)
+	c := NewClient(ts.URL, nil)
+	ctx := t.Context()
+
+	if _, err := c.ProfileGet(ctx, "nobody"); err == nil {
+		t.Fatal("ProfileGet on unknown id should fail")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != 404 || apiErr.Code != CodeProfileNotFound {
+			t.Fatalf("err = %v, want 404 %s", err, CodeProfileNotFound)
+		}
+	}
+
+	created, err := c.ProfileUpdate(ctx, "carol", ProfileUpdateRequest{
+		Mixture: map[string]float64{"streaming": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "carol" || created.Mixture["streaming"] != 1 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	got, err := c.ProfileGet(ctx, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "carol" {
+		t.Fatalf("got = %+v", got)
+	}
+
+	personal, err := c.QueryProfile(ctx, "olap", 5, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !personal.Personalized || personal.Profile != "carol" {
+		t.Fatalf("personalized answer = %+v", personal)
+	}
+
+	if err := c.ProfileDelete(ctx, "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProfileGet(ctx, "carol"); err == nil {
+		t.Fatal("profile should be gone after delete")
+	}
+	// Idempotent delete.
+	if err := c.ProfileDelete(ctx, "carol"); err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+}
+
+// TestLegacySunset410 is the satellite-1 contract: the alias grace
+// period ended 2026-08-06, so on a default server every legacy
+// unversioned route answers 410 Gone with the v1 envelope, the
+// successor link, and the historical deprecation headers — while the
+// /v1 twin keeps serving. A WithLegacyGrace server restores the old
+// behaviour (covered byte-for-byte by TestAliasV1BodiesByteIdentical,
+// which runs its grace-mode twin via testServer).
+func TestLegacySunset410(t *testing.T) {
+	cfg := datagen.DBLPTopConfig().Scale(0.02)
+	cfg.Seed = 4
+	ds, err := datagen.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	routes := []struct{ legacy, successor string }{
+		{"/query?q=olap&k=5", "/v1/query"},
+		{"/explain?q=olap&target=0", "/v1/explain"},
+		{"/reformulate?q=olap&feedback=0", "/v1/reformulate"},
+		{"/rates", "/v1/rates"},
+		{"/healthz", "/v1/healthz"},
+		{"/stats", "/v1/stats"},
+	}
+	for _, rt := range routes {
+		code, hdr, raw := fetch(t, http.MethodGet, ts.URL+rt.legacy, nil)
+		if code != http.StatusGone {
+			t.Fatalf("%s = %d, want 410: %s", rt.legacy, code, raw)
+		}
+		env := decodeEnvelope(t, raw)
+		if env.Error.Code != CodeGone {
+			t.Fatalf("%s error code = %q, want %q", rt.legacy, env.Error.Code, CodeGone)
+		}
+		if !strings.Contains(env.Error.Message, rt.successor) {
+			t.Fatalf("%s message does not name successor %s: %q", rt.legacy, rt.successor, env.Error.Message)
+		}
+		if hdr.Get("Deprecation") != deprecationDate {
+			t.Errorf("%s Deprecation = %q", rt.legacy, hdr.Get("Deprecation"))
+		}
+		if hdr.Get("Sunset") != sunsetDate {
+			t.Errorf("%s Sunset = %q", rt.legacy, hdr.Get("Sunset"))
+		}
+		if link := hdr.Get("Link"); !strings.Contains(link, rt.successor) {
+			t.Errorf("%s Link = %q", rt.legacy, link)
+		}
+	}
+
+	// The v1 surface is untouched by the sunset.
+	code, _, _ := fetch(t, http.MethodGet, ts.URL+"/v1/query?q=olap&k=5", nil)
+	if code != 200 {
+		t.Fatalf("/v1/query on default server = %d", code)
+	}
+	// 410 fires before the admission guard and before parameter
+	// parsing: even an unparsable legacy request gets the tombstone,
+	// not a 400.
+	code, _, raw := fetch(t, http.MethodGet, ts.URL+"/query", nil)
+	if code != http.StatusGone {
+		t.Fatalf("bare /query = %d: %s", code, raw)
+	}
+}

@@ -34,6 +34,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"math"
 	"net/http"
@@ -47,6 +48,7 @@ import (
 	"authorityflow/internal/graph"
 	"authorityflow/internal/ir"
 	"authorityflow/internal/obs"
+	"authorityflow/internal/profile"
 	"authorityflow/internal/rank"
 	"authorityflow/internal/storage"
 )
@@ -60,24 +62,29 @@ type Server struct {
 	// republished atomically by /v1/corpus/swap. Handlers that render
 	// nodes never read it — they use the graph of the engine state they
 	// pinned — so a swap mid-request cannot mismatch IDs and text.
-	ds      atomic.Pointer[datagen.Dataset]
-	eng     *core.Engine
-	cfg     core.Config         // post-chaining config, reused to build swapped-in corpora
-	swapDir string              // "" = /v1/corpus/swap disabled
-	cache   *cache.CachedEngine // nil when serving uncached
-	obs     *serverObs          // always non-nil; see ObsOptions
-	adm     *admission          // always non-nil; zero options = no limits
+	ds          atomic.Pointer[datagen.Dataset]
+	eng         *core.Engine
+	cfg         core.Config         // post-chaining config, reused to build swapped-in corpora
+	swapDir     string              // "" = /v1/corpus/swap disabled
+	cache       *cache.CachedEngine // nil when serving uncached
+	profiles    *profile.Manager    // nil when personalization is disabled
+	legacyGrace bool                // true = legacy aliases still serve (pre-sunset behaviour)
+	obs         *serverObs          // always non-nil; see ObsOptions
+	adm         *admission          // always non-nil; zero options = no limits
 }
 
 // Option configures optional Server behaviour.
 type Option func(*serverOptions)
 
 type serverOptions struct {
-	cacheOpts    cache.Options
-	cacheEnabled bool
-	obs          ObsOptions
-	admission    AdmissionOptions
-	swapDir      string
+	cacheOpts      cache.Options
+	cacheEnabled   bool
+	profileOpts    profile.Options
+	profileEnabled bool
+	legacyGrace    bool
+	obs            ObsOptions
+	admission      AdmissionOptions
+	swapDir        string
 }
 
 // WithCache enables the serving cache with the given total byte budget
@@ -143,10 +150,27 @@ func newServer(ds *datagen.Dataset, ix *ir.Index, cfg core.Config, opts []Option
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{eng: eng, cfg: cfg, swapDir: so.swapDir, obs: sobs, adm: newAdmission(so.admission)}
+	s := &Server{eng: eng, cfg: cfg, swapDir: so.swapDir, legacyGrace: so.legacyGrace,
+		obs: sobs, adm: newAdmission(so.admission)}
 	s.ds.Store(ds)
 	if so.cacheEnabled {
 		s.cache = cache.New(eng, so.cacheOpts)
+	}
+	if so.profileEnabled {
+		po := so.profileOpts
+		if po.BaseRank == nil && s.cache != nil {
+			// Personalized queries share the global tier's serving cache:
+			// the (1−β)·r(Q) component comes from the same term vectors,
+			// result collapse and solve singleflight as /v1/query.
+			po.BaseRank = func(ctx context.Context, pin *core.Pinned, q *ir.Query) (*core.RankResult, error) {
+				return s.cache.RankPinnedCtx(ctx, pin, q)
+			}
+		}
+		pm, err := profile.NewManager(eng, po)
+		if err != nil {
+			return nil, err
+		}
+		s.profiles = pm
 	}
 	sobs.attach(s)
 	return s, nil
@@ -205,15 +229,20 @@ func (s *Server) Handler() http.Handler {
 	v1("/v1/rates", s.handleRatesDispatch)
 	v1("/v1/healthz", s.handleHealth)
 	v1("/v1/stats", s.handleStats)
+	// Profile CRUD is v1-only and unguarded (byte-sized record I/O, no
+	// kernel work — like /v1/rates); the personalized query and
+	// training paths run through the guarded /v1/query and
+	// /v1/reformulate routes above.
+	v1("/v1/profile/", s.handleProfile)
 	// Operator endpoint, v1-only (no legacy alias) and outside the
 	// admission guard: swapping must work on an overloaded replica.
 	v1("/v1/corpus/swap", s.handleCorpusSwap)
 
 	alias := func(path, successor string, h http.HandlerFunc) {
-		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, h)))
+		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, s.legacyGrace, h)))
 	}
 	aliasGuarded := func(path, successor string, h http.HandlerFunc) {
-		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, s.guard(h))))
+		mux.Handle(path, s.obs.mw.Wrap(path, deprecatedAlias(successor, s.legacyGrace, s.guard(h))))
 	}
 	aliasGuarded("/query", "/v1/query", s.handleQuery)
 	aliasGuarded("/explain", "/v1/explain", s.handleExplain)
@@ -277,6 +306,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := s.cache.Stats()
 		resp.Cache = &snap
 	}
+	if s.profiles != nil {
+		snap := s.profiles.Stats()
+		resp.Profile = &snap
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -306,6 +339,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	g := pin.Corpus().Graph()
 	tr := obs.TraceFrom(ctx)
 	tr.Eventf("parse", "q=%s k=%d", q.String(), k)
+	if pid := r.URL.Query().Get("profile"); pid != "" {
+		s.handleProfileQuery(w, r, pin, pid, q, k)
+		return
+	}
 	if s.cache != nil {
 		ans, err := s.cache.QueryPinnedCtx(ctx, pin, q, k)
 		if err != nil {
@@ -494,6 +531,12 @@ func (s *Server) handleReformulate(w http.ResponseWriter, r *http.Request) {
 		subs = append(subs, sg)
 	}
 	tr.Eventf("explain", "subgraphs=%d", len(subs))
+	if pid := r.URL.Query().Get("profile"); pid != "" {
+		// Profile-scoped: the feedback trains the caller's private
+		// mixture and rates-delta; nothing is published to the engine.
+		s.handleProfileReformulate(w, r, pin, pid, q, k, subs, confidences, opts)
+		return
+	}
 	ref, err := pin.ReformulateWeightedCtx(ctx, q, subs, confidences, opts)
 	if err != nil {
 		if ctx.Err() != nil {

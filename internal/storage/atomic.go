@@ -1,0 +1,35 @@
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// AtomicWriteFile writes a file via write(w) into path+".tmp" in the
+// same directory and renames it over path on success — the shared
+// crash-safety discipline of every durable artifact in the system
+// (binary corpus snapshots, profile records): a crash or error
+// mid-write never leaves a half-written file under the final name, and
+// readers only ever observe complete files. On any error the temp file
+// is removed and the previous content of path, if any, is untouched.
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

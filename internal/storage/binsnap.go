@@ -462,21 +462,9 @@ func labelsToI32(ls []graph.TypeID) []int32 {
 // temp file in the same directory, so a crash mid-write never leaves a
 // half-written snapshot under the final name).
 func WriteSnapshotFile(path string, ds *datagen.Dataset, ix *ir.Index) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := WriteSnapshot(f, ds, ix); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteSnapshot(w, ds, ix)
+	})
 }
 
 // ---- reader ----
