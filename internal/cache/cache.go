@@ -28,6 +28,7 @@ package cache
 
 import (
 	"context"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +59,24 @@ type Options struct {
 	// publication, so the first queries against a new version find warm
 	// vectors. Zero disables prewarming.
 	PrewarmTerms int
+	// PrewarmFloat32 runs prewarm refresh panels through the f32 panel
+	// kernel (core.PanelF32): half the sweep bandwidth per refresh, at
+	// the cost that prewarmed vectors agree with a full-precision solve
+	// to within ~1e-6 instead of bitwise. Answers served from a
+	// prewarmed vector inherit that error class; user-triggered misses
+	// always solve at full precision regardless. Leave off when cached
+	// and uncached answers must stay bit-identical.
+	PrewarmFloat32 bool
+	// DeltaEps, when positive, lets the prewarmer refresh a term by an
+	// incremental residual-frontier delta solve (core.Pinned.RankDeltaCtx)
+	// seeded from the previous version's vector, whenever the republished
+	// rate vector is within L1 distance DeltaEps of the previous
+	// version's (same corpus generation). Delta results agree with a
+	// full solve within the convergence tolerance class — not bitwise —
+	// so like PrewarmFloat32 this trades cached-vs-uncached bit-identity
+	// on prewarmed terms for refresh speed. Zero (the default) keeps
+	// every refresh a full-sweep solve.
+	DeltaEps float64
 }
 
 // DefaultMaxBytes is the default total cache budget (64 MiB).
@@ -78,15 +97,18 @@ type CachedEngine struct {
 	// mu guards versionKeys and hot.
 	mu sync.Mutex
 	// versionKeys memoizes snapshot version -> (corpus generation,
-	// rate-vector fingerprint), both so the fingerprint is computed once
-	// per published version and so a version bump can locate the
+	// rate-vector fingerprint, rate vector), so the fingerprint is
+	// computed once per published version, a version bump can locate the
 	// PREVIOUS version's entries for same-generation warm-start
-	// hand-over.
-	versionKeys map[uint64]stateKey
+	// hand-over, and the prewarmer can measure how far a republish
+	// actually moved the rates (the DeltaEps ε-closeness test).
+	versionKeys map[uint64]versionEntry
 	// hot counts term popularity for the prewarmer.
 	hot map[string]int64
 
-	prewarmN int
+	prewarmN   int
+	prewarmF32 bool
+	deltaEps   float64
 	// prewarmCh signals the prewarm goroutine; prewarmCtx is cancelled
 	// by Close so a prewarm blocked inside a long solve aborts within
 	// one kernel sweep instead of stalling shutdown.
@@ -125,9 +147,11 @@ func New(eng *core.Engine, opts Options) *CachedEngine {
 	}
 	c := &CachedEngine{
 		eng:         eng,
-		versionKeys: make(map[uint64]stateKey),
+		versionKeys: make(map[uint64]versionEntry),
 		hot:         make(map[string]int64),
 		prewarmN:    opts.PrewarmTerms,
+		prewarmF32:  opts.PrewarmFloat32,
+		deltaEps:    opts.DeltaEps,
 	}
 	c.vectors = newShardedLRU(vb, shards, &c.stats.vectorEvictions)
 	c.results = newShardedLRU(rb, shards, &c.stats.resultEvictions)
@@ -261,6 +285,32 @@ type stateKey struct {
 	rk  uint64
 }
 
+// versionEntry is the versionKeys memo value: the state identity plus
+// the published rate vector itself, retained so a later version can
+// compute its L1 distance to this one (the DeltaEps closeness test)
+// without re-deriving rates that may no longer be pinnable.
+type versionEntry struct {
+	key   stateKey
+	alpha []float64
+}
+
+// l1RateDist returns Σ|a−b|, or +Inf when the vectors are not
+// comparable (different schemas).
+func l1RateDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
 // stateKeyFor returns the (generation, rate-vector fingerprint)
 // identity of the pinned state, memoized per rates version — versions
 // advance monotonically across swaps, so one version maps to exactly
@@ -270,23 +320,24 @@ type stateKey struct {
 func (c *CachedEngine) stateKeyFor(pin *core.Pinned) stateKey {
 	v := pin.Version()
 	c.mu.Lock()
-	k, ok := c.versionKeys[v]
+	e, ok := c.versionKeys[v]
 	c.mu.Unlock()
 	if ok {
-		return k
+		return e.key
 	}
-	k = stateKey{gen: pin.Generation(), rk: graph.RateVectorKey(pin.Rates().Vector())}
+	alpha := pin.Rates().Vector()
+	e = versionEntry{key: stateKey{gen: pin.Generation(), rk: graph.RateVectorKey(alpha)}, alpha: alpha}
 	c.mu.Lock()
 	if len(c.versionKeys) > 4096 { // bound growth across very long rate-training runs
-		trimmed := make(map[uint64]stateKey, 2)
+		trimmed := make(map[uint64]versionEntry, 2)
 		if prev, ok := c.versionKeys[v-1]; ok {
 			trimmed[v-1] = prev
 		}
 		c.versionKeys = trimmed
 	}
-	c.versionKeys[v] = k
+	c.versionKeys[v] = e
 	c.mu.Unlock()
-	return k
+	return e.key
 }
 
 // previousTermKey returns the cache key of the same term under the
@@ -298,10 +349,26 @@ func (c *CachedEngine) previousTermKey(v uint64, sk stateKey, term string) (stri
 	c.mu.Lock()
 	prev, ok := c.versionKeys[v-1]
 	c.mu.Unlock()
-	if !ok || prev.gen != sk.gen || prev.rk == sk.rk {
+	if !ok || prev.key.gen != sk.gen || prev.key.rk == sk.rk {
 		return "", false
 	}
-	return termKey(prev, term), true
+	return termKey(prev.key, term), true
+}
+
+// deltaEligible reports whether a refresh under version v may use the
+// incremental delta kernel: DeltaEps opted in, the previous version is
+// known, same corpus generation, and the republished rate vector moved
+// by at most DeltaEps in L1.
+func (c *CachedEngine) deltaEligible(v uint64) bool {
+	if c.deltaEps <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	cur, okc := c.versionKeys[v]
+	prev, okp := c.versionKeys[v-1]
+	c.mu.Unlock()
+	return okc && okp && prev.key.gen == cur.key.gen &&
+		l1RateDist(cur.alpha, prev.alpha) <= c.deltaEps
 }
 
 func termKey(sk stateKey, term string) string {
@@ -932,10 +999,14 @@ func (c *CachedEngine) Prewarm(terms []string) {
 
 // prewarmTerms is the blocked implementation shared by the background
 // prewarmer and the synchronous Prewarm hook: every term still missing
-// under the current rates is solved in ONE RankManyFromCtx call (the
+// under the current rates is solved in ONE blocked kernel call (the
 // engine panels it at BlockSize columns per kernel execution), with the
 // previous rates version's vector — when still resident — donated as
 // that column's warm start, exactly as the single-term miss path does.
+// Two opt-in accelerations apply here and only here: when the
+// republish was ε-close (deltaEligible) a donated term refreshes by an
+// incremental delta solve instead of occupying a panel column, and
+// PrewarmFloat32 runs the remaining panel in the f32 kernel.
 //
 // The blocked path deliberately BYPASSES the singleflight group: a user
 // miss racing the prewarm on the same term may run one duplicate solve,
@@ -946,6 +1017,7 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 	pin := c.eng.Pin()
 	sk := c.stateKeyFor(pin)
 	v := pin.Version()
+	useDelta := c.deltaEligible(v)
 	type missCol struct {
 		term string
 		key  string
@@ -970,6 +1042,31 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 				warm = true
 			}
 		}
+		if useDelta && init != nil {
+			// ε-close republish with the previous vector in hand: repair
+			// the residual frontier instead of re-sweeping the graph. A
+			// stale or oversized perturbation degrades inside the kernel.
+			res, err := pin.RankDeltaCtx(ctx, ir.NewQuery(t), init)
+			if err != nil {
+				continue // cancelled; nothing cached, next miss recomputes
+			}
+			c.stats.computes.Add(1)
+			c.stats.warmStarts.Add(1)
+			c.stats.deltaSolves.Add(1)
+			vec := make([]float64, len(res.Scores))
+			copy(vec, res.Scores)
+			tv := &termVector{
+				vec:         vec,
+				iters:       res.Iterations,
+				baseN:       len(res.Base),
+				converged:   res.Converged,
+				warmStarted: true,
+			}
+			c.eng.Release(res)
+			c.vectors.Put(key, tv, termEntrySize(key, len(vec)))
+			c.stats.prewarmed.Add(1)
+			continue
+		}
 		misses = append(misses, missCol{term: t, key: key, warm: warm})
 		qs = append(qs, ir.NewQuery(t))
 		inits = append(inits, init) // nil → global warm start
@@ -977,9 +1074,13 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 	if len(qs) == 0 {
 		return
 	}
+	mode := core.PanelF64
+	if c.prewarmF32 {
+		mode = core.PanelF32
+	}
 	// On cancellation (Close mid-prewarm) results holds nil for the
 	// cancelled columns; completed columns still land in the cache.
-	results, _ := pin.RankManyFromCtx(ctx, qs, inits)
+	results, _ := pin.RankManyModeCtx(ctx, qs, inits, mode)
 	for i, res := range results {
 		if res == nil {
 			continue

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// TestPrewarmDeltaSolve: with DeltaEps set and an ε-close republish,
+// the prewarmer refreshes a donated term through the incremental delta
+// kernel (deltaSolves counter) and the refreshed vector stays inside
+// the delta solve's tolerance class of a from-scratch solve.
+func TestPrewarmDeltaSolve(t *testing.T) {
+	thr := 1e-9
+	ds, eng := testEngine(t, rank.Options{Damping: 0.85, Threshold: thr, MaxIters: 500})
+	c := New(eng, Options{DeltaEps: 1e-4})
+	defer c.Close()
+
+	ctx := context.Background()
+	// Cache "olap" under v1; this also records v1's alpha vector in the
+	// versionKeys memo, which delta eligibility compares against.
+	if _, err := c.QueryCtx(ctx, ir.NewQuery("olap"), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// ε-republish: shrink one rate by 1e-6, an L1 rate distance well
+	// under DeltaEps (outgoing sums only shrink, so Validate is happy).
+	p := ds.Rates.Clone()
+	v := p.Vector()
+	for i, x := range v {
+		if x > 0 {
+			v[i] = x - 1e-6
+			break
+		}
+	}
+	if err := p.SetVector(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetRates(p); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Prewarm([]string{"olap"})
+	if n := c.Stats().DeltaSolves; n != 1 {
+		t.Fatalf("deltaSolves = %d, want 1 (stats %+v)", n, c.Stats())
+	}
+
+	pin := eng.Pin()
+	got, ok := c.vectors.Get(termKey(c.stateKeyFor(pin), "olap"))
+	if !ok {
+		t.Fatal("prewarm did not cache the refreshed vector")
+	}
+	tv := got.(*termVector)
+	if !tv.warmStarted {
+		t.Error("delta-refreshed vector not marked warm-started")
+	}
+	ref, err := pin.RankCtx(ctx, ir.NewQuery("olap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Release(ref)
+	l1 := 0.0
+	for i := range ref.Scores {
+		l1 += math.Abs(tv.vec[i] - ref.Scores[i])
+	}
+	if bound := 2 * thr / (1 - 0.85); l1 > bound {
+		t.Fatalf("delta-refreshed vector L1-distance %.3g exceeds bound %.3g", l1, bound)
+	}
+}
+
+// TestPrewarmDeltaEpsIneligible: a republish whose rate movement
+// exceeds DeltaEps must take the ordinary panel path — no delta solves.
+func TestPrewarmDeltaEpsIneligible(t *testing.T) {
+	ds, eng := testEngine(t, rank.Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 500})
+	c := New(eng, Options{DeltaEps: 1e-8})
+	defer c.Close()
+
+	ctx := context.Background()
+	if _, err := c.QueryCtx(ctx, ir.NewQuery("olap"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetRates(perturb(t, ds.Rates)); err != nil {
+		t.Fatal(err)
+	}
+	c.Prewarm([]string{"olap"})
+	if n := c.Stats().DeltaSolves; n != 0 {
+		t.Fatalf("deltaSolves = %d for an over-ε republish, want 0", n)
+	}
+	if _, ok := c.vectors.Get(termKey(c.stateKeyFor(eng.Pin()), "olap")); !ok {
+		t.Fatal("panel path did not cache the refreshed vector")
+	}
+}
+
+// TestPrewarmFloat32: with PrewarmFloat32 on, a cold prewarm runs the
+// f32 panel and the cached vector agrees with a full-precision solve
+// to within the mode's published 1e-6 bound.
+func TestPrewarmFloat32(t *testing.T) {
+	_, eng := testEngine(t, rank.Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 500})
+	c := New(eng, Options{PrewarmFloat32: true})
+	defer c.Close()
+
+	c.Prewarm([]string{"olap"})
+	pin := eng.Pin()
+	got, ok := c.vectors.Get(termKey(c.stateKeyFor(pin), "olap"))
+	if !ok {
+		t.Fatal("prewarm did not cache the vector")
+	}
+	tv := got.(*termVector)
+	ref, err := pin.RankCtx(context.Background(), ir.NewQuery("olap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Release(ref)
+	for i := range ref.Scores {
+		if d := math.Abs(tv.vec[i] - ref.Scores[i]); d > 1e-6 {
+			t.Fatalf("node %d: f32-prewarmed vector deviates by %.3g > 1e-6", i, d)
+		}
+	}
+}

@@ -46,6 +46,35 @@ type Corpus struct {
 // blocked sweep's inner loop reads exactly one line per source node.
 const DefaultBlockSize = 8
 
+// ErrWarmStartMismatch reports a warm-started batch whose init slice
+// does not pair up with its query slice. This is the one shape error
+// the engine cannot repair locally: a wrong-LENGTH init VECTOR is a
+// stale donation from another generation and silently degrades to a
+// cold start (see rankAt), but a wrong COUNT of vectors means the
+// caller's bookkeeping desynchronized — e.g. a cache prewarm list
+// mutated between assembling queries and donations across a corpus
+// swap — and no per-query pairing can be inferred. Callers get a typed
+// error instead of the panic earlier builds raised.
+var ErrWarmStartMismatch = errors.New("core: warm-start init count does not match query count")
+
+// PanelMode selects the arithmetic of a blocked multi-solve panel.
+type PanelMode int
+
+const (
+	// PanelF64 is the default full-precision panel: every column is
+	// bit-identical to the corresponding single solve. All user-facing
+	// query paths use it unconditionally.
+	PanelF64 PanelMode = iota
+	// PanelF32 stores panels as float32 (half the sweep bandwidth,
+	// sixteen lanes per cache line) while keeping float64 arithmetic;
+	// per-column scores agree with PanelF64 to within ~1e-6 on
+	// unit-mass distributions (rank.IterateBlock32). Only throwaway
+	// warm-start producers — precompute panels, cache prewarm, profile
+	// basis builds — may opt in; answer-serving paths must stay PanelF64
+	// to preserve the bit-identity contract.
+	PanelF32
+)
+
 // Config collects construction parameters for a Corpus (and hence an
 // Engine).
 type Config struct {
@@ -67,6 +96,22 @@ type Config struct {
 	// corresponding single solves at any width, so this is purely a
 	// throughput/memory knob (working set is 2·BlockSize score vectors).
 	BlockSize int
+	// TileNodes enables cache-blocked tiling of every power-iteration
+	// sweep: the source-node axis is partitioned into tiles of this
+	// many nodes and each sweep makes one pass per tile, keeping the
+	// tile's slice of the score vector hot in cache while destinations
+	// stream. Tiling reproduces the untiled kernel's floating-point
+	// operation order exactly, so every result stays bit-identical at
+	// any width (rank.Tiling). Zero disables tiling — the right choice
+	// when the score vector already fits in cache; graphs that fit in a
+	// single tile ignore the plan automatically.
+	//
+	// Sizing: each sweep re-streams the accumulator vector once per
+	// tile pass, an overhead of |V|²/TileNodes that outgrows the
+	// linear gather win if the tile stays fixed while the graph grows.
+	// Aim for 4–16 passes (TileNodes ≈ |V|/8) and never below
+	// rank.DefaultTileNodes; see DESIGN.md §13.1 for the measured law.
+	TileNodes int
 }
 
 // NewCorpus indexes the text of every node of g and freezes the
@@ -84,11 +129,18 @@ func NewCorpus(g *graph.Graph, cfg Config) *Corpus {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
+	opts := cfg.Rank
+	if cfg.TileNodes > 0 {
+		// The tiling plan is built once against the frozen CSR and rides
+		// along in the corpus rank options, so every solve path — single,
+		// blocked, delta seeding, global PageRank — picks it up.
+		opts.Tile = rank.NewTiling(g, cfg.TileNodes)
+	}
 	return &Corpus{
 		g:         g,
 		ix:        ix,
-		opts:      cfg.Rank,
-		nopts:     cfg.Rank.Normalized(),
+		opts:      opts,
+		nopts:     opts.Normalized(),
 		workers:   workers,
 		blockSize: blockSize,
 		pool:      rank.NewBufferPool(),
@@ -112,11 +164,15 @@ func NewCorpusWithIndex(g *graph.Graph, ix *ir.Index, cfg Config) (*Corpus, erro
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
+	opts := cfg.Rank
+	if cfg.TileNodes > 0 {
+		opts.Tile = rank.NewTiling(g, cfg.TileNodes)
+	}
 	return &Corpus{
 		g:         g,
 		ix:        ix,
-		opts:      cfg.Rank,
-		nopts:     cfg.Rank.Normalized(),
+		opts:      opts,
+		nopts:     opts.Normalized(),
 		workers:   workers,
 		blockSize: blockSize,
 		pool:      rank.NewBufferPool(),
@@ -249,6 +305,12 @@ type SolveStats struct {
 	// (hook firings), so a 16-query batch at BlockSize 8 contributes 2
 	// solves / 16 columns.
 	Columns int
+	// DeltaPushes is the number of residual-frontier point updates a
+	// delta solve applied (zero for full-sweep solves); DeltaFellBack
+	// reports that a delta solve abandoned the push phase and completed
+	// with warm full sweeps. Both are zero outside RankDeltaCtx.
+	DeltaPushes   int
+	DeltaFellBack bool
 }
 
 // SetSolveHook registers f to be called after every completed kernel
@@ -700,12 +762,12 @@ func (e *Engine) rankAt(ctx context.Context, st *engineState, q *ir.Query, init 
 // an N-query batch, the metric the /v1/query/batch acceptance check
 // reads.
 func (e *Engine) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult, error) {
-	return e.rankManyAt(ctx, e.state.Load(), qs, nil)
+	return e.rankManyAt(ctx, e.state.Load(), qs, nil, PanelF64)
 }
 
 // RankManyCtx is Engine.RankManyCtx under the pinned state.
 func (p *Pinned) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult, error) {
-	return p.e.rankManyAt(ctx, p.st, qs, nil)
+	return p.e.rankManyAt(ctx, p.st, qs, nil, PanelF64)
 }
 
 // RankManyFromCtx is RankManyCtx with per-query warm starts: inits must
@@ -714,21 +776,36 @@ func (p *Pinned) RankManyCtx(ctx context.Context, qs []*ir.Query) ([]*RankResult
 // Options.Init (the §6.2 warm start) and a nil entry falls back to the
 // global PageRank. The cache prewarmer uses this to refresh a panel of
 // hot terms, each starting from its previous rates version's vector.
+// A mis-counted inits slice returns ErrWarmStartMismatch.
 func (p *Pinned) RankManyFromCtx(ctx context.Context, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
-	return p.e.rankManyAt(ctx, p.st, qs, inits)
+	return p.e.rankManyAt(ctx, p.st, qs, inits, PanelF64)
+}
+
+// RankManyModeCtx is RankManyFromCtx with an explicit panel mode.
+// PanelF32 halves the panels' sweep bandwidth at a ~1e-6 agreement
+// cost (see PanelMode); it is reserved for warm-start producers —
+// precompute, cache prewarm, profile basis — whose output seeds later
+// exact solves rather than being served directly.
+func (p *Pinned) RankManyModeCtx(ctx context.Context, qs []*ir.Query, inits [][]float64, mode PanelMode) ([]*RankResult, error) {
+	return p.e.rankManyAt(ctx, p.st, qs, inits, mode)
 }
 
 // rankManyAt is the blocked counterpart of rankAt: the single execution
 // path of every multi-solve batch. Each panel of up to BlockSize
-// non-empty base sets runs through rank.IterateBlock; per-column
-// options replicate rankAt's exactly (corpus rank options + Init +
-// Ctx), so column results are bit-identical to single solves.
-func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
+// non-empty base sets runs through rank.IterateBlock (or
+// rank.IterateBlock32 under PanelF32); per-column options replicate
+// rankAt's exactly (corpus rank options + Init + Ctx), so PanelF64
+// column results are bit-identical to single solves.
+func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query, inits [][]float64, mode PanelMode) ([]*RankResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if inits != nil && len(inits) != len(qs) {
-		panic(fmt.Sprintf("core: RankManyFromCtx got %d init vectors for %d queries", len(inits), len(qs)))
+		// A miscounted donation list is unrecoverable desync, not a stale
+		// vector: no per-query pairing exists, so no degrade is possible.
+		// Earlier builds panicked here and took the server down when a
+		// prewarm list raced a corpus swap.
+		return nil, fmt.Errorf("%w: %d init vectors for %d queries", ErrWarmStartMismatch, len(inits), len(qs))
 	}
 	out := make([]*RankResult, len(qs))
 	if len(qs) == 0 {
@@ -787,7 +864,12 @@ func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query
 		}
 
 		t1 := time.Now()
-		results := rank.IterateBlock(c.g, snap.alpha, jumps, opts, c.workers, c.pool)
+		var results []rank.Result
+		if mode == PanelF32 {
+			results = rank.IterateBlock32(c.g, snap.alpha, jumps, opts, c.workers, c.pool)
+		} else {
+			results = rank.IterateBlock(c.g, snap.alpha, jumps, opts, c.workers, c.pool)
+		}
 		solveDur := time.Since(t1)
 		for _, j := range jumps {
 			c.pool.Put(j)
@@ -833,6 +915,82 @@ func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query
 		e.notifySolve(stats)
 	}
 	return out, ctx.Err()
+}
+
+// RankDeltaCtx executes ObjectRank2 incrementally from prev, a score
+// vector previously converged for the SAME query under an earlier
+// rates version of the pinned state's generation (rank.IterateDelta):
+// one seeding sweep localizes the rate perturbation's residual
+// frontier and push-style point updates repair just that region. The
+// result agrees with a full solve within the convergence tolerance
+// class — NOT bitwise — so this path is reserved for warm-start
+// producers such as the cache prewarmer's rates-republish refresh;
+// answer-serving paths must use RankCtx. A nil or stale prev (wrong
+// generation) degrades to the standard globally warm-started solve —
+// bit-identical to RankCtx — and a perturbation that
+// disturbs too much of the graph completes as warm full sweeps; both
+// are reported via SolveStats.DeltaFellBack.
+func (p *Pinned) RankDeltaCtx(ctx context.Context, q *ir.Query, prev []float64) (*RankResult, error) {
+	return p.e.rankDeltaAt(ctx, p.st, q, prev)
+}
+
+// rankDeltaAt mirrors rankAt with rank.IterateDelta as the kernel.
+func (e *Engine) rankDeltaAt(ctx context.Context, st *engineState, q *ir.Query, prev []float64) (*RankResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, snap := st.gen.corpus, st.snap
+	t0 := time.Now()
+	base := baseSetOf(c, q)
+	jump := c.pool.GetZeroed(c.g.NumNodes())
+	baseDur := time.Since(t0)
+	if len(base) == 0 {
+		return &RankResult{Query: q, Scores: jump, Base: base, Converged: true, RatesVersion: snap.version, Generation: st.gen.num, BaseSetDur: baseDur}, nil
+	}
+	for _, sd := range base {
+		jump[sd.Doc] = sd.Score
+	}
+	opts := c.opts
+	opts.Ctx = ctx
+	if prev == nil || len(prev) != c.g.NumNodes() {
+		// Stale or missing prev: degrade to the standard solve, global
+		// warm start included, so the result is bit-identical to RankCtx.
+		prev = nil
+		opts.Init = st.globalScores()
+	}
+	t1 := time.Now()
+	res := rank.IterateDelta(c.g, snap.alpha, jump, prev, opts, 0, c.workers, c.pool)
+	solveDur := time.Since(t1)
+	c.pool.Put(jump)
+	if res.Err != nil {
+		res.ReleaseTo(c.pool)
+		return nil, res.Err
+	}
+	e.notifySolve(SolveStats{
+		Iterations:    res.Iterations,
+		Converged:     res.Converged,
+		WarmStarted:   prev != nil,
+		BaseSet:       len(base),
+		BaseSetDur:    baseDur,
+		SolveDur:      solveDur,
+		Columns:       1,
+		DeltaPushes:   res.Pushes,
+		DeltaFellBack: res.FellBack,
+	})
+	return &RankResult{
+		Query:        q,
+		Scores:       res.Scores,
+		Base:         base,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		RatesVersion: snap.version,
+		Generation:   st.gen.num,
+		BaseSetDur:   baseDur,
+		SolveDur:     solveDur,
+	}, nil
 }
 
 // GlobalRank returns the query-independent PageRank over the current

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// newRandomCorpusGraph builds a citation graph large enough that
+// tiling and panel-mode differences are exercised across many panels,
+// with node text drawn from a small vocabulary so queries hit
+// non-trivial base sets. Besides the globally-spread "cites" edges it
+// adds a second "extends" type confined to the first 5% of nodes, so
+// delta-solve tests can perturb a LOCALIZED rate (the push-phase
+// sweet spot) as well as a global one. Returns the two edge types in
+// that order.
+func newRandomCorpusGraph(t testing.TB, n, m int) (*graph.Graph, *graph.Rates, []graph.EdgeTypeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	vocab := []string{"olap", "cube", "index", "range", "query", "warehouse", "stream", "join"}
+	s := graph.NewSchema()
+	paper := s.AddNodeType("Paper")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	extends := s.MustAddEdgeType("extends", paper, paper)
+	b := graph.NewBuilder(s)
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		w1 := vocab[rng.Intn(len(vocab))]
+		w2 := vocab[rng.Intn(len(vocab))]
+		ids[i] = b.AddNode(paper, graph.Attr{Name: "Title", Value: w1 + " " + w2 + " paper"})
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], cites)
+	}
+	loc := n / 20
+	for i := 0; i < m/20; i++ {
+		b.AddEdge(ids[rng.Intn(loc)], ids[rng.Intn(loc)], extends)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := graph.NewRates(s)
+	r.Set(cites, graph.Forward, 0.6)
+	r.Set(cites, graph.Backward, 0.2)
+	r.Set(extends, graph.Forward, 0.1)
+	r.Set(extends, graph.Backward, 0.05)
+	return g, r, []graph.EdgeTypeID{cites, extends}
+}
+
+// TestConfigTileNodesBitIdentical: a tiled engine must answer every
+// single and batched query bit-identically to an untiled engine over
+// the same graph — Config.TileNodes is purely an execution plan.
+func TestConfigTileNodesBitIdentical(t *testing.T) {
+	g, r, _ := newRandomCorpusGraph(t, 1500, 12000)
+	cfg := Config{Rank: rank.Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 300}}
+	plain, err := NewEngine(g, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TileNodes = 256
+	tiled, err := NewEngine(g, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	qs := []*ir.Query{
+		ir.NewQuery("olap"), ir.NewQuery("cube index"), ir.NewQuery("warehouse"),
+		ir.NewQuery("stream join"), ir.NewQuery("range query"),
+	}
+	for _, q := range qs {
+		a, err := plain.RankCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tiled.RankCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Iterations != b.Iterations {
+			t.Fatalf("query %q: tiled ran %d iterations, untiled %d", q, b.Iterations, a.Iterations)
+		}
+		for v := range a.Scores {
+			if math.Float64bits(a.Scores[v]) != math.Float64bits(b.Scores[v]) {
+				t.Fatalf("query %q node %d: tiled engine diverged bitwise", q, v)
+			}
+		}
+		plain.Release(a)
+		tiled.Release(b)
+	}
+
+	as, err := plain.RankManyCtx(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := tiled.RankManyCtx(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		for v := range as[i].Scores {
+			if math.Float64bits(as[i].Scores[v]) != math.Float64bits(bs[i].Scores[v]) {
+				t.Fatalf("batch query %d node %d: tiled engine diverged bitwise", i, v)
+			}
+		}
+		plain.Release(as[i])
+		tiled.Release(bs[i])
+	}
+}
+
+// TestRankManyModeF32Agreement: PanelF32 batches agree with PanelF64
+// batches to within the mode's published 1e-6 bound, and PanelF64
+// through RankManyModeCtx stays bit-identical to RankManyCtx.
+func TestRankManyModeF32Agreement(t *testing.T) {
+	g, r, _ := newRandomCorpusGraph(t, 1200, 9600)
+	e, err := NewEngine(g, r, Config{Rank: rank.Options{Damping: 0.85, Threshold: 1e-8, MaxIters: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pin := e.Pin()
+	qs := []*ir.Query{
+		ir.NewQuery("olap"), ir.NewQuery("cube"), ir.NewQuery("index"),
+		ir.NewQuery("warehouse stream"), ir.NewQuery("join"),
+	}
+	f64s, err := pin.RankManyModeCtx(ctx, qs, nil, PanelF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pin.RankManyCtx(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32s, err := pin.RankManyModeCtx(ctx, qs, nil, PanelF32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		for v := range ref[i].Scores {
+			if math.Float64bits(f64s[i].Scores[v]) != math.Float64bits(ref[i].Scores[v]) {
+				t.Fatalf("query %d node %d: explicit PanelF64 diverged from RankManyCtx", i, v)
+			}
+			if d := math.Abs(f32s[i].Scores[v] - ref[i].Scores[v]); d > 1e-6 {
+				t.Fatalf("query %d node %d: PanelF32 deviates by %.3g > 1e-6", i, v, d)
+			}
+		}
+		e.Release(f64s[i])
+		e.Release(ref[i])
+		e.Release(f32s[i])
+	}
+}
+
+// TestRankDeltaCtx: after a small rates republish, the delta solve
+// seeded with the previous version's vector lands within the
+// convergence tolerance class of a full solve and reports its push
+// telemetry through the solve hook; a stale (wrong-generation-sized)
+// prev degrades to a full solve bit-identically.
+func TestRankDeltaCtx(t *testing.T) {
+	g, r, ets := newRandomCorpusGraph(t, 1500, 12000)
+	thr := 1e-9
+	e, err := NewEngine(g, r, Config{Rank: rank.Options{Damping: 0.85, Threshold: thr, MaxIters: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := ir.NewQuery("olap cube")
+	prev, err := e.RankCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ε-perturb the localized extends rate and republish: the residual
+	// frontier stays confined to the extends-bearing region, the case
+	// the push phase exists for.
+	r2 := r.Clone()
+	extends := graph.TransferType(ets[1], graph.Forward)
+	r2.SetRate(extends, r2.Rate(extends)+1e-5)
+	if err := e.SetRates(r2); err != nil {
+		t.Fatal(err)
+	}
+
+	var last SolveStats
+	e.SetSolveHook(func(s SolveStats) { last = s })
+	pin := e.Pin()
+	full, err := pin.RankCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullIters := full.Iterations
+	delta, err := pin.RankDeltaCtx(ctx, q, prev.Scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Converged {
+		t.Fatal("delta solve did not converge")
+	}
+	if last.DeltaFellBack {
+		t.Fatalf("ε-republish fell back to full sweeps (pushes=%d)", last.DeltaPushes)
+	}
+	work := float64(delta.Iterations) + float64(last.DeltaPushes)/float64(g.NumNodes())
+	if work >= float64(fullIters) {
+		t.Fatalf("delta did %.2f sweep-equivalents, full solve needed %d", work, fullIters)
+	}
+	bound := 2 * thr / (1 - 0.85)
+	l1 := 0.0
+	for v := range full.Scores {
+		l1 += math.Abs(delta.Scores[v] - full.Scores[v])
+	}
+	if l1 > bound {
+		t.Fatalf("delta L1-distance %.3g exceeds tolerance bound %.3g", l1, bound)
+	}
+
+	// Stale prev: wrong length ⇒ cold full solve, bit-identical to RankCtx.
+	staleDelta, err := pin.RankDeltaCtx(ctx, q, make([]float64, g.NumNodes()+9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !last.DeltaFellBack {
+		t.Fatal("stale prev did not report fallback")
+	}
+	for v := range full.Scores {
+		if math.Float64bits(staleDelta.Scores[v]) != math.Float64bits(full.Scores[v]) {
+			t.Fatalf("node %d: stale-prev delta differs from full solve", v)
+		}
+	}
+	e.Release(prev)
+	e.Release(full)
+	e.Release(delta)
+	e.Release(staleDelta)
+}

@@ -138,6 +138,68 @@ func TestSwapCorpusWarmStartLengthGuard(t *testing.T) {
 	e.Release(res)
 }
 
+// TestSwapCorpusBatchWarmStartGuards is the cross-generation
+// regression for the blocked warm-start path: per-query donations
+// sized for a previous generation's graph must silently degrade to the
+// global warm start (earlier builds fed them to the kernel, which
+// panicked the serving goroutine), while a MIS-COUNTED donation slice
+// — desynced bookkeeping with no possible pairing — comes back as
+// ErrWarmStartMismatch instead of a panic.
+func TestSwapCorpusBatchWarmStartGuards(t *testing.T) {
+	f := newFixture(t)
+	e := f.newEngine(t)
+	ctx := context.Background()
+	qs := []*ir.Query{ir.NewQuery("olap"), ir.NewQuery("cube")}
+
+	// Converged vectors from generation 1 (7 nodes each).
+	pre, err := e.RankManyCtx(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := [][]float64{pre[0].Scores, pre[1].Scores}
+
+	c2, r2 := newEightNodeCorpus(t)
+	if _, err := e.SwapCorpus(c2, r2, e.Generation()); err != nil {
+		t.Fatal(err)
+	}
+	pin := e.Pin()
+
+	// Stale donations: every column degrades, none may panic or index
+	// out of range, and results match the undonated batch bit for bit.
+	donated, err := pin.RankManyFromCtx(ctx, qs, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := pin.RankManyCtx(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if len(donated[i].Scores) != 8 {
+			t.Fatalf("query %d: donated result has %d scores, want 8", i, len(donated[i].Scores))
+		}
+		for v := range plain[i].Scores {
+			if donated[i].Scores[v] != plain[i].Scores[v] {
+				t.Fatalf("query %d node %d: stale donation changed the answer", i, v)
+			}
+		}
+	}
+
+	// Mis-counted donations: typed error, not a panic.
+	if _, err := pin.RankManyFromCtx(ctx, qs, stale[:1]); !errors.Is(err, ErrWarmStartMismatch) {
+		t.Fatalf("mis-counted inits: err=%v, want ErrWarmStartMismatch", err)
+	}
+	for _, r := range pre {
+		e.Release(r)
+	}
+	for _, r := range donated {
+		e.Release(r)
+	}
+	for _, r := range plain {
+		e.Release(r)
+	}
+}
+
 // TestSwapCorpusHammer is the -race acceptance hammer: concurrent
 // queries, corpus swaps and rate publishes with no external locking.
 // Every result must be internally consistent with the state its reader

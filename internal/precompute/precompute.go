@@ -76,6 +76,15 @@ type BuildOptions struct {
 	// kernel's per-column equivalence contract), so BlockSize is purely
 	// a throughput knob — TestBuildBlockedByteEqual enforces this.
 	BlockSize int
+	// Float32 solves panels in the f32 panel mode (core.PanelF32):
+	// float32 panel storage halves the sweep bandwidth while the
+	// arithmetic stays float64, so per-term vectors agree with the
+	// default build to within ~1e-6 instead of bit-identically. That
+	// error class is inside the fixpoint tolerance the store already
+	// quotes for Query, so combination answers keep their contract;
+	// leave this off when stored vectors must be byte-stable across
+	// builds (e.g. snapshot diffing).
+	Float32 bool
 }
 
 // Build runs one single-term ObjectRank2 fixpoint per given term —
@@ -138,7 +147,7 @@ func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildO
 			if err := ctx.Err(); err != nil {
 				return st, err
 			}
-			if err := buildPanel(ctx, pin, panel, opts.TopK, st, nil); err != nil {
+			if err := buildPanel(ctx, pin, panel, opts, st, nil); err != nil {
 				return st, err
 			}
 		}
@@ -155,7 +164,7 @@ func BuildCtx(ctx context.Context, eng *core.Engine, terms []string, opts BuildO
 			for panel := range ch {
 				// Error = ctx died mid-panel; completed columns were
 				// already stored, keep draining remaining panels.
-				_ = buildPanel(ctx, pin, panel, opts.TopK, st, &mu)
+				_ = buildPanel(ctx, pin, panel, opts, st, &mu)
 			}
 		}()
 	}
@@ -176,8 +185,9 @@ feed:
 // stores every column that completed. Terms with zero base mass are
 // skipped without occupying a panel column. mu, when non-nil, guards
 // the store map (concurrent-panel builds).
-func buildPanel(ctx context.Context, pin *core.Pinned, terms []string, topK int, st *Store, mu *sync.Mutex) error {
+func buildPanel(ctx context.Context, pin *core.Pinned, terms []string, opts BuildOptions, st *Store, mu *sync.Mutex) error {
 	eng := pin.Engine()
+	topK := opts.TopK
 	names := make([]string, 0, len(terms))
 	zs := make([]float64, 0, len(terms))
 	qs := make([]*ir.Query, 0, len(terms))
@@ -199,7 +209,11 @@ func buildPanel(ctx context.Context, pin *core.Pinned, terms []string, topK int,
 	if len(qs) == 0 {
 		return ctx.Err()
 	}
-	results, err := pin.RankManyCtx(ctx, qs)
+	mode := core.PanelF64
+	if opts.Float32 {
+		mode = core.PanelF32
+	}
+	results, err := pin.RankManyModeCtx(ctx, qs, nil, mode)
 	for i, res := range results {
 		if res == nil {
 			continue // column cancelled before convergence

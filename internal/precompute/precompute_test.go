@@ -231,3 +231,30 @@ func TestValidFor(t *testing.T) {
 		t.Error("Rates leaked internal storage")
 	}
 }
+
+// TestFloat32BuildAgreement: a store built with the f32 panel mode
+// answers queries within the mode's published 1e-6 score bound of the
+// full-precision build, with identical term coverage.
+func TestFloat32BuildAgreement(t *testing.T) {
+	eng, _ := testEngine(t)
+	terms := []string{"olap", "xml", "mining", "query", "index", "search"}
+	f64 := Build(eng, terms, BuildOptions{})
+	f32 := Build(eng, terms, BuildOptions{Float32: true, Workers: 4})
+	if f64.Terms() != f32.Terms() {
+		t.Fatalf("term counts differ: %d vs %d", f64.Terms(), f32.Terms())
+	}
+	for _, q := range []*ir.Query{
+		ir.NewQuery("olap"), ir.NewQuery("olap", "mining"), ir.NewQuery("xml", "query", "index"),
+	} {
+		a, okA := f64.Query(q, 20)
+		b, okB := f32.Query(q, 20)
+		if okA != okB || len(a) != len(b) {
+			t.Fatalf("query %v: coverage diverges (%v/%d vs %v/%d)", q, okA, len(a), okB, len(b))
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-6 {
+				t.Fatalf("query %v rank %d: f32 score %.9g vs f64 %.9g", q, i, b[i].Score, a[i].Score)
+			}
+		}
+	}
+}

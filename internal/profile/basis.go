@@ -125,6 +125,17 @@ func BasisTerms(pin *core.Pinned, size int) []string {
 // with empty base sets are skipped. On cancellation the partial build
 // is discarded and ctx's error returned — a basis is only ever complete.
 func BuildBasis(ctx context.Context, pin *core.Pinned, terms []string) (*Basis, error) {
+	return BuildBasisMode(ctx, pin, terms, core.PanelF64)
+}
+
+// BuildBasisMode is BuildBasis with an explicit panel mode.
+// core.PanelF32 halves the panel's working-set bandwidth during the
+// rebuild at the cost of basis vectors that agree with full precision
+// only to ~1e-6 — acceptable for personalization mixtures (combined
+// scores are blends; ordering perturbations at that scale sit far
+// below DefaultBeta's influence), but leave it off when bitwise
+// reproducibility of combined answers across builds matters.
+func BuildBasisMode(ctx context.Context, pin *core.Pinned, terms []string, mode core.PanelMode) (*Basis, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -170,7 +181,7 @@ func BuildBasis(ctx context.Context, pin *core.Pinned, terms []string) (*Basis, 
 		if len(qs) == 0 {
 			continue
 		}
-		results, err := pin.RankManyCtx(ctx, qs)
+		results, err := pin.RankManyModeCtx(ctx, qs, nil, mode)
 		if err != nil {
 			for _, res := range results {
 				if res != nil {

@@ -51,6 +51,12 @@ type Options struct {
 	// caller passes nil options; the zero value means the paper's
 	// combined content+structure setting.
 	Train core.ReformulateOptions
+	// BasisFloat32 rebuilds the topic basis through the f32 panel
+	// kernel (core.PanelF32): basis vectors then agree with a
+	// full-precision build only to ~1e-6 instead of bitwise, in
+	// exchange for a faster rebuild after every publish. See
+	// BuildBasisMode for the tradeoff.
+	BasisFloat32 bool
 	// BaseRank, if non-nil, overrides how the query's own fixpoint is
 	// solved on the combine path — the server points this at its
 	// serving cache so personalized queries share the global tier's
@@ -207,7 +213,11 @@ func (m *Manager) BasisFor(ctx context.Context, pin *core.Pinned) (*Basis, error
 	if b := m.basis.Load(); b != nil && b.generation == pin.Generation() && b.ratesKey == rk {
 		return b, nil
 	}
-	b, err := BuildBasis(ctx, pin, BasisTerms(pin, m.opts.BasisSize))
+	mode := core.PanelF64
+	if m.opts.BasisFloat32 {
+		mode = core.PanelF32
+	}
+	b, err := BuildBasisMode(ctx, pin, BasisTerms(pin, m.opts.BasisSize), mode)
 	if err != nil {
 		return nil, err
 	}

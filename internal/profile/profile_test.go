@@ -360,3 +360,37 @@ func TestBasisInvalidationOnPublish(t *testing.T) {
 		t.Fatalf("basis builds = %d, want 2", m.Stats().BasisBuilds)
 	}
 }
+
+// TestBasisFloat32Agreement: a basis rebuilt through the f32 panel
+// mode (Options.BasisFloat32 / BuildBasisMode) carries the same terms
+// as the full-precision build with every vector element within the
+// mode's published 1e-6 bound — well below DefaultBeta's influence on
+// combined rankings.
+func TestBasisFloat32Agreement(t *testing.T) {
+	opts := rank.Options{Threshold: 1e-9, MaxIters: 500}
+	_, eng := testEngine(t, opts)
+	pin := eng.Pin()
+	terms := BasisTerms(pin, 24)
+	f64, err := BuildBasis(context.Background(), pin, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, err := BuildBasisMode(context.Background(), pin, terms, core.PanelF32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := f64.Terms(), f32.Terms()
+	if len(a) != len(b) {
+		t.Fatalf("term coverage diverges: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("term %d: %q vs %q", i, a[i], b[i])
+		}
+		for v := range f64.vecs[i] {
+			if d := math.Abs(f64.vecs[i][v] - f32.vecs[i][v]); d > 1e-6 {
+				t.Fatalf("term %q node %d: f32 basis deviates by %.3g > 1e-6", a[i], v, d)
+			}
+		}
+	}
+}

@@ -17,9 +17,11 @@ var ErrNotFound = errors.New("profile: not found")
 // DiskStore persists profile records under a directory, one file per
 // profile fanned out over 256 two-hex-digit subdirectories (so a
 // million profiles do not share one directory's lookup path). Writes go
-// through storage.AtomicWriteFile — the same tmp+rename crash-safety
-// discipline as corpus snapshots — so a reader never observes a
-// half-written record.
+// through storage.AtomicWriteFile — the same tmp+fsync+rename+dirsync
+// crash-safety discipline as corpus snapshots — so a reader never
+// observes a half-written record and a committed write survives a
+// power cut (the parent-directory fsync is what makes the rename
+// itself durable, not just atomic).
 type DiskStore struct {
 	dir string
 }

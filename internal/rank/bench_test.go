@@ -7,8 +7,9 @@ import (
 	"authorityflow/internal/graph"
 )
 
-// benchGraph builds a random citation graph for iteration benches.
-func benchGraph(b *testing.B, n, m int) (*graph.Graph, *graph.Rates) {
+// benchGraph builds a random citation graph for iteration benches and
+// the randomized kernel-equivalence tests.
+func benchGraph(b testing.TB, n, m int) (*graph.Graph, *graph.Rates) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(9))
 	s := graph.NewSchema()

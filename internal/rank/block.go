@@ -62,7 +62,17 @@ import (
 // Result.Scores comes from pool (when non-nil) and should be recycled
 // with Result.ReleaseTo as usual. IterateBlock panics on malformed
 // inputs under the same rules as Iterate, plus a len(opts) that is
-// neither 1 nor len(bases).
+// neither 1 nor len(bases). Like Iterate, a column whose Init length
+// does not match the graph — a warm start donated across a concurrent
+// corpus swap — degrades to a cold start with that column's
+// Result.InitDropped set rather than panicking the serving goroutine
+// (the pre-PR-9 behaviour, which let a SwapCorpus race crash
+// background precompute and basis rebuilds).
+//
+// Options.Tile is a per-RUN execution plan, read from the first
+// options entry (per-column tiling plans make no sense — every column
+// shares the one CSR sweep). When usable it selects the cache-blocked
+// sweep; per-column results remain bit-identical either way.
 func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Options, workers int, pool *BufferPool) []Result {
 	B := len(bases)
 	if B == 0 {
@@ -75,6 +85,7 @@ func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Opt
 	if len(opts) != 1 && len(opts) != B {
 		panic(fmt.Sprintf("rank: IterateBlock got %d option sets for %d base sets (want 1 or %d)", len(opts), B, B))
 	}
+	results := make([]Result, B)
 	col := make([]Options, B) // normalized per-column options
 	for j := 0; j < B; j++ {
 		o := opts[0]
@@ -85,10 +96,12 @@ func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Opt
 			panic(fmt.Sprintf("rank: base distribution %d has %d entries for a %d-node graph", j, len(bases[j]), n))
 		}
 		if o.Init != nil && len(o.Init) != n {
-			panic(fmt.Sprintf("rank: Init vector for column %d has %d entries for a %d-node graph (stale warm start from a rebuilt graph?)", j, len(o.Init), n))
+			o.Init = nil
+			results[j].InitDropped = true
 		}
 		col[j] = o.Normalized()
 	}
+	tl := opts[0].Tile.forGraph(n)
 
 	// Working panels, [node*B + column].
 	cur := pool.Get(n * B)
@@ -111,7 +124,6 @@ func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Opt
 		omd[j] = 1 - col[j].Damping
 	}
 
-	results := make([]Result, B)
 	// active holds the indices of columns still iterating, in ascending
 	// order (preserved by the in-place compaction below, so Observe
 	// callbacks per sweep fire in column order).
@@ -185,7 +197,11 @@ func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Opt
 			for w := 0; w < workers; w++ {
 				go func(w int) {
 					defer wg.Done()
-					sweepBlock(start, arcs, alpha, d, omd, bases, cur, next, B, active, wdiffs[w], bounds[w], bounds[w+1])
+					if tl != nil {
+						sweepBlockTiled(tl, arcs, alpha, d, omd, bases, cur, next, B, active, wdiffs[w], bounds[w], bounds[w+1])
+					} else {
+						sweepBlock(start, arcs, alpha, d, omd, bases, cur, next, B, active, wdiffs[w], bounds[w], bounds[w+1])
+					}
 				}(w)
 			}
 			wg.Wait()
@@ -200,6 +216,8 @@ func IterateBlock(g *graph.Graph, alpha []float64, bases [][]float64, opts []Opt
 				}
 				diffs[j] = total
 			}
+		} else if tl != nil {
+			sweepBlockTiled(tl, arcs, alpha, d, omd, bases, cur, next, B, active, diffs, 0, n)
 		} else {
 			sweepBlock(start, arcs, alpha, d, omd, bases, cur, next, B, active, diffs, 0, n)
 		}

@@ -1,0 +1,259 @@
+package rank
+
+import (
+	"fmt"
+	"sync"
+
+	"authorityflow/internal/graph"
+)
+
+// IterateBlock32 is IterateBlock with float32 panel STORAGE: the
+// working [node*B+column] panels hold float32 lanes, halving the
+// panel's memory traffic per sweep (the dominant bandwidth term of
+// wide blocked solves) and doubling the number of columns one cache
+// line feeds — sixteen f32 lanes per 64-byte line against eight f64
+// lanes. Arithmetic stays float64 throughout: each node's per-column
+// accumulation ((1−d)·base[v] first, then the d·alpha[t]·InvDeg·cur[u]
+// terms in (source, type) order) runs in double precision and rounds
+// to float32 exactly once, at the panel store; the L1 residuals that
+// drive convergence accumulate in float64 as well. Converged columns
+// are frozen into ordinary []float64 Scores, so results are drop-in
+// for IterateBlock's.
+//
+// Compatibility classification — this is the one kernel mode in the
+// package that is NOT bit-identical to Iterate: every panel element
+// carries one float32 rounding (relative 2⁻²⁴) per sweep, which the
+// d-contraction bounds to an absolute error of order ε₃₂/(1−d) ≈ 5e-7
+// on unit-mass score vectors at d = 0.85. Callers that need answers
+// bit-identical to the single-vector kernel (the user-facing query and
+// batch paths) must keep using IterateBlock; IterateBlock32 is the
+// opt-in for bulk producers — cache prewarm, precompute builds, the
+// profile basis — whose consumers tolerate 1e-6 agreement
+// (TestIterateBlock32Agreement pins the bound). Because convergence is
+// decided on the f32-rounded residuals, iteration counts may differ
+// from the f64 kernel by a step near the threshold; Converged remains
+// a correct statement about the returned vector either way.
+//
+// Options.Tile is ignored: halving the panel footprint already buys
+// the locality tiling exists to recover, and a tiled f32 sweep would
+// round each element once per TILE PASS instead of once per sweep,
+// widening the error class for no bandwidth win on top of f32.
+//
+// Convergence thresholds are clamped up to Float32ThresholdFloor: a
+// float32-stored panel's per-sweep L1 residual carries rounding noise
+// of order ε₃₂ on unit-mass vectors, so a tighter requested threshold
+// (engines commonly run 1e-8/1e-9) is physically unreachable and
+// would spin every column to MaxIters — turning the bandwidth
+// optimization into a multiple-times-slower solve. The clamp keeps
+// the final vector in the same ~1e-6 agreement class (floor/(1−d))
+// while stopping as soon as the panel is inside its noise ball.
+// ZeroThreshold (early stopping disabled) is honored unchanged.
+//
+// Per-column semantics otherwise mirror IterateBlock exactly:
+// per-column Options (damping, threshold, MaxIters, Init, Observe,
+// Ctx), per-column freeze-on-converge, pre-sweep cancellation gates,
+// and the stale-Init degrade-to-cold with Result.InitDropped. workers
+// fans node ranges out exactly as IterateBlock does.
+// Float32ThresholdFloor is the tightest L1 convergence threshold
+// IterateBlock32 honors. One float32 rounding per element per sweep
+// puts ~ε₃₂ ≈ 1.2e-7 of irreducible noise on the L1 residual of a
+// unit-mass column (the residual compares two independently rounded
+// panels), so the floor sits at ~2× that noise: tight enough that the
+// returned vector stays in the documented 1e-6 agreement class, loose
+// enough that convergence actually triggers instead of flapping on
+// rounding jitter until MaxIters.
+const Float32ThresholdFloor = 2.5e-7
+
+func IterateBlock32(g *graph.Graph, alpha []float64, bases [][]float64, opts []Options, workers int, pool *BufferPool) []Result {
+	B := len(bases)
+	if B == 0 {
+		return nil
+	}
+	n := g.NumNodes()
+	if len(alpha) < g.Schema().NumTransferTypes() {
+		panic(fmt.Sprintf("rank: alpha vector has %d entries, schema has %d transfer types", len(alpha), g.Schema().NumTransferTypes()))
+	}
+	if len(opts) != 1 && len(opts) != B {
+		panic(fmt.Sprintf("rank: IterateBlock32 got %d option sets for %d base sets (want 1 or %d)", len(opts), B, B))
+	}
+	results := make([]Result, B)
+	col := make([]Options, B)
+	for j := 0; j < B; j++ {
+		o := opts[0]
+		if len(opts) == B {
+			o = opts[j]
+		}
+		if len(bases[j]) != n {
+			panic(fmt.Sprintf("rank: base distribution %d has %d entries for a %d-node graph", j, len(bases[j]), n))
+		}
+		if o.Init != nil && len(o.Init) != n {
+			o.Init = nil
+			results[j].InitDropped = true
+		}
+		col[j] = o.Normalized()
+		// Clamp to the f32 noise floor; Threshold 0 here means the
+		// caller passed ZeroThreshold (early stopping off) — keep it.
+		if t := col[j].Threshold; t > 0 && t < Float32ThresholdFloor {
+			col[j].Threshold = Float32ThresholdFloor
+		}
+	}
+
+	// Working panels, [node*B + column], float32 storage. These are
+	// mode-local (the shared BufferPool recycles float64 backing
+	// arrays); at half the footprint of the f64 panels the two
+	// allocations are the cheapest part of a multi-sweep solve.
+	cur := make([]float32, n*B)
+	next := make([]float32, n*B)
+	for v := 0; v < n; v++ {
+		row := v * B
+		for j := 0; j < B; j++ {
+			if col[j].Init != nil {
+				cur[row+j] = float32(col[j].Init[v])
+			} else {
+				cur[row+j] = float32(bases[j][v])
+			}
+		}
+	}
+
+	d := make([]float64, B)
+	omd := make([]float64, B)
+	for j := 0; j < B; j++ {
+		d[j] = col[j].Damping
+		omd[j] = 1 - col[j].Damping
+	}
+
+	active := make([]int, 0, B)
+	for j := 0; j < B; j++ {
+		active = append(active, j)
+	}
+	diffs := make([]float64, B)
+
+	start, arcs := g.ReverseCSR()
+	if workers > n {
+		workers = n
+	}
+	parallel := workers > 1
+	var bounds []int
+	var wdiffs, waccs [][]float64
+	acc := make([]float64, B) // per-node f64 accumulators of the serial path
+	if parallel {
+		bounds = make([]int, workers+1)
+		for w := 0; w <= workers; w++ {
+			bounds[w] = w * n / workers
+		}
+		wdiffs = make([][]float64, workers)
+		waccs = make([][]float64, workers)
+		for w := range wdiffs {
+			wdiffs[w] = make([]float64, B)
+			waccs[w] = make([]float64, B)
+		}
+	}
+
+	freeze := func(j int, panel []float32) {
+		out := pool.Get(n)
+		for v := 0; v < n; v++ {
+			out[v] = float64(panel[v*B+j])
+		}
+		results[j].Scores = out
+		for i, a := range active {
+			if a == j {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for it := 0; len(active) > 0; it++ {
+		snapshot := append([]int(nil), active...)
+		for _, j := range snapshot {
+			if ctx := col[j].Ctx; ctx != nil {
+				if err := ctx.Err(); err != nil {
+					results[j].Err = err
+					freeze(j, cur)
+					continue
+				}
+			}
+			if it >= col[j].MaxIters {
+				freeze(j, cur)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+
+		if parallel {
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					sweepBlock32(start, arcs, alpha, d, omd, bases, cur, next, B, active, wdiffs[w], waccs[w], bounds[w], bounds[w+1])
+				}(w)
+			}
+			wg.Wait()
+			for _, j := range active {
+				total := 0.0
+				for w := 0; w < workers; w++ {
+					total += wdiffs[w][j]
+				}
+				diffs[j] = total
+			}
+		} else {
+			sweepBlock32(start, arcs, alpha, d, omd, bases, cur, next, B, active, diffs, acc, 0, n)
+		}
+
+		snapshot = append(snapshot[:0], active...)
+		for _, j := range snapshot {
+			results[j].Iterations = it + 1
+			if col[j].Observe != nil {
+				col[j].Observe(it+1, diffs[j])
+			}
+			if diffs[j] < col[j].Threshold {
+				results[j].Converged = true
+				freeze(j, next)
+			}
+		}
+		cur, next = next, cur
+	}
+
+	return results
+}
+
+// sweepBlock32 is the float32-panel blocked inner loop: per node each
+// live column's in-flow accumulates in the float64 scratch acc (seeded
+// with omd[j]·bases[j][v], then the damped arc terms in (source, type)
+// order — the f64 kernels' exact schedule), is rounded ONCE to float32
+// at the panel store, and folds its L1 delta — computed in float64
+// against the previous panel value — into diffs.
+func sweepBlock32(start []int32, arcs []graph.Arc, alpha []float64, d, omd []float64, bases [][]float64, cur, next []float32, B int, active []int, diffs, acc []float64, lo, hi int) {
+	for _, j := range active {
+		diffs[j] = 0
+	}
+	for v := lo; v < hi; v++ {
+		row := v * B
+		for _, j := range active {
+			acc[j] = omd[j] * bases[j][v]
+		}
+		for k := start[v]; k < start[v+1]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			inv := float64(a.InvDeg)
+			urow := int(a.To) * B
+			for _, j := range active {
+				acc[j] += d[j] * w * inv * float64(cur[urow+j])
+			}
+		}
+		for _, j := range active {
+			s := acc[j]
+			next[row+j] = float32(s)
+			delta := s - float64(cur[row+j])
+			if delta < 0 {
+				delta = -delta
+			}
+			diffs[j] += delta
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package rank
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// maxAbsDiff returns max_v |a[v] − b[v]|.
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestIterateBlock32Agreement pins the f32 panel mode's compatibility
+// classification: per column, scores within 1e-6 (absolute, on
+// unit-mass distributions) of the f64 kernel's, across cold and warm
+// starts, heterogeneous per-column damping, and serial vs parallel
+// execution. 1e-6 is the published bound of the mode (DESIGN.md §13);
+// the expected error is ε₃₂/(1−d) ≈ 5e-7 at d = 0.85.
+func TestIterateBlock32Agreement(t *testing.T) {
+	g, r := benchGraph(t, 2000, 16000)
+	alpha := r.Vector()
+	B := 6
+	bases := make([][]float64, B)
+	for j := range bases {
+		base := make([]float64, g.NumNodes())
+		for i := range base {
+			base[i] = float64((i*7+j*13)%23) + 1
+		}
+		bases[j] = NormalizeDist(base)
+	}
+	warm := make([]float64, g.NumNodes())
+	for i := range warm {
+		warm[i] = 1 / float64(len(warm))
+	}
+	opts := make([]Options, B)
+	for j := range opts {
+		opts[j] = Options{Damping: 0.75 + 0.02*float64(j), Threshold: 1e-7, MaxIters: 500}
+		if j%2 == 1 {
+			opts[j].Init = warm
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		ref := IterateBlock(g, alpha, bases, opts, workers, nil)
+		got := IterateBlock32(g, alpha, bases, opts, workers, nil)
+		for j := 0; j < B; j++ {
+			if !got[j].Converged {
+				t.Fatalf("workers=%d col=%d: f32 column did not converge (iters=%d)", workers, j, got[j].Iterations)
+			}
+			if d := maxAbsDiff(got[j].Scores, ref[j].Scores); d > 1e-6 {
+				t.Fatalf("workers=%d col=%d: f32 deviates from f64 by %.3g > 1e-6", workers, j, d)
+			}
+		}
+	}
+}
+
+// TestIterateBlock32DegradesStaleInit: the f32 kernel shares the
+// stale-warm-start degrade contract.
+func TestIterateBlock32DegradesStaleInit(t *testing.T) {
+	g, r := benchGraph(t, 100, 600)
+	alpha := r.Vector()
+	base := make([]float64, g.NumNodes())
+	base[5] = 1
+	o := Options{Threshold: 1e-7, MaxIters: 300, Init: make([]float64, g.NumNodes()+3)}
+	res := IterateBlock32(g, alpha, [][]float64{base}, []Options{o}, 1, nil)
+	if !res[0].InitDropped {
+		t.Fatal("stale Init not reported as dropped")
+	}
+	cold := IterateBlock32(g, alpha, [][]float64{base}, []Options{{Threshold: 1e-7, MaxIters: 300}}, 1, nil)
+	for v := range cold[0].Scores {
+		if math.Float64bits(res[0].Scores[v]) != math.Float64bits(cold[0].Scores[v]) {
+			t.Fatalf("degraded f32 column differs from cold at node %d", v)
+		}
+	}
+}
+
+// TestIterateBlock32Cancel: a cancelled f32 column freezes with the
+// error set and a complete (unconverged) state, like the f64 kernels.
+func TestIterateBlock32Cancel(t *testing.T) {
+	g, r := benchGraph(t, 100, 600)
+	alpha := r.Vector()
+	base := make([]float64, g.NumNodes())
+	base[0] = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := IterateBlock32(g, alpha, [][]float64{base}, []Options{{Ctx: ctx, MaxIters: 50}}, 1, nil)
+	if res[0].Err == nil || res[0].Converged {
+		t.Fatalf("cancelled column: err=%v converged=%v, want context error and false", res[0].Err, res[0].Converged)
+	}
+	if len(res[0].Scores) != g.NumNodes() {
+		t.Fatalf("cancelled column returned %d scores, want %d", len(res[0].Scores), g.NumNodes())
+	}
+}

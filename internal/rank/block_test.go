@@ -264,7 +264,6 @@ func TestIterateBlockPanics(t *testing.T) {
 		opts  []Options
 	}{
 		{"short base", [][]float64{ok[0], make([]float64, g.NumNodes()-1)}, []Options{{}}},
-		{"stale init", ok, []Options{{Init: make([]float64, g.NumNodes()+1)}}},
 		{"opts arity", ok, []Options{{}, {}, {}}},
 	}
 	for _, c := range cases {
@@ -276,6 +275,52 @@ func TestIterateBlockPanics(t *testing.T) {
 			}()
 			IterateBlock(g, alpha, c.bases, c.opts, 1, nil)
 		})
+	}
+}
+
+// TestIterateBlockDegradesStaleInit pins the blocked kernel's half of
+// the stale-warm-start fix (ISSUE 9 satellite): a column whose Init
+// length does not match the graph — the signature of a vector donated
+// across a concurrent corpus swap — must degrade to a cold start with
+// InitDropped set, bit-identical to the explicitly cold column, while
+// well-sized columns in the same panel keep their warm starts.
+func TestIterateBlockDegradesStaleInit(t *testing.T) {
+	g, r := fig1Fixture(t)
+	alpha := r.Vector()
+	bases := blockBases(g, 2)
+	o := Options{Damping: 0.85, Threshold: 1e-10, MaxIters: 500}
+	warmInit := make([]float64, g.NumNodes())
+	for i := range warmInit {
+		warmInit[i] = 1 / float64(len(warmInit))
+	}
+	staleInit := make([]float64, g.NumNodes()+7)
+
+	oStale, oWarm := o, o
+	oStale.Init = staleInit
+	oWarm.Init = warmInit
+	block := IterateBlock(g, alpha, bases, []Options{oStale, oWarm}, 1, nil)
+	if !block[0].InitDropped {
+		t.Fatal("stale-init column not reported as dropped")
+	}
+	if block[1].InitDropped {
+		t.Fatal("well-sized init column reported as dropped")
+	}
+
+	cold := Iterate(g, alpha, bases[0], o, 1, nil)
+	if block[0].Iterations != cold.Iterations || block[0].Converged != cold.Converged {
+		t.Fatalf("degraded column (iters=%d conv=%v) differs from cold solve (iters=%d conv=%v)",
+			block[0].Iterations, block[0].Converged, cold.Iterations, cold.Converged)
+	}
+	for v := range cold.Scores {
+		if math.Float64bits(block[0].Scores[v]) != math.Float64bits(cold.Scores[v]) {
+			t.Fatalf("score[%d]: degraded column %v != cold solve %v", v, block[0].Scores[v], cold.Scores[v])
+		}
+	}
+	warm := Iterate(g, alpha, bases[1], oWarm, 1, nil)
+	for v := range warm.Scores {
+		if math.Float64bits(block[1].Scores[v]) != math.Float64bits(warm.Scores[v]) {
+			t.Fatalf("score[%d]: warm column %v != warm solve %v", v, block[1].Scores[v], warm.Scores[v])
+		}
 	}
 }
 

@@ -1,0 +1,253 @@
+package rank
+
+import (
+	"fmt"
+
+	"authorityflow/internal/graph"
+)
+
+// DefaultFrontierFrac is the frontier-size fallback threshold of
+// IterateDelta: when more than this fraction of the graph's nodes hold
+// an above-tolerance residual after the seeding sweep, the rate
+// perturbation was not actually small and full sweeps (which amortize
+// their CSR traversal over every node) beat push-style point updates.
+const DefaultFrontierFrac = 0.125
+
+// DeltaResult is IterateDelta's outcome: a Result plus the delta-solve
+// telemetry the rates-republish benches read.
+type DeltaResult struct {
+	Result
+	// Frontier is the number of nodes whose residual exceeded the
+	// per-node tolerance after the seeding sweep — the size of the
+	// region the rate perturbation actually disturbed.
+	Frontier int
+	// Pushes is the number of residual-push point updates applied. One
+	// full sweep costs |V| node updates, so Pushes/|V| is the
+	// sweep-equivalent work of the push phase; Result.Iterations counts
+	// only full sweeps (the seeding sweep, plus the fallback's sweeps
+	// when it ran).
+	Pushes int
+	// FellBack reports that the frontier was too large (or prev was
+	// unusable) and the solve completed with full warm-started sweeps
+	// instead of pushes.
+	FellBack bool
+}
+
+// IterateDelta solves the damped fixpoint r = d·A·r + (1−d)·base
+// incrementally from a previously converged vector prev — the
+// rates-republish fast path. A reformulation perturbs the rate vector
+// by a small ε, so the new fixpoint is within O(ε/(1−d)) of the old
+// one and almost all of prev is already correct; re-running full
+// sweeps re-derives every node to fix a few.
+//
+// The algorithm is residual-frontier push (Gauss–Seidel on the
+// residual): one gather sweep over the reverse CSR under the NEW alpha
+// seeds the residual r[v] = (1−d)·base[v] + d·(A·prev)[v] − prev[v];
+// nodes with |r[v]| > Threshold/|V| form the frontier. When the total
+// residual mass Σ|r| is already ≤ Threshold — a republish that didn't
+// actually move the fixpoint beyond a full solve's stopping point —
+// the solve returns immediately with the residual folded in and zero
+// pushes. Otherwise each push pops
+// a frontier node v, folds its residual into the solution (x[v] +=
+// r[v]) and propagates d·alpha[t]·InvDeg(v,t)·r[v] to each forward
+// neighbour's residual — the forward CSR's frozen InvDeg is exactly
+// the column weight M[u][v] the update needs. Since d < 1 the total
+// residual mass contracts and the worklist drains; on exit
+// ‖x − x*‖₁ ≤ Σ|r[v]| / (1−d) ≤ Threshold/(1−d), the same
+// distance-to-fixpoint class a full solve's L1 stopping rule
+// guarantees. Compatibility classification: delta results agree with a
+// full solve WITHIN CONVERGENCE TOLERANCE, not bitwise — callers that
+// serve bit-identity contracts must keep full sweeps.
+//
+// Fallback: when prev is nil or mis-sized (a stale vector from a
+// swapped corpus), when the seeded frontier exceeds frontierFrac·|V|
+// (frontierFrac <= 0 selects DefaultFrontierFrac), or when the push
+// phase exhausts its budget (MaxIters·|V| pushes, the work of a full
+// MaxIters run), the solve completes as a plain Iterate — warm-started
+// from the already-seeded Gauss–Jacobi state when the seeding sweep
+// ran — with FellBack set. The fallback preserves Iterate's exactness
+// class, so IterateDelta never returns anything worse than a full
+// warm-started solve.
+//
+// opts follows Iterate's conventions (Observe fires for the seeding
+// sweep and, via the fallback, for full sweeps; Ctx is polled before
+// the seeding sweep and every 4096 pushes). Options.Tile applies to
+// the seeding sweep and any fallback sweeps. workers parallelizes only
+// the fallback's sweeps — the push phase is inherently sequential —
+// and the returned Scores come from pool as usual.
+func IterateDelta(g *graph.Graph, alpha, base, prev []float64, opts Options, frontierFrac float64, workers int, pool *BufferPool) DeltaResult {
+	opts = opts.Normalized()
+	n := g.NumNodes()
+	if len(base) != n {
+		panic(fmt.Sprintf("rank: base distribution has %d entries for a %d-node graph", len(base), n))
+	}
+	if len(alpha) < g.Schema().NumTransferTypes() {
+		panic(fmt.Sprintf("rank: alpha vector has %d entries, schema has %d transfer types", len(alpha), g.Schema().NumTransferTypes()))
+	}
+	if frontierFrac <= 0 {
+		frontierFrac = DefaultFrontierFrac
+	}
+	if prev != nil && len(prev) != n {
+		prev = nil
+	}
+	if prev == nil || n == 0 || opts.MaxIters == 0 {
+		// Nothing to be incremental against (or no iteration budget):
+		// the full kernel owns every edge case here.
+		res := Iterate(g, alpha, base, opts, workers, pool)
+		return DeltaResult{Result: res, FellBack: true}
+	}
+	if ctx := opts.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			out := pool.Get(n)
+			copy(out, prev)
+			return DeltaResult{Result: Result{Scores: out, Err: err}}
+		}
+	}
+
+	d := opts.Damping
+	x := pool.Get(n)
+	copy(x, prev)
+
+	// Seeding sweep: next = (1−d)·base + d·A·x under the new alpha,
+	// computed by the ordinary (optionally tiled) gather sweep; the
+	// residual is r[v] = next[v] − x[v], and the sweep's L1 return is
+	// exactly Σ|r| — the frontier mass.
+	start, rarcs := g.ReverseCSR()
+	r := pool.Get(n)
+	var seedDiff float64
+	if tl := opts.Tile; tl.usable(n) {
+		seedDiff = sweepTiled(tl, rarcs, alpha, d, base, x, r, 0, n)
+	} else {
+		seedDiff = sweep(start, rarcs, alpha, d, base, x, r, 0, n)
+	}
+	if opts.Observe != nil {
+		opts.Observe(1, seedDiff)
+	}
+	for v := 0; v < n; v++ {
+		r[v] -= x[v]
+	}
+
+	tau := opts.Threshold / float64(n)
+	queue := make([]int32, 0, 1024)
+	inQueue := make([]bool, n)
+	mass := 0.0
+	for v := 0; v < n; v++ {
+		rv := r[v]
+		if rv < 0 {
+			mass -= rv
+		} else {
+			mass += rv
+		}
+		if rv > tau || rv < -tau {
+			queue = append(queue, int32(v))
+			inQueue[v] = true
+		}
+	}
+	res := DeltaResult{Frontier: len(queue)}
+	res.Iterations = 1 // the seeding sweep
+
+	if mass <= opts.Threshold {
+		// The republished rates didn't move the fixpoint beyond a full
+		// solve's own stopping point: ‖(x+r) − x*‖₁ ≤ d·mass/(1−d) is
+		// already inside the tolerance class. Folding the residual in is
+		// one free Gauss–Jacobi step. Without this exit, the converged
+		// prev's own slack — mass just under Threshold spread across all
+		// of |V| — would put half the graph a hair over the per-node tau
+		// and push-chase noise the stopping rule deliberately tolerates.
+		for v := 0; v < n; v++ {
+			x[v] += r[v]
+		}
+		pool.Put(r)
+		res.Scores = x
+		res.Converged = true
+		return res
+	}
+
+	fallback := func(err error) DeltaResult {
+		// Complete with full sweeps, warm-started from the seeded
+		// Gauss–Jacobi state x+r (one whole iteration already paid for).
+		for v := 0; v < n; v++ {
+			x[v] += r[v]
+		}
+		pool.Put(r)
+		if err != nil {
+			res.Err = err
+			res.Scores = x
+			return res
+		}
+		fopts := opts
+		fopts.Init = x
+		full := Iterate(g, alpha, base, fopts, workers, pool)
+		pool.Put(x)
+		res.Result = full
+		res.Result.Iterations += res.Iterations
+		res.FellBack = true
+		return res
+	}
+	if len(queue) > int(frontierFrac*float64(n)) {
+		return fallback(nil)
+	}
+
+	// Push phase over the forward CSR. The budget equals a full
+	// MaxIters run's node updates; delta solves that need anywhere near
+	// it are mis-classified perturbations and finish as full sweeps.
+	fstart, farcs := g.ForwardCSR()
+	budget := opts.MaxIters * n
+	pushes := 0
+	// FIFO order, deliberately: round-robin processing is Gauss–Seidel
+	// in rounds, so every frontier node's outgoing contributions
+	// aggregate in its neighbours' residuals before those neighbours are
+	// processed once. A LIFO stack cascades depth-first and reprocesses
+	// the same descendants once per frontier node — orders of magnitude
+	// more pushes for the same mass contraction.
+	head := 0
+	for head < len(queue) {
+		v := queue[head]
+		head++
+		if head >= 4096 && head*2 >= len(queue) {
+			copy(queue, queue[head:])
+			queue = queue[:len(queue)-head]
+			head = 0
+		}
+		inQueue[v] = false
+		rv := r[v]
+		if rv <= tau && rv >= -tau {
+			continue
+		}
+		x[v] += rv
+		r[v] = 0
+		pushes++
+		if pushes&4095 == 0 {
+			if ctx := opts.Ctx; ctx != nil {
+				if err := ctx.Err(); err != nil {
+					res.Pushes = pushes
+					return fallback(err)
+				}
+			}
+			if pushes >= budget {
+				res.Pushes = pushes
+				return fallback(nil)
+			}
+		}
+		drv := d * rv
+		for k := fstart[v]; k < fstart[v+1]; k++ {
+			a := farcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			u := a.To
+			ru := r[u] + drv*w*float64(a.InvDeg)
+			r[u] = ru
+			if !inQueue[u] && (ru > tau || ru < -tau) {
+				queue = append(queue, int32(u))
+				inQueue[u] = true
+			}
+		}
+	}
+	pool.Put(r)
+	res.Pushes = pushes
+	res.Scores = x
+	res.Converged = true
+	return res
+}

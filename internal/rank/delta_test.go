@@ -1,0 +1,187 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"authorityflow/internal/graph"
+)
+
+// deltaGraph builds the randomized two-type graph the delta tests
+// perturb: m "cites" edges spread globally, plus mloc "extends" edges
+// confined to the first loc nodes. Perturbing the extends rates is the
+// localized-republish case where push-style delta solves win;
+// perturbing cites disturbs the whole graph and must fall back.
+func deltaGraph(t *testing.T, n, m, loc, mloc int, seed int64) (*graph.Graph, *graph.Rates, []graph.EdgeTypeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := graph.NewSchema()
+	paper := s.AddNodeType("Paper")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	extends := s.MustAddEdgeType("extends", paper, paper)
+	gb := graph.NewBuilder(s)
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = gb.AddNode(paper)
+	}
+	for i := 0; i < m; i++ {
+		gb.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], cites)
+	}
+	for i := 0; i < mloc; i++ {
+		gb.AddEdge(ids[rng.Intn(loc)], ids[rng.Intn(loc)], extends)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := graph.NewRates(s)
+	r.Set(cites, graph.Forward, 0.5)
+	r.Set(cites, graph.Backward, 0.15)
+	r.Set(extends, graph.Forward, 0.25)
+	r.Set(extends, graph.Backward, 0.1)
+	return g, r, []graph.EdgeTypeID{cites, extends}
+}
+
+func l1Dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// TestIterateDeltaProperty is the satellite's property test: across
+// randomized ε-perturbations of a localized edge type's rates, the
+// delta solve must (a) converge without falling back, (b) land within
+// the tolerance class ‖x − x*‖₁ ≤ 2·Threshold/(1−d) of the full-sweep
+// answer under the perturbed rates, and (c) do less sweep-equivalent
+// work (seeding sweep + pushes/|V|) than the cold full solve it
+// replaces.
+func TestIterateDeltaProperty(t *testing.T) {
+	g, r, ets := deltaGraph(t, 3000, 24000, 150, 1200, 11)
+	n := g.NumNodes()
+	opts := Options{Damping: 0.85, Threshold: 1e-8, MaxIters: 500}
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = 1
+	}
+	NormalizeDist(base)
+	// prev is converged one decade tighter than the delta solve's
+	// threshold so its own slack sits well under the per-node tau.
+	prevOpts := opts
+	prevOpts.Threshold = 1e-9
+	prev := Iterate(g, r.Vector(), base, prevOpts, 1, nil)
+	if !prev.Converged {
+		t.Fatal("baseline solve did not converge")
+	}
+	bound := 2 * opts.Threshold / (1 - opts.Damping)
+	extends := ets[1]
+
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 9; trial++ {
+		eps := []float64{1e-5, 1e-4, 1e-3}[trial%3]
+		r2 := r.Clone()
+		for _, dir := range []graph.Direction{graph.Forward, graph.Backward} {
+			v := r.Rate(graph.TransferType(extends, dir)) + eps*(2*rng.Float64()-1)
+			if v < 0 {
+				v = 0
+			}
+			r2.Set(extends, dir, v)
+		}
+		alpha2 := r2.Vector()
+		full := Iterate(g, alpha2, base, opts, 1, nil)
+		dr := IterateDelta(g, alpha2, base, prev.Scores, opts, 0, 1, nil)
+		if dr.Err != nil || !dr.Converged {
+			t.Fatalf("trial %d (eps=%g): delta solve err=%v converged=%v", trial, eps, dr.Err, dr.Converged)
+		}
+		if dr.FellBack {
+			t.Fatalf("trial %d (eps=%g): localized ε-perturbation fell back (frontier=%d of %d)", trial, eps, dr.Frontier, n)
+		}
+		if d := l1Dist(dr.Scores, full.Scores); d > bound {
+			t.Fatalf("trial %d (eps=%g): delta L1-distance %.3g exceeds tolerance bound %.3g", trial, eps, d, bound)
+		}
+		work := float64(dr.Iterations) + float64(dr.Pushes)/float64(n)
+		if work >= float64(full.Iterations) {
+			t.Fatalf("trial %d (eps=%g): delta did %.2f sweep-equivalents, full solve needed only %d",
+				trial, eps, work, full.Iterations)
+		}
+	}
+}
+
+// TestIterateDeltaFallbacks pins the degradation paths: a stale prev
+// vector and a nil prev both complete as a plain cold Iterate (bit for
+// bit), and a global rate perturbation — every node disturbed — falls
+// back to warm full sweeps yet still converges to the full answer's
+// tolerance class.
+func TestIterateDeltaFallbacks(t *testing.T) {
+	g, r, ets := deltaGraph(t, 500, 4000, 50, 400, 7)
+	opts := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 500}
+	base := make([]float64, g.NumNodes())
+	base[0] = 1
+
+	alpha := r.Vector()
+	cold := Iterate(g, alpha, base, opts, 1, nil)
+	for _, prev := range [][]float64{nil, make([]float64, g.NumNodes()+1)} {
+		dr := IterateDelta(g, alpha, base, prev, opts, 0, 1, nil)
+		if !dr.FellBack {
+			t.Fatalf("prev len=%d: expected fallback", len(prev))
+		}
+		for v := range cold.Scores {
+			if math.Float64bits(dr.Scores[v]) != math.Float64bits(cold.Scores[v]) {
+				t.Fatalf("prev len=%d: fallback differs from cold Iterate at node %d", len(prev), v)
+			}
+		}
+	}
+
+	// Global perturbation: shift the dominant cites rate by far more
+	// than the tolerance. Every node's residual moves, the frontier
+	// blows past the fraction cap, and the solve must complete as warm
+	// full sweeps.
+	r2 := r.Clone()
+	r2.Set(ets[0], graph.Forward, 0.3)
+	alpha2 := r2.Vector()
+	full := Iterate(g, alpha2, base, opts, 1, nil)
+	dr := IterateDelta(g, alpha2, base, cold.Scores, opts, 0, 1, nil)
+	if !dr.FellBack {
+		t.Fatalf("global perturbation did not fall back (frontier=%d of %d)", dr.Frontier, g.NumNodes())
+	}
+	if !dr.Converged {
+		t.Fatal("fallback solve did not converge")
+	}
+	bound := 2 * opts.Threshold / (1 - opts.Damping)
+	if d := l1Dist(dr.Scores, full.Scores); d > bound {
+		t.Fatalf("fallback L1-distance %.3g exceeds tolerance bound %.3g", d, bound)
+	}
+}
+
+// TestIterateDeltaUnperturbed: republishing identical rates costs one
+// seeding sweep and nothing else — the residual mass is inside the
+// full solve's own stopping tolerance, so the mass early-exit fires
+// with zero pushes and the answer stays put.
+func TestIterateDeltaUnperturbed(t *testing.T) {
+	g, r, _ := deltaGraph(t, 800, 6400, 80, 640, 5)
+	opts := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 500}
+	base := make([]float64, g.NumNodes())
+	for i := range base {
+		base[i] = 1
+	}
+	NormalizeDist(base)
+	alpha := r.Vector()
+	prev := Iterate(g, alpha, base, opts, 1, nil)
+	dr := IterateDelta(g, alpha, base, prev.Scores, opts, 0, 1, nil)
+	if dr.FellBack || !dr.Converged {
+		t.Fatalf("unperturbed republish: fellBack=%v converged=%v", dr.FellBack, dr.Converged)
+	}
+	if dr.Iterations != 1 || dr.Pushes != 0 {
+		t.Fatalf("unperturbed republish cost %d sweeps and %d pushes, want 1 sweep and 0 pushes", dr.Iterations, dr.Pushes)
+	}
+	bound := 2 * opts.Threshold / (1 - opts.Damping)
+	if d := l1Dist(dr.Scores, prev.Scores); d > bound {
+		t.Fatalf("unperturbed republish moved the answer by %.3g", d)
+	}
+}

@@ -107,22 +107,28 @@ func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 // path with deadlines enabled is indistinguishable from the PR-3
 // kernel until a deadline actually fires.
 //
-// Iterate panics on malformed inputs — a base or Init vector whose
-// length differs from g.NumNodes(), or an alpha vector that does not
-// cover the schema's transfer types — because silently truncating or
-// ignoring them (as earlier versions did with stale Init vectors after
-// a graph rebuild) turns caller bugs into quietly wrong rankings.
+// Iterate panics on malformed inputs — a base vector whose length
+// differs from g.NumNodes(), or an alpha vector that does not cover
+// the schema's transfer types — because silently truncating them turns
+// caller bugs into quietly wrong rankings. A mismatched Init vector is
+// the one deliberate exception: it is the signature of a warm start
+// donated across a concurrent corpus swap (a timing race, not a logic
+// bug), it is recoverable by construction (the fixpoint does not
+// depend on the start vector), and so it degrades to a cold start with
+// Result.InitDropped set instead of panicking a serving goroutine.
 func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, workers int, pool *BufferPool) Result {
 	opts = opts.Normalized()
 	n := g.NumNodes()
 	if len(base) != n {
 		panic(fmt.Sprintf("rank: base distribution has %d entries for a %d-node graph", len(base), n))
 	}
-	if opts.Init != nil && len(opts.Init) != n {
-		panic(fmt.Sprintf("rank: Init vector has %d entries for a %d-node graph (stale warm start from a rebuilt graph?)", len(opts.Init), n))
-	}
 	if len(alpha) < g.Schema().NumTransferTypes() {
 		panic(fmt.Sprintf("rank: alpha vector has %d entries, schema has %d transfer types", len(alpha), g.Schema().NumTransferTypes()))
+	}
+	res := Result{}
+	if opts.Init != nil && len(opts.Init) != n {
+		opts.Init = nil
+		res.InitDropped = true
 	}
 
 	cur := pool.Get(n)
@@ -135,12 +141,12 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 
 	start, arcs := g.ReverseCSR()
 	d := opts.Damping
+	tl := opts.Tile.forGraph(n)
 
 	if workers > n {
 		workers = n
 	}
 	ctx := opts.Ctx
-	res := Result{}
 	if workers <= 1 {
 		for it := 0; it < opts.MaxIters; it++ {
 			if ctx != nil {
@@ -149,7 +155,12 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 					break
 				}
 			}
-			diff := sweep(start, arcs, alpha, d, base, cur, next, 0, n)
+			var diff float64
+			if tl != nil {
+				diff = sweepTiled(tl, arcs, alpha, d, base, cur, next, 0, n)
+			} else {
+				diff = sweep(start, arcs, alpha, d, base, cur, next, 0, n)
+			}
 			res.Iterations = it + 1
 			if opts.Observe != nil {
 				opts.Observe(it+1, diff)
@@ -186,7 +197,11 @@ func Iterate(g *graph.Graph, alpha []float64, base []float64, opts Options, work
 		for w := 0; w < workers; w++ {
 			go func(w int) {
 				defer wg.Done()
-				diffs[w] = sweep(start, arcs, alpha, d, base, cur, next, bounds[w], bounds[w+1])
+				if tl != nil {
+					diffs[w] = sweepTiled(tl, arcs, alpha, d, base, cur, next, bounds[w], bounds[w+1])
+				} else {
+					diffs[w] = sweep(start, arcs, alpha, d, base, cur, next, bounds[w], bounds[w+1])
+				}
 			}(w)
 		}
 		wg.Wait()

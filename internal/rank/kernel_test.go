@@ -208,10 +208,14 @@ func TestKernelParallelMatchesSerialDBLP(t *testing.T) {
 	}
 }
 
-func TestKernelPanicsOnStaleInit(t *testing.T) {
-	// Regression for the warm-start-after-graph-rebuild footgun: the
-	// seed silently ignored an Init vector of the wrong length; the
-	// kernel must refuse it loudly.
+func TestKernelDegradesStaleInit(t *testing.T) {
+	// Warm-start-after-graph-rebuild contract: the seed silently
+	// ignored a wrong-length Init vector, then a later version panicked
+	// on it — which let a SwapCorpus racing a background precompute or
+	// basis rebuild crash a serving goroutine. The kernel now DEGRADES:
+	// the stale vector is dropped, the run starts cold, and
+	// Result.InitDropped reports the drop. The degraded run must be
+	// bit-identical to an explicitly cold one.
 	g, r := fig1Fixture(t)
 	first := Run(g, r, fig1Base(g), Options{})
 
@@ -230,14 +234,30 @@ func TestKernelPanicsOnStaleInit(t *testing.T) {
 	r2 := graph.NewRates(s)
 	r2.Set(cites, graph.Forward, 0.7)
 
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Run accepted an Init vector from a differently-sized graph")
-		}
-	}()
 	base2 := make([]float64, g2.NumNodes())
 	base2[0] = 1
-	Run(g2, r2, base2, Options{Init: first.Scores})
+	stale := Run(g2, r2, base2, Options{Init: first.Scores})
+	if !stale.InitDropped {
+		t.Fatal("stale Init was not reported as dropped")
+	}
+	cold := Run(g2, r2, base2, Options{})
+	if cold.InitDropped {
+		t.Fatal("cold run reported a dropped Init")
+	}
+	if stale.Iterations != cold.Iterations || stale.Converged != cold.Converged {
+		t.Fatalf("degraded run (iters=%d conv=%v) differs from cold (iters=%d conv=%v)",
+			stale.Iterations, stale.Converged, cold.Iterations, cold.Converged)
+	}
+	for i := range cold.Scores {
+		if math.Float64bits(stale.Scores[i]) != math.Float64bits(cold.Scores[i]) {
+			t.Fatalf("score[%d]: degraded %v != cold %v", i, stale.Scores[i], cold.Scores[i])
+		}
+	}
+	// A RIGHT-length Init must still be honored, not dropped.
+	warm := Run(g, r, fig1Base(g), Options{Init: first.Scores})
+	if warm.InitDropped {
+		t.Fatal("matching Init reported as dropped")
+	}
 }
 
 func TestKernelPanicsOnBadBase(t *testing.T) {

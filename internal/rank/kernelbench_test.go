@@ -1,0 +1,228 @@
+package rank
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"authorityflow/internal/graph"
+)
+
+// Kernel raw-speed benchmarks (DESIGN.md §13). All of them scale with
+// AFQ_KERNEL_BENCH_N (node count, edges fixed at 8×N): CI runs the
+// default small graph as a smoke test; the honest BENCH_kernel.json
+// numbers come from a run large enough that the working set falls out
+// of the last-level cache, where tiling actually earns its keep —
+// e.g. AFQ_KERNEL_BENCH_N=4000000 go test ./internal/rank/ -run '^$'
+// -bench BenchmarkKernel -benchtime 3x.
+func kernelBenchN() int {
+	if s := os.Getenv("AFQ_KERNEL_BENCH_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 20000
+}
+
+// kernelBenchTile is the tile width the tiled variants run with
+// (AFQ_KERNEL_BENCH_TILE overrides DefaultTileNodes) — tile-size
+// sensitivity is part of what BENCH_kernel.json records.
+func kernelBenchTile() int {
+	if s := os.Getenv("AFQ_KERNEL_BENCH_TILE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return DefaultTileNodes
+}
+
+// kernelBenchGraph is benchGraph plus a second "extends" edge type
+// confined to the first 5% of nodes, so the delta bench can perturb a
+// localized rate — the residual-frontier sweet spot.
+func kernelBenchGraph(b testing.TB, n, m int) (*graph.Graph, *graph.Rates, graph.EdgeTypeID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	s := graph.NewSchema()
+	paper := s.AddNodeType("Paper")
+	cites := s.MustAddEdgeType("cites", paper, paper)
+	extends := s.MustAddEdgeType("extends", paper, paper)
+	gb := graph.NewBuilder(s)
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = gb.AddNode(paper)
+	}
+	for i := 0; i < m; i++ {
+		gb.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], cites)
+	}
+	loc := n / 20
+	for i := 0; i < m/20; i++ {
+		gb.AddEdge(ids[rng.Intn(loc)], ids[rng.Intn(loc)], extends)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := graph.NewRates(s)
+	r.Set(cites, graph.Forward, 0.6)
+	r.Set(cites, graph.Backward, 0.2)
+	r.Set(extends, graph.Forward, 0.1)
+	r.Set(extends, graph.Backward, 0.05)
+	return g, r, extends
+}
+
+func kernelBenchBase(g *graph.Graph) []float64 {
+	base := make([]float64, g.NumNodes())
+	for i := range base {
+		base[i] = 1
+	}
+	NormalizeDist(base)
+	return base
+}
+
+// BenchmarkKernelTiled: the single-vector sweep, untiled vs
+// cache-blocked (bit-identical by construction — tiling_test pins it).
+func BenchmarkKernelTiled(b *testing.B) {
+	n := kernelBenchN()
+	g, r, _ := kernelBenchGraph(b, n, 8*n)
+	alpha := r.Vector()
+	base := kernelBenchBase(g)
+	o := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 200}
+	pool := NewBufferPool()
+	b.Run("untiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := Iterate(g, alpha, base, o, 1, pool)
+			res.ReleaseTo(pool)
+		}
+	})
+	ot := o
+	ot.Tile = NewTiling(g, kernelBenchTile())
+	b.Run("tiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := Iterate(g, alpha, base, ot, 1, pool)
+			res.ReleaseTo(pool)
+		}
+	})
+}
+
+// BenchmarkKernelTiledBlock: the 8-column panel sweep, untiled vs
+// tiled. The panel multiplies the vector working set by BlockSize, so
+// this is where tiling pays off first.
+func BenchmarkKernelTiledBlock(b *testing.B) {
+	n := kernelBenchN()
+	g, r, _ := kernelBenchGraph(b, n, 8*n)
+	alpha := r.Vector()
+	bases := blockBases(g, 8)
+	o := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 200}
+	pool := NewBufferPool()
+	b.Run("untiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := IterateBlock(g, alpha, bases, []Options{o}, 1, pool)
+			for j := range res {
+				res[j].ReleaseTo(pool)
+			}
+		}
+	})
+	ot := o
+	ot.Tile = NewTiling(g, kernelBenchTile())
+	b.Run("tiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := IterateBlock(g, alpha, bases, []Options{ot}, 1, pool)
+			for j := range res {
+				res[j].ReleaseTo(pool)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelPanelF32: the 8-column panel in full precision vs the
+// float32 panel mode (1e-6 agreement class, block32_test pins it).
+func BenchmarkKernelPanelF32(b *testing.B) {
+	n := kernelBenchN()
+	g, r, _ := kernelBenchGraph(b, n, 8*n)
+	alpha := r.Vector()
+	bases := blockBases(g, 8)
+	o := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 200}
+	pool := NewBufferPool()
+	b.Run("f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := IterateBlock(g, alpha, bases, []Options{o}, 1, pool)
+			for j := range res {
+				res[j].ReleaseTo(pool)
+			}
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := IterateBlock32(g, alpha, bases, []Options{o}, 1, pool)
+			for j := range res {
+				res[j].ReleaseTo(pool)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelDelta: republish with an ε-perturbed localized rate,
+// re-solved three ways — cold, full sweeps warm-started from the old
+// vector, and the residual-frontier delta solve. sweeps/op counts
+// full-sweep-equivalents (Iterations + Pushes/|V|).
+func BenchmarkKernelDelta(b *testing.B) {
+	n := kernelBenchN()
+	g, r, extends := kernelBenchGraph(b, n, 8*n)
+	base := kernelBenchBase(g)
+	o := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 200}
+	pool := NewBufferPool()
+
+	prev := Iterate(g, r.Vector(), base, o, 1, pool)
+	if !prev.Converged {
+		b.Fatal("baseline solve did not converge")
+	}
+	r2 := r.Clone()
+	et := graph.TransferType(extends, graph.Forward)
+	if err := r2.SetRate(et, r2.Rate(et)+1e-5); err != nil {
+		b.Fatal(err)
+	}
+	alpha2 := r2.Vector()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		sweeps := 0
+		for i := 0; i < b.N; i++ {
+			res := Iterate(g, alpha2, base, o, 1, pool)
+			sweeps += res.Iterations
+			res.ReleaseTo(pool)
+		}
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+	b.Run("warmfull", func(b *testing.B) {
+		b.ReportAllocs()
+		ow := o
+		ow.Init = prev.Scores
+		sweeps := 0
+		for i := 0; i < b.N; i++ {
+			res := Iterate(g, alpha2, base, ow, 1, pool)
+			sweeps += res.Iterations
+			res.ReleaseTo(pool)
+		}
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		sweeps := 0.0
+		for i := 0; i < b.N; i++ {
+			res := IterateDelta(g, alpha2, base, prev.Scores, o, 0, 1, pool)
+			if res.FellBack {
+				b.Fatal("delta solve fell back on a localized ε-perturbation")
+			}
+			sweeps += float64(res.Iterations) + float64(res.Pushes)/float64(n)
+			res.ReleaseTo(pool)
+		}
+		b.ReportMetric(sweeps/float64(b.N), "sweeps/op")
+	})
+}

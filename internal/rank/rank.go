@@ -41,11 +41,24 @@ type Options struct {
 	MaxIters int
 	// Init, if non-nil, is the starting score vector: the warm-start
 	// mechanism of Section 6.2, where a reformulated query starts from
-	// the previous query's converged scores. Its length must equal the
-	// graph's node count; the kernel panics on a mismatch (a stale
-	// warm-start vector from a rebuilt graph is a caller bug, not a
-	// condition to silently ignore).
+	// the previous query's converged scores. Its length should equal
+	// the graph's node count; a mismatched vector — the signature of a
+	// warm start donated across a concurrent corpus swap — is DROPPED
+	// and the run degrades to a cold start with Result.InitDropped set,
+	// exactly the fallback core.Engine applies at its own boundary.
+	// (Earlier kernels panicked here, which let a swap race turn a
+	// background precompute or basis rebuild into a serving-goroutine
+	// crash; a stale warm start is recoverable by construction — the
+	// fixpoint does not depend on the start vector.)
 	Init []float64
+	// Tile, if non-nil, selects the cache-blocked sweep built by
+	// NewTiling for this graph. Tiling is an execution plan, not an
+	// input: results are bit-identical to the untiled sweep (the tiles
+	// partition each CSR row's arcs without reordering a single
+	// floating-point operation), so this is purely a locality knob. A
+	// tiling sized for a different graph, or one whose plan has fewer
+	// than two tiles, is ignored and the untiled sweep runs.
+	Tile *Tiling
 	// Observe, if non-nil, is invoked by the kernel after EVERY
 	// completed power iteration with the 1-based iteration index and
 	// that iteration's L1 residual (the convergence quantity compared
@@ -159,6 +172,12 @@ type Result struct {
 	// Converged is false. Callers that own a buffer pool should still
 	// ReleaseTo the scores of a cancelled run.
 	Err error
+	// InitDropped reports that Options.Init was discarded because its
+	// length did not match the graph — a stale warm start from a
+	// rebuilt graph — and the run started cold instead. The scores are
+	// a complete, correct solve; the flag exists so callers can count
+	// how often donated warm starts go stale.
+	InitDropped bool
 }
 
 // Run executes the damped authority-flow fixpoint

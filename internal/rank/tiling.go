@@ -1,0 +1,253 @@
+package rank
+
+import (
+	"authorityflow/internal/graph"
+)
+
+// DefaultTileNodes is the tile width (in source nodes) used when a
+// caller asks for tiling without choosing a width. 32768 nodes keep a
+// tile's slice of the current score vector at 256 KiB for a scalar
+// sweep and 2 MiB for a BlockSize-8 panel — sized so the randomly
+// gathered cur values stay L2-resident for the whole tile pass instead
+// of bouncing through the outer cache levels on every arc.
+const DefaultTileNodes = 32768
+
+// Tiling is the cache-blocking plan of one graph's reverse CSR: a
+// partition of the SOURCE-node axis into fixed-width tiles, with a
+// per-(tile, destination) pointer table locating each destination row's
+// contiguous sub-range of arcs whose source falls inside the tile.
+// Because the reverse CSR orders every row's arcs by (source, type),
+// the sub-ranges exist without moving a single arc — the tiled sweep
+// visits exactly the same arcs in exactly the same per-row order as the
+// untiled sweep, just grouped so all reads of cur within one pass land
+// in one tileNodes-wide window.
+//
+// A Tiling is immutable after construction, sized for exactly one
+// graph, and safe for unbounded concurrent use (kernel workers share
+// it read-only). Build one per corpus and reuse it across solves; the
+// arcs themselves are never copied, so the only cost is the pointer
+// table ((numTiles+1)·|V| int32 entries) and an O(|arcs| + |V|·tiles)
+// construction scan.
+type Tiling struct {
+	n         int
+	tileNodes int
+	numTiles  int
+	// ptr locates tile sub-ranges: row v's arcs with source in tile t
+	// are arcs[ptr[t*n+v] : ptr[(t+1)*n+v]]. Layout is tile-major so a
+	// tile pass reads its pointer row sequentially.
+	ptr []int32
+}
+
+// NewTiling builds the tiling plan for g's reverse CSR with the given
+// tile width in source nodes; tileNodes <= 0 selects DefaultTileNodes.
+// Returns nil for an empty graph.
+func NewTiling(g *graph.Graph, tileNodes int) *Tiling {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	if tileNodes <= 0 {
+		tileNodes = DefaultTileNodes
+	}
+	numTiles := (n + tileNodes - 1) / tileNodes
+	t := &Tiling{
+		n:         n,
+		tileNodes: tileNodes,
+		numTiles:  numTiles,
+		ptr:       make([]int32, (numTiles+1)*n),
+	}
+	start, arcs := g.ReverseCSR()
+	for v := 0; v < n; v++ {
+		k := int(start[v])
+		end := int(start[v+1])
+		for tile := 0; tile < numTiles; tile++ {
+			t.ptr[tile*n+v] = int32(k)
+			limit := graph.NodeID((tile + 1) * tileNodes)
+			for k < end && arcs[k].To < limit {
+				k++
+			}
+		}
+		t.ptr[numTiles*n+v] = int32(end)
+	}
+	return t
+}
+
+// Nodes returns the node count the tiling was built for.
+func (t *Tiling) Nodes() int { return t.n }
+
+// TileNodes returns the tile width in source nodes.
+func (t *Tiling) TileNodes() int { return t.tileNodes }
+
+// NumTiles returns the number of source-node tiles.
+func (t *Tiling) NumTiles() int { return t.numTiles }
+
+// Bytes returns the resident size of the pointer table.
+func (t *Tiling) Bytes() int64 { return int64(len(t.ptr)) * 4 }
+
+// usable reports whether the tiling can serve a sweep over an n-node
+// graph: it must be sized for that graph, and a single-tile plan is
+// pointless (the untiled sweep IS the one-tile pass). A mismatched
+// tiling — e.g. one pinned before a concurrent corpus swap — is simply
+// ignored by the kernels rather than treated as an error: tiling is an
+// execution plan, not an input, and the untiled sweep computes the
+// identical result.
+func (t *Tiling) usable(n int) bool {
+	return t != nil && t.n == n && t.numTiles >= 2
+}
+
+// forGraph resolves a caller-supplied tiling into the plan a kernel
+// will actually run: t when usable for an n-node graph, nil otherwise.
+// Written as a single-assignment expression so the kernel-local plan
+// variable is never reassigned — the parallel paths capture it in
+// their worker goroutines, and a reassigned capture would be
+// heap-allocated on every run, breaking the serial path's pooled
+// allocation bound (TestKernelAllocsBounded).
+func (t *Tiling) forGraph(n int) *Tiling {
+	if t.usable(n) {
+		return t
+	}
+	return nil
+}
+
+// sweepTiled is the cache-blocked form of sweep: one damped gather pass
+// over the node range [lo, hi), executed as numTiles passes that each
+// touch only the sources of one tile. Pass 0 seeds next[v] with
+// (1−d)·base[v] plus the tile-0 in-flow, middle passes accumulate their
+// tile's in-flow into next[v], and the final pass adds the last tile
+// and folds the L1 delta in ascending v.
+//
+// Bitwise determinism: per node the floating-point additions are
+// (1−d)·base[v] first, then the d·alpha[t]·InvDeg·cur[u] terms in
+// (source, type) order — the tiles partition each row's already-ordered
+// arcs into consecutive runs, and float64 values round-trip through the
+// next array between passes exactly (a double stored and reloaded is
+// the same double) — so next[v] and the returned partial carry the
+// exact bits sweep would produce. Verified per tile width by
+// TestIterateTiledGoldenEquivalence.
+func sweepTiled(tl *Tiling, arcs []graph.Arc, alpha []float64, d float64, base, cur, next []float64, lo, hi int) float64 {
+	n := tl.n
+	ptr := tl.ptr
+	oneMinusD := 1 - d
+	for v := lo; v < hi; v++ {
+		sum := oneMinusD * base[v]
+		for k := ptr[v]; k < ptr[n+v]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			sum += d * w * float64(a.InvDeg) * cur[a.To]
+		}
+		next[v] = sum
+	}
+	for tile := 1; tile < tl.numTiles-1; tile++ {
+		off := tile * n
+		for v := lo; v < hi; v++ {
+			sum := next[v]
+			for k := ptr[off+v]; k < ptr[off+n+v]; k++ {
+				a := arcs[k]
+				w := alpha[a.Type]
+				if w == 0 {
+					continue
+				}
+				sum += d * w * float64(a.InvDeg) * cur[a.To]
+			}
+			next[v] = sum
+		}
+	}
+	diff := 0.0
+	off := (tl.numTiles - 1) * n
+	for v := lo; v < hi; v++ {
+		sum := next[v]
+		for k := ptr[off+v]; k < ptr[off+n+v]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			sum += d * w * float64(a.InvDeg) * cur[a.To]
+		}
+		next[v] = sum
+		delta := sum - cur[v]
+		if delta < 0 {
+			delta = -delta
+		}
+		diff += delta
+	}
+	return diff
+}
+
+// sweepBlockTiled is the cache-blocked form of sweepBlock, with the
+// same multi-pass structure as sweepTiled applied to the [node*B+column]
+// panel: pass 0 seeds each live column's lane with omd[j]·bases[j][v]
+// plus the tile-0 in-flow, middle passes accumulate, and the final pass
+// folds each live column's L1 delta in ascending v. Per column the
+// floating-point schedule is operation for operation sweepBlock's, so
+// the panel and diffs carry identical bits (the panel values round-trip
+// through memory between passes exactly).
+func sweepBlockTiled(tl *Tiling, arcs []graph.Arc, alpha []float64, d, omd []float64, bases [][]float64, cur, next []float64, B int, active []int, diffs []float64, lo, hi int) {
+	n := tl.n
+	ptr := tl.ptr
+	for _, j := range active {
+		diffs[j] = 0
+	}
+	for v := lo; v < hi; v++ {
+		row := v * B
+		for _, j := range active {
+			next[row+j] = omd[j] * bases[j][v]
+		}
+		for k := ptr[v]; k < ptr[n+v]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			inv := float64(a.InvDeg)
+			urow := int(a.To) * B
+			for _, j := range active {
+				next[row+j] += d[j] * w * inv * cur[urow+j]
+			}
+		}
+	}
+	for tile := 1; tile < tl.numTiles-1; tile++ {
+		off := tile * n
+		for v := lo; v < hi; v++ {
+			row := v * B
+			for k := ptr[off+v]; k < ptr[off+n+v]; k++ {
+				a := arcs[k]
+				w := alpha[a.Type]
+				if w == 0 {
+					continue
+				}
+				inv := float64(a.InvDeg)
+				urow := int(a.To) * B
+				for _, j := range active {
+					next[row+j] += d[j] * w * inv * cur[urow+j]
+				}
+			}
+		}
+	}
+	off := (tl.numTiles - 1) * n
+	for v := lo; v < hi; v++ {
+		row := v * B
+		for k := ptr[off+v]; k < ptr[off+n+v]; k++ {
+			a := arcs[k]
+			w := alpha[a.Type]
+			if w == 0 {
+				continue
+			}
+			inv := float64(a.InvDeg)
+			urow := int(a.To) * B
+			for _, j := range active {
+				next[row+j] += d[j] * w * inv * cur[urow+j]
+			}
+		}
+		for _, j := range active {
+			delta := next[row+j] - cur[row+j]
+			if delta < 0 {
+				delta = -delta
+			}
+			diffs[j] += delta
+		}
+	}
+}

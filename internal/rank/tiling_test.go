@@ -1,0 +1,171 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"authorityflow/internal/graph"
+)
+
+// TestIterateTiledGoldenEquivalence is the tiling contract's
+// enforcement: for every tile width — one dividing |V| evenly, several
+// leaving ragged last tiles, width 1, and widths at and beyond |V| —
+// the tiled sweep must reproduce the untiled kernel's scores BIT FOR
+// BIT, along with its iteration count and convergence decision. The
+// matrix crosses tile widths with cold/warm starts and serial/parallel
+// execution, because the tiled sweep has its own multi-pass code in
+// both paths.
+func TestIterateTiledGoldenEquivalence(t *testing.T) {
+	g, r := benchGraph(t, 1000, 8000)
+	alpha := r.Vector()
+	base := make([]float64, g.NumNodes())
+	for i := range base {
+		base[i] = float64(i%7) + 1
+	}
+	NormalizeDist(base)
+	warm := make([]float64, g.NumNodes())
+	for i := range warm {
+		warm[i] = 1 / float64(len(warm))
+	}
+
+	opts := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 300}
+	for _, workers := range []int{1, 4} {
+		ref := Iterate(g, alpha, base, opts, workers, nil)
+		for _, tileNodes := range []int{1, 7, 100, 125, 999, 1000, 1001, 5000} {
+			tl := NewTiling(g, tileNodes)
+			for _, init := range [][]float64{nil, warm} {
+				o := opts
+				o.Tile = tl
+				o.Init = init
+				refO := opts
+				refO.Init = init
+				want := ref
+				if init != nil {
+					want = Iterate(g, alpha, base, refO, workers, nil)
+				}
+				got := Iterate(g, alpha, base, o, workers, nil)
+				if got.Iterations != want.Iterations || got.Converged != want.Converged {
+					t.Fatalf("tile=%d workers=%d warm=%v: iters=%d conv=%v, want %d/%v",
+						tileNodes, workers, init != nil, got.Iterations, got.Converged, want.Iterations, want.Converged)
+				}
+				for v := range want.Scores {
+					if math.Float64bits(got.Scores[v]) != math.Float64bits(want.Scores[v]) {
+						t.Fatalf("tile=%d workers=%d warm=%v node=%d: tiled %#016x != untiled %#016x",
+							tileNodes, workers, init != nil, v,
+							math.Float64bits(got.Scores[v]), math.Float64bits(want.Scores[v]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIterateBlockTiledGoldenEquivalence is the blocked counterpart:
+// per-column bit-identity between the tiled and untiled blocked sweeps
+// across tile widths (ragged and beyond-|V| included), with per-column
+// heterogeneous options so freezing happens mid-run.
+func TestIterateBlockTiledGoldenEquivalence(t *testing.T) {
+	g, r := benchGraph(t, 700, 5600)
+	alpha := r.Vector()
+	B := 5
+	bases := make([][]float64, B)
+	for j := range bases {
+		base := make([]float64, g.NumNodes())
+		for i := range base {
+			base[i] = float64((i+j)%11) + 1
+		}
+		bases[j] = NormalizeDist(base)
+	}
+	opts := make([]Options, B)
+	for j := range opts {
+		opts[j] = Options{Damping: 0.80 + 0.03*float64(j), Threshold: 1e-8, MaxIters: 100 + 20*j}
+	}
+
+	for _, workers := range []int{1, 3} {
+		ref := IterateBlock(g, alpha, bases, opts, workers, nil)
+		for _, tileNodes := range []int{64, 99, 350, 700, 701, 4096} {
+			tiledOpts := make([]Options, B)
+			copy(tiledOpts, opts)
+			tiledOpts[0].Tile = NewTiling(g, tileNodes)
+			got := IterateBlock(g, alpha, bases, tiledOpts, workers, nil)
+			for j := 0; j < B; j++ {
+				if got[j].Iterations != ref[j].Iterations || got[j].Converged != ref[j].Converged {
+					t.Fatalf("tile=%d workers=%d col=%d: iters=%d conv=%v, want %d/%v",
+						tileNodes, workers, j, got[j].Iterations, got[j].Converged, ref[j].Iterations, ref[j].Converged)
+				}
+				for v := range ref[j].Scores {
+					if math.Float64bits(got[j].Scores[v]) != math.Float64bits(ref[j].Scores[v]) {
+						t.Fatalf("tile=%d workers=%d col=%d node=%d: tiled bits differ", tileNodes, workers, j, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTilingCoversAllArcs checks the pointer table is a partition: the
+// per-(tile, row) sub-ranges are consecutive, cover every arc of the
+// reverse CSR exactly once, and respect the tile's source window.
+func TestTilingCoversAllArcs(t *testing.T) {
+	g, _ := benchGraph(t, 333, 2000)
+	n := g.NumNodes()
+	start, arcs := g.ReverseCSR()
+	for _, tileNodes := range []int{1, 10, 100, 333, 999} {
+		tl := NewTiling(g, tileNodes)
+		if tl.Nodes() != n {
+			t.Fatalf("tileNodes=%d: Nodes()=%d, want %d", tileNodes, tl.Nodes(), n)
+		}
+		wantTiles := (n + tileNodes - 1) / tileNodes
+		if tl.NumTiles() != wantTiles {
+			t.Fatalf("tileNodes=%d: NumTiles()=%d, want %d", tileNodes, tl.NumTiles(), wantTiles)
+		}
+		for v := 0; v < n; v++ {
+			if tl.ptr[v] != start[v] {
+				t.Fatalf("tileNodes=%d row %d: first tile starts at %d, want row start %d", tileNodes, v, tl.ptr[v], start[v])
+			}
+			if tl.ptr[tl.numTiles*n+v] != start[v+1] {
+				t.Fatalf("tileNodes=%d row %d: last tile ends at %d, want row end %d", tileNodes, v, tl.ptr[tl.numTiles*n+v], start[v+1])
+			}
+			for tile := 0; tile < tl.numTiles; tile++ {
+				lo, hi := tl.ptr[tile*n+v], tl.ptr[(tile+1)*n+v]
+				if lo > hi {
+					t.Fatalf("tileNodes=%d row %d tile %d: range [%d,%d) inverted", tileNodes, v, tile, lo, hi)
+				}
+				for k := lo; k < hi; k++ {
+					src := int(arcs[k].To)
+					if src < tile*tileNodes || src >= (tile+1)*tileNodes {
+						t.Fatalf("tileNodes=%d row %d tile %d: arc %d has source %d outside tile window", tileNodes, v, tile, k, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTilingIgnoredOnMismatch: a tiling sized for another graph is an
+// execution-plan staleness (e.g. pinned across a corpus swap), not an
+// input error — the kernel must fall back to the untiled sweep and
+// still produce the exact answer.
+func TestTilingIgnoredOnMismatch(t *testing.T) {
+	g, r := benchGraph(t, 200, 1200)
+	other, _ := benchGraph(t, 300, 1500)
+	alpha := r.Vector()
+	base := make([]float64, g.NumNodes())
+	base[3] = 1
+	opts := Options{Damping: 0.85, Threshold: 1e-9, MaxIters: 200}
+	ref := Iterate(g, alpha, base, opts, 1, nil)
+	o := opts
+	o.Tile = NewTiling(other, 64)
+	got := Iterate(g, alpha, base, o, 1, nil)
+	if got.Iterations != ref.Iterations {
+		t.Fatalf("mismatched tiling changed the run: iters %d vs %d", got.Iterations, ref.Iterations)
+	}
+	for v := range ref.Scores {
+		if math.Float64bits(got.Scores[v]) != math.Float64bits(ref.Scores[v]) {
+			t.Fatalf("mismatched tiling changed node %d", v)
+		}
+	}
+	if NewTiling(&graph.Graph{}, 8) != nil {
+		t.Fatal("NewTiling on an empty graph should return nil")
+	}
+}

@@ -98,6 +98,18 @@ func WithCache(maxBytes int64, prewarmTerms int) Option {
 	}
 }
 
+// WithCacheTuning sets the serving cache's opt-in prewarm kernel
+// accelerations (see cache.Options.PrewarmFloat32 and DeltaEps). It
+// only adjusts fields — combine with WithCache, which enables the
+// cache itself. Both default off: the stock server keeps prewarmed
+// vectors bit-identical to miss-path solves.
+func WithCacheTuning(prewarmF32 bool, deltaEps float64) Option {
+	return func(o *serverOptions) {
+		o.cacheOpts.PrewarmFloat32 = prewarmF32
+		o.cacheOpts.DeltaEps = deltaEps
+	}
+}
+
 // WithCacheOptions enables the serving cache with full cache.Options.
 func WithCacheOptions(co cache.Options) Option {
 	return func(o *serverOptions) {

@@ -1,8 +1,12 @@
 package storage
 
 import (
+	"errors"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
 )
 
 // AtomicWriteFile writes a file via write(w) into path+".tmp" in the
@@ -12,6 +16,16 @@ import (
 // mid-write never leaves a half-written file under the final name, and
 // readers only ever observe complete files. On any error the temp file
 // is removed and the previous content of path, if any, is untouched.
+//
+// Durability, not just atomicity: the temp file is fsynced before the
+// rename (so the bytes the rename publishes are on disk, not just in
+// the page cache) and the PARENT DIRECTORY is fsynced after it (the
+// rename itself is a directory entry update; without the directory
+// sync a power cut after a "successful" write can resurrect the old
+// file — or no file at all — on the next boot, ext4/XFS both document
+// this). Directory fsync is a no-op-or-unsupported on some platforms
+// (notably Windows, where open-for-sync on a directory fails), so
+// unsupported errors from the directory sync are ignored.
 func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -23,12 +37,42 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Windows cannot open directories for syncing; the rename there is
+// already as durable as the platform offers, so it reports nil.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems (and some container mounts) reject fsync on
+		// a directory handle with EINVAL/ENOTSUP; the entry update is
+		// still atomic, just not durably ordered — the historical
+		// behavior of this helper. Don't fail the write over it.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
 		return err
 	}
 	return nil
