@@ -545,9 +545,9 @@ type (
 // result when prewarming is enabled.
 func NewCachedEngine(eng *Engine, opts CacheOptions) *CachedEngine { return cache.New(eng, opts) }
 
-// GeneratePreset builds one of the four Table 1 corpora by name
-// ("dblptop", "dblpcomplete", "ds7", "ds7cancer") at the given scale
-// and seed.
+// GeneratePreset builds one of the named corpora — the four Table 1
+// presets ("dblptop", "dblpcomplete", "ds7", "ds7cancer") or the
+// link-free "linkless" family — at the given scale and seed.
 func GeneratePreset(name string, scale float64, seed int64) (*Dataset, error) {
 	return datagen.Preset(name, scale, seed)
 }

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "dblptop", "dataset preset: dblptop, dblpcomplete, ds7, ds7cancer")
+		dataset = flag.String("dataset", "dblptop", "dataset preset: dblptop, dblpcomplete, ds7, ds7cancer, linkless")
 		scale   = flag.Float64("scale", 1.0, "scale factor for all entity counts")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("out", "", "output snapshot path (required)")

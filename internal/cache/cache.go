@@ -67,6 +67,13 @@ type Options struct {
 	// always solve at full precision regardless. Leave off when cached
 	// and uncached answers must stay bit-identical.
 	PrewarmFloat32 bool
+	// PrewarmHub additionally refreshes the hottest terms' HUB-direction
+	// vectors on every publication (and in synchronous Prewarm calls), so
+	// mode=hub queries find warm vectors too. Hub refreshes always run at
+	// full precision through the hub panel; the f32 and delta
+	// accelerations apply only to the authority side. Off by default —
+	// hub vectors double the prewarm work per term.
+	PrewarmHub bool
 	// DeltaEps, when positive, lets the prewarmer refresh a term by an
 	// incremental residual-frontier delta solve (core.Pinned.RankDeltaCtx)
 	// seeded from the previous version's vector, whenever the republished
@@ -108,6 +115,7 @@ type CachedEngine struct {
 
 	prewarmN   int
 	prewarmF32 bool
+	prewarmHub bool
 	deltaEps   float64
 	// prewarmCh signals the prewarm goroutine; prewarmCtx is cancelled
 	// by Close so a prewarm blocked inside a long solve aborts within
@@ -151,6 +159,7 @@ func New(eng *core.Engine, opts Options) *CachedEngine {
 		hot:         make(map[string]int64),
 		prewarmN:    opts.PrewarmTerms,
 		prewarmF32:  opts.PrewarmFloat32,
+		prewarmHub:  opts.PrewarmHub,
 		deltaEps:    opts.DeltaEps,
 	}
 	c.vectors = newShardedLRU(vb, shards, &c.stats.vectorEvictions)
@@ -340,19 +349,20 @@ func (c *CachedEngine) stateKeyFor(pin *core.Pinned) stateKey {
 	return e.key
 }
 
-// previousTermKey returns the cache key of the same term under the
-// snapshot version preceding v, if that version's identity is known,
-// belongs to the SAME corpus generation, and actually differs in rates.
-// The generation guard is what keeps warm-start hand-over from donating
-// a vector sized for a different graph after a swap.
-func (c *CachedEngine) previousTermKey(v uint64, sk stateKey, term string) (string, bool) {
+// previousTermKey returns the cache key of the same term (in the same
+// ranking direction) under the snapshot version preceding v, if that
+// version's identity is known, belongs to the SAME corpus generation,
+// and actually differs in rates. The generation guard is what keeps
+// warm-start hand-over from donating a vector sized for a different
+// graph after a swap.
+func (c *CachedEngine) previousTermKey(v uint64, sk stateKey, m core.Mode, term string) (string, bool) {
 	c.mu.Lock()
 	prev, ok := c.versionKeys[v-1]
 	c.mu.Unlock()
 	if !ok || prev.key.gen != sk.gen || prev.key.rk == sk.rk {
 		return "", false
 	}
-	return termKey(prev.key, term), true
+	return termKeyMode(prev.key, m, term), true
 }
 
 // deltaEligible reports whether a refresh under version v may use the
@@ -375,6 +385,24 @@ func termKey(sk stateKey, term string) string {
 	return "t\x00" + strconv.FormatUint(sk.gen, 16) + "\x00" + strconv.FormatUint(sk.rk, 16) + "\x00" + term
 }
 
+// hubTermKey is the hub-direction twin of termKey. The distinct "h"
+// prefix keeps the two vector populations apart inside ONE shared LRU:
+// both directions compete for the same byte budget (hot authority terms
+// can evict cold hub vectors and vice versa), but a key can never alias
+// across directions.
+func hubTermKey(sk stateKey, term string) string {
+	return "h\x00" + strconv.FormatUint(sk.gen, 16) + "\x00" + strconv.FormatUint(sk.rk, 16) + "\x00" + term
+}
+
+// termKeyMode selects the direction's term key. Combined queries have
+// no single-direction vector and never reach here.
+func termKeyMode(sk stateKey, m core.Mode, term string) string {
+	if m == core.ModeHub {
+		return hubTermKey(sk, term)
+	}
+	return termKey(sk, term)
+}
+
 func resultKey(sk stateKey, k int, q *ir.Query) string {
 	var b strings.Builder
 	b.WriteString("r\x00")
@@ -386,6 +414,19 @@ func resultKey(sk stateKey, k int, q *ir.Query) string {
 	b.WriteString("\x00")
 	b.WriteString(CanonicalQuery(q))
 	return b.String()
+}
+
+// resultKeyMode tags non-authority result keys with the mode so the
+// three directions' answers for one query never collide. Authority keys
+// keep their pre-mode spelling — every entry cached before modes
+// existed remains addressable. (No aliasing: the byte after "r\x00" is
+// a hex digit for authority keys and the mode's leading letter — 'h' or
+// 'c', neither a hex digit — for the others.)
+func resultKeyMode(sk stateKey, m core.Mode, k int, q *ir.Query) string {
+	if m == core.ModeAuthority || m == "" {
+		return resultKey(sk, k, q)
+	}
+	return "r\x00" + string(m) + "\x00" + resultKey(sk, k, q)[2:]
 }
 
 // CanonicalQuery renders a query as a normalized cache-key fragment:
@@ -461,7 +502,7 @@ func resultEntrySize(key string, k int) int64 {
 // uncached engine would. Cache-hit answers are bit-identical to the
 // answer computed on the original miss.
 func (c *CachedEngine) Query(q *ir.Query, k int) *Answer {
-	a, _ := c.queryAt(context.Background(), c.eng.Pin(), q, k, nil)
+	a, _ := c.queryAt(context.Background(), c.eng.Pin(), q, k, nil, core.ModeAuthority)
 	return a
 }
 
@@ -472,38 +513,38 @@ func (c *CachedEngine) Query(q *ir.Query, k int) *Answer {
 // left (see flightGroup). Cache fills from shared solves therefore
 // land even when the caller that triggered them gave up.
 func (c *CachedEngine) QueryCtx(ctx context.Context, q *ir.Query, k int) (*Answer, error) {
-	return c.queryAt(ctx, c.eng.Pin(), q, k, nil)
+	return c.queryAt(ctx, c.eng.Pin(), q, k, nil, core.ModeAuthority)
 }
 
 // QueryFrom is Query warm-started from a previous score vector (the
 // reformulated-query path): on a full miss the solve starts from init
 // instead of the global PageRank. init is only read.
 func (c *CachedEngine) QueryFrom(q *ir.Query, k int, init []float64) *Answer {
-	a, _ := c.queryAt(context.Background(), c.eng.Pin(), q, k, init)
+	a, _ := c.queryAt(context.Background(), c.eng.Pin(), q, k, init, core.ModeAuthority)
 	return a
 }
 
 // QueryFromCtx is QueryFrom under a request context (see QueryCtx).
 func (c *CachedEngine) QueryFromCtx(ctx context.Context, q *ir.Query, k int, init []float64) (*Answer, error) {
-	return c.queryAt(ctx, c.eng.Pin(), q, k, init)
+	return c.queryAt(ctx, c.eng.Pin(), q, k, init, core.ModeAuthority)
 }
 
 // QueryFromPinnedCtx is QueryFromCtx under a caller-held pin: the
 // reformulation flow uses it to seed the reformulated query's answer
 // at the exact engine state it just published.
 func (c *CachedEngine) QueryFromPinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, init []float64) (*Answer, error) {
-	return c.queryAt(ctx, pin, q, k, init)
+	return c.queryAt(ctx, pin, q, k, init, core.ModeAuthority)
 }
 
 // QueryPinned is Query under an explicitly pinned snapshot.
 func (c *CachedEngine) QueryPinned(pin *core.Pinned, q *ir.Query, k int) *Answer {
-	a, _ := c.queryAt(context.Background(), pin, q, k, nil)
+	a, _ := c.queryAt(context.Background(), pin, q, k, nil, core.ModeAuthority)
 	return a
 }
 
 // QueryPinnedCtx is QueryPinned under a request context (see QueryCtx).
 func (c *CachedEngine) QueryPinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query, k int) (*Answer, error) {
-	return c.queryAt(ctx, pin, q, k, nil)
+	return c.queryAt(ctx, pin, q, k, nil, core.ModeAuthority)
 }
 
 // QueryBatchPinnedCtx answers a whole panel of queries under ONE pinned
@@ -530,6 +571,13 @@ func (c *CachedEngine) QueryPinnedCtx(ctx context.Context, pin *core.Pinned, q *
 // served from cache or from columns that converged before the cutoff
 // are filled, the rest are nil, and the ctx error is returned.
 func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned, qs []*ir.Query, ks []int) ([]*Answer, error) {
+	return c.queryBatchDir(ctx, pin, qs, ks, core.ModeAuthority)
+}
+
+// queryBatchDir is the blocked batch path for one ranking direction
+// (authority or hub — combined items are peeled off before reaching
+// here, see QueryBatchModePinnedCtx).
+func (c *CachedEngine) queryBatchDir(ctx context.Context, pin *core.Pinned, qs []*ir.Query, ks []int, m core.Mode) ([]*Answer, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -570,7 +618,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 
 	for i, q := range qs {
 		c.recordHot(q)
-		key := resultKey(sk, kk[i], q)
+		key := resultKeyMode(sk, m, kk[i], q)
 		if e, ok := c.results.Get(key); ok {
 			c.stats.resultHits.Add(1)
 			answers[i] = c.answerFrom(e.(*cachedResult), q, SourceResult)
@@ -578,7 +626,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 		}
 		c.stats.resultMisses.Add(1)
 		if term, ok := singleTerm(q); ok {
-			tkey := termKey(sk, term)
+			tkey := termKeyMode(sk, m, term)
 			if e, ok := c.vectors.Get(tkey); ok {
 				c.stats.vectorHits.Add(1)
 				answers[i] = c.answerFrom(c.storeTopK(pin, key, q, kk[i], e.(*termVector)), q, SourceTerm)
@@ -590,7 +638,7 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 			if !ok {
 				var init []float64
 				warm := false
-				if prevKey, ok := c.previousTermKey(v, sk, term); ok {
+				if prevKey, ok := c.previousTermKey(v, sk, m, term); ok {
 					if old, ok2 := c.vectors.Remove(prevKey); ok2 {
 						init = old.(*termVector).vec
 						warm = true
@@ -626,7 +674,13 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 	for ci := range cols {
 		queries[ci] = cols[ci].solveQ
 	}
-	results, err := pin.RankManyFromCtx(ctx, queries, inits)
+	var results []*core.RankResult
+	var err error
+	if m == core.ModeHub {
+		results, err = pin.RankManyHubFromCtx(ctx, queries, inits)
+	} else {
+		results, err = pin.RankManyFromCtx(ctx, queries, inits)
+	}
 
 	// Harvest: single-term columns fill the term-vector cache first so
 	// the pending renders below can share the copied vector.
@@ -675,7 +729,11 @@ func (c *CachedEngine) QueryBatchPinnedCtx(ctx context.Context, pin *core.Pinned
 	return answers, err
 }
 
-func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, init []float64) (*Answer, error) {
+// queryAt is the single-query serving path for one ranking direction
+// (authority or hub; combined answers are assembled from both
+// directions by queryCombinedAt in mode.go). init warm-starts only the
+// multi-keyword miss solve and must come from the same direction.
+func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, init []float64, m core.Mode) (*Answer, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -687,7 +745,7 @@ func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Quer
 	}
 	c.recordHot(q)
 	sk := c.stateKeyFor(pin)
-	key := resultKey(sk, k, q)
+	key := resultKeyMode(sk, m, k, q)
 	if e, ok := c.results.Get(key); ok {
 		c.stats.resultHits.Add(1)
 		return c.answerFrom(e.(*cachedResult), q, SourceResult), nil
@@ -695,7 +753,7 @@ func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Quer
 	c.stats.resultMisses.Add(1)
 
 	if term, ok := singleTerm(q); ok {
-		tv, hit, err := c.termVectorFor(ctx, pin, sk, term)
+		tv, hit, err := c.termVectorFor(ctx, pin, sk, m, term)
 		if err != nil {
 			return nil, err
 		}
@@ -720,9 +778,14 @@ func (c *CachedEngine) queryAt(ctx context.Context, pin *core.Pinned, q *ir.Quer
 			}
 			var res *core.RankResult
 			var rerr error
-			if init != nil {
+			switch {
+			case m == core.ModeHub && init != nil:
+				res, rerr = pin.RankHubFromCtx(dctx, q, init)
+			case m == core.ModeHub:
+				res, rerr = pin.RankHubCtx(dctx, q)
+			case init != nil:
 				res, rerr = pin.RankFromCtx(dctx, q, init)
-			} else {
+			default:
 				res, rerr = pin.RankCtx(dctx, q)
 			}
 			if rerr != nil {
@@ -792,13 +855,14 @@ func (c *CachedEngine) answerFrom(cr *cachedResult, q *ir.Query, source string) 
 	}
 }
 
-// termVectorFor returns the converged single-term vector for term under
-// the pinned snapshot, computing (at most once across concurrent
-// callers) on a miss. hit reports whether the vector came straight from
-// the cache. The solve runs under the flight group's detached context:
-// ctx governs only this caller's wait (see QueryCtx).
-func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, sk stateKey, term string) (tv *termVector, hit bool, err error) {
-	key := termKey(sk, term)
+// termVectorFor returns the converged single-term vector for term in
+// ranking direction m under the pinned snapshot, computing (at most
+// once across concurrent callers) on a miss. hit reports whether the
+// vector came straight from the cache. The solve runs under the flight
+// group's detached context: ctx governs only this caller's wait (see
+// QueryCtx).
+func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, sk stateKey, m core.Mode, term string) (tv *termVector, hit bool, err error) {
+	key := termKeyMode(sk, m, term)
 	if e, ok := c.vectors.Get(key); ok {
 		c.stats.vectorHits.Add(1)
 		return e.(*termVector), true, nil
@@ -809,7 +873,7 @@ func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, sk s
 			if e, ok := c.vectors.Get(key); ok { // lost a miss/flight race
 				return e.(*termVector), nil
 			}
-			return c.computeTerm(dctx, pin, sk, key, term)
+			return c.computeTerm(dctx, pin, sk, m, key, term)
 		})
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -824,16 +888,16 @@ func (c *CachedEngine) termVectorFor(ctx context.Context, pin *core.Pinned, sk s
 	}
 }
 
-// computeTerm runs one single-term ObjectRank2 solve and inserts the
-// converged vector. On the first solve after a rates bump, the previous
-// version's converged vector for the same term (if still resident) is
-// removed from the cache and donated as the warm start, so the new
-// solve refines an already-close vector instead of starting from the
-// global PageRank.
-func (c *CachedEngine) computeTerm(ctx context.Context, pin *core.Pinned, sk stateKey, key, term string) (*termVector, error) {
+// computeTerm runs one single-term ObjectRank2 solve in direction m and
+// inserts the converged vector. On the first solve after a rates bump,
+// the previous version's converged vector for the same term and
+// direction (if still resident) is removed from the cache and donated
+// as the warm start, so the new solve refines an already-close vector
+// instead of starting from the global PageRank.
+func (c *CachedEngine) computeTerm(ctx context.Context, pin *core.Pinned, sk stateKey, m core.Mode, key, term string) (*termVector, error) {
 	var init []float64
 	warm := false
-	if prevKey, ok := c.previousTermKey(pin.Version(), sk, term); ok {
+	if prevKey, ok := c.previousTermKey(pin.Version(), sk, m, term); ok {
 		if old, ok2 := c.vectors.Remove(prevKey); ok2 {
 			init = old.(*termVector).vec
 			warm = true
@@ -842,9 +906,14 @@ func (c *CachedEngine) computeTerm(ctx context.Context, pin *core.Pinned, sk sta
 	q := ir.NewQuery(term)
 	var res *core.RankResult
 	var err error
-	if init != nil {
+	switch {
+	case m == core.ModeHub && init != nil:
+		res, err = pin.RankHubFromCtx(ctx, q, init)
+	case m == core.ModeHub:
+		res, err = pin.RankHubCtx(ctx, q)
+	case init != nil:
 		res, err = pin.RankFromCtx(ctx, q, init)
-	} else {
+	default:
 		res, err = pin.RankCtx(ctx, q)
 	}
 	if err != nil {
@@ -888,7 +957,7 @@ func (c *CachedEngine) RankPinnedCtx(ctx context.Context, pin *core.Pinned, q *i
 	if term, ok := singleTerm(q); ok {
 		c.recordHot(q)
 		sk := c.stateKeyFor(pin)
-		tv, _, err := c.termVectorFor(ctx, pin, sk, term)
+		tv, _, err := c.termVectorFor(ctx, pin, sk, core.ModeAuthority, term)
 		if err != nil {
 			return nil, err
 		}
@@ -1017,6 +1086,13 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 	pin := c.eng.Pin()
 	sk := c.stateKeyFor(pin)
 	v := pin.Version()
+	c.prewarmAuthority(ctx, pin, sk, v, terms)
+	if c.prewarmHub {
+		c.prewarmHubTerms(ctx, pin, sk, v, terms)
+	}
+}
+
+func (c *CachedEngine) prewarmAuthority(ctx context.Context, pin *core.Pinned, sk stateKey, v uint64, terms []string) {
 	useDelta := c.deltaEligible(v)
 	type missCol struct {
 		term string
@@ -1036,7 +1112,7 @@ func (c *CachedEngine) prewarmTerms(ctx context.Context, terms []string) {
 		c.stats.vectorMisses.Add(1)
 		var init []float64
 		warm := false
-		if prevKey, ok := c.previousTermKey(v, sk, t); ok {
+		if prevKey, ok := c.previousTermKey(v, sk, core.ModeAuthority, t); ok {
 			if old, ok2 := c.vectors.Remove(prevKey); ok2 {
 				init = old.(*termVector).vec
 				warm = true

@@ -74,7 +74,7 @@ func TestSingleflightDedup(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait()
-			tv, _, _ := c.termVectorFor(context.Background(), pin, rk, "olap")
+			tv, _, _ := c.termVectorFor(context.Background(), pin, rk, core.ModeAuthority, "olap")
 			got[i] = tv
 		}(i)
 	}

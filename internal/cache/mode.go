@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"context"
+	"math"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// This file is the cache's ranking-mode surface. Authority-mode entries
+// keep their pre-mode key spellings; hub-direction vectors live in the
+// SAME byte-budgeted LRUs under "h"-prefixed keys (hubTermKey), and
+// combined answers are assembled from the two directions' vectors so a
+// combined query never solves anything the per-direction paths would
+// not have cached anyway.
+
+// QueryModePinnedCtx answers q with the top k nodes under pin in the
+// given ranking mode — the mode-dispatching twin of QueryPinnedCtx and
+// the entry point the /v1/query surface funnels every read through.
+// Authority and hub run the direction-parameterized cached path
+// (result cache, then term-vector cache, then solve); combined is
+// assembled from both directions' vectors. Cache-hit answers in every
+// mode are bit-identical to the answer computed on the original miss.
+func (c *CachedEngine) QueryModePinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query, k int, m core.Mode) (*Answer, error) {
+	switch m {
+	case core.ModeAuthority, "":
+		return c.queryAt(ctx, pin, q, k, nil, core.ModeAuthority)
+	case core.ModeHub:
+		return c.queryAt(ctx, pin, q, k, nil, core.ModeHub)
+	}
+	return c.queryCombinedAt(ctx, pin, q, k)
+}
+
+// queryCombinedAt serves a combined-mode answer: result cache first,
+// then — for single-keyword queries — the geometric-mean merge of the
+// two directions' cached (or freshly solved) term vectors, and for
+// multi-keyword queries a dual solve through core's RankCombinedCtx.
+// Merging cached vectors is bit-identical to RankCombinedCtx because
+// each cached vector is a bit-copy of the corresponding direction's
+// solve and the merge is the same elementwise sqrt.
+func (c *CachedEngine) queryCombinedAt(ctx context.Context, pin *core.Pinned, q *ir.Query, k int) (*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 10
+	}
+	c.recordHot(q)
+	sk := c.stateKeyFor(pin)
+	key := resultKeyMode(sk, core.ModeCombined, k, q)
+	if e, ok := c.results.Get(key); ok {
+		c.stats.resultHits.Add(1)
+		return c.answerFrom(e.(*cachedResult), q, SourceResult), nil
+	}
+	c.stats.resultMisses.Add(1)
+
+	if term, ok := singleTerm(q); ok {
+		atv, ahit, err := c.termVectorFor(ctx, pin, sk, core.ModeAuthority, term)
+		if err != nil {
+			return nil, err
+		}
+		htv, hhit, err := c.termVectorFor(ctx, pin, sk, core.ModeHub, term)
+		if err != nil {
+			return nil, err
+		}
+		n := len(atv.vec)
+		if len(htv.vec) < n {
+			n = len(htv.vec)
+		}
+		comb := make([]float64, n)
+		for i := 0; i < n; i++ {
+			comb[i] = math.Sqrt(atv.vec[i] * htv.vec[i])
+		}
+		ranked := rank.TopK(comb, k)
+		items := make([]ResultItem, len(ranked))
+		ix := pin.Corpus().Index()
+		for i, r := range ranked {
+			items[i] = ResultItem{
+				Node:   r.Node,
+				Score:  r.Score,
+				InBase: ix.TF(int32(r.Node), term) > 0,
+			}
+		}
+		cr := &cachedResult{
+			items:   items,
+			iters:   atv.iters + htv.iters,
+			baseN:   atv.baseN,
+			version: pin.Version(),
+			gen:     pin.Generation(),
+		}
+		c.results.Put(key, cr, resultEntrySize(key, len(items)))
+		src := SourceComputed
+		if ahit && hhit {
+			src = SourceTerm
+		}
+		return c.answerFrom(cr, q, src), nil
+	}
+
+	// Multi-keyword combined: dual solve behind the flight group, as in
+	// queryAt's multi-keyword arm.
+	for {
+		val, shared, err := c.flights.DoCtx(ctx, key, func(dctx context.Context) (any, error) {
+			if e, ok := c.results.Get(key); ok {
+				return e.(*cachedResult), nil
+			}
+			res, rerr := pin.RankCombinedCtx(dctx, q)
+			if rerr != nil {
+				return nil, rerr
+			}
+			c.stats.computes.Add(1)
+			cr := resultFrom(res, k)
+			c.eng.Release(res)
+			c.results.Put(key, cr, resultEntrySize(key, len(cr.items)))
+			return cr, nil
+		})
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			continue // joined a draining flight; retry fresh (see queryAt)
+		}
+		if shared {
+			c.stats.dedup.Add(1)
+		}
+		return c.answerFrom(val.(*cachedResult), q, SourceComputed), nil
+	}
+}
+
+// RankModePinnedCtx is RankPinnedCtx's mode-dispatching twin: a full
+// score vector under pin in the given mode, serving single-keyword
+// authority and hub queries from their term-vector caches. The explain
+// and audit paths use it — they need whole vectors, not top-k lists.
+// (Combined vectors rank but do not explain; the server rejects
+// explain/audit on combined before ranking, so the combined arm here
+// exists only for symmetry.)
+func (c *CachedEngine) RankModePinnedCtx(ctx context.Context, pin *core.Pinned, q *ir.Query, m core.Mode) (*core.RankResult, error) {
+	switch m {
+	case core.ModeAuthority, "":
+		return c.RankPinnedCtx(ctx, pin, q)
+	case core.ModeCombined:
+		return pin.RankCombinedCtx(ctx, q)
+	}
+	if term, ok := singleTerm(q); ok {
+		c.recordHot(q)
+		sk := c.stateKeyFor(pin)
+		tv, _, err := c.termVectorFor(ctx, pin, sk, core.ModeHub, term)
+		if err != nil {
+			return nil, err
+		}
+		scores := make([]float64, len(tv.vec))
+		copy(scores, tv.vec)
+		return &core.RankResult{
+			Query:        q,
+			Scores:       scores,
+			Base:         pin.BaseSet(q),
+			Iterations:   tv.iters,
+			Converged:    tv.converged,
+			RatesVersion: pin.Version(),
+			Generation:   pin.Generation(),
+		}, nil
+	}
+	return pin.RankHubCtx(ctx, q)
+}
+
+// QueryBatchModePinnedCtx is QueryBatchPinnedCtx with a per-item mode
+// (modes may be nil — all authority — or must match len(qs)). Items are
+// partitioned by direction: the authority and hub subsets each run one
+// blocked kernel panel (in-subset dedup included), and combined items —
+// which need both directions — are answered individually. Answers land
+// at their original indices; on cancellation the slice is partial and
+// the first context error is returned, matching the single-mode batch.
+func (c *CachedEngine) QueryBatchModePinnedCtx(ctx context.Context, pin *core.Pinned, qs []*ir.Query, ks []int, modes []core.Mode) ([]*Answer, error) {
+	if modes == nil {
+		return c.queryBatchDir(ctx, pin, qs, ks, core.ModeAuthority)
+	}
+	if len(modes) != len(qs) {
+		panic("cache: QueryBatchModePinnedCtx modes/queries length mismatch")
+	}
+	var authIdx, hubIdx, combIdx []int
+	for i, m := range modes {
+		switch m {
+		case core.ModeHub:
+			hubIdx = append(hubIdx, i)
+		case core.ModeCombined:
+			combIdx = append(combIdx, i)
+		default:
+			authIdx = append(authIdx, i)
+		}
+	}
+	if len(hubIdx) == 0 && len(combIdx) == 0 {
+		return c.queryBatchDir(ctx, pin, qs, ks, core.ModeAuthority)
+	}
+
+	answers := make([]*Answer, len(qs))
+	var firstErr error
+	runDir := func(idx []int, m core.Mode) {
+		if len(idx) == 0 {
+			return
+		}
+		subQ := make([]*ir.Query, len(idx))
+		subK := make([]int, len(idx))
+		for j, i := range idx {
+			subQ[j] = qs[i]
+			subK[j] = ks[i]
+		}
+		sub, err := c.queryBatchDir(ctx, pin, subQ, subK, m)
+		for j, i := range idx {
+			answers[i] = sub[j]
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	runDir(authIdx, core.ModeAuthority)
+	runDir(hubIdx, core.ModeHub)
+	for _, i := range combIdx {
+		if firstErr != nil && ctx.Err() != nil {
+			break // deadline already blown; leave the rest nil
+		}
+		a, err := c.queryCombinedAt(ctx, pin, qs[i], ks[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		answers[i] = a
+	}
+	return answers, firstErr
+}
+
+// prewarmHubTerms is the hub half of a prewarm pass: one blocked
+// reversed-direction panel over the terms still missing a hub vector
+// under the current rates, with previous-version hub vectors donated as
+// warm starts. No delta or f32 shortcuts — hub refreshes always run the
+// full-precision panel (see Options.PrewarmHub).
+func (c *CachedEngine) prewarmHubTerms(ctx context.Context, pin *core.Pinned, sk stateKey, v uint64, terms []string) {
+	type missCol struct {
+		term string
+		key  string
+		warm bool
+	}
+	var misses []missCol
+	var qs []*ir.Query
+	var inits [][]float64
+	for _, t := range terms {
+		key := hubTermKey(sk, t)
+		if _, ok := c.vectors.Get(key); ok {
+			c.stats.vectorHits.Add(1)
+			c.stats.prewarmed.Add(1)
+			continue
+		}
+		c.stats.vectorMisses.Add(1)
+		var init []float64
+		warm := false
+		if prevKey, ok := c.previousTermKey(v, sk, core.ModeHub, t); ok {
+			if old, ok2 := c.vectors.Remove(prevKey); ok2 {
+				init = old.(*termVector).vec
+				warm = true
+			}
+		}
+		misses = append(misses, missCol{term: t, key: key, warm: warm})
+		qs = append(qs, ir.NewQuery(t))
+		inits = append(inits, init)
+	}
+	if len(qs) == 0 {
+		return
+	}
+	results, _ := pin.RankManyHubFromCtx(ctx, qs, inits)
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		mc := misses[i]
+		c.stats.computes.Add(1)
+		if mc.warm {
+			c.stats.warmStarts.Add(1)
+		}
+		vec := make([]float64, len(res.Scores))
+		copy(vec, res.Scores)
+		tv := &termVector{
+			vec:         vec,
+			iters:       res.Iterations,
+			baseN:       len(res.Base),
+			converged:   res.Converged,
+			warmStarted: mc.warm,
+		}
+		c.eng.Release(res)
+		c.vectors.Put(mc.key, tv, termEntrySize(mc.key, len(vec)))
+		c.stats.prewarmed.Add(1)
+	}
+}

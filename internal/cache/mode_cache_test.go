@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+var modeTestOpts = rank.Options{Damping: 0.85, Threshold: 1e-10, MaxIters: 500}
+
+// TestModeKeysDisjoint: the three modes' answers for one query live
+// under distinct keys and never alias each other's cache entries.
+func TestModeKeysDisjoint(t *testing.T) {
+	sk := stateKey{gen: 1, rk: 0xabc}
+	q := ir.NewQuery("olap")
+	keys := map[string]core.Mode{}
+	for _, m := range []core.Mode{core.ModeAuthority, core.ModeHub, core.ModeCombined} {
+		k := resultKeyMode(sk, m, 10, q)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("modes %s and %s share result key %q", prev, m, k)
+		}
+		keys[k] = m
+	}
+	if resultKeyMode(sk, core.ModeAuthority, 10, q) != resultKey(sk, 10, q) {
+		t.Error("authority result keys must keep their pre-mode spelling")
+	}
+	if termKeyMode(sk, core.ModeAuthority, "olap") == termKeyMode(sk, core.ModeHub, "olap") {
+		t.Error("authority and hub term vectors share a key")
+	}
+}
+
+// TestQueryModeCachedBitIdentical: for every mode, a cache hit serves
+// exactly the bytes the original miss computed, and the hub answer
+// matches the engine's own hub solve bit for bit.
+func TestQueryModeCachedBitIdentical(t *testing.T) {
+	_, eng := testEngine(t, modeTestOpts)
+	c := New(eng, Options{})
+	defer c.Close()
+	pin := eng.Pin()
+	ctx := context.Background()
+	q := func() *ir.Query { return ir.NewQuery("mining") }
+
+	for _, m := range []core.Mode{core.ModeAuthority, core.ModeHub, core.ModeCombined} {
+		miss, err := c.QueryModePinnedCtx(ctx, pin, q(), 10, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := c.QueryModePinnedCtx(ctx, pin, q(), 10, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit.Source != SourceResult {
+			t.Errorf("%s: second query source = %q, want %q", m, hit.Source, SourceResult)
+		}
+		if len(hit.Results) != len(miss.Results) {
+			t.Fatalf("%s: hit/miss result lengths differ", m)
+		}
+		for i := range hit.Results {
+			if hit.Results[i].Node != miss.Results[i].Node ||
+				math.Float64bits(hit.Results[i].Score) != math.Float64bits(miss.Results[i].Score) {
+				t.Fatalf("%s: cached answer drifted at rank %d", m, i)
+			}
+		}
+	}
+
+	// The cached hub answer equals a direct hub solve.
+	ref, err := pin.RankHubCtx(ctx, q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Release(ref)
+	top := ref.TopK(10)
+	hub, err := c.QueryModePinnedCtx(ctx, pin, q(), 10, core.ModeHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range top {
+		if hub.Results[i].Node != r.Node || math.Float64bits(hub.Results[i].Score) != math.Float64bits(r.Score) {
+			t.Fatalf("cached hub rank %d differs from direct hub solve", i)
+		}
+	}
+}
+
+// TestCombinedAssembledFromDirectionVectors: a combined single-term
+// query whose two direction vectors are already resident must not run
+// any new kernel work, and must equal core's dual-solve combine.
+func TestCombinedAssembledFromDirectionVectors(t *testing.T) {
+	_, eng := testEngine(t, modeTestOpts)
+	c := New(eng, Options{})
+	defer c.Close()
+	pin := eng.Pin()
+	ctx := context.Background()
+
+	if _, err := c.QueryModePinnedCtx(ctx, pin, ir.NewQuery("mining"), 10, core.ModeAuthority); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryModePinnedCtx(ctx, pin, ir.NewQuery("mining"), 10, core.ModeHub); err != nil {
+		t.Fatal(err)
+	}
+	before := c.stats.computes.Load()
+	comb, err := c.QueryModePinnedCtx(ctx, pin, ir.NewQuery("mining"), 10, core.ModeCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := c.stats.computes.Load(); after != before {
+		t.Errorf("combined assembly ran %d kernel solves, want 0", after-before)
+	}
+	if comb.Source != SourceTerm {
+		t.Errorf("combined-from-vectors source = %q, want %q", comb.Source, SourceTerm)
+	}
+
+	ref, err := pin.RankCombinedCtx(ctx, ir.NewQuery("mining"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := ref.TopK(10)
+	for i, r := range top {
+		if comb.Results[i].Node != r.Node || math.Float64bits(comb.Results[i].Score) != math.Float64bits(r.Score) {
+			t.Fatalf("assembled combined rank %d differs from RankCombinedCtx", i)
+		}
+	}
+}
+
+// TestBatchModesScatter: a mixed-mode batch answers every item at its
+// original index with the same answer the single-query path gives.
+func TestBatchModesScatter(t *testing.T) {
+	_, eng := testEngine(t, modeTestOpts)
+	c := New(eng, Options{})
+	defer c.Close()
+	pin := eng.Pin()
+	ctx := context.Background()
+
+	qs := []*ir.Query{ir.NewQuery("mining"), ir.NewQuery("mining"), ir.NewQuery("olap"), ir.NewQuery("mining")}
+	ks := []int{5, 5, 5, 5}
+	modes := []core.Mode{core.ModeAuthority, core.ModeHub, core.ModeHub, core.ModeCombined}
+	answers, err := c.QueryBatchModePinnedCtx(ctx, pin, qs, ks, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range modes {
+		if answers[i] == nil {
+			t.Fatalf("item %d: nil answer", i)
+		}
+		want, err := c.QueryModePinnedCtx(ctx, pin, qs[i], ks[i], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Results {
+			if answers[i].Results[j].Node != want.Results[j].Node ||
+				math.Float64bits(answers[i].Results[j].Score) != math.Float64bits(want.Results[j].Score) {
+				t.Fatalf("item %d (%s): batch answer differs from single-query answer", i, m)
+			}
+		}
+	}
+}
+
+// TestPrewarmHub: with PrewarmHub set, Prewarm fills BOTH directions'
+// vectors so a first mode=hub query is served without a solve.
+func TestPrewarmHub(t *testing.T) {
+	_, eng := testEngine(t, modeTestOpts)
+	c := New(eng, Options{PrewarmHub: true})
+	defer c.Close()
+
+	c.Prewarm([]string{"mining"})
+	pin := eng.Pin()
+	sk := c.stateKeyFor(pin)
+	if _, ok := c.vectors.Get(termKey(sk, "mining")); !ok {
+		t.Fatal("authority vector not prewarmed")
+	}
+	if _, ok := c.vectors.Get(hubTermKey(sk, "mining")); !ok {
+		t.Fatal("hub vector not prewarmed")
+	}
+	before := c.stats.computes.Load()
+	a, err := c.QueryModePinnedCtx(context.Background(), pin, ir.NewQuery("mining"), 5, core.ModeHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := c.stats.computes.Load(); after != before {
+		t.Errorf("prewarmed hub query still ran %d solves", after-before)
+	}
+	if a.Source != SourceTerm {
+		t.Errorf("prewarmed hub query source = %q, want %q", a.Source, SourceTerm)
+	}
+}

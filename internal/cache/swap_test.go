@@ -97,7 +97,7 @@ func TestSwapWarmStartStaysWithinGeneration(t *testing.T) {
 	}
 	pin := eng.Pin()
 	sk := c.stateKeyFor(pin)
-	if _, ok := c.previousTermKey(pin.Version(), sk, "mining"); ok {
+	if _, ok := c.previousTermKey(pin.Version(), sk, core.ModeAuthority, "mining"); ok {
 		t.Fatal("previousTermKey offered a cross-generation donation")
 	}
 	// And the solve itself stays sized for the new graph.

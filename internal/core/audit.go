@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+)
+
+// DefaultAuditBudget caps audit contributions when the caller does not
+// choose a budget.
+const DefaultAuditBudget = 16
+
+// AuditOptions control an audit: the contribution budget and the
+// underlying explaining-subgraph construction.
+type AuditOptions struct {
+	// Budget caps the number of arc and node contributions returned —
+	// the top-Budget of each by sensitivity. Zero means
+	// DefaultAuditBudget.
+	Budget int
+	// Explain configures the subgraph build (radius, Eq. 10 threshold).
+	Explain ExplainOptions
+}
+
+func (o AuditOptions) withDefaults() AuditOptions {
+	if o.Budget <= 0 {
+		o.Budget = DefaultAuditBudget
+	}
+	return o
+}
+
+// AuditArc is one explaining-subgraph arc ranked by how strongly the
+// target's explained score responds to perturbing the arc's authority
+// transfer rate — the AURORA-style "which edges move this ranking"
+// question answered inside the paper's own flow machinery.
+type AuditArc struct {
+	From graph.NodeID
+	To   graph.NodeID
+	Type graph.TransferTypeID
+	// Rate and Flow mirror the FlowArc fields (Equation 1 rate, adjusted
+	// Equation 7 flow).
+	Rate float64
+	Flow float64
+	// Sensitivity is ∂(explained score)/∂(arc rate) with the rest of the
+	// subgraph frozen: the arc delivers h(To)·d·rate·r(From) to the
+	// target, so the derivative is h(To)·d·r(From) = Flow/Rate. A
+	// high-sensitivity arc is one whose rate perturbation moves the
+	// target's score the most per unit of rate.
+	Sensitivity float64
+}
+
+// AuditNode aggregates arc sensitivities per source node: how strongly
+// the target's score responds to uniformly perturbing the rates of the
+// node's outgoing subgraph arcs.
+type AuditNode struct {
+	Node        graph.NodeID
+	Sensitivity float64
+	// Flow is the node's adjusted out-flow inside the subgraph
+	// (Equation 6b) — the authority it actually forwards to the target.
+	Flow float64
+}
+
+// Audit is the sensitivity ranking of one result node: the top-Budget
+// arcs and nodes of its explaining subgraph ordered by score
+// sensitivity to rate perturbation. At a pinned (generation,
+// ratesVersion) the construction is fully deterministic — subgraph
+// arcs are collected in ascending-node CSR order, sensitivities are
+// exact derivatives of the frozen flow system, and ties break on
+// (From, To, Type) — so two audits of the same target under the same
+// pinned state are identical, which is what lets the HTTP layer promise
+// byte-identical bodies.
+type Audit struct {
+	Target graph.NodeID
+	Query  *ir.Query
+	// Score is the explained score: the adjusted authority arriving at
+	// the target inside the subgraph.
+	Score  float64
+	Budget int
+	// Arcs and Nodes are the top-Budget contributions, sensitivity
+	// descending; TotalArcs/TotalNodes count the subgraph before
+	// truncation so callers can tell a complete audit from a clipped
+	// one.
+	Arcs       []AuditArc
+	Nodes      []AuditNode
+	TotalArcs  int
+	TotalNodes int
+	// Iterations and Converged report the Equation 10 fixpoint run.
+	Iterations int
+	Converged  bool
+	// RatesVersion and Generation stamp the pinned state the audit ran
+	// under — the determinism key.
+	RatesVersion uint64
+	Generation   uint64
+}
+
+// AuditCtx ranks the explaining subgraph of target by score sensitivity
+// to rate perturbation, under the pinned state and the given ranking
+// mode. res must be a converged result for the same query, state, and
+// mode (the serving layer obtains it through the cache or RankModeCtx).
+// Deadline-awareness is inherited from the explain stages: the BFS
+// phases and the Eq. 10 fixpoint poll ctx, and the final ranking pass
+// is linear in the subgraph. Combined mode is rejected via
+// ExplainModeCtx.
+func (p *Pinned) AuditCtx(ctx context.Context, m Mode, res *RankResult, target graph.NodeID, opts AuditOptions) (*Audit, error) {
+	opts = opts.withDefaults()
+	sg, err := p.ExplainModeCtx(ctx, m, res, target, opts.Explain)
+	if err != nil {
+		return nil, err
+	}
+	a := auditOf(sg, opts.Budget)
+	a.RatesVersion = p.st.snap.version
+	a.Generation = p.st.gen.num
+	return a, nil
+}
+
+// AuditOf derives the sensitivity ranking from an already-built
+// subgraph, without the pinned-state stamps AuditCtx adds. The
+// /v1/explain envelope uses it to attach a contributions[] block to a
+// subgraph it has already paid for, instead of re-running the BFS and
+// Eq. 10 fixpoint through AuditCtx.
+func AuditOf(sg *Subgraph, budget int) *Audit {
+	if budget <= 0 {
+		budget = DefaultAuditBudget
+	}
+	return auditOf(sg, budget)
+}
+
+// auditOf derives the sensitivity ranking from a built subgraph.
+func auditOf(sg *Subgraph, budget int) *Audit {
+	a := &Audit{
+		Target:     sg.Target,
+		Query:      sg.Query,
+		Score:      sg.ExplainedScore(),
+		Budget:     budget,
+		TotalArcs:  len(sg.Arcs),
+		Iterations: sg.Iterations,
+		Converged:  sg.Converged,
+	}
+
+	arcs := make([]AuditArc, len(sg.Arcs))
+	perNode := make(map[graph.NodeID]*AuditNode, len(sg.Nodes))
+	for i, fa := range sg.Arcs {
+		// Rate > 0 by construction (zero-rate arcs never enter the
+		// subgraph), so the derivative Flow/Rate is always defined.
+		arcs[i] = AuditArc{
+			From:        fa.From,
+			To:          fa.To,
+			Type:        fa.Type,
+			Rate:        fa.Rate,
+			Flow:        fa.Flow,
+			Sensitivity: fa.Flow / fa.Rate,
+		}
+		n := perNode[fa.From]
+		if n == nil {
+			n = &AuditNode{Node: fa.From}
+			perNode[fa.From] = n
+		}
+		// sg.Arcs is ordered (ascending source, CSR arc order), so these
+		// per-node sums accumulate in a deterministic order.
+		n.Sensitivity += arcs[i].Sensitivity
+		n.Flow += fa.Flow
+	}
+	a.TotalNodes = len(perNode)
+
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].Sensitivity != arcs[j].Sensitivity {
+			return arcs[i].Sensitivity > arcs[j].Sensitivity
+		}
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		if arcs[i].To != arcs[j].To {
+			return arcs[i].To < arcs[j].To
+		}
+		return arcs[i].Type < arcs[j].Type
+	})
+	if len(arcs) > budget {
+		arcs = arcs[:budget]
+	}
+	a.Arcs = arcs
+
+	nodes := make([]AuditNode, 0, len(perNode))
+	// Iterate sg.Nodes (ascending) rather than the map for a
+	// deterministic pre-sort order — sort.Slice is not stable.
+	for _, v := range sg.Nodes {
+		if n := perNode[v]; n != nil {
+			nodes = append(nodes, *n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Sensitivity != nodes[j].Sensitivity {
+			return nodes[i].Sensitivity > nodes[j].Sensitivity
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	if len(nodes) > budget {
+		nodes = nodes[:budget]
+	}
+	a.Nodes = nodes
+	return a
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"authorityflow/internal/ir"
+)
+
+// auditTarget picks the fixture node whose explaining subgraph is
+// non-trivial for the query: the top-ranked olap paper v7.
+func auditFixture(t *testing.T) (*fixture, *Pinned, *RankResult) {
+	t.Helper()
+	f := newFixture(t)
+	pin := f.newEngine(t).Pin()
+	res, err := pin.RankCtx(context.Background(), ir.ParseQuery("olap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, pin, res
+}
+
+// TestAuditDeterministic: two audits of the same target under the same
+// pinned (generation, ratesVersion) must be structurally identical —
+// the in-memory half of the HTTP layer's byte-identity promise.
+func TestAuditDeterministic(t *testing.T) {
+	f, pin, res := auditFixture(t)
+	opts := AuditOptions{Budget: 8}
+	a1, err := pin.AuditCtx(context.Background(), ModeAuthority, res, f.ids["v7"], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pin.AuditCtx(context.Background(), ModeAuthority, res, f.ids["v7"], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("two audits under one pin differ:\n%+v\nvs\n%+v", a1, a2)
+	}
+	if a1.Generation != pin.Generation() || a1.RatesVersion != pin.Version() {
+		t.Error("audit not stamped with the pinned state")
+	}
+}
+
+// TestAuditSensitivityIsFlowOverRate pins the derivative: each arc's
+// sensitivity is exactly Flow/Rate, arcs arrive sensitivity-descending,
+// and per-node sensitivity sums the node's out-arcs.
+func TestAuditSensitivityIsFlowOverRate(t *testing.T) {
+	f, pin, res := auditFixture(t)
+	a, err := pin.AuditCtx(context.Background(), ModeAuthority, res, f.ids["v7"], AuditOptions{Budget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arcs) == 0 || len(a.Nodes) == 0 {
+		t.Fatalf("audit of v7 is empty: %d arcs, %d nodes", len(a.Arcs), len(a.Nodes))
+	}
+	if a.TotalArcs != len(a.Arcs) || a.TotalNodes != len(a.Nodes) {
+		t.Errorf("totals (%d, %d) disagree with untruncated lists (%d, %d)",
+			a.TotalArcs, a.TotalNodes, len(a.Arcs), len(a.Nodes))
+	}
+	byNode := map[int]float64{}
+	for i, arc := range a.Arcs {
+		if arc.Rate <= 0 {
+			t.Fatalf("arc %d has non-positive rate %v", i, arc.Rate)
+		}
+		if math.Float64bits(arc.Sensitivity) != math.Float64bits(arc.Flow/arc.Rate) {
+			t.Fatalf("arc %d sensitivity %v != Flow/Rate %v", i, arc.Sensitivity, arc.Flow/arc.Rate)
+		}
+		if i > 0 && a.Arcs[i-1].Sensitivity < arc.Sensitivity {
+			t.Fatalf("arcs not sensitivity-descending at %d", i)
+		}
+		byNode[int(arc.From)] += arc.Sensitivity
+	}
+	for i, n := range a.Nodes {
+		// Sums accumulate in the same deterministic arc order as auditOf,
+		// so they must match bit-for-bit.
+		if math.Float64bits(byNode[int(n.Node)]) != math.Float64bits(n.Sensitivity) {
+			t.Errorf("node %d sensitivity %v != sum of its arcs %v", n.Node, n.Sensitivity, byNode[int(n.Node)])
+		}
+		if i > 0 && a.Nodes[i-1].Sensitivity < n.Sensitivity {
+			t.Fatalf("nodes not sensitivity-descending at %d", i)
+		}
+	}
+	if a.Score <= 0 {
+		t.Errorf("explained score %v, want > 0", a.Score)
+	}
+}
+
+// TestAuditBudgetTruncates: a budget smaller than the subgraph clips
+// both lists to exactly the budget and keeps the sensitivity-top prefix
+// of the unclipped ranking; totals still report the full subgraph.
+func TestAuditBudgetTruncates(t *testing.T) {
+	f, pin, res := auditFixture(t)
+	full, err := pin.AuditCtx(context.Background(), ModeAuthority, res, f.ids["v7"], AuditOptions{Budget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalArcs < 3 {
+		t.Fatalf("fixture subgraph too small (%d arcs) for a truncation test", full.TotalArcs)
+	}
+	budget := 2
+	clipped, err := pin.AuditCtx(context.Background(), ModeAuthority, res, f.ids["v7"], AuditOptions{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clipped.Arcs) != budget {
+		t.Fatalf("budget %d returned %d arcs", budget, len(clipped.Arcs))
+	}
+	if clipped.TotalArcs != full.TotalArcs || clipped.TotalNodes != full.TotalNodes {
+		t.Error("truncation must not change the reported subgraph totals")
+	}
+	if !reflect.DeepEqual(clipped.Arcs, full.Arcs[:budget]) {
+		t.Error("clipped arcs are not the top-budget prefix of the full ranking")
+	}
+
+	// Zero budget takes the default.
+	def, err := pin.AuditCtx(context.Background(), ModeAuthority, res, f.ids["v7"], AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Budget != DefaultAuditBudget {
+		t.Errorf("zero budget resolved to %d, want DefaultAuditBudget", def.Budget)
+	}
+}
+
+// TestAuditRejectsCombinedAndHonorsDeadline.
+func TestAuditRejectsCombinedAndHonorsDeadline(t *testing.T) {
+	f, pin, res := auditFixture(t)
+	if _, err := pin.AuditCtx(context.Background(), ModeCombined, res, f.ids["v7"], AuditOptions{}); err == nil {
+		t.Error("combined-mode audit must fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pin.AuditCtx(ctx, ModeAuthority, res, f.ids["v7"], AuditOptions{}); err == nil {
+		t.Error("cancelled-context audit must fail")
+	}
+}
+
+// TestAuditHubMode: audits of hub rankings run over the reversed view
+// and are deterministic too.
+func TestAuditHubMode(t *testing.T) {
+	f := newFixture(t)
+	pin := f.newEngine(t).Pin()
+	res, err := pin.RankHubCtx(context.Background(), ir.ParseQuery("olap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := pin.AuditCtx(context.Background(), ModeHub, res, f.ids["v4"], AuditOptions{Budget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pin.AuditCtx(context.Background(), ModeHub, res, f.ids["v4"], AuditOptions{Budget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("hub-mode audit is not deterministic")
+	}
+	if a1.Score <= 0 {
+		t.Errorf("hub audit of v4 explained no flow (score %v)", a1.Score)
+	}
+}

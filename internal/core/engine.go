@@ -219,6 +219,16 @@ type generation struct {
 	// force at that moment and kept for the generation's lifetime.
 	globalOnce sync.Once
 	global     []float64
+
+	// hub caches the direction-reversed corpus view serving hub-mode
+	// (CheiRank) solves, built on first hub-mode touch and kept for the
+	// generation's lifetime; hubGlobal is the reversed-direction PageRank
+	// warm start, mirroring global's compute-once contract. See mode.go.
+	hubOnce sync.Once
+	hub     *Corpus
+
+	hubGlobalOnce sync.Once
+	hubGlobal     []float64
 }
 
 // globalScores returns the generation's warm-start vector, computing
@@ -686,10 +696,19 @@ func (e *Engine) RankColdCtx(ctx context.Context, q *ir.Query) (*RankResult, err
 // the buffer pool and (nil, ctx.Err()) comes back: scores are never
 // partially published.
 func (e *Engine) rankAt(ctx context.Context, st *engineState, q *ir.Query, init []float64) (*RankResult, error) {
+	return e.rankCorpusAt(ctx, st, st.gen.corpus, q, init)
+}
+
+// rankCorpusAt is rankAt against an explicit corpus view of the pinned
+// state: the generation's authority corpus on every standard path, its
+// direction-reversed hub view on hub-mode paths (mode.go). The corpus
+// must belong to st.gen — both views share the state's index, pool,
+// and provenance stamps.
+func (e *Engine) rankCorpusAt(ctx context.Context, st *engineState, c *Corpus, q *ir.Query, init []float64) (*RankResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c, snap := st.gen.corpus, st.snap
+	snap := st.snap
 	if init != nil && len(init) != c.g.NumNodes() {
 		// A warm-start vector sized for another generation's graph
 		// (donated across a concurrent corpus swap) cannot seed this
@@ -797,6 +816,15 @@ func (p *Pinned) RankManyModeCtx(ctx context.Context, qs []*ir.Query, inits [][]
 // rankAt's exactly (corpus rank options + Init + Ctx), so PanelF64
 // column results are bit-identical to single solves.
 func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query, inits [][]float64, mode PanelMode) ([]*RankResult, error) {
+	return e.rankManyCorpusAt(ctx, st, st.gen.corpus, st.globalScores, qs, inits, mode)
+}
+
+// rankManyCorpusAt is rankManyAt against an explicit corpus view of the
+// pinned state (see rankCorpusAt) with its matching warm-start source:
+// st.globalScores on the authority path, the hub view's reversed-
+// direction PageRank on hub-mode paths. The getter is invoked lazily so
+// an all-empty batch never computes a warm-start vector.
+func (e *Engine) rankManyCorpusAt(ctx context.Context, st *engineState, c *Corpus, globalFn func() []float64, qs []*ir.Query, inits [][]float64, mode PanelMode) ([]*RankResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -811,9 +839,9 @@ func (e *Engine) rankManyAt(ctx context.Context, st *engineState, qs []*ir.Query
 	if len(qs) == 0 {
 		return out, ctx.Err()
 	}
-	c, snap := st.gen.corpus, st.snap
+	snap := st.snap
 	n := c.g.NumNodes()
-	global := st.globalScores()
+	global := globalFn()
 
 	for lo := 0; lo < len(qs); lo += c.blockSize {
 		if err := ctx.Err(); err != nil {

@@ -151,6 +151,15 @@ func (e *Engine) ExplainCtx(ctx context.Context, res *RankResult, target graph.N
 // swapped in — after the view was taken. The engine's own Explain
 // simply pins the current state at entry.
 func (e *Engine) explainAt(ctx context.Context, st *engineState, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	return e.explainCorpusAt(ctx, st, st.gen.corpus, res, target, opts)
+}
+
+// explainCorpusAt is explainAt against an explicit corpus view of the
+// pinned state: the generation's authority corpus on the standard path,
+// its direction-reversed hub view when explaining a hub-mode ranking
+// (mode.go). res must have been solved on the SAME view — the flows of
+// Equation 5 read res.Scores through this corpus's arcs.
+func (e *Engine) explainCorpusAt(ctx context.Context, st *engineState, c *Corpus, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
 	snap := st.snap
 	if ctx == nil {
 		ctx = context.Background()
@@ -158,7 +167,7 @@ func (e *Engine) explainAt(ctx context.Context, st *engineState, res *RankResult
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g := st.gen.corpus.g
+	g := c.g
 	if int(target) < 0 || int(target) >= g.NumNodes() {
 		return nil, fmt.Errorf("core: explain target %d out of range", target)
 	}
@@ -237,7 +246,7 @@ func (e *Engine) explainAt(ctx context.Context, st *engineState, res *RankResult
 		Query:   res.Query,
 		H:       make(map[graph.NodeID]float64, len(inG)),
 		Dist:    make(map[graph.NodeID]int, len(inG)),
-		damping: st.gen.corpus.nopts.Damping,
+		damping: c.nopts.Damping,
 		inFlow:  make(map[graph.NodeID]float64, len(inG)),
 		outFlow: make(map[graph.NodeID]float64, len(inG)),
 	}

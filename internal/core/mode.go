@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"authorityflow/internal/graph"
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+// Mode selects the ranking direction of a read query. Authority is the
+// paper's ObjectRank2 semantics — a node is important when important
+// nodes point at it. Hub is the CheiRank dual solved on the
+// direction-reversed graph — a node is important when it points at
+// important nodes (the internal-linking / curation workload). Combined
+// merges both per node, surfacing objects that score on both axes.
+type Mode string
+
+const (
+	ModeAuthority Mode = "authority"
+	ModeHub       Mode = "hub"
+	ModeCombined  Mode = "combined"
+)
+
+// ParseMode maps the wire-level mode parameter onto a Mode. The empty
+// string is ModeAuthority — the whole pre-mode query surface keeps its
+// meaning unchanged. This is the ONE validation point for the
+// parameter: every HTTP handler (server and router alike) funnels
+// through it so an invalid mode produces the same invalid_argument
+// message everywhere.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeAuthority:
+		return ModeAuthority, nil
+	case ModeHub:
+		return ModeHub, nil
+	case ModeCombined:
+		return ModeCombined, nil
+	}
+	return "", fmt.Errorf("mode must be one of authority, hub, combined")
+}
+
+// Explainable reports whether rankings under the mode decompose into a
+// single authority-flow system that the Section 4 explaining subgraph
+// (and hence /v1/audit) can operate on. Combined rankings mix two
+// separate fixpoints and are not explainable.
+func (m Mode) Explainable() bool { return m != ModeCombined }
+
+// hubCorpus returns the generation's direction-reversed corpus view,
+// built on first use and kept for the generation's lifetime. The view
+// shares the authority corpus's index, buffer pool, worker policy, and
+// panel width; only the graph (an O(1) CSR-role swap, graph.Reversed)
+// and — when tiling is configured — the tiling plan differ.
+func (gn *generation) hubCorpus() *Corpus {
+	gn.hubOnce.Do(func() {
+		c := gn.corpus
+		rg := c.g.Reversed()
+		opts := c.opts
+		if opts.Tile != nil {
+			// A tiling plan indexes one specific reverse CSR. On the
+			// reversed view that CSR is the authority graph's FORWARD
+			// half, so reusing the authority plan would address the wrong
+			// arc runs (Tiling.usable only checks the node count and
+			// cannot catch this). Build a fresh plan against the reversed
+			// view; tiled and untiled sweeps are bit-identical, so this
+			// is purely a throughput decision.
+			opts.Tile = rank.NewTiling(rg, opts.Tile.TileNodes())
+		}
+		gn.hub = &Corpus{
+			g:         rg,
+			ix:        c.ix,
+			opts:      opts,
+			nopts:     opts.Normalized(),
+			workers:   c.workers,
+			blockSize: c.blockSize,
+			pool:      c.pool,
+		}
+	})
+	return gn.hub
+}
+
+// hubGlobalScores returns the generation's reversed-direction PageRank
+// warm-start vector, computed on first use under snap's rates —
+// exactly the vector globalScores would hold if the corpus had been
+// built pre-reversed, which is what keeps hub-mode solves bit-identical
+// to authority solves on a pre-reversed corpus.
+func (gn *generation) hubGlobalScores(snap *ratesSnapshot) []float64 {
+	gn.hubGlobalOnce.Do(func() {
+		hc := gn.hubCorpus()
+		gn.hubGlobal = rank.PageRank(hc.g, snap.rates, hc.opts).Scores
+	})
+	return gn.hubGlobal
+}
+
+// RankHubCtx executes the hub-mode (CheiRank) solve for q under the
+// pinned state: the standard ObjectRank2 kernel over the pinned
+// generation's direction-reversed corpus view, warm-started from the
+// reversed-direction global PageRank. The result is bit-identical to
+// what RankCtx would return on a corpus built from the pre-reversed
+// graph — same arrays, same operation order — which is the contract
+// the mode=hub golden tests pin.
+func (p *Pinned) RankHubCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
+	st := p.st
+	return p.e.rankCorpusAt(ctx, st, st.gen.hubCorpus(), q, st.gen.hubGlobalScores(st.snap))
+}
+
+// RankHubFromCtx is RankHubCtx warm-started from a previous hub score
+// vector (the serving cache's cross-version donation path). Donated
+// vectors must come from hub-mode solves; a wrong-length vector
+// degrades to a cold start exactly as on the authority path.
+func (p *Pinned) RankHubFromCtx(ctx context.Context, q *ir.Query, init []float64) (*RankResult, error) {
+	return p.e.rankCorpusAt(ctx, p.st, p.st.gen.hubCorpus(), q, init)
+}
+
+// RankManyHubFromCtx is the blocked multi-solve of the hub direction:
+// RankManyFromCtx's exact contract (panels of BlockSize, per-query
+// warm-start donations, partial results on cancel) over the reversed
+// corpus view, with nil donations falling back to the reversed-
+// direction global PageRank.
+func (p *Pinned) RankManyHubFromCtx(ctx context.Context, qs []*ir.Query, inits [][]float64) ([]*RankResult, error) {
+	st := p.st
+	return p.e.rankManyCorpusAt(ctx, st, st.gen.hubCorpus(),
+		func() []float64 { return st.gen.hubGlobalScores(st.snap) }, qs, inits, PanelF64)
+}
+
+// RankCombinedCtx executes both directions for q and merges them with
+// Combine. Two kernel executions run (both deadline-aware); the solve
+// hook fires once per direction.
+func (p *Pinned) RankCombinedCtx(ctx context.Context, q *ir.Query) (*RankResult, error) {
+	auth, err := p.RankCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	hub, err := p.RankHubCtx(ctx, q)
+	if err != nil {
+		p.e.Release(auth)
+		return nil, err
+	}
+	out := p.Combine(auth, hub)
+	pool := p.st.gen.corpus.pool
+	pool.Put(auth.Scores)
+	pool.Put(hub.Scores)
+	return out, nil
+}
+
+// Combine merges an authority and a hub result for the same query into
+// one combined ranking: Scores[v] = sqrt(auth[v] · hub[v]), the
+// geometric mean, so a node must carry weight on BOTH axes to rank (an
+// arithmetic mean would let a pure authority dominate a balanced
+// node). The merge is elementwise over two deterministic inputs, so
+// combined rankings inherit the per-mode bit-identity contract. The
+// input results are not consumed — the caller decides whether to
+// recycle their vectors.
+func (p *Pinned) Combine(auth, hub *RankResult) *RankResult {
+	c := p.st.gen.corpus
+	out := c.pool.GetZeroed(c.g.NumNodes())
+	n := len(out)
+	if len(auth.Scores) < n {
+		n = len(auth.Scores)
+	}
+	if len(hub.Scores) < n {
+		n = len(hub.Scores)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = math.Sqrt(auth.Scores[i] * hub.Scores[i])
+	}
+	return &RankResult{
+		Query:        auth.Query,
+		Scores:       out,
+		Base:         auth.Base,
+		Iterations:   auth.Iterations + hub.Iterations,
+		Converged:    auth.Converged && hub.Converged,
+		RatesVersion: p.st.snap.version,
+		Generation:   p.st.gen.num,
+		BaseSetDur:   auth.BaseSetDur + hub.BaseSetDur,
+		SolveDur:     auth.SolveDur + hub.SolveDur,
+	}
+}
+
+// RankModeCtx dispatches one solve by Mode — the single entry point the
+// uncached serving path uses for every read query.
+func (p *Pinned) RankModeCtx(ctx context.Context, q *ir.Query, m Mode) (*RankResult, error) {
+	switch m {
+	case ModeAuthority, "":
+		return p.RankCtx(ctx, q)
+	case ModeHub:
+		return p.RankHubCtx(ctx, q)
+	case ModeCombined:
+		return p.RankCombinedCtx(ctx, q)
+	}
+	return nil, fmt.Errorf("core: unknown ranking mode %q", m)
+}
+
+// ExplainModeCtx builds the explaining subgraph for a mode's ranking:
+// the authority corpus for authority results, the reversed view for hub
+// results (hub flows travel over reversed arcs, so the subgraph's
+// From/To follow the hub direction). res must have been solved under
+// the same pinned state AND the same mode. Combined rankings are not
+// explainable; callers should gate on Mode.Explainable and surface an
+// invalid-argument error instead of calling this.
+func (p *Pinned) ExplainModeCtx(ctx context.Context, m Mode, res *RankResult, target graph.NodeID, opts ExplainOptions) (*Subgraph, error) {
+	switch m {
+	case ModeAuthority, "":
+		return p.e.explainAt(ctx, p.st, res, target, opts)
+	case ModeHub:
+		return p.e.explainCorpusAt(ctx, p.st, p.st.gen.hubCorpus(), res, target, opts)
+	}
+	return nil, fmt.Errorf("core: %s rankings cannot be explained (combined scores mix two flow systems)", m)
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"authorityflow/internal/ir"
+	"authorityflow/internal/rank"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"", ModeAuthority, true},
+		{"authority", ModeAuthority, true},
+		{"hub", ModeHub, true},
+		{"combined", ModeCombined, true},
+		{"Hub", "", false},
+		{"cheirank", "", false},
+		{"both", "", false},
+	} {
+		got, err := ParseMode(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseMode(%q) = (%q, %v), want (%q, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if ModeCombined.Explainable() {
+		t.Error("combined must not be explainable")
+	}
+	if !ModeHub.Explainable() || !ModeAuthority.Explainable() {
+		t.Error("authority and hub must be explainable")
+	}
+}
+
+// TestHubBitIdenticalToPreReversedAuthority is the golden contract of
+// hub mode: solving mode=hub on an engine over g must produce the exact
+// bit pattern that mode=authority produces on an engine built over
+// g.Reversed(). Both paths share the frozen arc arrays, so any drift
+// means the hub path stopped reusing them verbatim.
+func TestHubBitIdenticalToPreReversedAuthority(t *testing.T) {
+	f := newFixture(t)
+	eng := f.newEngine(t)
+
+	pre, err := NewEngine(f.g.Reversed(), f.rates, Config{
+		Rank: rank.Options{Damping: 0.85, Threshold: 1e-10, MaxIters: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, raw := range []string{"olap", "cube agrawal", "multidimensional", "icde"} {
+		q := ir.ParseQuery(raw)
+		hub, err := eng.Pin().RankHubCtx(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auth, err := pre.Pin().RankCtx(context.Background(), ir.ParseQuery(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hub.Scores) != len(auth.Scores) {
+			t.Fatalf("%q: score lengths differ", raw)
+		}
+		for i := range hub.Scores {
+			if math.Float64bits(hub.Scores[i]) != math.Float64bits(auth.Scores[i]) {
+				t.Fatalf("%q node %d: hub %x != pre-reversed authority %x",
+					raw, i, math.Float64bits(hub.Scores[i]), math.Float64bits(auth.Scores[i]))
+			}
+		}
+		if hub.Iterations != auth.Iterations {
+			t.Errorf("%q: iterations %d vs %d", raw, hub.Iterations, auth.Iterations)
+		}
+	}
+}
+
+// TestHubBlockedMatchesSingle pins the blocked hub panel to the single
+// hub solve, mirroring the authority-side contract.
+func TestHubBlockedMatchesSingle(t *testing.T) {
+	f := newFixture(t)
+	eng := f.newEngine(t)
+	pin := eng.Pin()
+
+	raws := []string{"olap", "cube", "agrawal", "databases icde"}
+	qs := make([]*ir.Query, len(raws))
+	for i, r := range raws {
+		qs[i] = ir.ParseQuery(r)
+	}
+	many, err := pin.RankManyHubFromCtx(context.Background(), qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, raw := range raws {
+		single, err := pin.RankHubCtx(context.Background(), ir.ParseQuery(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range single.Scores {
+			if math.Float64bits(many[i].Scores[v]) != math.Float64bits(single.Scores[v]) {
+				t.Fatalf("%q node %d: blocked hub differs from single", raw, v)
+			}
+		}
+	}
+}
+
+// TestCombinedIsGeometricMean checks the combined ranking against a
+// from-scratch elementwise merge of the two directions.
+func TestCombinedIsGeometricMean(t *testing.T) {
+	f := newFixture(t)
+	eng := f.newEngine(t)
+	pin := eng.Pin()
+	q := ir.ParseQuery("olap")
+
+	auth, err := pin.RankCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := pin.RankHubCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := pin.RankCombinedCtx(context.Background(), ir.ParseQuery("olap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range comb.Scores {
+		want := math.Sqrt(auth.Scores[v] * hub.Scores[v])
+		if math.Float64bits(comb.Scores[v]) != math.Float64bits(want) {
+			t.Fatalf("node %d: combined %v, want sqrt(%v*%v)=%v", v, comb.Scores[v], auth.Scores[v], hub.Scores[v], want)
+		}
+	}
+	if comb.Generation != pin.Generation() || comb.RatesVersion != pin.Version() {
+		t.Error("combined result not stamped with the pinned state")
+	}
+	if comb.Iterations != auth.Iterations+hub.Iterations {
+		t.Errorf("combined iterations = %d, want %d", comb.Iterations, auth.Iterations+hub.Iterations)
+	}
+}
+
+// TestRankModeDispatch checks the mode dispatcher reaches each path and
+// rejects unknown modes.
+func TestRankModeDispatch(t *testing.T) {
+	f := newFixture(t)
+	pin := f.newEngine(t).Pin()
+	q := ir.ParseQuery("olap")
+
+	authority, err := pin.RankModeCtx(context.Background(), q, ModeAuthority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := pin.RankCtx(context.Background(), ir.ParseQuery("olap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Scores {
+		if math.Float64bits(authority.Scores[v]) != math.Float64bits(direct.Scores[v]) {
+			t.Fatal("ModeAuthority dispatch does not match RankCtx")
+		}
+	}
+	if _, err := pin.RankModeCtx(context.Background(), q, Mode("bogus")); err == nil {
+		t.Error("unknown mode must be rejected")
+	}
+
+	// Hub rankings order differently from authority on the fixture: v4
+	// (cites three nodes, in no base set's shadow) is a strong hub.
+	hub, err := pin.RankModeCtx(context.Background(), ir.ParseQuery("olap"), ModeHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	ha, aa := hub.TopK(7), direct.TopK(7)
+	for i := range ha {
+		if ha[i].Node != aa[i].Node {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("hub and authority rankings are identical on the fixture; the hub path is suspicious")
+	}
+}
+
+// TestHubExplainFollowsReversedArcs: explaining a hub ranking walks the
+// reversed direction, so arcs in the subgraph run opposite to the
+// authority explanation's.
+func TestHubExplainFollowsReversedArcs(t *testing.T) {
+	f := newFixture(t)
+	pin := f.newEngine(t).Pin()
+	q := ir.ParseQuery("olap")
+
+	hub, err := pin.RankHubCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v4 cites v7/v5 — in the hub direction authority flows v7->v4.
+	sg, err := pin.ExplainModeCtx(context.Background(), ModeHub, hub, f.ids["v4"], DefaultExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.ExplainedScore() <= 0 {
+		t.Fatalf("hub explanation of v4 carries no flow; score %v", sg.ExplainedScore())
+	}
+	for _, a := range sg.Arcs {
+		if a.From == f.ids["v4"] && a.To == f.ids["v7"] {
+			t.Error("subgraph contains the authority-direction arc v4->v7; hub explanations must use reversed arcs")
+		}
+	}
+
+	// Combined is not explainable.
+	if _, err := pin.ExplainModeCtx(context.Background(), ModeCombined, hub, f.ids["v4"], DefaultExplain()); err == nil {
+		t.Error("combined mode must not be explainable")
+	}
+}

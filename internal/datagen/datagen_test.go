@@ -433,7 +433,7 @@ func TestPreset(t *testing.T) {
 	if _, err := Preset("bogus", 0.1, 1); err == nil {
 		t.Error("bogus preset should error")
 	}
-	if len(PresetNames()) != 4 {
+	if len(PresetNames()) != 5 {
 		t.Errorf("PresetNames = %v", PresetNames())
 	}
 }

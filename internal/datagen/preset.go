@@ -6,10 +6,11 @@ import (
 	"strings"
 )
 
-// Preset generates one of the four Table 1 corpora by name:
-// "dblptop", "dblpcomplete", "ds7", or "ds7cancer" (case-insensitive),
-// scaled by scale and seeded by seed. This is the single resolution
-// point shared by the CLIs and the experiment harness.
+// Preset generates one of the named corpora: the four Table 1 datasets
+// "dblptop", "dblpcomplete", "ds7", "ds7cancer", or the link-free
+// "linkless" family (case-insensitive), scaled by scale and seeded by
+// seed. This is the single resolution point shared by the CLIs and the
+// experiment harness.
 func Preset(name string, scale float64, seed int64) (*Dataset, error) {
 	switch strings.ToLower(name) {
 	case "dblptop":
@@ -28,6 +29,10 @@ func Preset(name string, scale float64, seed int64) (*Dataset, error) {
 		c := DS7CancerConfig().Scale(scale)
 		c.Seed = seed
 		return GenerateBio(c)
+	case "linkless":
+		c := DefaultLinklessConfig().Scale(scale)
+		c.Seed = seed
+		return GenerateLinkless(c)
 	default:
 		return nil, fmt.Errorf("datagen: unknown dataset %q (want %s)", name, strings.Join(PresetNames(), ", "))
 	}
@@ -35,7 +40,7 @@ func Preset(name string, scale float64, seed int64) (*Dataset, error) {
 
 // PresetNames lists the valid Preset names, sorted.
 func PresetNames() []string {
-	names := []string{"dblptop", "dblpcomplete", "ds7", "ds7cancer"}
+	names := []string{"dblptop", "dblpcomplete", "ds7", "ds7cancer", "linkless"}
 	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/router"
+	"authorityflow/internal/server"
+	"authorityflow/internal/storage"
+)
+
+// WorkloadResult summarizes the link-free end-to-end run: one ranking
+// per mode on the initial generation, an audit of the authority
+// winner, a personalized query, and post-swap rankings served through
+// the router.
+type WorkloadResult struct {
+	Nodes, Edges int
+
+	// Per-mode winners on generation 1 (served by a single replica).
+	AuthorityTop, HubTop, CombinedTop int64
+	AuthorityScore, HubScore          float64
+
+	// Audit of the authority winner.
+	AuditContributions int
+	AuditConverged     bool
+
+	// Personalized query (authority mode only, per the read contract).
+	ProfileRev uint64
+
+	// Fleet state after the router-coordinated swap.
+	SwappedGeneration uint64
+	RouterHubTop      int64
+	RouterAuditArcs   int
+}
+
+// workloadReplica is one serving replica of the linkless fleet: a
+// cache-enabled, swap-enabled, profile-enabled server on a loopback
+// listener.
+type workloadReplica struct {
+	srv  *server.Server
+	hs   *http.Server
+	url  string
+	done chan struct{}
+}
+
+func startWorkloadReplica(ds *datagen.Dataset, cfg Config, swapDir, profileDir string) (*workloadReplica, error) {
+	s, err := server.New(ds, cfg.engineConfig(),
+		server.WithCache(32<<20, 0),
+		server.WithSwapDir(swapDir),
+		server.WithProfiles(profileDir, 32))
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	r := &workloadReplica{
+		srv:  s,
+		hs:   &http.Server{Handler: s.Handler()},
+		url:  "http://" + ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(r.done)
+		r.hs.Serve(ln)
+	}()
+	return r, nil
+}
+
+func (r *workloadReplica) stop() {
+	r.hs.Shutdown(context.Background())
+	<-r.done
+	r.srv.Close()
+}
+
+// WorkloadLinkless drives the whole serving pipeline on a link-free
+// corpus: generate a linkless dataset (knn cluster graph as the only
+// arc source), serve it from two replicas, rank a topical query in all
+// three modes, audit the authority winner, run a personalized query,
+// then swap the fleet to a second linkless snapshot through the router
+// and query the new generation via the router — snapshot, swap,
+// profile, and router all exercised with zero explicit links in the
+// data.
+func WorkloadLinkless(cfg Config) (*WorkloadResult, error) {
+	cfg = cfg.withDefaults(perfScale)
+
+	ds, err := datagen.Preset("linkless", cfg.Scale, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	next, err := datagen.Preset("linkless", cfg.Scale*0.8, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "afq-linkless-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	swapDir := filepath.Join(dir, "snapshots")
+	if err := os.MkdirAll(swapDir, 0o755); err != nil {
+		return nil, err
+	}
+	// Snapshot the second corpus for the swap phase (the swap endpoint
+	// loads the binary snapshot format: graph + rates + index).
+	nextEng, err := core.NewEngine(next.Graph, next.Rates, cfg.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := storage.WriteSnapshotFile(filepath.Join(swapDir, "next.snap"), next, nextEng.Index()); err != nil {
+		return nil, err
+	}
+
+	var replicas []*workloadReplica
+	defer func() {
+		for _, r := range replicas {
+			r.stop()
+		}
+	}()
+	urls := make([]string, 2)
+	for i := range urls {
+		r, err := startWorkloadReplica(ds, cfg, swapDir, filepath.Join(dir, fmt.Sprintf("profiles%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		replicas = append(replicas, r)
+		urls[i] = r.url
+	}
+
+	out := &WorkloadResult{Nodes: ds.Graph.NumNodes(), Edges: ds.Graph.NumEdges()}
+	ctx := context.Background()
+	c := server.NewClient(urls[0], nil)
+	const q = "olap cube"
+
+	// Generation 1, all three modes on one replica.
+	for _, mode := range []string{"authority", "hub", "combined"} {
+		resp, err := c.QueryMode(ctx, q, 5, mode)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", mode, err)
+		}
+		if len(resp.Results) == 0 {
+			return nil, fmt.Errorf("mode %s returned no results on the linkless corpus", mode)
+		}
+		top := resp.Results[0]
+		switch mode {
+		case "authority":
+			out.AuthorityTop, out.AuthorityScore = top.Node, top.Score
+		case "hub":
+			out.HubTop, out.HubScore = top.Node, top.Score
+		case "combined":
+			out.CombinedTop = top.Node
+		}
+	}
+
+	// Audit the authority winner: which similarity arcs carry its score.
+	audit, err := c.Audit(ctx, q, out.AuthorityTop, "authority", 12)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	out.AuditContributions = len(audit.Contributions)
+	out.AuditConverged = audit.Converged
+
+	// Personalization on the linkless corpus (authority mode only).
+	prof, err := c.ProfileUpdate(ctx, "linkless-user", server.ProfileUpdateRequest{
+		Mixture: map[string]float64{"olap": 0.7, "warehouse": 0.3},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profile update: %w", err)
+	}
+	out.ProfileRev = prof.Rev
+	if _, err := c.QueryProfile(ctx, q, 5, "linkless-user"); err != nil {
+		return nil, fmt.Errorf("profile query: %w", err)
+	}
+
+	// Router phase: coordinate a fleet-wide swap to the second linkless
+	// snapshot, then serve the new generation through the router.
+	rt, err := router.New(urls, router.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rhs := &http.Server{Handler: rt.Handler()}
+	rdone := make(chan struct{})
+	go func() { defer close(rdone); rhs.Serve(rln) }()
+	defer func() { rhs.Shutdown(context.Background()); <-rdone }()
+
+	rc := server.NewClient("http://"+rln.Addr().String(), nil)
+	swap, err := rc.CorpusSwap(ctx, server.CorpusSwapRequest{Snapshot: "next.snap"})
+	if err != nil {
+		return nil, fmt.Errorf("router swap: %w", err)
+	}
+	out.SwappedGeneration = swap.Generation
+
+	hub, err := rc.QueryMode(ctx, q, 5, "hub")
+	if err != nil {
+		return nil, fmt.Errorf("router hub query: %w", err)
+	}
+	if len(hub.Results) == 0 {
+		return nil, fmt.Errorf("router hub query returned no results after swap")
+	}
+	if hub.Generation != swap.Generation {
+		return nil, fmt.Errorf("router served generation %d after swapping to %d", hub.Generation, swap.Generation)
+	}
+	out.RouterHubTop = hub.Results[0].Node
+	raudit, err := rc.Audit(ctx, q, hub.Results[0].Node, "hub", 8)
+	if err != nil {
+		return nil, fmt.Errorf("router audit: %w", err)
+	}
+	out.RouterAuditArcs = len(raudit.Contributions)
+
+	cfg.printf("Linkless workload (scale %.2f): %d documents, %d knn arcs\n", cfg.Scale, out.Nodes, out.Edges)
+	cfg.printf("  gen1 %q: authority top=%d hub top=%d combined top=%d\n", q, out.AuthorityTop, out.HubTop, out.CombinedTop)
+	cfg.printf("  audit(authority top): %d contributions, converged=%v\n", out.AuditContributions, out.AuditConverged)
+	cfg.printf("  router swap -> generation %d; hub top=%d, audit arcs=%d\n", out.SwappedGeneration, out.RouterHubTop, out.RouterAuditArcs)
+	return out, nil
+}

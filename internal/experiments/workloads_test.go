@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWorkloadLinkless runs the link-free pipeline end to end: a
+// linkless corpus (knn cluster graph, zero explicit links) generated,
+// snapshotted, served from two replicas, queried in all three modes,
+// audited, personalized, swapped fleet-wide through the router, and
+// queried again on the new generation.
+func TestWorkloadLinkless(t *testing.T) {
+	var buf strings.Builder
+	res, err := WorkloadLinkless(Config{Scale: 0.06, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 || res.Edges == 0 {
+		t.Fatalf("empty linkless corpus: %+v", res)
+	}
+	if res.AuthorityScore <= 0 || res.HubScore <= 0 {
+		t.Errorf("non-positive top scores: %+v", res)
+	}
+	if res.AuditContributions == 0 {
+		t.Error("audit of the authority winner found no contributions")
+	}
+	if res.ProfileRev == 0 {
+		t.Error("profile update did not bump the revision")
+	}
+	if res.SwappedGeneration != 2 {
+		t.Errorf("swapped generation = %d, want 2", res.SwappedGeneration)
+	}
+	if res.RouterAuditArcs == 0 {
+		t.Error("router-served audit found no contributions")
+	}
+	if !strings.Contains(buf.String(), "Linkless workload") {
+		t.Errorf("missing report header:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,31 @@
+package graph
+
+// Reversed returns the direction-reversed view of g: a Graph whose
+// forward CSR is g's reverse CSR and vice versa. Authority flow solved
+// on the reversed view is hubness on the original graph (CheiRank): a
+// node is a good hub when it points at good authorities, which is
+// exactly "a node is a good authority on the transposed graph".
+//
+// The view is O(1) to construct — it shares g's schema, labels,
+// attribute tuples, and both frozen arc arrays; only the roles of the
+// two CSR halves swap. No arc weight changes: each arc keeps the
+// InvDeg of its ORIGINAL source, so the reversed transition matrix is
+// the exact transpose of the authority matrix (column stochasticity is
+// deliberately not re-established — bit-identity with "authority on a
+// pre-reversed corpus" requires reusing the frozen weights verbatim).
+//
+// The returned Graph has its own fingerprint state: Reversed graphs
+// digest differently from their originals, so caches keyed by graph
+// fingerprint never conflate the two directions.
+func (g *Graph) Reversed() *Graph {
+	return &Graph{
+		schema:    g.schema,
+		labels:    g.labels,
+		attrs:     g.attrs,
+		numEdges:  g.numEdges,
+		arcStart:  g.rarcStart,
+		arcs:      g.rarcs,
+		rarcStart: g.arcStart,
+		rarcs:     g.arcs,
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "testing"
+
+func TestReversedSwapsCSRHalves(t *testing.T) {
+	g, _ := figure1Graph(t)
+	r := g.Reversed()
+
+	if r.NumNodes() != g.NumNodes() || r.NumEdges() != g.NumEdges() || r.NumArcs() != g.NumArcs() {
+		t.Fatalf("Reversed sizes = (%d,%d,%d), want (%d,%d,%d)",
+			r.NumNodes(), r.NumEdges(), r.NumArcs(),
+			g.NumNodes(), g.NumEdges(), g.NumArcs())
+	}
+
+	// The forward CSR of the view must alias the original reverse CSR
+	// and vice versa — sharing, not copying, is what makes bit-identity
+	// with "authority on a pre-reversed corpus" structural.
+	gs, ga := g.ForwardCSR()
+	grs, gra := g.ReverseCSR()
+	rs, ra := r.ForwardCSR()
+	rrs, rra := r.ReverseCSR()
+	if &rs[0] != &grs[0] || &ra[0] != &gra[0] {
+		t.Error("Reversed forward CSR does not alias the original reverse CSR")
+	}
+	if &rrs[0] != &gs[0] || &rra[0] != &ga[0] {
+		t.Error("Reversed reverse CSR does not alias the original forward CSR")
+	}
+
+	// Per-node adjacency: out-arcs of the view are the in-arcs of the
+	// original, with weights untouched.
+	for v := 0; v < g.NumNodes(); v++ {
+		in := g.InArcs(NodeID(v))
+		out := r.OutArcs(NodeID(v))
+		if len(in) != len(out) {
+			t.Fatalf("node %d: Reversed out-arcs %d, want %d", v, len(out), len(in))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("node %d arc %d: %+v vs %+v", v, i, out[i], in[i])
+			}
+		}
+	}
+
+	// Metadata is shared.
+	if r.Schema() != g.Schema() {
+		t.Error("Reversed should share the schema")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if r.Label(NodeID(v)) != g.Label(NodeID(v)) || r.Text(NodeID(v)) != g.Text(NodeID(v)) {
+			t.Fatalf("node %d: label/text differ between views", v)
+		}
+	}
+}
+
+func TestReversedFingerprintDiffers(t *testing.T) {
+	g, _ := figure1Graph(t)
+	r := g.Reversed()
+	if g.Fingerprint() == r.Fingerprint() {
+		t.Error("Reversed fingerprint equals the original; caches would conflate directions")
+	}
+	// Reversing twice digests like the original (same arrays in the
+	// same roles).
+	if got := r.Reversed().Fingerprint(); got != g.Fingerprint() {
+		t.Errorf("double-Reversed fingerprint = %x, want %x", got, g.Fingerprint())
+	}
+}

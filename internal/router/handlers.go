@@ -82,6 +82,7 @@ func (rt *Router) Handler() http.Handler {
 	}
 	handle("/v1/query", rt.handleSingle)
 	handle("/v1/explain", rt.handleSingle)
+	handle("/v1/audit", rt.handleSingle)
 	handle("/v1/query/batch", rt.handleBatch)
 	handle("/v1/reformulate", rt.handleReformulate)
 	handle("/v1/profile/", rt.handleProfile)
@@ -232,17 +233,27 @@ func (rt *Router) propagationContext() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), budget)
 }
 
-// ---- /v1/query and /v1/explain ----
+// ---- /v1/query, /v1/explain and /v1/audit ----
 
 // handleSingle proxies one request to the rendezvous owner of its
-// canonical term set, failing over down the rendezvous order on
-// transport errors and 5xx answers. The replica's response is
-// forwarded byte-identically; the router adds nothing on success.
+// canonical term set AND ranking mode (hub vectors cache independently
+// of authority ones, so the two directions of a term set may own
+// different replicas), failing over down the rendezvous order on
+// transport errors and 5xx answers. mode and budget are validated
+// through the replicas' own shared table (server.ValidateReadParams) —
+// same invalid_argument bytes, no proxy hop spent — and then forwarded
+// byte-faithfully; the replica's response is forwarded byte-identically
+// and the router adds nothing on success.
 func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
 	if pid := r.URL.Query().Get("profile"); pid != "" {
 		// Personalized traffic routes by PROFILE ID to the one replica
 		// holding the record — owner-only, no failover (profile.go).
 		rt.handleProfileRead(w, r, pid)
+		return
+	}
+	rp0, err := server.ValidateReadParams(r.URL.Query())
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, err.Error())
 		return
 	}
 	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
@@ -254,7 +265,7 @@ func (rt *Router) handleSingle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := obs.TraceFrom(r.Context())
-	key := routeKey(r.URL.Query().Get("q"))
+	key := routeKeyMode(r.URL.Query().Get("q"), rp0.Mode)
 	hdr := forwardHeaders(r.Header)
 
 	var last *server.RawResponse
@@ -379,12 +390,19 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, at+"k must be in 1..1000")
 			return
 		}
+		// mode/budget run the replicas' own shared validation table, so
+		// the rejection bytes match parseBatch's exactly.
+		irp, err := server.ValidateItemParams(it.Mode, it.Budget)
+		if err != nil {
+			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, at+err.Error())
+			return
+		}
 		q := ir.ParseQuery(it.Q)
 		if len(q.Terms()) == 0 {
 			rt.writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, at+"q contains no indexable terms")
 			return
 		}
-		keys[i] = routeKey(it.Q)
+		keys[i] = routeKeyMode(it.Q, irp.Mode)
 	}
 	floorGen, floorRV, ok := rt.effectiveFloor(w, r)
 	if !ok {

@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"authorityflow/internal/core"
 	"authorityflow/internal/ir"
 	"authorityflow/internal/obs"
 	"authorityflow/internal/server"
@@ -427,6 +428,22 @@ func routeKey(rawQ string) string {
 			key += " "
 		}
 		key += t
+	}
+	return key
+}
+
+// routeKeyMode extends the rendezvous key with the ranking mode: hub
+// and combined answers cache under their own keys replica-side, so
+// giving each direction its own owner spreads those caches across the
+// fleet instead of piling every direction of a hot term set onto one
+// replica. Authority keeps the bare term-set key — byte-identical to
+// the pre-mode routing, so existing term→replica ownership never moves.
+// (The NUL separator cannot appear in tokenized terms, so a mode
+// suffix can never collide with a longer term set.)
+func routeKeyMode(rawQ string, m core.Mode) string {
+	key := routeKey(rawQ)
+	if m != core.ModeAuthority {
+		key += "\x00" + string(m)
 	}
 	return key
 }

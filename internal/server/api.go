@@ -6,12 +6,18 @@
 //
 // The canonical surface is versioned under /v1:
 //
-//	GET  /v1/query?q=olap&k=10[&profile=alice]
-//	POST /v1/query/batch          {"queries":[{"q":"olap","k":10}, ...]}
-//	GET  /v1/explain?q=olap&target=123
+//	GET  /v1/query?q=olap&k=10[&mode=authority|hub|combined][&profile=alice]
+//	POST /v1/query/batch          {"queries":[{"q":"olap","k":10,"mode":"hub"}, ...]}
+//	GET  /v1/explain?q=olap&target=123[&mode=...][&budget=N]
+//	GET  /v1/audit?q=olap&target=123[&mode=...][&budget=N]
 //	GET  /v1/reformulate?q=olap&feedback=123,456&mode=...&version=N[&profile=alice]
 //	GET|PUT|POST|DELETE /v1/profile/{id}
 //	GET  /v1/rates | /v1/healthz | /v1/stats
+//
+// The four READ surfaces (/v1/query, /v1/query/batch, /v1/explain,
+// /v1/audit) share ONE parameter contract for mode and budget — see
+// contract.go. (/v1/reformulate's mode is the unrelated, pre-existing
+// reformulation-strategy switch.)
 //
 // The pre-v1 unversioned routes passed their RFC 8594 sunset on
 // 2026-08-06 and now answer 410 Gone with the v1 envelope naming the
@@ -46,9 +52,11 @@ import (
 	"strings"
 
 	"authorityflow/internal/cache"
+	"authorityflow/internal/core"
 	"authorityflow/internal/ir"
 	"authorityflow/internal/obs"
 	"authorityflow/internal/profile"
+	"authorityflow/internal/storage"
 )
 
 // Stable machine-readable error codes of the v1 error envelope. These
@@ -121,7 +129,11 @@ type Result struct {
 // later reformulate based on these results should pass it as the
 // version parameter to detect concurrent rate changes.
 type QueryResponse struct {
-	Query      string `json:"query"`
+	Query string `json:"query"`
+	// Mode is the ranking direction the answer was computed under ("hub"
+	// or "combined"); omitted for authority — the pre-contract meaning —
+	// so authority bodies stay byte-identical to their pre-mode form.
+	Mode       string `json:"mode,omitempty"`
 	BaseSet    int    `json:"baseSet"`
 	Iterations int    `json:"iterations"`
 	Version    uint64 `json:"version"`
@@ -150,6 +162,12 @@ type BatchQueryItem struct {
 	Q string `json:"q"`
 	// K is the per-query top-k (0 = the default 10; max 1000).
 	K int `json:"k,omitempty"`
+	// Mode is the per-item ranking direction, validated under the uniform
+	// read contract (contract.go); empty means authority.
+	Mode string `json:"mode,omitempty"`
+	// Budget is accepted for contract uniformity (validated, unused by
+	// batch answers — they carry no contribution lists).
+	Budget int `json:"budget,omitempty"`
 }
 
 // BatchQueryRequest is the POST /v1/query/batch body.
@@ -235,6 +253,72 @@ type SwapConflictEnvelope struct {
 type ExpansionTerm struct {
 	Term   string  `json:"term"`
 	Weight float64 `json:"weight"`
+}
+
+// ---- the shared explain/audit envelope ----
+//
+// /v1/explain (format=json) and /v1/audit answer with ONE envelope
+// shape: node, score, mode, generation, ratesVersion, and a ranked
+// contributions[] block. /v1/explain additionally embeds every legacy
+// SubgraphJSON field unchanged (target, query, explainedScore,
+// converged, iterations, nodes, arcs) — the envelope fields are pure
+// additions, so pre-contract explain clients keep decoding.
+
+// Contribution is one ranked entry of the envelope: an explaining-
+// subgraph arc ordered by the sensitivity of the target's score to
+// perturbing the arc's authority transfer rate (core.AuditArc rendered
+// for the wire). From/To follow the ranked direction — for mode=hub
+// they are reversed-graph endpoints.
+type Contribution struct {
+	From        int64   `json:"from"`
+	To          int64   `json:"to"`
+	Type        string  `json:"type"`
+	Rate        float64 `json:"rate"`
+	Flow        float64 `json:"flow"`
+	Sensitivity float64 `json:"sensitivity"`
+}
+
+// NodeContribution aggregates arc sensitivities per source node.
+type NodeContribution struct {
+	Node        int64   `json:"node"`
+	Display     string  `json:"display"`
+	Sensitivity float64 `json:"sensitivity"`
+	Flow        float64 `json:"flow"`
+}
+
+// ExplainResponse is the /v1/explain JSON payload: the legacy subgraph
+// export embedded verbatim, plus the shared envelope additions. Budget
+// truncates ONLY Contributions; the embedded nodes/arcs stay complete.
+type ExplainResponse struct {
+	storage.SubgraphJSON
+	Node          int64          `json:"node"`
+	Score         float64        `json:"score"`
+	Mode          string         `json:"mode"`
+	Generation    uint64         `json:"generation"`
+	RatesVersion  uint64         `json:"ratesVersion"`
+	Contributions []Contribution `json:"contributions"`
+}
+
+// AuditResponse is the /v1/audit payload: the same envelope, with the
+// per-node aggregation and the pre-truncation totals (TotalArcs/
+// TotalNodes let a client tell a complete audit from a clipped one).
+// At a pinned (generation, ratesVersion) the body is byte-identical
+// across repeated requests — the determinism contract the audit tests
+// pin at both the server and the router layer.
+type AuditResponse struct {
+	Node          int64              `json:"node"`
+	Query         string             `json:"query"`
+	Score         float64            `json:"score"`
+	Mode          string             `json:"mode"`
+	Budget        int                `json:"budget"`
+	TotalArcs     int                `json:"totalArcs"`
+	TotalNodes    int                `json:"totalNodes"`
+	Converged     bool               `json:"converged"`
+	Iterations    int                `json:"iterations"`
+	Generation    uint64             `json:"generation"`
+	RatesVersion  uint64             `json:"ratesVersion"`
+	Contributions []Contribution     `json:"contributions"`
+	Nodes         []NodeContribution `json:"nodes"`
 }
 
 // ProfileUpdateRequest is the PUT/POST /v1/profile/{id} body: replace
@@ -525,7 +609,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Validate EVERY item before any kernel work: a batch either runs
 	// whole or is rejected whole, and the 400 names the offending index.
-	qs, ks, ok := parseBatch(w, r, req.Queries)
+	qs, ks, modes, ok := parseBatch(w, r, req.Queries)
 	if !ok {
 		return
 	}
@@ -542,7 +626,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		Answers:    make([]QueryResponse, len(qs)),
 	}
 	if s.cache != nil {
-		answers, err := s.cache.QueryBatchPinnedCtx(ctx, pin, qs, ks)
+		answers, err := s.cache.QueryBatchModePinnedCtx(ctx, pin, qs, ks, modes)
 		if err != nil {
 			s.writeCtxError(w, r, err)
 			return
@@ -551,6 +635,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			s.obs.cacheOutcome.With(ans.Source).Inc()
 			resp.Answers[i] = QueryResponse{
 				Query:      qs[i].String(),
+				Mode:       modeField(modes[i]),
 				BaseSet:    ans.BaseSet,
 				Iterations: ans.Iterations,
 				Version:    ans.Version,
@@ -560,8 +645,34 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		results, err := pin.RankManyCtx(ctx, qs)
+		// Uncached: the all-authority fast path keeps the one blocked
+		// panel; a mixed-mode batch dispatches per item (the uncached tier
+		// is the no-throughput-promises path).
+		results := make([]*core.RankResult, len(qs))
+		allAuthority := true
+		for _, m := range modes {
+			if m != core.ModeAuthority {
+				allAuthority = false
+				break
+			}
+		}
+		var err error
+		if allAuthority {
+			results, err = pin.RankManyCtx(ctx, qs)
+		} else {
+			for i := range qs {
+				results[i], err = pin.RankModeCtx(ctx, qs[i], modes[i])
+				if err != nil {
+					break
+				}
+			}
+		}
 		if err != nil {
+			for _, res := range results {
+				if res != nil {
+					s.eng.Release(res)
+				}
+			}
 			s.writeCtxError(w, r, err)
 			return
 		}
@@ -569,6 +680,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			s.obs.cacheOutcome.With(uncachedOutcome).Inc()
 			resp.Answers[i] = QueryResponse{
 				Query:      qs[i].String(),
+				Mode:       modeField(modes[i]),
 				BaseSet:    len(res.Base),
 				Iterations: res.Iterations,
 				Version:    res.RatesVersion,
@@ -584,16 +696,18 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 
 // parseBatch validates every batch item under EXACTLY /v1/query's
 // parameter rules (non-blank q, indexable terms, k in 1..1000 with 0
-// defaulting to 10); a violation rejects the whole batch with a 400
-// naming the offending index.
-func parseBatch(w http.ResponseWriter, r *http.Request, items []BatchQueryItem) ([]*ir.Query, []int, bool) {
+// defaulting to 10, mode/budget via the uniform read contract); a
+// violation rejects the whole batch with a 400 naming the offending
+// index.
+func parseBatch(w http.ResponseWriter, r *http.Request, items []BatchQueryItem) ([]*ir.Query, []int, []core.Mode, bool) {
 	qs := make([]*ir.Query, len(items))
 	ks := make([]int, len(items))
+	modes := make([]core.Mode, len(items))
 	for i, it := range items {
 		at := "queries[" + strconv.Itoa(i) + "]: "
 		if strings.TrimSpace(it.Q) == "" {
 			writeError(w, r, http.StatusBadRequest, at+"q required")
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		k := it.K
 		if k == 0 {
@@ -601,15 +715,21 @@ func parseBatch(w http.ResponseWriter, r *http.Request, items []BatchQueryItem) 
 		}
 		if k < 0 || k > 1000 {
 			writeError(w, r, http.StatusBadRequest, at+"k must be in 1..1000")
-			return nil, nil, false
+			return nil, nil, nil, false
+		}
+		rp, err := ValidateItemParams(it.Mode, it.Budget)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, at+err.Error())
+			return nil, nil, nil, false
 		}
 		q := ir.ParseQuery(it.Q)
 		if len(q.Terms()) == 0 {
 			writeError(w, r, http.StatusBadRequest, at+"q contains no indexable terms")
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		qs[i] = q
 		ks[i] = k
+		modes[i] = rp.Mode
 	}
-	return qs, ks, true
+	return qs, ks, modes, true
 }

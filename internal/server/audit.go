@@ -1,0 +1,125 @@
+package server
+
+import (
+	"net/http"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/graph"
+	"authorityflow/internal/obs"
+)
+
+// handleAudit serves GET /v1/audit?q=...&target=...[&mode=...][&budget=N]:
+// the sensitivity ranking of one result node — the top-budget explaining
+// arcs and nodes ordered by how strongly the target's score responds to
+// perturbing each arc's authority transfer rate (core.AuditCtx over the
+// Section 4 explaining subgraph and the Eq. 10 adjustment).
+//
+// The handler is mounted behind the admission guard, so it inherits the
+// deadline-aware lifecycle: the solve, the BFS phases and the Eq. 10
+// fixpoint all poll the request context, and an expired deadline
+// answers 504 through writeCtxError. One pin covers parse → rank →
+// audit → render, so the response's (generation, ratesVersion) stamps
+// name exactly the state everything ran under — and at a pinned state
+// repeated audits are byte-identical (the determinism contract).
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	q, _, ok := parseQuery(w, r)
+	if !ok {
+		return
+	}
+	rp, ok := parseReadParams(w, r)
+	if !ok {
+		return
+	}
+	if !requireExplainable(w, r, rp.Mode) {
+		return
+	}
+	ctx := r.Context()
+	pin := s.eng.Pin()
+	g := pin.Corpus().Graph()
+	target, ok := s.parseNodeID(w, r, g, r.URL.Query().Get("target"), "target")
+	if !ok {
+		return
+	}
+	tr := obs.TraceFrom(ctx)
+	tr.Eventf("parse", "q=%s target=%d mode=%s budget=%d", q.String(), target, rp.Mode, rp.Budget)
+
+	var res *core.RankResult
+	var err error
+	if s.cache != nil {
+		res, err = s.cache.RankModePinnedCtx(ctx, pin, q, rp.Mode)
+	} else {
+		res, err = pin.RankModeCtx(ctx, q, rp.Mode)
+	}
+	if err != nil {
+		s.writeCtxError(w, r, err)
+		return
+	}
+	tr.Eventf("solve", "iters=%d base=%d", res.Iterations, len(res.Base))
+	a, err := pin.AuditCtx(ctx, rp.Mode, res, target, core.AuditOptions{Budget: rp.Budget})
+	tr.Event("audit", "")
+	s.eng.Release(res)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.writeCtxError(w, r, err)
+			return
+		}
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.obs.auditTotal.With(string(rp.Mode)).Inc()
+	s.obs.auditContributions.Observe(float64(len(a.Arcs)))
+	if a.TotalArcs > len(a.Arcs) {
+		s.obs.auditTruncated.Inc()
+	}
+	resp := AuditResponse{
+		Node:          int64(a.Target),
+		Query:         q.String(),
+		Score:         a.Score,
+		Mode:          string(rp.Mode),
+		Budget:        a.Budget,
+		TotalArcs:     a.TotalArcs,
+		TotalNodes:    a.TotalNodes,
+		Converged:     a.Converged,
+		Iterations:    a.Iterations,
+		Generation:    a.Generation,
+		RatesVersion:  a.RatesVersion,
+		Contributions: contributions(g, a),
+		Nodes:         nodeContributions(g, a),
+	}
+	tr.Eventf("render", "contributions=%d", len(resp.Contributions))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// contributions renders an audit's ranked arcs for the shared
+// explain/audit envelope, resolving transfer-type names against the
+// pinned generation's schema.
+func contributions(g *graph.Graph, a *core.Audit) []Contribution {
+	out := make([]Contribution, len(a.Arcs))
+	for i, arc := range a.Arcs {
+		out[i] = Contribution{
+			From:        int64(arc.From),
+			To:          int64(arc.To),
+			Type:        g.Schema().TransferTypeName(arc.Type),
+			Rate:        arc.Rate,
+			Flow:        arc.Flow,
+			Sensitivity: arc.Sensitivity,
+		}
+	}
+	return out
+}
+
+// nodeContributions renders the per-node aggregation with display text
+// read from the pinned generation's graph.
+func nodeContributions(g *graph.Graph, a *core.Audit) []NodeContribution {
+	out := make([]NodeContribution, len(a.Nodes))
+	for i, n := range a.Nodes {
+		out[i] = NodeContribution{
+			Node:        int64(n.Node),
+			Display:     g.Display(n.Node),
+			Sensitivity: n.Sensitivity,
+			Flow:        n.Flow,
+		}
+	}
+	return out
+}

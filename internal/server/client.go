@@ -124,6 +124,45 @@ func (c *Client) Query(ctx context.Context, q string, k int) (*QueryResponse, er
 	return &out, nil
 }
 
+// QueryMode runs GET /v1/query with an explicit ranking mode
+// ("authority", "hub" or "combined"; "" means authority and omits the
+// parameter, keeping the request byte-identical to Query's). k <= 0
+// uses the server default of 10.
+func (c *Client) QueryMode(ctx context.Context, q string, k int, mode string) (*QueryResponse, error) {
+	v := url.Values{"q": {q}}
+	if k > 0 {
+		v.Set("k", strconv.Itoa(k))
+	}
+	if mode != "" {
+		v.Set("mode", mode)
+	}
+	var out QueryResponse
+	if err := c.get(ctx, "/v1/query", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Audit runs GET /v1/audit: the sensitivity ranking of one result node
+// under q — the top-budget explaining arcs/nodes ordered by the score's
+// response to rate perturbation. mode "" means authority; budget <= 0
+// uses the server default (core.DefaultAuditBudget). Combined mode is
+// rejected server-side with invalid_argument.
+func (c *Client) Audit(ctx context.Context, q string, target int64, mode string, budget int) (*AuditResponse, error) {
+	v := url.Values{"q": {q}, "target": {strconv.FormatInt(target, 10)}}
+	if mode != "" {
+		v.Set("mode", mode)
+	}
+	if budget > 0 {
+		v.Set("budget", strconv.Itoa(budget))
+	}
+	var out AuditResponse
+	if err := c.get(ctx, "/v1/audit", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // QueryBatch runs POST /v1/query/batch: up to MaxBatchQueries queries
 // answered under ONE rates snapshot with at most ⌈unique/BlockSize⌉
 // kernel executions server-side. Answers come back in request order,

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"authorityflow/internal/core"
+	"authorityflow/internal/datagen"
+	"authorityflow/internal/rank"
+)
+
+// BenchmarkWorkloadModes measures the three ranking workloads plus the
+// audit surface on a linkless corpus (knn cluster graph, no explicit
+// links), served cache-warm: per-request cost of the redesigned
+// ranking-surface contract end to end through HTTP.
+func BenchmarkWorkloadModes(b *testing.B) {
+	ds, err := datagen.Preset("linkless", 0.4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(ds, core.Config{Rank: rank.Options{Threshold: 1e-6, MaxIters: 300}},
+		WithCache(64<<20, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Engine().GlobalRank()
+
+	fetch := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status = %d for %s", resp.StatusCode, url)
+		}
+	}
+
+	for _, mode := range []string{"authority", "hub", "combined"} {
+		url := ts.URL + "/v1/query?q=olap+cube&k=10&mode=" + mode
+		b.Run("query_"+mode, func(b *testing.B) {
+			fetch(b, url) // warm the serving cache outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fetch(b, url)
+			}
+		})
+	}
+
+	// Audit the authority winner (rank is cache-warm; the audit re-runs
+	// the explaining BFS + Eq. 10 adjustment every time by design).
+	resp, err := http.Get(ts.URL + "/v1/query?q=olap+cube&k=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var q QueryResponse
+	err = json.NewDecoder(resp.Body).Decode(&q)
+	resp.Body.Close()
+	if err != nil || len(q.Results) == 0 {
+		b.Fatalf("seed query: %v (%d results)", err, len(q.Results))
+	}
+	auditURL := fmt.Sprintf("%s/v1/audit?q=olap+cube&target=%d&budget=16", ts.URL, q.Results[0].Node)
+	b.Run("audit", func(b *testing.B) {
+		fetch(b, auditURL)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fetch(b, auditURL)
+		}
+	})
+}

@@ -82,6 +82,13 @@ type serverObs struct {
 	cancelledTotal   *obs.Counter
 	queueWaitSeconds *obs.Histogram
 	inflight         *obs.Gauge
+
+	// Audit-workload families (/v1/audit): request count by mode,
+	// clipped audits (subgraph larger than the budget), and the size of
+	// the returned contribution list.
+	auditTotal         *obs.CounterVec
+	auditTruncated     *obs.Counter
+	auditContributions *obs.Histogram
 }
 
 // uncachedOutcome is the cacheOutcome label of answers served without
@@ -145,6 +152,15 @@ func newServerObs(o ObsOptions) *serverObs {
 		"Time admitted requests spent waiting for an admission slot.", obs.DefaultLatencyBuckets())
 	so.inflight = reg.NewGauge("afq_http_inflight",
 		"Expensive requests currently holding an admission slot.")
+	so.auditTotal = reg.NewCounterVec("afq_audit_requests_total",
+		"Completed /v1/audit sensitivity rankings by ranking mode.", "mode")
+	for _, m := range []core.Mode{core.ModeAuthority, core.ModeHub} {
+		so.auditTotal.With(string(m)) // combined is rejected before ranking
+	}
+	so.auditTruncated = reg.NewCounter("afq_audit_truncated_total",
+		"Audits whose explaining subgraph held more arcs than the budget (the contribution list was clipped).")
+	so.auditContributions = reg.NewHistogram("afq_audit_contributions",
+		"Arc contributions returned per audit (post-budget).", obs.IterationBuckets())
 	reg.NewGaugeFunc("afq_uptime_seconds",
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(so.start).Seconds() })

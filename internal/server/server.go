@@ -237,6 +237,7 @@ func (s *Server) Handler() http.Handler {
 	v1Guarded("/v1/query", s.handleQuery)
 	v1Guarded("/v1/query/batch", s.handleQueryBatch)
 	v1Guarded("/v1/explain", s.handleExplain)
+	v1Guarded("/v1/audit", s.handleAudit)
 	v1Guarded("/v1/reformulate", s.handleReformulate)
 	v1("/v1/rates", s.handleRatesDispatch)
 	v1("/v1/healthz", s.handleHealth)
@@ -343,6 +344,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	rp, ok := parseReadParams(w, r)
+	if !ok {
+		return
+	}
 	// Pin ONE engine state for the whole request: the solve, the cache
 	// lookups and the node rendering below all see the same corpus
 	// generation even if a swap lands mid-request.
@@ -350,13 +355,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	pin := s.eng.Pin()
 	g := pin.Corpus().Graph()
 	tr := obs.TraceFrom(ctx)
-	tr.Eventf("parse", "q=%s k=%d", q.String(), k)
+	tr.Eventf("parse", "q=%s k=%d mode=%s", q.String(), k, rp.Mode)
 	if pid := r.URL.Query().Get("profile"); pid != "" {
+		// Profiles personalize the authority flow system; the hub and
+		// combined axes have no basis-projected store behind them.
+		if rp.Mode != core.ModeAuthority {
+			writeError(w, r, http.StatusBadRequest,
+				"profile-scoped queries support only mode=authority")
+			return
+		}
 		s.handleProfileQuery(w, r, pin, pid, q, k)
 		return
 	}
 	if s.cache != nil {
-		ans, err := s.cache.QueryPinnedCtx(ctx, pin, q, k)
+		ans, err := s.cache.QueryModePinnedCtx(ctx, pin, q, k, rp.Mode)
 		if err != nil {
 			s.writeCtxError(w, r, err)
 			return
@@ -366,6 +378,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.obs.cacheOutcome.With(ans.Source).Inc()
 		resp := QueryResponse{
 			Query:      q.String(),
+			Mode:       modeField(rp.Mode),
 			BaseSet:    ans.BaseSet,
 			Iterations: ans.Iterations,
 			Version:    ans.Version,
@@ -377,7 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	res, err := pin.RankCtx(ctx, q)
+	res, err := pin.RankModeCtx(ctx, q, rp.Mode)
 	if err != nil {
 		s.writeCtxError(w, r, err)
 		return
@@ -387,6 +400,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.obs.cacheOutcome.With(uncachedOutcome).Inc()
 	resp := QueryResponse{
 		Query:      q.String(),
+		Mode:       modeField(rp.Mode),
 		BaseSet:    len(res.Base),
 		Iterations: res.Iterations,
 		Version:    res.RatesVersion,
@@ -398,9 +412,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// modeField renders a Mode for a response DTO: authority — the pre-mode
+// meaning of every endpoint — stays the omitted zero value, keeping
+// authority response bodies byte-identical to their pre-contract form.
+func modeField(m core.Mode) string {
+	if m == core.ModeAuthority {
+		return ""
+	}
+	return string(m)
+}
+
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q, _, ok := parseQuery(w, r)
 	if !ok {
+		return
+	}
+	rp, ok := parseReadParams(w, r)
+	if !ok {
+		return
+	}
+	if !requireExplainable(w, r, rp.Mode) {
 		return
 	}
 	// Pin one snapshot so the ranking and its explanation cannot see
@@ -417,20 +448,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := obs.TraceFrom(ctx)
-	tr.Eventf("parse", "q=%s target=%d", q.String(), target)
+	tr.Eventf("parse", "q=%s target=%d mode=%s", q.String(), target, rp.Mode)
 	var res *core.RankResult
 	var err error
 	if s.cache != nil {
-		res, err = s.cache.RankPinnedCtx(ctx, pin, q)
+		res, err = s.cache.RankModePinnedCtx(ctx, pin, q, rp.Mode)
 	} else {
-		res, err = pin.RankCtx(ctx, q)
+		res, err = pin.RankModeCtx(ctx, q, rp.Mode)
 	}
 	if err != nil {
 		s.writeCtxError(w, r, err)
 		return
 	}
 	tr.Eventf("solve", "iters=%d base=%d", res.Iterations, len(res.Base))
-	sg, err := pin.ExplainCtx(ctx, res, target, core.DefaultExplain())
+	sg, err := pin.ExplainModeCtx(ctx, rp.Mode, res, target, core.DefaultExplain())
 	tr.Event("explain", "")
 	s.eng.Release(res)
 	if err != nil {
@@ -449,8 +480,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
 		_ = storage.ExportDOT(w, g, sg)
 	default:
-		w.Header().Set("Content-Type", "application/json")
-		_ = storage.ExportJSON(w, g, sg)
+		// The JSON format carries the shared explain/audit envelope: every
+		// legacy SubgraphJSON field, embedded unchanged, plus the envelope
+		// additions (node, score, mode, generation, ratesVersion,
+		// contributions[]) — see api.go's ExplainResponse. The budget
+		// parameter truncates ONLY the contributions block; the legacy
+		// nodes/arcs arrays stay complete.
+		a := core.AuditOf(sg, rp.Budget)
+		resp := ExplainResponse{
+			SubgraphJSON:  storage.BuildSubgraphJSON(g, sg),
+			Node:          int64(sg.Target),
+			Score:         sg.ExplainedScore(),
+			Mode:          string(rp.Mode),
+			Generation:    pin.Generation(),
+			RatesVersion:  pin.Version(),
+			Contributions: contributions(g, a),
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
 }
 

@@ -46,6 +46,17 @@ type SubgraphArcJSON struct {
 // ExportJSON renders an explaining subgraph as JSON, the format the
 // deployed demo serves to its UI.
 func ExportJSON(w io.Writer, g *graph.Graph, sg *core.Subgraph) error {
+	out := BuildSubgraphJSON(g, sg)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// BuildSubgraphJSON assembles the exported JSON struct without encoding
+// it, for callers (the /v1/explain envelope) that embed the legacy
+// subgraph shape inside a larger response. Arc ordering (flow
+// descending) matches ExportJSON exactly.
+func BuildSubgraphJSON(g *graph.Graph, sg *core.Subgraph) SubgraphJSON {
 	out := SubgraphJSON{
 		Target:     int64(sg.Target),
 		Score:      sg.ExplainedScore(),
@@ -77,9 +88,7 @@ func ExportJSON(w io.Writer, g *graph.Graph, sg *core.Subgraph) error {
 			Flow:  a.Flow,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&out)
+	return out
 }
 
 // ExportDOT renders an explaining subgraph in Graphviz DOT format: the
